@@ -1,0 +1,26 @@
+//! Baseline miners for the TrajPattern evaluation (§6 of the paper).
+//!
+//! Two comparison systems are rebuilt here:
+//!
+//! - [`match_miner`]: an Apriori-style level-wise miner for the
+//!   *non-normalized* **match** measure of Yang et al. \[14\] ("Mining long
+//!   sequential patterns in a noisy environment", SIGMOD 2002). The match
+//!   measure satisfies the Apriori property, which is the only property the
+//!   original border-collapsing machinery relies on; the level-wise miner
+//!   returns the identical top-k answer (see DESIGN.md §3 on this
+//!   substitution). Used by the Fig. 3 effectiveness comparison.
+//!
+//! - [`pb`]: a projection-based miner for the **NM** measure in the spirit
+//!   of InfoMiner \[13\], the scalability baseline of §6.2. It grows
+//!   prefixes depth-first, bounding every unspecified position by the best
+//!   per-trajectory singular NM — the loose bound whose prefix explosion
+//!   the paper's Fig. 4 measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod match_miner;
+pub mod pb;
+
+pub use match_miner::{mine_match, MatchMiningOutcome, MinedMatchPattern};
+pub use pb::{mine_pb, PbOutcome, PbStats};

@@ -1,0 +1,334 @@
+//! Apriori-style top-k miner for the (non-normalized) match measure.
+//!
+//! The match of a pattern is `Σ_T max_window M(P, T')` — the expected
+//! best-aligned occurrence count (Yang et al. \[14\]). Because every
+//! per-position probability is ≤ 1, extending a pattern can only lower
+//! its match: the measure is anti-monotone and the classic Apriori
+//! level-wise search applies. The paper (§3.3) points out exactly this:
+//! "the Apriori property holds on the match measure, but not on the NM
+//! measure".
+//!
+//! Mining is top-k with a dynamic threshold, mirroring the TrajPattern
+//! setup so that the Fig. 3 comparison is apples-to-apples: the k-th best
+//! match among qualifying patterns (length ≥ `min_len`) prunes the level
+//! frontier.
+
+use trajdata::Dataset;
+use trajgeo::Grid;
+use trajpattern::algorithm::seed_patterns;
+use trajpattern::pattern::Pattern;
+use trajpattern::{MiningParams, ParamsError, Scorer};
+
+/// A pattern with its match value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedMatchPattern {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Its match (expected best-aligned occurrences), in `[0, |D|]`.
+    pub match_value: f64,
+}
+
+/// Result of a match-measure mining run.
+#[derive(Debug, Clone)]
+pub struct MatchMiningOutcome {
+    /// Top-k qualifying patterns, best match first.
+    pub patterns: Vec<MinedMatchPattern>,
+    /// Number of patterns whose match was computed.
+    pub evaluated: u64,
+    /// Number of levels (pattern lengths) explored.
+    pub levels: usize,
+}
+
+/// Mines the `params.k` patterns with the highest match of length ≥
+/// `params.min_len` (and ≤ `params.max_len`).
+///
+/// Reuses [`MiningParams`] for the shared knobs (`k`, `delta`, `min_prob`,
+/// length bounds); the pruning flags are ignored (Apriori pruning is
+/// inherent to the level-wise search).
+pub fn mine_match(
+    data: &Dataset,
+    grid: &Grid,
+    params: &MiningParams,
+) -> Result<MatchMiningOutcome, ParamsError> {
+    params.validate()?;
+    let scorer = Scorer::new(data, grid, params.delta, params.min_prob);
+    let mut evaluated: u64 = 0;
+
+    if data.is_empty() || grid.num_cells() == 0 {
+        return Ok(MatchMiningOutcome {
+            patterns: Vec::new(),
+            evaluated,
+            levels: 0,
+        });
+    }
+    let data_max_len = data.iter().map(|t| t.len()).max().unwrap_or(0);
+    let max_len = params.max_len.min(data_max_len.max(1));
+
+    // Top-k threshold over qualifying patterns.
+    let mut pool: Vec<MinedMatchPattern> = Vec::new();
+    let mut omega = 0.0_f64; // match values are >= 0; 0 disables pruning
+    let mut have = 0usize;
+
+    let offer = |pool: &mut Vec<MinedMatchPattern>,
+                     omega: &mut f64,
+                     have: &mut usize,
+                     p: &Pattern,
+                     v: f64,
+                     min_len: usize,
+                     k: usize| {
+        if p.len() >= min_len {
+            pool.push(MinedMatchPattern {
+                pattern: p.clone(),
+                match_value: v,
+            });
+            *have += 1;
+            if *have >= k {
+                // Recompute the k-th best lazily: sort/dedup/truncate the
+                // pool when it doubles, keeping the cost amortized.
+                // Deduplication matters: the seed bootstrap and the
+                // level-wise search can reach the same pattern, and a
+                // duplicated value must not count twice toward ω.
+                if pool.len() >= 2 * k {
+                    pool.sort_by(|a, b| {
+                        b.match_value
+                            .partial_cmp(&a.match_value)
+                            .expect("match values are finite")
+                            .then_with(|| a.pattern.cmp(&b.pattern))
+                    });
+                    pool.dedup_by(|a, b| a.pattern == b.pattern);
+                    pool.truncate(k);
+                }
+                if pool.len() >= k {
+                    let kth = pool
+                        .iter()
+                        .map(|m| m.match_value)
+                        .fold(f64::INFINITY, f64::min);
+                    if kth > *omega {
+                        *omega = kth;
+                    }
+                }
+            }
+        }
+    };
+
+    // min_len bootstrap: prime ω with genuine qualifying patterns from the
+    // data windows, exactly like the TrajPattern miner does.
+    if params.min_len > 1 {
+        for p in seed_patterns(&scorer, params.min_len, params.k) {
+            let v = scorer.match_score(&p);
+            evaluated += 1;
+            offer(
+                &mut pool,
+                &mut omega,
+                &mut have,
+                &p,
+                v,
+                params.min_len,
+                params.k,
+            );
+        }
+    }
+
+    // Level 1: all singulars.
+    let mut frontier: Vec<(Pattern, f64)> = Vec::new();
+    for cell in grid.cells() {
+        let p = Pattern::singular(cell);
+        let v = scorer.match_score(&p);
+        evaluated += 1;
+        offer(
+            &mut pool,
+            &mut omega,
+            &mut have,
+            &p,
+            v,
+            params.min_len,
+            params.k,
+        );
+        if v >= omega {
+            frontier.push((p, v));
+        }
+    }
+
+    let mut levels = 1;
+    while !frontier.is_empty() && levels < max_len {
+        levels += 1;
+        let mut next: Vec<(Pattern, f64)> = Vec::new();
+        for (p, parent_match) in &frontier {
+            // Apriori: a child can never beat its parent.
+            if *parent_match < omega {
+                continue;
+            }
+            for cell in grid.cells() {
+                let child = p.concat(&Pattern::singular(cell));
+                let v = scorer.match_score(&child);
+                evaluated += 1;
+                offer(
+                    &mut pool,
+                    &mut omega,
+                    &mut have,
+                    &child,
+                    v,
+                    params.min_len,
+                    params.k,
+                );
+                if v >= omega {
+                    next.push((child, v));
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    pool.sort_by(|a, b| {
+        b.match_value
+            .partial_cmp(&a.match_value)
+            .expect("match values are finite")
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
+    pool.dedup_by(|a, b| a.pattern == b.pattern);
+    pool.truncate(params.k);
+
+    Ok(MatchMiningOutcome {
+        patterns: pool,
+        evaluated,
+        levels,
+    })
+}
+
+/// Average length of a mined pattern set — the §6.1 statistic (avg length
+/// of top-1000 match patterns ≈ 3.18 vs NM patterns ≈ 4.2). Returns 0 for
+/// an empty set.
+pub fn average_length(patterns: impl IntoIterator<Item = usize>) -> f64 {
+    let mut n = 0usize;
+    let mut sum = 0usize;
+    for len in patterns {
+        n += 1;
+        sum += len;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajdata::{SnapshotPoint, Trajectory};
+    use trajgeo::{BBox, CellId, Point2};
+
+    fn sweep(n: usize, sigma: f64) -> (Dataset, Grid) {
+        let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+        let data: Dataset = (0..n)
+            .map(|_| {
+                Trajectory::new(
+                    (0..4)
+                        .map(|i| {
+                            SnapshotPoint::new(
+                                Point2::new(0.125 + i as f64 * 0.25, 0.625),
+                                sigma,
+                            )
+                            .unwrap()
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        (data, grid)
+    }
+
+    fn pat(ids: &[u32]) -> Pattern {
+        Pattern::new(ids.iter().map(|&i| CellId(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn top_match_singulars_are_on_path() {
+        let (data, grid) = sweep(8, 0.03);
+        let params = MiningParams::new(4, 0.1).unwrap().with_max_len(1).unwrap();
+        let out = mine_match(&data, &grid, &params).unwrap();
+        assert_eq!(out.patterns.len(), 4);
+        let cells: Vec<u32> = out
+            .patterns
+            .iter()
+            .map(|m| m.pattern.cells()[0].0)
+            .collect();
+        for c in [8, 9, 10, 11] {
+            assert!(cells.contains(&c), "missing c{c} in {cells:?}");
+        }
+    }
+
+    #[test]
+    fn match_values_in_range_and_sorted() {
+        let (data, grid) = sweep(5, 0.05);
+        let params = MiningParams::new(6, 0.1).unwrap().with_max_len(3).unwrap();
+        let out = mine_match(&data, &grid, &params).unwrap();
+        assert_eq!(out.patterns.len(), 6);
+        for w in out.patterns.windows(2) {
+            assert!(w[0].match_value >= w[1].match_value);
+        }
+        for m in &out.patterns {
+            assert!(m.match_value >= 0.0 && m.match_value <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn finds_the_long_path_when_asked() {
+        let (data, grid) = sweep(10, 0.02);
+        let params = MiningParams::new(1, 0.1)
+            .unwrap()
+            .with_min_len(4)
+            .unwrap()
+            .with_max_len(4)
+            .unwrap();
+        let out = mine_match(&data, &grid, &params).unwrap();
+        assert_eq!(out.patterns.len(), 1);
+        assert_eq!(out.patterns[0].pattern, pat(&[8, 9, 10, 11]));
+    }
+
+    #[test]
+    fn matches_brute_force_on_match_measure() {
+        // Exhaustively verify on a tiny instance.
+        let (data, grid) = sweep(4, 0.08);
+        let params = MiningParams::new(8, 0.1).unwrap().with_max_len(2).unwrap();
+        let scorer = Scorer::new(&data, &grid, 0.1, params.min_prob);
+        let mut all: Vec<(Pattern, f64)> = Vec::new();
+        for a in grid.cells() {
+            let p = Pattern::singular(a);
+            all.push((p.clone(), scorer.match_score(&p)));
+            for b in grid.cells() {
+                let p2 = p.concat(&Pattern::singular(b));
+                let v = scorer.match_score(&p2);
+                all.push((p2, v));
+            }
+        }
+        all.sort_by(|x, y| {
+            y.1.partial_cmp(&x.1)
+                .unwrap()
+                .then_with(|| x.0.cmp(&y.0))
+        });
+        let out = mine_match(&data, &grid, &params).unwrap();
+        for (m, (_, v)) in out.patterns.iter().zip(&all) {
+            assert!(
+                (m.match_value - v).abs() < 1e-9,
+                "mined {} vs brute {v}",
+                m.match_value
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_empty() {
+        let grid = Grid::new(BBox::unit(), 2, 2).unwrap();
+        let params = MiningParams::new(3, 0.1).unwrap();
+        let out = mine_match(&Dataset::new(), &grid, &params).unwrap();
+        assert!(out.patterns.is_empty());
+    }
+
+    #[test]
+    fn average_length_helper() {
+        assert_eq!(average_length([3usize, 4, 5]), 4.0);
+        assert_eq!(average_length(std::iter::empty::<usize>()), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Pruning ablation: how much work the weighted-mean bound and the
+//! 1-extension rule save (an extension beyond the paper, see DESIGN.md).
+//!
+//! Usage: `cargo run -p bench --release --bin exp_ablation [--quick]`
+
+use bench::ablation::run;
+use bench::report::{fmt_secs, row, write_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = if quick {
+        run(20, 20, 8, 6, 5, 7)
+    } else {
+        run(60, 40, 12, 10, 6, 7)
+    };
+
+    println!("=== Pruning ablation ({}) ===", result.workload);
+    let widths = [20, 10, 10, 14, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "variant".into(),
+                "time".into(),
+                "scored".into(),
+                "bound_pruned".into(),
+                "|Q|".into()
+            ],
+            &widths
+        )
+    );
+    for r in &result.rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.variant.clone(),
+                    fmt_secs(r.secs),
+                    r.scored.to_string(),
+                    r.bound_pruned.to_string(),
+                    r.queue.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "identical results across variants: {}",
+        result.identical_results
+    );
+    assert!(result.identical_results, "pruning must be exact");
+
+    match write_json("ablation", &result) {
+        Ok(path) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,119 @@
+//! Regenerates Fig. 4(a)–(d): TrajPattern vs PB response times across the
+//! four scalability axes.
+//!
+//! Usage: `cargo run -p bench --release --bin exp_fig4 [--quick] [--axis k|s|l|g]`
+//! (no `--axis` runs all four panels).
+
+use bench::fig4::{sweep_g, sweep_k, sweep_l, sweep_s, Fig4Config, SweepResult};
+use bench::report::{fmt_secs, row, write_dat, write_json};
+
+fn print_sweep(r: &SweepResult) {
+    println!("=== Fig. 4({}): response time vs {} ===", panel(&r.axis), r.axis);
+    let widths = [8, 14, 14, 12, 14, 6];
+    println!(
+        "{}",
+        row(
+            &[
+                r.axis.clone(),
+                "TrajPattern".into(),
+                "PB".into(),
+                "tp_scored".into(),
+                "pb_prefixes".into(),
+                "note".into()
+            ],
+            &widths
+        )
+    );
+    for p in &r.points {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", p.x),
+                    fmt_secs(p.trajpattern_secs),
+                    fmt_secs(p.pb_secs),
+                    p.tp_scored.to_string(),
+                    p.pb_prefixes.to_string(),
+                    if p.pb_truncated { "trunc" } else { "" }.into(),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn panel(axis: &str) -> &'static str {
+    match axis {
+        "k" => "a",
+        "S" => "b",
+        "L" => "c",
+        _ => "d",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let axis = args
+        .iter()
+        .position(|a| a == "--axis")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+
+    let cfg = Fig4Config::default();
+    let (ks, ss, ls, gs): (Vec<usize>, Vec<usize>, Vec<usize>, Vec<u32>) = if quick {
+        (vec![5, 10], vec![30, 60], vec![20, 40], vec![8, 12])
+    } else {
+        (
+            vec![5, 10, 20, 40, 80],
+            vec![30, 60, 120, 240],
+            vec![20, 40, 80, 160],
+            vec![8, 12, 16, 24],
+        )
+    };
+
+    let run_axis = |name: &str| -> Option<SweepResult> {
+        match name {
+            "k" => Some(sweep_k(&cfg, &ks)),
+            "s" => Some(sweep_s(&cfg, &ss)),
+            "l" => Some(sweep_l(&cfg, &ls)),
+            "g" => Some(sweep_g(&cfg, &gs)),
+            other => {
+                eprintln!("unknown axis {other}; use k, s, l or g");
+                None
+            }
+        }
+    };
+
+    let axes: Vec<String> = match axis {
+        Some(a) => vec![a],
+        None => vec!["k".into(), "s".into(), "l".into(), "g".into()],
+    };
+
+    let mut results = Vec::new();
+    for a in axes {
+        eprintln!("running fig4 axis {a}…");
+        if let Some(r) = run_axis(&a) {
+            print_sweep(&r);
+            let rows: Vec<Vec<f64>> = r
+                .points
+                .iter()
+                .map(|p| vec![p.x, p.trajpattern_secs, p.pb_secs])
+                .collect();
+            match write_dat(&format!("fig4{}", panel(&r.axis)), &["x", "trajpattern_secs", "pb_secs"], &rows) {
+                Ok(path) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("could not write dat: {e}"),
+            }
+            results.push(r);
+        }
+    }
+    println!(
+        "paper: TrajPattern scales ~quadratically in k and linearly in S, L, G; \
+         PB grows super-linearly in k and S and exponentially in G"
+    );
+
+    match write_json("fig4", &results) {
+        Ok(path) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,265 @@
+//! Fig. 4(a)–(d): scalability of TrajPattern vs the PB baseline.
+//!
+//! Four sweeps over the ZebraNet-style workload, one per paper panel:
+//!
+//! - (a) response time vs `k` (number of patterns wanted);
+//! - (b) response time vs `S` (number of trajectories);
+//! - (c) response time vs `L` (average trajectory length);
+//! - (d) response time vs `G` (number of grid cells).
+//!
+//! The paper's qualitative result: TrajPattern grows slowly (quadratic in
+//! k, linear in S, L and G) while PB grows super-linearly in k and S and
+//! exponentially in G. Both miners are exact, so their outputs must agree
+//! whenever PB completes within budget — the sweep asserts this.
+
+use crate::workloads::zebranet_workload;
+use baselines::pb::mine_pb_budgeted;
+use serde::Serialize;
+use std::time::Instant;
+use trajdata::Dataset;
+use trajgeo::Grid;
+use trajpattern::{mine, MiningParams};
+
+/// Base configuration shared by the four sweeps.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Config {
+    /// Baseline number of trajectories `S`.
+    pub s: usize,
+    /// Baseline trajectory length `L`.
+    pub l: usize,
+    /// Baseline grid side (G = side²).
+    pub grid_side: u32,
+    /// Baseline `k`.
+    pub k: usize,
+    /// Pattern length cap.
+    pub max_len: usize,
+    /// Indifference distance δ.
+    pub delta: f64,
+    /// PB prefix-scoring budget (None = unbounded).
+    pub pb_budget: Option<u64>,
+    /// Workload seeds: each sweep point is measured once per seed and the
+    /// times averaged (different seeds give different herd routes, which
+    /// otherwise makes the curves noisy).
+    pub seeds: Vec<u64>,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            s: 60,
+            l: 40,
+            grid_side: 12,
+            k: 10,
+            max_len: 6,
+            delta: 0.03,
+            pb_budget: Some(3_000_000),
+            seeds: vec![7, 8, 9],
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// The sweep variable's value at this point.
+    pub x: f64,
+    /// TrajPattern wall time in seconds.
+    pub trajpattern_secs: f64,
+    /// PB wall time in seconds.
+    pub pb_secs: f64,
+    /// Candidates TrajPattern actually scored.
+    pub tp_scored: u64,
+    /// Prefixes PB scored.
+    pub pb_prefixes: u64,
+    /// Whether PB hit its budget (its time is then a lower bound).
+    pub pb_truncated: bool,
+    /// Whether the two miners returned identical NM sequences (always
+    /// true unless PB was truncated).
+    pub agree: bool,
+}
+
+/// A complete sweep (one figure panel).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepResult {
+    /// Sweep axis name: "k", "S", "L" or "G".
+    pub axis: String,
+    /// Configuration the sweep was based on.
+    pub config: Fig4Config,
+    /// The measured points.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Measures one (workload, k) pair once.
+fn measure_once(data: &Dataset, grid: &Grid, k: usize, cfg: &Fig4Config, x: f64) -> SweepPoint {
+    let params = MiningParams::new(k, cfg.delta)
+        .expect("valid params")
+        .with_max_len(cfg.max_len)
+        .expect("valid params");
+
+    let t0 = Instant::now();
+    let tp = mine(data, grid, &params).expect("mining succeeds");
+    let trajpattern_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let pb = mine_pb_budgeted(data, grid, &params, cfg.pb_budget).expect("mining succeeds");
+    let pb_secs = t1.elapsed().as_secs_f64();
+
+    let agree = pb.stats.truncated
+        || (tp.patterns.len() == pb.patterns.len()
+            && tp
+                .patterns
+                .iter()
+                .zip(&pb.patterns)
+                .all(|(a, b)| (a.nm - b.nm).abs() < 1e-9));
+    if !pb.stats.truncated {
+        assert!(agree, "exact miners disagreed at x = {x}");
+    }
+
+    SweepPoint {
+        x,
+        trajpattern_secs,
+        pb_secs,
+        tp_scored: tp.stats.candidates_scored,
+        pb_prefixes: pb.stats.prefixes_scored,
+        pb_truncated: pb.stats.truncated,
+        agree,
+    }
+}
+
+/// Averages the measurement over the configured seeds. `make_workload`
+/// receives each seed in turn.
+fn run_point<F>(cfg: &Fig4Config, k: usize, x: f64, make_workload: F) -> SweepPoint
+where
+    F: Fn(u64) -> crate::workloads::ScalabilityWorkload,
+{
+    let mut acc: Option<SweepPoint> = None;
+    let n = cfg.seeds.len().max(1) as f64;
+    for &seed in &cfg.seeds {
+        let w = make_workload(seed);
+        let p = measure_once(&w.data, &w.grid, k, cfg, x);
+        acc = Some(match acc {
+            None => p,
+            Some(mut a) => {
+                a.trajpattern_secs += p.trajpattern_secs;
+                a.pb_secs += p.pb_secs;
+                a.tp_scored += p.tp_scored;
+                a.pb_prefixes += p.pb_prefixes;
+                a.pb_truncated |= p.pb_truncated;
+                a.agree &= p.agree;
+                a
+            }
+        });
+    }
+    let mut p = acc.expect("at least one seed");
+    p.trajpattern_secs /= n;
+    p.pb_secs /= n;
+    p.tp_scored = (p.tp_scored as f64 / n) as u64;
+    p.pb_prefixes = (p.pb_prefixes as f64 / n) as u64;
+    p
+}
+
+/// Fig. 4(a): sweep `k`.
+pub fn sweep_k(cfg: &Fig4Config, ks: &[usize]) -> SweepResult {
+    SweepResult {
+        axis: "k".into(),
+        config: cfg.clone(),
+        points: ks
+            .iter()
+            .map(|&k| {
+                run_point(cfg, k, k as f64, |seed| {
+                    zebranet_workload(cfg.s, cfg.l, cfg.grid_side, seed)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 4(b): sweep the number of trajectories `S`.
+pub fn sweep_s(cfg: &Fig4Config, ss: &[usize]) -> SweepResult {
+    SweepResult {
+        axis: "S".into(),
+        config: cfg.clone(),
+        points: ss
+            .iter()
+            .map(|&s| {
+                run_point(cfg, cfg.k, s as f64, |seed| {
+                    zebranet_workload(s, cfg.l, cfg.grid_side, seed)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 4(c): sweep the average trajectory length `L`.
+pub fn sweep_l(cfg: &Fig4Config, ls: &[usize]) -> SweepResult {
+    SweepResult {
+        axis: "L".into(),
+        config: cfg.clone(),
+        points: ls
+            .iter()
+            .map(|&l| {
+                run_point(cfg, cfg.k, l as f64, |seed| {
+                    zebranet_workload(cfg.s, l, cfg.grid_side, seed)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Fig. 4(d): sweep the number of grid cells `G` (via the grid side).
+pub fn sweep_g(cfg: &Fig4Config, sides: &[u32]) -> SweepResult {
+    SweepResult {
+        axis: "G".into(),
+        config: cfg.clone(),
+        points: sides
+            .iter()
+            .map(|&side| {
+                run_point(cfg, cfg.k, (side * side) as f64, |seed| {
+                    zebranet_workload(cfg.s, cfg.l, side, seed)
+                })
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig4Config {
+        Fig4Config {
+            s: 10,
+            l: 15,
+            grid_side: 6,
+            k: 4,
+            max_len: 4,
+            pb_budget: Some(200_000),
+            seeds: vec![3],
+            ..Fig4Config::default()
+        }
+    }
+
+    #[test]
+    fn sweep_k_points_agree_and_are_positive() {
+        let r = sweep_k(&tiny(), &[2, 4]);
+        assert_eq!(r.points.len(), 2);
+        for p in &r.points {
+            assert!(p.agree, "miners must agree at k={}", p.x);
+            assert!(p.trajpattern_secs > 0.0 && p.pb_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_s_runs() {
+        let r = sweep_s(&tiny(), &[6, 12]);
+        assert_eq!(r.axis, "S");
+        assert!(r.points.iter().all(|p| p.agree));
+    }
+
+    #[test]
+    fn sweep_g_runs() {
+        let r = sweep_g(&tiny(), &[4, 8]);
+        assert_eq!(r.points[0].x, 16.0);
+        assert_eq!(r.points[1].x, 64.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness regenerating every figure of the TrajPattern paper.
+//!
+//! Each experiment is a library function returning a serializable result
+//! struct, driven by a binary (`exp_*`) that prints a human-readable table
+//! and writes JSON under `results/`. Criterion benches in `benches/`
+//! exercise the same code paths on reduced configurations for
+//! statistically robust *timing* numbers; the `exp_*` binaries produce the
+//! full paper-shaped sweeps.
+//!
+//! Figure → module map (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | §6.1 pattern-length statistic | [`lengths`] |
+//! | Fig. 3 (mis-prediction reduction) | [`fig3`] |
+//! | Fig. 4(a)–(d) (scalability) | [`fig4`] |
+//! | Fig. 4(e) (groups vs δ) | [`fig4e`] |
+//! | Pruning ablation (ours) | [`ablation`] |
+
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig4e;
+pub mod lengths;
+pub mod report;
+pub mod workloads;

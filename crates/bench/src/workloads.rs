@@ -1,0 +1,120 @@
+//! Shared workload builders for the experiments.
+
+use datagen::{observe_directly, BusConfig, ZebraConfig};
+use trajdata::Dataset;
+use trajgeo::{BBox, Grid, Point2};
+
+/// The ZebraNet-style scalability workload of §6.2, parameterized by the
+/// paper's sweep variables: `S` (trajectories), `L` (average length) and
+/// `G` (grid cells). Herd movement keeps the workload homogeneous enough
+/// that top-k thresholds bite (both miners are exact; this controls how
+/// hard they have to work, which is what Fig. 4 measures).
+#[derive(Debug, Clone)]
+pub struct ScalabilityWorkload {
+    /// The imprecise location dataset.
+    pub data: Dataset,
+    /// Grid over the unit square with `grid_side²` cells.
+    pub grid: Grid,
+}
+
+/// Builds the scalability workload. `s` trajectories of length `l` over a
+/// `grid_side × grid_side` grid.
+///
+/// One herd: every zebra shares the same (noisy) motion, so top patterns
+/// score well in *every* trajectory and the top-k thresholds of both
+/// miners actually bite. With several independent herds each pattern is
+/// floored on the other herds' trajectories, the thresholds sit far below
+/// any completion bound, and the PB baseline cannot prune at all — it
+/// then only ever hits its node budget, which flattens the curves the
+/// figure is supposed to show. (TrajPattern handles both regimes; see the
+/// `multi_herd` tests in `tests/miners_agree.rs`.)
+pub fn zebranet_workload(s: usize, l: usize, grid_side: u32, seed: u64) -> ScalabilityWorkload {
+    let cfg = ZebraConfig {
+        num_groups: 1,
+        zebras_per_group: s.max(1),
+        snapshots: l,
+        leave_prob: 0.001,
+        ..ZebraConfig::default()
+    };
+    let mut paths = cfg.paths(seed);
+    paths.truncate(s);
+    let data = observe_directly(&paths, 0.015, seed ^ 0x0b5e);
+    let grid = Grid::new(BBox::unit(), grid_side, grid_side).expect("valid grid");
+    ScalabilityWorkload { data, grid }
+}
+
+/// The bus workload of §6.1: ground-truth traces (interleaved across
+/// routes so a prefix split is route-balanced) plus the reporting scheme's
+/// parameters used throughout the Fig. 3 experiment.
+#[derive(Debug, Clone)]
+pub struct BusWorkload {
+    /// Ground-truth paths, one per (bus, day), 100 snapshots each.
+    pub paths: Vec<Vec<Point2>>,
+    /// Tolerable uncertainty distance `U` (fraction of the unit square).
+    pub uncertainty: f64,
+    /// The constant `c` (σ = U/c).
+    pub c: f64,
+}
+
+/// Builds the bus workload (500 traces by default; `traces` can shrink it
+/// for quick runs).
+pub fn bus_workload(traces: usize, seed: u64) -> BusWorkload {
+    let cfg = BusConfig::default();
+    let mut paths = cfg.paths_interleaved(seed);
+    paths.truncate(traces);
+    BusWorkload {
+        paths,
+        uncertainty: 0.012,
+        c: 2.0,
+    }
+}
+
+/// The velocity-space grid used for bus velocity mining: 9×9 cells of
+/// width 0.01 over `[-0.045, 0.045]²`. The odd cell count centers one cell
+/// exactly on zero velocity (dwells), and the fleet's cruise (≈0.02) and
+/// corner-slow (≈0.008) speed levels land on distinct cell centers (see
+/// `datagen::bus` on corner deceleration).
+pub fn bus_velocity_grid() -> Grid {
+    Grid::new(
+        BBox::new(Point2::new(-0.045, -0.045), Point2::new(0.045, 0.045)).expect("valid box"),
+        9,
+        9,
+    )
+    .expect("valid grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zebranet_workload_has_requested_shape() {
+        let w = zebranet_workload(30, 20, 12, 1);
+        assert_eq!(w.data.len(), 30);
+        let stats = w.data.stats().unwrap();
+        assert_eq!(stats.max_len, 20);
+        assert_eq!(w.grid.num_cells(), 144);
+    }
+
+    #[test]
+    fn zebranet_workload_handles_odd_counts() {
+        let w = zebranet_workload(7, 10, 8, 2);
+        assert_eq!(w.data.len(), 7);
+    }
+
+    #[test]
+    fn bus_workload_truncates() {
+        let w = bus_workload(40, 3);
+        assert_eq!(w.paths.len(), 40);
+        assert!(w.paths.iter().all(|p| p.len() == 100));
+    }
+
+    #[test]
+    fn velocity_grid_covers_fleet_speeds() {
+        let g = bus_velocity_grid();
+        // Fast eastbound ≈ 0.02/snapshot must be inside the box.
+        assert!(g.bbox().contains(Point2::new(0.02, 0.0)));
+        assert!(g.bbox().contains(Point2::new(-0.025, 0.01)));
+        assert_eq!(g.num_cells(), 81);
+    }
+}

@@ -1,0 +1,462 @@
+//! `trajmine` subcommand implementations.
+
+use crate::args::Args;
+use datagen::{observe_directly, BusConfig, PostureConfig, UniformConfig, ZebraConfig};
+use std::error::Error;
+use trajdata::Dataset;
+use trajgeo::{Grid, Point2};
+use trajpattern::{mine, MiningParams};
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+trajmine — TrajPattern reproduction CLI
+
+USAGE:
+  trajmine generate --workload <bus|zebranet|uniform|posture> --out FILE
+                    [--seed N] [--sigma F] [--traces N] [--snapshots N]
+  trajmine stats    --input FILE
+  trajmine validate --input FILE [--max-sigma F] [--min-len N]
+  trajmine mine     --input FILE --k N [--delta F] [--grid N] [--min-len N]
+                    [--max-len N] [--gamma F] [--velocity true]
+                    [--map true] [--json FILE]
+
+Dataset files ending in .csv use the CSV schema `traj_id,snapshot,x,y,sigma`;
+anything else is JSON. `generate` observes ground-truth paths with Gaussian
+noise --sigma (default 0.01). `mine` lays an N×N grid (default 16) over the
+dataset's bounding box; --velocity true mines velocity trajectories instead
+of locations; --gamma enables pattern-group discovery; --map true prints an
+ASCII density map with the top pattern overlaid.";
+
+/// Runs the subcommand in `args`.
+pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "stats" => stats(args),
+        "validate" => validate(args),
+        "mine" => mine_cmd(args),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}").into()),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let workload = args.require("workload")?;
+    let out = args.require("out")?.to_string();
+    let seed: u64 = args.get_or("seed", 1u64)?;
+    let sigma: f64 = args.get_or("sigma", 0.01f64)?;
+    let snapshots: usize = args.get_or("snapshots", 100usize)?;
+    let traces: usize = args.get_or("traces", 100usize)?;
+
+    let paths: Vec<Vec<Point2>> = match workload {
+        "bus" => {
+            let mut cfg = BusConfig {
+                snapshots,
+                ..BusConfig::default()
+            };
+            // Scale the fleet to approximately the requested trace count.
+            cfg.days = (traces / (cfg.num_routes * cfg.buses_per_route)).max(1);
+            let mut p = cfg.paths_interleaved(seed);
+            p.truncate(traces);
+            p
+        }
+        "zebranet" => {
+            let cfg = ZebraConfig {
+                num_groups: (traces / 10).max(1),
+                zebras_per_group: 10.min(traces.max(1)),
+                snapshots,
+                ..ZebraConfig::default()
+            };
+            let mut p = cfg.paths(seed);
+            p.truncate(traces);
+            p
+        }
+        "uniform" => {
+            UniformConfig {
+                num_objects: traces,
+                snapshots,
+                ..UniformConfig::default()
+            }
+            .paths(seed)
+        }
+        "posture" => {
+            PostureConfig {
+                num_subjects: traces,
+                snapshots,
+                ..PostureConfig::default()
+            }
+            .paths(seed)
+        }
+        other => return Err(format!("unknown workload '{other}'").into()),
+    };
+    let data = observe_directly(&paths, sigma, seed ^ 0x0b5e);
+    if out.ends_with(".csv") {
+        std::fs::write(&out, trajdata::csv::to_csv(&data))?;
+    } else {
+        std::fs::write(&out, data.to_json())?;
+    }
+    eprintln!(
+        "wrote {} trajectories ({} snapshots each) to {out}",
+        data.len(),
+        snapshots
+    );
+    Ok(())
+}
+
+fn load(args: &Args) -> Result<Dataset, Box<dyn Error>> {
+    let input = args.require("input")?;
+    let raw = std::fs::read_to_string(input)?;
+    if input.ends_with(".csv") {
+        Ok(trajdata::csv::from_csv(&raw)?)
+    } else {
+        Ok(Dataset::from_json(&raw)?)
+    }
+}
+
+fn stats(args: &Args) -> Result<(), Box<dyn Error>> {
+    let data = load(args)?;
+    match data.stats() {
+        None => println!("empty dataset"),
+        Some(s) => {
+            println!("trajectories : {}", s.num_trajectories);
+            println!("snapshots    : {} total", s.total_snapshots);
+            println!(
+                "lengths      : avg {:.1}, min {}, max {}",
+                s.avg_len, s.min_len, s.max_len
+            );
+            println!("avg sigma    : {:.5}", s.avg_sigma);
+            if let Some(b) = data.bounding_box() {
+                println!(
+                    "bounding box : ({:.4}, {:.4}) – ({:.4}, {:.4})",
+                    b.min().x,
+                    b.min().y,
+                    b.max().x,
+                    b.max().y
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks dataset invariants and prints a report; exits with an error if
+/// any check fails. Catches the common data-preparation mistakes before
+/// they surface as baffling mining output: inconsistent lengths (a sign
+/// of truncated exports), absurd sigmas (unit confusion), and degenerate
+/// spatial extent (wrong column order).
+fn validate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let data = load(args)?;
+    let max_sigma: f64 = args.get_or("max-sigma", 1.0f64)?;
+    let min_len: usize = args.get_or("min-len", 2usize)?;
+    let mut problems: Vec<String> = Vec::new();
+
+    if data.is_empty() {
+        problems.push("dataset has no trajectories".into());
+    }
+    for (i, t) in data.iter().enumerate() {
+        if t.len() < min_len {
+            problems.push(format!(
+                "trajectory {i} has {} snapshots (< {min_len})",
+                t.len()
+            ));
+        }
+        for (j, sp) in t.points().iter().enumerate() {
+            if sp.sigma > max_sigma {
+                problems.push(format!(
+                    "trajectory {i} snapshot {j}: sigma {} exceeds --max-sigma {max_sigma}",
+                    sp.sigma
+                ));
+            }
+        }
+    }
+    if let Some(b) = data.bounding_box() {
+        let span = b.width().max(b.height());
+        if span < 1e-9 {
+            problems.push("all snapshots coincide (degenerate bounding box)".into());
+        }
+        let aspect = b.width().max(b.height()) / b.width().min(b.height()).max(1e-300);
+        if aspect > 1e3 {
+            problems.push(format!(
+                "extreme aspect ratio {aspect:.0}:1 — check coordinate columns"
+            ));
+        }
+    }
+
+    // Cap the report to keep it readable.
+    const MAX_REPORT: usize = 20;
+    for p in problems.iter().take(MAX_REPORT) {
+        println!("problem: {p}");
+    }
+    if problems.len() > MAX_REPORT {
+        println!("… and {} more", problems.len() - MAX_REPORT);
+    }
+    if problems.is_empty() {
+        println!(
+            "ok: {} trajectories pass all checks",
+            data.len()
+        );
+        Ok(())
+    } else {
+        Err(format!("{} validation problem(s)", problems.len()).into())
+    }
+}
+
+fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
+    let mut data = load(args)?;
+    let k: usize = args.get_or("k", 10usize)?;
+    let grid_side: u32 = args.get_or("grid", 16u32)?;
+    let min_len: usize = args.get_or("min-len", 1usize)?;
+    let max_len: usize = args.get_or("max-len", 8usize)?;
+    let velocity: bool = args.get_or("velocity", false)?;
+
+    if velocity {
+        data = data.to_velocity()?;
+    }
+    let bbox = data
+        .bounding_box()
+        .ok_or("dataset has no snapshots to mine")?;
+    let grid = Grid::new(bbox, grid_side, grid_side)?;
+    let default_delta = grid.cell_width().min(grid.cell_height()) * 0.5;
+    let delta: f64 = args.get_or("delta", default_delta)?;
+
+    let mut params = MiningParams::new(k, delta)?
+        .with_min_len(min_len)?
+        .with_max_len(max_len)?;
+    if let Some(g) = args.get("gamma") {
+        let gamma: f64 = g
+            .parse()
+            .map_err(|_| format!("invalid --gamma value '{g}'"))?;
+        params = params.with_gamma(gamma)?;
+    }
+
+    let out = mine(&data, &grid, &params)?;
+    println!(
+        "mined {} patterns in {} iterations ({} candidates scored)",
+        out.patterns.len(),
+        out.stats.iterations,
+        out.stats.candidates_scored
+    );
+    for (i, m) in out.patterns.iter().enumerate() {
+        let pts = m.pattern.centers(&grid);
+        let path: Vec<String> = pts
+            .iter()
+            .map(|p| format!("({:.3},{:.3})", p.x, p.y))
+            .collect();
+        println!("#{:<3} nm {:>10.2}  len {}  {}", i + 1, m.nm, m.pattern.len(), path.join(" "));
+    }
+    if args.get_or("map", false)? {
+        let overlay = out.patterns.first().map(|m| &m.pattern);
+        print!("{}", crate::render::render_map(&data, &grid, overlay));
+    }
+    if !out.groups.is_empty() {
+        println!("pattern groups ({}):", out.groups.len());
+        for (i, g) in out.groups.iter().enumerate() {
+            println!(
+                "  group {:<3} {} patterns, representative nm {:.2}",
+                i + 1,
+                g.len(),
+                g.representative().nm
+            );
+        }
+    }
+    if let Some(json_path) = args.get("json") {
+        let payload = serde_json::json!({
+            "patterns": out.patterns,
+            "groups": out.groups,
+            "stats": out.stats,
+        });
+        std::fs::write(json_path, serde_json::to_string_pretty(&payload)?)?;
+        eprintln!("wrote {json_path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    #[test]
+    fn generate_stats_mine_round_trip() {
+        let dir = std::env::temp_dir().join(format!("trajmine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("d.json");
+        let data_str = data_path.to_str().unwrap();
+
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "uniform",
+            "--traces",
+            "5",
+            "--snapshots",
+            "20",
+            "--out",
+            data_str,
+        ]))
+        .unwrap();
+        assert!(data_path.exists());
+
+        dispatch(&args(&["stats", "--input", data_str])).unwrap();
+
+        let json_path = dir.join("p.json");
+        dispatch(&args(&[
+            "mine",
+            "--input",
+            data_str,
+            "--k",
+            "3",
+            "--grid",
+            "6",
+            "--max-len",
+            "3",
+            "--json",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mined: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(mined["patterns"].as_array().unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_format_round_trips_through_cli() {
+        let dir = std::env::temp_dir().join(format!("trajmine-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("d.csv");
+        let data_str = data_path.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "posture",
+            "--traces",
+            "4",
+            "--snapshots",
+            "12",
+            "--out",
+            data_str,
+        ]))
+        .unwrap();
+        let head: String = std::fs::read_to_string(&data_path)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        assert_eq!(head, "traj_id,snapshot,x,y,sigma");
+        dispatch(&args(&["stats", "--input", data_str])).unwrap();
+        dispatch(&args(&[
+            "mine",
+            "--input",
+            data_str,
+            "--k",
+            "2",
+            "--grid",
+            "5",
+            "--max-len",
+            "2",
+            "--map",
+            "true",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        let dir = std::env::temp_dir().join(format!("trajmine-val-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "uniform",
+            "--traces",
+            "3",
+            "--snapshots",
+            "10",
+            "--out",
+            good.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args(&["validate", "--input", good.to_str().unwrap()])).unwrap();
+        // Absurd sigma bound makes it fail.
+        assert!(dispatch(&args(&[
+            "validate",
+            "--input",
+            good.to_str().unwrap(),
+            "--max-sigma",
+            "0.000001"
+        ]))
+        .is_err());
+        // A single-snapshot trajectory fails the length check.
+        let bad = dir.join("bad.csv");
+        std::fs::write(&bad, "traj_id,snapshot,x,y,sigma
+0,0,0.5,0.5,0.01
+").unwrap();
+        assert!(dispatch(&args(&["validate", "--input", bad.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(dispatch(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn unknown_workload_errors() {
+        let dir = std::env::temp_dir();
+        let out = dir.join("never-written.json");
+        assert!(dispatch(&args(&[
+            "generate",
+            "--workload",
+            "submarines",
+            "--out",
+            out.to_str().unwrap()
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn mine_velocity_mode_works() {
+        let dir = std::env::temp_dir().join(format!("trajmine-vel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("d.json");
+        let data_str = data_path.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "zebranet",
+            "--traces",
+            "8",
+            "--snapshots",
+            "15",
+            "--out",
+            data_str,
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "mine",
+            "--input",
+            data_str,
+            "--k",
+            "2",
+            "--grid",
+            "5",
+            "--max-len",
+            "2",
+            "--velocity",
+            "true",
+            "--gamma",
+            "0.05",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,40 @@
+//! Library backing the `trajmine` command-line tool.
+//!
+//! Subcommands:
+//!
+//! - `generate`: produce an imprecise trajectory dataset (JSON) from one
+//!   of the built-in workload generators.
+//! - `stats`: summarize a dataset file.
+//! - `mine`: mine top-k NM patterns (optionally pattern groups) from a
+//!   dataset file and print/emit them.
+//!
+//! Argument parsing is deliberately dependency-free: flags are
+//! `--name value` pairs validated into typed options.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod render;
+
+pub use args::{ArgError, Args};
+
+/// Entry point used by the binary; returns the process exit code.
+pub fn run(argv: Vec<String>) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return 2;
+        }
+    };
+    match commands::dispatch(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}

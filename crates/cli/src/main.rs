@@ -1,0 +1,6 @@
+//! `trajmine`: command-line driver for the TrajPattern reproduction.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(cli::run(argv));
+}

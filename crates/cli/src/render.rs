@@ -1,0 +1,159 @@
+//! ASCII rendering of datasets and patterns, for terminal inspection.
+//!
+//! `trajmine mine --map true` prints the snapshot-density map of the
+//! dataset with the top pattern's positions overlaid in sequence order —
+//! enough to eyeball whether a mined motif follows the data.
+
+use trajdata::Dataset;
+use trajgeo::Grid;
+use trajpattern::Pattern;
+
+/// Density ramp from empty to dense.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders the per-cell snapshot density of `data` over `grid` as an
+/// ASCII map (row 0 of the grid at the bottom, like a plot). Cells
+/// covered by `overlay` (if any) are drawn as the 1-based position index
+/// (`1`–`9`, then `a`–`z`) of their *first* occurrence in the pattern.
+pub fn render_map(data: &Dataset, grid: &Grid, overlay: Option<&Pattern>) -> String {
+    let (nx, ny) = (grid.nx() as usize, grid.ny() as usize);
+    let mut counts = vec![0u64; nx * ny];
+    for traj in data.iter() {
+        for sp in traj.points() {
+            counts[grid.locate(sp.mean).index()] += 1;
+        }
+    }
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+
+    let mut overlay_chars = vec![None::<char>; nx * ny];
+    if let Some(p) = overlay {
+        for (i, cell) in p.cells().iter().enumerate() {
+            let ch = position_marker(i);
+            let slot = &mut overlay_chars[cell.index()];
+            if slot.is_none() {
+                *slot = Some(ch);
+            }
+        }
+    }
+
+    let mut out = String::with_capacity((nx + 3) * (ny + 2));
+    out.push('+');
+    out.push_str(&"-".repeat(nx));
+    out.push_str("+\n");
+    for row in (0..ny).rev() {
+        out.push('|');
+        for col in 0..nx {
+            let idx = row * nx + col;
+            match overlay_chars[idx] {
+                Some(ch) => out.push(ch),
+                None => {
+                    // Log-ish scaling keeps sparse cells visible.
+                    let c = counts[idx];
+                    let level = if c == 0 {
+                        0
+                    } else {
+                        let frac = (c as f64).ln_1p() / (max as f64).ln_1p();
+                        1 + (frac * (RAMP.len() - 2) as f64).round() as usize
+                    };
+                    out.push(RAMP[level.min(RAMP.len() - 1)] as char);
+                }
+            }
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(nx));
+    out.push_str("+\n");
+    out
+}
+
+/// Marker character for the i-th (0-based) pattern position: `1`–`9`,
+/// then `a`–`z`, then `*` for anything beyond.
+fn position_marker(i: usize) -> char {
+    match i {
+        0..=8 => (b'1' + i as u8) as char,
+        9..=34 => (b'a' + (i - 9) as u8) as char,
+        _ => '*',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajdata::Trajectory;
+    use trajgeo::{BBox, CellId, Point2};
+
+    fn tiny_data() -> (Dataset, Grid) {
+        let grid = Grid::new(BBox::unit(), 4, 2).unwrap();
+        // All snapshots in the bottom-left cell, one in the top-right.
+        let t = Trajectory::from_exact([
+            Point2::new(0.1, 0.1),
+            Point2::new(0.1, 0.1),
+            Point2::new(0.9, 0.9),
+        ]);
+        (Dataset::from_trajectories(vec![t]), grid)
+    }
+
+    #[test]
+    fn map_shape_and_frame() {
+        let (data, grid) = tiny_data();
+        let map = render_map(&data, &grid, None);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 4); // frame + 2 rows + frame
+        assert_eq!(lines[0], "+----+");
+        assert_eq!(lines[3], "+----+");
+        assert!(lines.iter().all(|l| l.len() == 6));
+    }
+
+    #[test]
+    fn density_shows_hot_and_cold_cells() {
+        let (data, grid) = tiny_data();
+        let map = render_map(&data, &grid, None);
+        let lines: Vec<&str> = map.lines().collect();
+        // Bottom row (printed last before the frame) has the hot cell at
+        // column 1 (offset for the frame '|').
+        let bottom = lines[2].as_bytes();
+        assert_eq!(bottom[1], b'@', "hottest cell uses the densest glyph");
+        // Top-right cell is occupied once.
+        let top = lines[1].as_bytes();
+        assert_ne!(top[4], b' ');
+        // An untouched cell stays blank.
+        assert_eq!(bottom[3], b' ');
+    }
+
+    #[test]
+    fn overlay_marks_pattern_positions_in_order() {
+        let (data, grid) = tiny_data();
+        let p = Pattern::new(vec![CellId(0), CellId(7)]).unwrap();
+        let map = render_map(&data, &grid, Some(&p));
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines[2].as_bytes()[1], b'1'); // cell 0 = bottom-left
+        assert_eq!(lines[1].as_bytes()[4], b'2'); // cell 7 = top-right
+    }
+
+    #[test]
+    fn repeated_cells_keep_first_marker() {
+        let (data, grid) = tiny_data();
+        let p = Pattern::new(vec![CellId(0), CellId(0), CellId(1)]).unwrap();
+        let map = render_map(&data, &grid, Some(&p));
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines[2].as_bytes()[1], b'1');
+        assert_eq!(lines[2].as_bytes()[2], b'3');
+    }
+
+    #[test]
+    fn marker_sequence() {
+        assert_eq!(position_marker(0), '1');
+        assert_eq!(position_marker(8), '9');
+        assert_eq!(position_marker(9), 'a');
+        assert_eq!(position_marker(34), 'z');
+        assert_eq!(position_marker(35), '*');
+    }
+
+    #[test]
+    fn empty_dataset_renders_blank_map() {
+        let grid = Grid::new(BBox::unit(), 3, 3).unwrap();
+        let map = render_map(&Dataset::new(), &grid, None);
+        assert!(map.lines().skip(1).take(3).all(|l| l == "|   |"));
+    }
+}

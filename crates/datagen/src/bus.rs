@@ -1,0 +1,391 @@
+//! Bus-fleet workload: the substitute for the paper's real bus data set.
+//!
+//! §6.1: "we have the locations of 50 buses belonging to 5 routes … It
+//! transmits its location reading every minute. We obtain the traces of
+//! these 50 buses for 10 weekdays. Thus we have a total number of 500
+//! traces."
+//!
+//! Each route is a closed rectangular loop (with distinct position and
+//! size per route) inside the unit square. Buses traverse their route at
+//! a noisy nominal speed and occasionally dwell at stops. The loops have
+//! corners, which is what makes the workload interesting: straight-line
+//! predictors mis-predict at every turn, while the turns recur identically
+//! for every bus on the route — exactly the kind of shared motif pattern
+//! mining can exploit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajgeo::{Point2, Vec2};
+
+/// Configuration of the bus-fleet generator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BusConfig {
+    /// Number of distinct routes (paper: 5).
+    pub num_routes: usize,
+    /// Buses per route (paper: 10 → 50 buses total).
+    pub buses_per_route: usize,
+    /// Traced days per bus (paper: 10 → 500 traces total).
+    pub days: usize,
+    /// Snapshots per trace (paper aligns traces on 100 snapshots).
+    pub snapshots: usize,
+    /// Nominal distance traveled per snapshot (fraction of the unit
+    /// square's side).
+    pub speed: f64,
+    /// Multiplicative per-snapshot speed jitter (uniform in `±jitter`).
+    pub speed_jitter: f64,
+    /// Per-snapshot probability of starting a dwell (a bus stop).
+    pub dwell_prob: f64,
+    /// Maximum dwell duration in snapshots.
+    pub dwell_max: usize,
+    /// Distance before each corner at which buses decelerate (real buses
+    /// brake before turns; this is the pre-turn signature that makes the
+    /// turn *predictable from the velocity history*, which the Fig. 3
+    /// experiment exploits). `0.0` disables deceleration.
+    pub corner_slow_zone: f64,
+    /// Speed multiplier inside the slow zone.
+    pub corner_slow_factor: f64,
+    /// Probability that the bus serves the stop at a corner it crosses
+    /// (bus stops sit at the route's corners; a served stop is a dwell of
+    /// exactly `corner_stop_dwell` snapshots right after the turn). The
+    /// deceleration → stop → restart-in-the-new-direction motif is the
+    /// highly repeatable sequence the mining experiments feed on.
+    pub corner_stop_prob: f64,
+    /// Dwell at a served corner stop, in snapshots (fixed: scheduled stop
+    /// service time).
+    pub corner_stop_dwell: usize,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            num_routes: 5,
+            buses_per_route: 10,
+            days: 10,
+            snapshots: 100,
+            speed: 0.02,
+            speed_jitter: 0.15,
+            dwell_prob: 0.02,
+            dwell_max: 2,
+            corner_slow_zone: 0.04,
+            corner_slow_factor: 0.4,
+            corner_stop_prob: 1.0,
+            corner_stop_dwell: 2,
+        }
+    }
+}
+
+/// A closed route: a rectangular loop parameterized by arc length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    corners: [Point2; 4],
+    /// Cumulative arc length at the *end* of each edge.
+    cum: [f64; 4],
+    total: f64,
+}
+
+impl Route {
+    /// Builds the loop through four corners (in order).
+    fn new(corners: [Point2; 4]) -> Route {
+        let mut cum = [0.0; 4];
+        let mut total = 0.0;
+        for i in 0..4 {
+            total += corners[i].distance(corners[(i + 1) % 4]);
+            cum[i] = total;
+        }
+        Route {
+            corners,
+            cum,
+            total,
+        }
+    }
+
+    /// Total loop length.
+    pub fn length(&self) -> f64 {
+        self.total
+    }
+
+    /// Arc-length distance from `s` (wrapped) forward to the next corner.
+    pub fn distance_to_next_corner(&self, s: f64) -> f64 {
+        let mut s = s % self.total;
+        if s < 0.0 {
+            s += self.total;
+        }
+        for i in 0..4 {
+            if s <= self.cum[i] {
+                return self.cum[i] - s;
+            }
+        }
+        0.0
+    }
+
+    /// Index (0..4) of the edge containing arc length `s` (wrapped).
+    pub fn edge_index(&self, s: f64) -> usize {
+        let mut s = s % self.total;
+        if s < 0.0 {
+            s += self.total;
+        }
+        for i in 0..4 {
+            if s <= self.cum[i] {
+                return i;
+            }
+        }
+        3
+    }
+
+    /// Position at arc length `s` (wrapping).
+    pub fn position_at(&self, s: f64) -> Point2 {
+        let mut s = s % self.total;
+        if s < 0.0 {
+            s += self.total;
+        }
+        let mut prev_cum = 0.0;
+        for i in 0..4 {
+            if s <= self.cum[i] {
+                let a = self.corners[i];
+                let b = self.corners[(i + 1) % 4];
+                let edge_len = self.cum[i] - prev_cum;
+                let frac = if edge_len > 0.0 {
+                    (s - prev_cum) / edge_len
+                } else {
+                    0.0
+                };
+                return a.lerp(b, frac);
+            }
+            prev_cum = self.cum[i];
+        }
+        self.corners[0]
+    }
+
+    /// The four corner points.
+    pub fn corners(&self) -> &[Point2; 4] {
+        &self.corners
+    }
+}
+
+impl BusConfig {
+    /// The routes, derived deterministically from `seed`: rectangles with
+    /// seed-dependent centers and extents, kept inside the unit square.
+    pub fn routes(&self, seed: u64) -> Vec<Route> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb005_b005);
+        (0..self.num_routes)
+            .map(|_| {
+                let cx = rng.gen_range(0.25..0.75);
+                let cy = rng.gen_range(0.25..0.75);
+                // Perimeters are kept short enough that a default-length
+                // trace (100 snapshots) completes at least one full loop,
+                // so every route motif appears in every trace.
+                let hw = rng.gen_range(0.08..0.15f64).min(cx - 0.02).min(0.98 - cx);
+                let hh = rng.gen_range(0.08..0.15f64).min(cy - 0.02).min(0.98 - cy);
+                let c = Point2::new(cx, cy);
+                Route::new([
+                    c + Vec2::new(-hw, -hh),
+                    c + Vec2::new(hw, -hh),
+                    c + Vec2::new(hw, hh),
+                    c + Vec2::new(-hw, hh),
+                ])
+            })
+            .collect()
+    }
+
+    /// Ground-truth paths: one per (route, bus, day), i.e.
+    /// `num_routes × buses_per_route × days` traces of `snapshots` points.
+    /// Traces are grouped route-major, so a train/test split keeps all
+    /// routes represented on both sides only if done with care — use
+    /// [`BusConfig::paths_interleaved`] for round-robin ordering.
+    pub fn paths(&self, seed: u64) -> Vec<Vec<Point2>> {
+        let routes = self.routes(seed);
+        let mut out = Vec::with_capacity(self.num_routes * self.buses_per_route * self.days);
+        for (ri, route) in routes.iter().enumerate() {
+            for bus in 0..self.buses_per_route {
+                for day in 0..self.days {
+                    let trace_seed = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(((ri * 1000 + bus * 10 + day) as u64) << 1);
+                    out.push(self.one_trace(route, trace_seed));
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`BusConfig::paths`], but round-robin across routes so any
+    /// prefix/suffix split is route-balanced (the Fig. 3 experiment trains
+    /// on 450 traces and tests on 50).
+    pub fn paths_interleaved(&self, seed: u64) -> Vec<Vec<Point2>> {
+        let grouped = self.paths(seed);
+        let per_route = self.buses_per_route * self.days;
+        let mut out = Vec::with_capacity(grouped.len());
+        for i in 0..per_route {
+            for r in 0..self.num_routes {
+                out.push(grouped[r * per_route + i].clone());
+            }
+        }
+        out
+    }
+
+    fn one_trace(&self, route: &Route, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = rng.gen::<f64>() * route.length();
+        let mut dwell = 0usize;
+        let mut prev_edge = route.edge_index(s);
+        let mut out = Vec::with_capacity(self.snapshots);
+        for _ in 0..self.snapshots {
+            out.push(route.position_at(s));
+            if dwell > 0 {
+                dwell -= 1;
+                continue;
+            }
+            if self.dwell_max > 0 && rng.gen::<f64>() < self.dwell_prob {
+                // A mid-edge stop (traffic, lights).
+                dwell = rng.gen_range(1..=self.dwell_max);
+                continue;
+            }
+            let jitter = 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * self.speed_jitter;
+            let slow = if self.corner_slow_zone > 0.0
+                && route.distance_to_next_corner(s) < self.corner_slow_zone
+            {
+                self.corner_slow_factor
+            } else {
+                1.0
+            };
+            s += self.speed * jitter * slow;
+            let edge = route.edge_index(s);
+            if edge != prev_edge {
+                prev_edge = edge;
+                // Crossed a corner: serve the stop there with some
+                // probability.
+                if self.corner_stop_dwell > 0 && rng.gen::<f64>() < self.corner_stop_prob {
+                    dwell = self.corner_stop_dwell;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_shape() {
+        let cfg = BusConfig::default();
+        let paths = cfg.paths(1);
+        assert_eq!(paths.len(), 500);
+        assert!(paths.iter().all(|p| p.len() == 100));
+    }
+
+    #[test]
+    fn paths_stay_inside_unit_square() {
+        let cfg = BusConfig::default();
+        for path in cfg.paths(3).iter().take(50) {
+            for p in path {
+                assert!(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BusConfig {
+            days: 1,
+            buses_per_route: 2,
+            ..BusConfig::default()
+        };
+        assert_eq!(cfg.paths(5), cfg.paths(5));
+        assert_ne!(cfg.paths(5), cfg.paths(6));
+    }
+
+    #[test]
+    fn corner_stops_create_dwells_after_turns() {
+        let cfg = BusConfig {
+            corner_stop_prob: 1.0,
+            corner_stop_dwell: 2,
+            dwell_prob: 0.0,
+            speed_jitter: 0.0,
+            num_routes: 1,
+            buses_per_route: 1,
+            days: 1,
+            snapshots: 200,
+            ..BusConfig::default()
+        };
+        let path = &cfg.paths(9)[0];
+        // With stops served at every corner, there must be stationary
+        // snapshots (consecutive identical positions).
+        let stationary = path
+            .windows(2)
+            .filter(|w| w[0].distance(w[1]) < 1e-12)
+            .count();
+        assert!(stationary >= 4, "expected corner dwells: {stationary}");
+    }
+
+    #[test]
+    fn route_parameterization_wraps() {
+        let cfg = BusConfig::default();
+        let route = &cfg.routes(2)[0];
+        let l = route.length();
+        assert!(l > 0.5, "perimeter of a reasonable rectangle");
+        let p0 = route.position_at(0.0);
+        assert!(p0.distance(route.position_at(l)) < 1e-9, "wraps at length");
+        assert!(p0.distance(route.position_at(-l)) < 1e-9, "negative wraps");
+    }
+
+    #[test]
+    fn buses_on_same_route_share_the_loop() {
+        let cfg = BusConfig {
+            num_routes: 1,
+            buses_per_route: 3,
+            days: 1,
+            ..BusConfig::default()
+        };
+        let route = &cfg.routes(4)[0];
+        for path in cfg.paths(4) {
+            for p in &path {
+                // Every point lies on the rectangle boundary: distance to
+                // the loop is ~0. Check via min distance over dense
+                // arc-length samples.
+                let on_loop = (0..400)
+                    .map(|i| route.position_at(i as f64 / 400.0 * route.length()))
+                    .any(|q| q.distance(*p) < 0.02);
+                assert!(on_loop, "point {p:?} off route");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_split_is_route_balanced() {
+        let cfg = BusConfig::default();
+        let paths = cfg.paths_interleaved(1);
+        assert_eq!(paths.len(), 500);
+        // First 5 paths come from 5 different routes: their bounding boxes
+        // differ (probability of coincidence across seeds ~ 0).
+        let firsts: Vec<Point2> = paths.iter().take(5).map(|p| p[0]).collect();
+        let distinct = firsts
+            .iter()
+            .enumerate()
+            .all(|(i, a)| firsts.iter().skip(i + 1).all(|b| a.distance(*b) > 1e-6));
+        assert!(distinct);
+    }
+
+    #[test]
+    fn dwell_zero_never_stops() {
+        let cfg = BusConfig {
+            dwell_prob: 0.0,
+            speed_jitter: 0.0,
+            corner_stop_prob: 0.0,
+            num_routes: 1,
+            buses_per_route: 1,
+            days: 1,
+            ..BusConfig::default()
+        };
+        let path = &cfg.paths(7)[0];
+        // Constant speed, no dwell: consecutive points are ~speed apart
+        // (a bit less across corners).
+        for w in path.windows(2) {
+            let d = w[0].distance(w[1]);
+            assert!(d <= cfg.speed + 1e-9, "step {d} exceeds speed");
+            assert!(d > 0.0, "bus must keep moving");
+        }
+    }
+}

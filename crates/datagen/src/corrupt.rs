@@ -1,0 +1,198 @@
+//! Trace corruption utilities: sensor dropouts and outlier injection.
+//!
+//! Real tracking deployments lose samples (dead sensor batteries, §1's
+//! "sensors are limited in power and may fail from time to time") and
+//! produce the occasional wild reading (GPS multipath). These helpers
+//! corrupt ground-truth paths *before* observation so robustness can be
+//! tested end-to-end; the integration suite verifies that mining degrades
+//! gracefully rather than failing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajgeo::stats::sample_std_normal;
+use trajgeo::{BBox, Point2};
+
+/// Configuration for trace corruption.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CorruptionConfig {
+    /// Probability that each snapshot's reading is lost. Lost readings are
+    /// repaired by linear interpolation from the surviving neighbours
+    /// (§3.2's synchronization-point interpolation).
+    pub dropout_prob: f64,
+    /// Probability that a surviving reading is an outlier.
+    pub outlier_prob: f64,
+    /// Standard deviation of the outlier displacement.
+    pub outlier_sigma: f64,
+    /// Space to confine outliers to.
+    pub bbox: BBox,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        CorruptionConfig {
+            dropout_prob: 0.1,
+            outlier_prob: 0.02,
+            outlier_sigma: 0.2,
+            bbox: BBox::unit(),
+        }
+    }
+}
+
+impl CorruptionConfig {
+    /// Validates the probabilities.
+    pub fn is_valid(&self) -> bool {
+        (0.0..1.0).contains(&self.dropout_prob)
+            && (0.0..1.0).contains(&self.outlier_prob)
+            && self.outlier_sigma.is_finite()
+            && self.outlier_sigma >= 0.0
+    }
+
+    /// Corrupts every path: drops readings (repaired by interpolation) and
+    /// displaces survivors into outliers. Path lengths are preserved; the
+    /// first and last snapshot of each path never drop (so interpolation
+    /// is always anchored).
+    pub fn corrupt(&self, paths: &[Vec<Point2>], seed: u64) -> Vec<Vec<Point2>> {
+        assert!(self.is_valid(), "invalid corruption config");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_44u64);
+        paths.iter().map(|p| self.corrupt_one(p, &mut rng)).collect()
+    }
+
+    fn corrupt_one(&self, path: &[Point2], rng: &mut StdRng) -> Vec<Point2> {
+        let n = path.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // 1. Decide dropouts (endpoints always survive).
+        let dropped: Vec<bool> = (0..n)
+            .map(|i| i != 0 && i != n - 1 && rng.gen::<f64>() < self.dropout_prob)
+            .collect();
+        // 2. Repair dropouts by linear interpolation between survivors.
+        let mut out = path.to_vec();
+        let mut i = 0usize;
+        while i < n {
+            if !dropped[i] {
+                i += 1;
+                continue;
+            }
+            // Find the gap [lo, hi] of dropped snapshots; lo-1 and hi+1
+            // survive by construction.
+            let lo = i;
+            let mut hi = i;
+            while hi + 1 < n && dropped[hi + 1] {
+                hi += 1;
+            }
+            let a = out[lo - 1];
+            let b = path[hi + 1];
+            let span = (hi + 2 - lo) as f64;
+            for (off, slot) in (lo..=hi).enumerate() {
+                out[slot] = a.lerp(b, (off + 1) as f64 / span);
+            }
+            i = hi + 1;
+        }
+        // 3. Outliers on surviving readings.
+        for (i, slot) in out.iter_mut().enumerate() {
+            if !dropped[i] && rng.gen::<f64>() < self.outlier_prob {
+                let jump = trajgeo::Vec2::new(
+                    self.outlier_sigma * sample_std_normal(rng),
+                    self.outlier_sigma * sample_std_normal(rng),
+                );
+                *slot = self.bbox.clamp(*slot + jump);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new(i as f64 / n as f64, 0.5)).collect()
+    }
+
+    #[test]
+    fn preserves_shape_and_endpoints() {
+        let cfg = CorruptionConfig::default();
+        let paths = vec![line(50), line(30)];
+        let out = cfg.corrupt(&paths, 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 50);
+        assert_eq!(out[1].len(), 30);
+    }
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let cfg = CorruptionConfig {
+            dropout_prob: 0.0,
+            outlier_prob: 0.0,
+            ..CorruptionConfig::default()
+        };
+        let paths = vec![line(20)];
+        assert_eq!(cfg.corrupt(&paths, 2), paths);
+    }
+
+    #[test]
+    fn dropouts_interpolate_on_straight_lines() {
+        // On a straight line, interpolation repairs dropouts exactly, so
+        // without outliers the corrupted path equals the original.
+        let cfg = CorruptionConfig {
+            dropout_prob: 0.5,
+            outlier_prob: 0.0,
+            ..CorruptionConfig::default()
+        };
+        let paths = vec![line(40)];
+        let out = cfg.corrupt(&paths, 3);
+        for (a, b) in out[0].iter().zip(&paths[0]) {
+            assert!(a.distance(*b) < 1e-9, "straight-line repair must be exact");
+        }
+    }
+
+    #[test]
+    fn outliers_move_points_but_stay_in_bbox() {
+        let cfg = CorruptionConfig {
+            dropout_prob: 0.0,
+            outlier_prob: 0.5,
+            outlier_sigma: 0.3,
+            bbox: BBox::unit(),
+        };
+        let paths = vec![line(100)];
+        let out = cfg.corrupt(&paths, 4);
+        let moved = out[0]
+            .iter()
+            .zip(&paths[0])
+            .filter(|(a, b)| a.distance(**b) > 1e-12)
+            .count();
+        assert!(moved > 20, "expected many outliers: {moved}");
+        for p in &out[0] {
+            assert!(cfg.bbox.contains(*p));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CorruptionConfig::default();
+        let paths = vec![line(25)];
+        assert_eq!(cfg.corrupt(&paths, 9), cfg.corrupt(&paths, 9));
+        assert_ne!(cfg.corrupt(&paths, 9), cfg.corrupt(&paths, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid corruption config")]
+    fn rejects_invalid_rates() {
+        let cfg = CorruptionConfig {
+            dropout_prob: 1.5,
+            ..CorruptionConfig::default()
+        };
+        cfg.corrupt(&[line(5)], 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_paths_are_fine() {
+        let cfg = CorruptionConfig::default();
+        let out = cfg.corrupt(&[vec![], vec![Point2::new(0.5, 0.5)]], 7);
+        assert!(out[0].is_empty());
+        assert_eq!(out[1].len(), 1);
+    }
+}

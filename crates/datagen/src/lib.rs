@@ -1,0 +1,46 @@
+//! Synthetic workload generators for the TrajPattern reproduction.
+//!
+//! The paper evaluates on two real data sets (bus GPS traces, human
+//! postures) and two synthetic families (moving objects in the style of
+//! the TPR-tree work \[9\], and a generator seeded from the ZebraNet
+//! traces \[16\]). None of the real data is publicly available, so this
+//! crate rebuilds each workload as a parameterized generator that
+//! preserves the property the experiments depend on (see DESIGN.md §3):
+//!
+//! - [`bus`]: a fleet on a handful of fixed routes — a few strongly
+//!   repeated movement motifs shared by many objects (the §6.1
+//!   effectiveness workload).
+//! - [`zebranet`]: groups of animals moving together with individual
+//!   noise and occasional departures (the §6.2 scalability workload).
+//! - [`uniform`]: independent objects with piecewise-constant random
+//!   velocities (the \[9\]-style generator).
+//! - [`streets`]: pedestrians on a Manhattan street grid — the §1
+//!   location-based-commerce scenario (commuter routes as mineable
+//!   motifs).
+//! - [`posture`]: cyclic activity sequences standing in for the second
+//!   real data set.
+//!
+//! All generators are deterministic functions of an explicit `u64` seed.
+//! Each produces ground-truth paths (`Vec<Vec<Point2>>`); helpers convert
+//! them into imprecise [`trajdata::Dataset`]s either by direct observation noise
+//! ([`observe_directly`]) or through the full dead-reckoning reporting
+//! pipeline ([`observe_via_reporting`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod corrupt;
+pub mod observe;
+pub mod posture;
+pub mod streets;
+pub mod uniform;
+pub mod zebranet;
+
+pub use bus::BusConfig;
+pub use corrupt::CorruptionConfig;
+pub use observe::{observe_directly, observe_via_reporting};
+pub use posture::PostureConfig;
+pub use streets::StreetConfig;
+pub use uniform::UniformConfig;
+pub use zebranet::ZebraConfig;

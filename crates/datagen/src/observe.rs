@@ -1,0 +1,117 @@
+//! Turning ground-truth paths into imprecise trajectory datasets.
+
+use mobility::{simulate_reporting, MotionModel, ReportingScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajdata::{Dataset, SnapshotPoint, Trajectory};
+use trajgeo::stats::sample_std_normal;
+use trajgeo::Point2;
+
+/// Observes each path directly with isotropic Gaussian noise of standard
+/// deviation `sigma`: every snapshot mean is the true position plus noise
+/// and carries uncertainty `sigma`. This is the cheap observation model
+/// used by the scalability experiments, where only data *shape* matters.
+pub fn observe_directly(paths: &[Vec<Point2>], sigma: f64, seed: u64) -> Dataset {
+    assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    paths
+        .iter()
+        .map(|path| {
+            Trajectory::new(
+                path.iter()
+                    .map(|&p| {
+                        let noisy = Point2::new(
+                            p.x + sigma * sample_std_normal(&mut rng),
+                            p.y + sigma * sample_std_normal(&mut rng),
+                        );
+                        SnapshotPoint::new(noisy, sigma).expect("finite by construction")
+                    })
+                    .collect(),
+            )
+            .expect("finite by construction")
+        })
+        .collect()
+}
+
+/// Observes each path through the full dead-reckoning reporting protocol
+/// of §3.1 (see the `mobility` crate): the resulting dataset is exactly
+/// what the server would have recorded — exact locations at reports,
+/// predictions with `σ = U/c` in between. The model is reset per path.
+pub fn observe_via_reporting(
+    paths: &[Vec<Point2>],
+    model: &mut dyn MotionModel,
+    scheme: &ReportingScheme,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    paths
+        .iter()
+        .map(|path| simulate_reporting(path, model, scheme, &mut rng).reconstructed)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::LinearModel;
+
+    fn line_paths() -> Vec<Vec<Point2>> {
+        (0..3)
+            .map(|j| {
+                (0..20)
+                    .map(|i| Point2::new(i as f64 * 0.04, 0.1 * j as f64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_observation_preserves_shape() {
+        let paths = line_paths();
+        let d = observe_directly(&paths, 0.01, 7);
+        assert_eq!(d.len(), 3);
+        let t = &d.trajectories()[0];
+        assert_eq!(t.len(), 20);
+        for (sp, truth) in t.points().iter().zip(&paths[0]) {
+            assert!(sp.mean.distance(*truth) < 0.06, "noise too large");
+            assert_eq!(sp.sigma, 0.01);
+        }
+    }
+
+    #[test]
+    fn direct_observation_zero_sigma_is_exact() {
+        let paths = line_paths();
+        let d = observe_directly(&paths, 0.0, 7);
+        for (t, p) in d.trajectories().iter().zip(&paths) {
+            for (sp, truth) in t.points().iter().zip(p) {
+                assert_eq!(sp.mean, *truth);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_observation_is_deterministic() {
+        let paths = line_paths();
+        assert_eq!(
+            observe_directly(&paths, 0.02, 9),
+            observe_directly(&paths, 0.02, 9)
+        );
+    }
+
+    #[test]
+    fn reporting_observation_runs_protocol() {
+        let paths = line_paths();
+        let scheme = ReportingScheme::new(0.05, 2.0, 0.0).unwrap();
+        let mut model = LinearModel::new();
+        let d = observe_via_reporting(&paths, &mut model, &scheme, 11);
+        assert_eq!(d.len(), 3);
+        // Linear paths predict perfectly: most snapshots are dead-reckoned
+        // with sigma = U/c = 0.025.
+        let dead = d.trajectories()[0]
+            .points()
+            .iter()
+            .filter(|sp| (sp.sigma - 0.025).abs() < 1e-12)
+            .count();
+        assert!(dead > 10, "expected mostly dead-reckoned snapshots");
+    }
+}

@@ -1,0 +1,174 @@
+//! Posture-sequence workload: a stand-in for the paper's second real data
+//! set ("a human posture data set", §6.1, whose results the paper omits
+//! for space).
+//!
+//! Postures are modeled as archetype points in a 2-D feature space (e.g.
+//! the first two components of a pose embedding). A subject cycles through
+//! the archetypes in a fixed order — stand → walk → run → … — dwelling a
+//! random number of snapshots at each and moving with noise, so the same
+//! sequential motif recurs across subjects with imprecision.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajgeo::{BBox, Point2, Vec2};
+
+/// Configuration of the posture-sequence generator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PostureConfig {
+    /// Number of subjects (trajectories).
+    pub num_subjects: usize,
+    /// Snapshots per subject.
+    pub snapshots: usize,
+    /// Number of posture archetypes, laid out on a circle in the unit
+    /// square.
+    pub num_postures: usize,
+    /// Mean dwell (in snapshots) at each posture.
+    pub dwell_mean: usize,
+    /// Positional noise around the current archetype.
+    pub noise: f64,
+}
+
+impl Default for PostureConfig {
+    fn default() -> Self {
+        PostureConfig {
+            num_subjects: 50,
+            snapshots: 80,
+            num_postures: 6,
+            dwell_mean: 4,
+            noise: 0.02,
+        }
+    }
+}
+
+impl PostureConfig {
+    /// The archetype feature points, on a circle of radius 0.35 around the
+    /// center of the unit square.
+    pub fn archetypes(&self) -> Vec<Point2> {
+        let c = Point2::new(0.5, 0.5);
+        (0..self.num_postures)
+            .map(|i| {
+                let theta = std::f64::consts::TAU * i as f64 / self.num_postures as f64;
+                c + Vec2::from_polar(0.35, theta)
+            })
+            .collect()
+    }
+
+    /// Generates the ground-truth feature paths.
+    pub fn paths(&self, seed: u64) -> Vec<Vec<Point2>> {
+        assert!(self.num_postures >= 1, "need at least one posture");
+        let bbox = BBox::unit();
+        let archetypes = self.archetypes();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9057_0835);
+        (0..self.num_subjects)
+            .map(|_| {
+                let mut current = rng.gen_range(0..self.num_postures);
+                let mut dwell = self.sample_dwell(&mut rng);
+                let mut out = Vec::with_capacity(self.snapshots);
+                for _ in 0..self.snapshots {
+                    let base = archetypes[current];
+                    let jittered = base
+                        + Vec2::new(
+                            (rng.gen::<f64>() - 0.5) * 2.0 * self.noise,
+                            (rng.gen::<f64>() - 0.5) * 2.0 * self.noise,
+                        );
+                    out.push(bbox.clamp(jittered));
+                    if dwell == 0 {
+                        current = (current + 1) % self.num_postures;
+                        dwell = self.sample_dwell(&mut rng);
+                    } else {
+                        dwell -= 1;
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn sample_dwell<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if self.dwell_mean <= 1 {
+            return 1;
+        }
+        rng.gen_range(1..=2 * self.dwell_mean - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = PostureConfig {
+            num_subjects: 3,
+            snapshots: 17,
+            ..PostureConfig::default()
+        };
+        let paths = cfg.paths(1);
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.len() == 17));
+    }
+
+    #[test]
+    fn positions_cluster_near_archetypes() {
+        let cfg = PostureConfig::default();
+        let archetypes = cfg.archetypes();
+        for path in cfg.paths(2).iter().take(10) {
+            for p in path {
+                let nearest = archetypes
+                    .iter()
+                    .map(|a| a.distance(*p))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(nearest <= cfg.noise * 1.5 + 1e-9, "point {p:?} far");
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_in_fixed_order() {
+        let cfg = PostureConfig {
+            num_subjects: 1,
+            snapshots: 100,
+            noise: 0.0,
+            ..PostureConfig::default()
+        };
+        let archetypes = cfg.archetypes();
+        let path = &cfg.paths(3)[0];
+        // Map each point to its archetype index; transitions must be +1
+        // modulo num_postures.
+        let indices: Vec<usize> = path
+            .iter()
+            .map(|p| {
+                archetypes
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.distance(*p).partial_cmp(&b.1.distance(*p)).unwrap()
+                    })
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        for w in indices.windows(2) {
+            assert!(
+                w[1] == w[0] || w[1] == (w[0] + 1) % cfg.num_postures,
+                "illegal transition {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn archetypes_inside_unit_square() {
+        for a in PostureConfig::default().archetypes() {
+            assert!(a.x >= 0.0 && a.x <= 1.0 && a.y >= 0.0 && a.y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PostureConfig::default();
+        assert_eq!(cfg.paths(4), cfg.paths(4));
+    }
+}

@@ -1,0 +1,328 @@
+//! Street-grid workload: the §1 location-based-commerce scenario.
+//!
+//! "In location-based commerce advertisement … finding common moving
+//! patterns of mobile devices is valuable for inferring potential movement
+//! of mobile device users." Pedestrians move along a Manhattan street
+//! grid: between intersections they walk straight; at each intersection
+//! they continue, turn, or reverse with configurable probabilities. A
+//! fraction of the population are *commuters* who follow one of a few
+//! fixed intersection-to-intersection routes (the recurring motifs worth
+//! mining); the rest wander.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajgeo::{Point2, Vec2};
+
+/// Configuration of the street-grid generator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StreetConfig {
+    /// Streets per axis (the city is `blocks × blocks` intersections on
+    /// the unit square).
+    pub blocks: u32,
+    /// Number of pedestrians.
+    pub num_walkers: usize,
+    /// Snapshots per walker.
+    pub snapshots: usize,
+    /// Walking distance per snapshot.
+    pub speed: f64,
+    /// Fraction of walkers that follow a shared commuter route.
+    pub commuter_fraction: f64,
+    /// Number of distinct commuter routes.
+    pub num_routes: usize,
+    /// Probability of turning (left or right) at an intersection for
+    /// non-commuters; going straight takes most of the remainder.
+    pub turn_prob: f64,
+}
+
+impl Default for StreetConfig {
+    fn default() -> Self {
+        StreetConfig {
+            blocks: 8,
+            num_walkers: 80,
+            snapshots: 80,
+            speed: 0.025,
+            commuter_fraction: 0.6,
+            num_routes: 3,
+            turn_prob: 0.3,
+        }
+    }
+}
+
+/// A heading along the street grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Heading {
+    East,
+    North,
+    West,
+    South,
+}
+
+impl Heading {
+    fn vec(self) -> Vec2 {
+        match self {
+            Heading::East => Vec2::new(1.0, 0.0),
+            Heading::North => Vec2::new(0.0, 1.0),
+            Heading::West => Vec2::new(-1.0, 0.0),
+            Heading::South => Vec2::new(0.0, -1.0),
+        }
+    }
+
+    fn left(self) -> Heading {
+        match self {
+            Heading::East => Heading::North,
+            Heading::North => Heading::West,
+            Heading::West => Heading::South,
+            Heading::South => Heading::East,
+        }
+    }
+
+    fn right(self) -> Heading {
+        self.left().left().left()
+    }
+}
+
+impl StreetConfig {
+    /// Spacing between adjacent streets.
+    fn block_size(&self) -> f64 {
+        1.0 / self.blocks as f64
+    }
+
+    /// Generates the ground-truth paths. Walkers snap to the street grid:
+    /// positions always lie on a line `x = i·b` or `y = j·b`.
+    pub fn paths(&self, seed: u64) -> Vec<Vec<Point2>> {
+        assert!(self.blocks >= 2, "need at least a 2x2 street grid");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0057_ee75);
+        // Commuter routes: a fixed start intersection and a fixed turn
+        // program (sequence of intersection decisions), shared verbatim by
+        // every commuter on the route.
+        let routes: Vec<(u32, u32, Heading, Vec<u8>)> = (0..self.num_routes)
+            .map(|_| {
+                let ix = rng.gen_range(1..self.blocks - 1);
+                let iy = rng.gen_range(1..self.blocks - 1);
+                let h = [Heading::East, Heading::North, Heading::West, Heading::South]
+                    [rng.gen_range(0..4usize)];
+                let program: Vec<u8> = (0..64).map(|_| rng.gen_range(0..3u8)).collect();
+                (ix, iy, h, program)
+            })
+            .collect();
+
+        (0..self.num_walkers)
+            .map(|w| {
+                let commuter = (w as f64 / self.num_walkers.max(1) as f64)
+                    < self.commuter_fraction;
+                if commuter && !routes.is_empty() {
+                    let route = &routes[w % routes.len()];
+                    self.walk_route(route, &mut rng)
+                } else {
+                    self.walk_random(&mut rng)
+                }
+            })
+            .collect()
+    }
+
+    /// One commuter trace: follows the route's fixed turn program with a
+    /// small random start offset along the first street.
+    fn walk_route(
+        &self,
+        (ix, iy, start_heading, program): &(u32, u32, Heading, Vec<u8>),
+        rng: &mut StdRng,
+    ) -> Vec<Point2> {
+        let b = self.block_size();
+        let mut pos = Point2::new(*ix as f64 * b, *iy as f64 * b);
+        let mut heading = *start_heading;
+        let mut program_idx = 0usize;
+        // Small start offset so commuters are not snapshot-synchronized.
+        let offset = rng.gen::<f64>() * b * 0.5;
+        pos = self.step_along(pos, heading, offset).0;
+        let mut out = Vec::with_capacity(self.snapshots);
+        for _ in 0..self.snapshots {
+            out.push(pos);
+            let (next, crossed) = self.step_along(pos, heading, self.speed);
+            pos = next;
+            if crossed {
+                heading = match program[program_idx % program.len()] {
+                    0 => heading,
+                    1 => heading.left(),
+                    _ => heading.right(),
+                };
+                program_idx += 1;
+                heading = self.keep_inside(pos, heading);
+            }
+        }
+        out
+    }
+
+    /// One wanderer trace: random decisions at each intersection.
+    fn walk_random(&self, rng: &mut StdRng) -> Vec<Point2> {
+        let b = self.block_size();
+        let mut pos = Point2::new(
+            rng.gen_range(1..self.blocks) as f64 * b,
+            rng.gen_range(1..self.blocks) as f64 * b,
+        );
+        let mut heading = [Heading::East, Heading::North, Heading::West, Heading::South]
+            [rng.gen_range(0..4usize)];
+        heading = self.keep_inside(pos, heading);
+        let mut out = Vec::with_capacity(self.snapshots);
+        for _ in 0..self.snapshots {
+            out.push(pos);
+            let (next, crossed) = self.step_along(pos, heading, self.speed);
+            pos = next;
+            if crossed {
+                let r: f64 = rng.gen();
+                heading = if r < self.turn_prob / 2.0 {
+                    heading.left()
+                } else if r < self.turn_prob {
+                    heading.right()
+                } else {
+                    heading
+                };
+                heading = self.keep_inside(pos, heading);
+            }
+        }
+        out
+    }
+
+    /// Advances `dist` along `heading`, stopping the turn decision at the
+    /// next intersection: returns the new position and whether an
+    /// intersection was reached during the step (movement pauses there —
+    /// pedestrians wait for the light, conveniently keeping positions on
+    /// the grid).
+    fn step_along(&self, pos: Point2, heading: Heading, dist: f64) -> (Point2, bool) {
+        let b = self.block_size();
+        let dir = heading.vec();
+        // Distance to the next intersection along the heading.
+        let along = pos.x * dir.x.abs() + pos.y * dir.y.abs();
+        let signed = if dir.x + dir.y > 0.0 {
+            // Moving in the + direction: next multiple of b above.
+            let next = ((along / b).floor() + 1.0) * b;
+            next - along
+        } else {
+            let next = ((along / b).ceil() - 1.0) * b;
+            along - next
+        };
+        // Numerical guard: if we are (essentially) on an intersection,
+        // the full block length is ahead.
+        let to_next = if signed < 1e-9 { b } else { signed };
+        if dist + 1e-12 >= to_next {
+            (pos + dir * to_next, true)
+        } else {
+            (pos + dir * dist, false)
+        }
+    }
+
+    /// Reflects a heading that would leave the city.
+    fn keep_inside(&self, pos: Point2, heading: Heading) -> Heading {
+        let eps = 1e-9;
+        match heading {
+            Heading::East if pos.x >= 1.0 - eps => Heading::West,
+            Heading::West if pos.x <= eps => Heading::East,
+            Heading::North if pos.y >= 1.0 - eps => Heading::South,
+            Heading::South if pos.y <= eps => Heading::North,
+            h => h,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = StreetConfig {
+            num_walkers: 12,
+            snapshots: 30,
+            ..StreetConfig::default()
+        };
+        let paths = cfg.paths(1);
+        assert_eq!(paths.len(), 12);
+        assert!(paths.iter().all(|p| p.len() == 30));
+    }
+
+    #[test]
+    fn walkers_stay_on_streets() {
+        let cfg = StreetConfig::default();
+        let b = cfg.block_size();
+        for path in cfg.paths(2).iter().take(20) {
+            for p in path {
+                let on_vertical = (p.x / b - (p.x / b).round()).abs() < 1e-6;
+                let on_horizontal = (p.y / b - (p.y / b).round()).abs() < 1e-6;
+                assert!(
+                    on_vertical || on_horizontal,
+                    "({}, {}) is off-street",
+                    p.x,
+                    p.y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn walkers_stay_inside_the_city() {
+        let cfg = StreetConfig::default();
+        for path in cfg.paths(3).iter().take(20) {
+            for p in path {
+                assert!(p.x >= -1e-9 && p.x <= 1.0 + 1e-9);
+                assert!(p.y >= -1e-9 && p.y <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn commuters_on_same_route_share_their_trace_shape() {
+        let cfg = StreetConfig {
+            num_walkers: 10,
+            commuter_fraction: 1.0,
+            num_routes: 1,
+            snapshots: 40,
+            ..StreetConfig::default()
+        };
+        let paths = cfg.paths(4);
+        // All walkers follow the same route program; after alignment their
+        // visited street segments overlap heavily. Compare visited
+        // intersection sets.
+        let visited = |path: &Vec<Point2>| -> std::collections::BTreeSet<(i64, i64)> {
+            let b = cfg.block_size();
+            path.iter()
+                .map(|p| (((p.x / b) * 2.0).round() as i64, ((p.y / b) * 2.0).round() as i64))
+                .collect()
+        };
+        let sets: Vec<_> = paths.iter().map(visited).collect();
+        for s in &sets[1..] {
+            let inter = sets[0].intersection(s).count();
+            let frac = inter as f64 / sets[0].len().max(1) as f64;
+            assert!(frac > 0.5, "route overlap too small: {frac}");
+        }
+    }
+
+    #[test]
+    fn movement_makes_progress() {
+        let cfg = StreetConfig::default();
+        for path in cfg.paths(5).iter().take(10) {
+            let total: f64 = path.windows(2).map(|w| w[0].distance(w[1])).sum();
+            assert!(total > 0.5, "walker barely moved: {total}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = StreetConfig {
+            num_walkers: 6,
+            snapshots: 20,
+            ..StreetConfig::default()
+        };
+        assert_eq!(cfg.paths(9), cfg.paths(9));
+        assert_ne!(cfg.paths(9), cfg.paths(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "2x2 street grid")]
+    fn rejects_degenerate_city() {
+        StreetConfig {
+            blocks: 1,
+            ..StreetConfig::default()
+        }
+        .paths(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Uniform moving-object workload, in the style of the TPR-tree
+//! generator \[9\] the paper cites for its first synthetic data set:
+//! independent objects with uniformly random starting positions and
+//! piecewise-constant velocities that change at random moments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajgeo::{BBox, Point2, Vec2};
+
+/// Configuration of the uniform moving-object generator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UniformConfig {
+    /// Number of objects (`S`).
+    pub num_objects: usize,
+    /// Snapshots per trajectory (`L`).
+    pub snapshots: usize,
+    /// Maximum speed per snapshot (velocities drawn uniformly from the
+    /// disc of this radius).
+    pub max_speed: f64,
+    /// Per-snapshot probability of drawing a fresh velocity.
+    pub change_prob: f64,
+}
+
+impl Default for UniformConfig {
+    fn default() -> Self {
+        UniformConfig {
+            num_objects: 100,
+            snapshots: 100,
+            max_speed: 0.03,
+            change_prob: 0.1,
+        }
+    }
+}
+
+impl UniformConfig {
+    /// Generates the ground-truth paths, confined to the unit square by
+    /// reflection.
+    pub fn paths(&self, seed: u64) -> Vec<Vec<Point2>> {
+        let bbox = BBox::unit();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0941_f09a);
+        (0..self.num_objects)
+            .map(|_| {
+                let mut pos = Point2::new(rng.gen::<f64>(), rng.gen::<f64>());
+                let mut vel = random_velocity(&mut rng, self.max_speed);
+                let mut out = Vec::with_capacity(self.snapshots);
+                for _ in 0..self.snapshots {
+                    out.push(pos);
+                    if rng.gen::<f64>() < self.change_prob {
+                        vel = random_velocity(&mut rng, self.max_speed);
+                    }
+                    pos = bbox.reflect(pos + vel);
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+/// Uniform velocity in the disc of radius `max_speed` (rejection-free:
+/// radius via sqrt for uniform area density).
+fn random_velocity<R: Rng + ?Sized>(rng: &mut R, max_speed: f64) -> Vec2 {
+    let r = max_speed * rng.gen::<f64>().sqrt();
+    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+    Vec2::from_polar(r, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = UniformConfig {
+            num_objects: 7,
+            snapshots: 13,
+            ..UniformConfig::default()
+        };
+        let paths = cfg.paths(1);
+        assert_eq!(paths.len(), 7);
+        assert!(paths.iter().all(|p| p.len() == 13));
+    }
+
+    #[test]
+    fn stays_in_unit_square_and_respects_speed() {
+        let cfg = UniformConfig::default();
+        for path in cfg.paths(2).iter().take(20) {
+            for w in path.windows(2) {
+                assert!(w[1].x >= 0.0 && w[1].x <= 1.0);
+                assert!(w[1].y >= 0.0 && w[1].y <= 1.0);
+                // Reflection can only shorten the step.
+                assert!(w[0].distance(w[1]) <= cfg.max_speed + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_changes_occur() {
+        let cfg = UniformConfig {
+            num_objects: 1,
+            snapshots: 200,
+            change_prob: 0.5,
+            ..UniformConfig::default()
+        };
+        let path = &cfg.paths(3)[0];
+        let vels: Vec<Vec2> = path.windows(2).map(|w| w[1] - w[0]).collect();
+        let changes = vels
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).norm() > 1e-12)
+            .count();
+        assert!(changes > 50, "expected many velocity changes: {changes}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = UniformConfig::default();
+        assert_eq!(cfg.paths(11), cfg.paths(11));
+        assert_ne!(cfg.paths(11), cfg.paths(12));
+    }
+}

@@ -1,0 +1,245 @@
+//! ZebraNet-style herd workload: the §6.2 scalability data set.
+//!
+//! "The second data set is generated based on the ZebraNet data \[16\] …
+//! There are a certain number of zebra groups, within which zebras move
+//! together. For each time snapshot, each group is randomly assigned a
+//! moving distance and a moving direction that are extracted from the real
+//! traces. A randomness is added to every individual zebra to simulate
+//! noise in trajectories. Meanwhile, at each time snapshot, a certain
+//! small number of zebras will leave the group and move individually."
+//!
+//! The real ZebraNet traces are not public; the empirical
+//! distance/heading distributions are replaced by a log-normal step-length
+//! distribution and a drifting heading (documented in DESIGN.md §3). The
+//! mining-relevant property — many objects sharing a noisy common motion —
+//! is preserved.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajgeo::stats::sample_std_normal;
+use trajgeo::{BBox, Point2, Vec2};
+
+/// Configuration of the ZebraNet-style generator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ZebraConfig {
+    /// Number of herds.
+    pub num_groups: usize,
+    /// Zebras per herd.
+    pub zebras_per_group: usize,
+    /// Snapshots per trajectory (`L` in the paper's parameters).
+    pub snapshots: usize,
+    /// Log-space mean of the per-snapshot group step length.
+    pub step_log_mean: f64,
+    /// Log-space standard deviation of the step length.
+    pub step_log_sigma: f64,
+    /// Standard deviation of the per-snapshot heading drift (radians).
+    pub heading_drift: f64,
+    /// Standard deviation of each zebra's positional noise around the
+    /// group center.
+    pub zebra_noise: f64,
+    /// Per-snapshot probability that a zebra leaves its group for good
+    /// and moves individually thereafter.
+    pub leave_prob: f64,
+}
+
+impl Default for ZebraConfig {
+    fn default() -> Self {
+        ZebraConfig {
+            num_groups: 10,
+            zebras_per_group: 10,
+            snapshots: 100,
+            // exp(-3.9) ≈ 0.02 of the unit square per snapshot.
+            step_log_mean: -3.9,
+            step_log_sigma: 0.35,
+            heading_drift: 0.35,
+            zebra_noise: 0.01,
+            leave_prob: 0.002,
+        }
+    }
+}
+
+impl ZebraConfig {
+    /// Total number of trajectories produced (`S` in the paper).
+    pub fn num_trajectories(&self) -> usize {
+        self.num_groups * self.zebras_per_group
+    }
+
+    /// Generates the ground-truth paths: `num_groups × zebras_per_group`
+    /// trajectories of `snapshots` points each, confined to the unit
+    /// square by reflection.
+    pub fn paths(&self, seed: u64) -> Vec<Vec<Point2>> {
+        let bbox = BBox::unit();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2eb_4a4e7);
+
+        struct Group {
+            pos: Point2,
+            heading: f64,
+        }
+        struct Zebra {
+            group: usize,
+            offset: Vec2,
+            pos: Point2,
+            /// Independent motion state once the zebra has left its herd.
+            solo: Option<(f64, f64)>, // (heading, speed)
+        }
+
+        let mut groups: Vec<Group> = (0..self.num_groups)
+            .map(|_| Group {
+                pos: Point2::new(rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)),
+                heading: rng.gen_range(0.0..std::f64::consts::TAU),
+            })
+            .collect();
+
+        let mut zebras: Vec<Zebra> = (0..self.num_groups)
+            .flat_map(|g| (0..self.zebras_per_group).map(move |z| (g, z)))
+            .map(|(g, _)| {
+                let offset = Vec2::new(
+                    self.zebra_noise * 2.0 * sample_std_normal(&mut rng),
+                    self.zebra_noise * 2.0 * sample_std_normal(&mut rng),
+                );
+                Zebra {
+                    group: g,
+                    offset,
+                    pos: bbox.reflect(groups[g].pos + offset),
+                    solo: None,
+                }
+            })
+            .collect();
+
+        let mut out: Vec<Vec<Point2>> = (0..zebras.len())
+            .map(|_| Vec::with_capacity(self.snapshots))
+            .collect();
+        for _ in 0..self.snapshots {
+            // Advance groups.
+            for g in groups.iter_mut() {
+                g.heading += self.heading_drift * sample_std_normal(&mut rng);
+                let step =
+                    (self.step_log_mean + self.step_log_sigma * sample_std_normal(&mut rng))
+                        .exp();
+                g.pos = bbox.reflect(g.pos + Vec2::from_polar(step, g.heading));
+            }
+            // Advance zebras.
+            for (zi, z) in zebras.iter_mut().enumerate() {
+                match z.solo {
+                    Some((heading, speed)) => {
+                        z.pos = bbox.reflect(z.pos + Vec2::from_polar(speed, heading));
+                        // Solo zebras also wander.
+                        let h = heading + self.heading_drift * sample_std_normal(&mut rng);
+                        z.solo = Some((h, speed));
+                    }
+                    None => {
+                        if rng.gen::<f64>() < self.leave_prob {
+                            let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+                            let speed = self.step_log_mean.exp();
+                            z.solo = Some((heading, speed));
+                        }
+                        let noise = Vec2::new(
+                            self.zebra_noise * sample_std_normal(&mut rng),
+                            self.zebra_noise * sample_std_normal(&mut rng),
+                        );
+                        z.pos = bbox.reflect(groups[z.group].pos + z.offset + noise);
+                    }
+                }
+                out[zi].push(z.pos);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = ZebraConfig {
+            num_groups: 3,
+            zebras_per_group: 4,
+            snapshots: 25,
+            ..ZebraConfig::default()
+        };
+        let paths = cfg.paths(1);
+        assert_eq!(paths.len(), 12);
+        assert_eq!(cfg.num_trajectories(), 12);
+        assert!(paths.iter().all(|p| p.len() == 25));
+    }
+
+    #[test]
+    fn confined_to_unit_square() {
+        let cfg = ZebraConfig::default();
+        for path in cfg.paths(2).iter().take(20) {
+            for p in path {
+                assert!(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn herd_members_stay_close_without_leavers() {
+        let cfg = ZebraConfig {
+            num_groups: 2,
+            zebras_per_group: 5,
+            snapshots: 50,
+            leave_prob: 0.0,
+            ..ZebraConfig::default()
+        };
+        let paths = cfg.paths(3);
+        // Zebras 0..5 belong to group 0: pairwise distance stays bounded
+        // by a few noise scales at every snapshot.
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                for (t, (pa, pb)) in paths[a].iter().zip(&paths[b]).enumerate() {
+                    let d = pa.distance(*pb);
+                    assert!(d < 0.2, "herd dispersed: {d} at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_move_meaningfully() {
+        let cfg = ZebraConfig {
+            num_groups: 1,
+            zebras_per_group: 1,
+            snapshots: 100,
+            leave_prob: 0.0,
+            ..ZebraConfig::default()
+        };
+        let path = &cfg.paths(4)[0];
+        let total: f64 = path.windows(2).map(|w| w[0].distance(w[1])).sum();
+        assert!(total > 0.5, "herd should travel: {total}");
+    }
+
+    #[test]
+    fn leavers_eventually_separate() {
+        let cfg = ZebraConfig {
+            num_groups: 1,
+            zebras_per_group: 20,
+            snapshots: 200,
+            leave_prob: 0.02, // high so leaving is near-certain
+            ..ZebraConfig::default()
+        };
+        let paths = cfg.paths(5);
+        // With leave_prob 0.02 over 200 snapshots nearly every zebra
+        // leaves; max pairwise final distance should exceed herd scale.
+        let max_d = (0..20)
+            .flat_map(|a| (0..20).map(move |b| (a, b)))
+            .map(|(a, b)| paths[a][199].distance(paths[b][199]))
+            .fold(0.0, f64::max);
+        assert!(max_d > 0.2, "no zebra separated: {max_d}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ZebraConfig {
+            num_groups: 2,
+            zebras_per_group: 2,
+            snapshots: 10,
+            ..ZebraConfig::default()
+        };
+        assert_eq!(cfg.paths(9), cfg.paths(9));
+        assert_ne!(cfg.paths(9), cfg.paths(10));
+    }
+}

@@ -1,0 +1,32 @@
+//! Mobile-object location reporting simulation (§3.1 of the paper).
+//!
+//! The paper's input data is produced by a *dead-reckoning* protocol: the
+//! server runs a prediction model for every object; the object tracks the
+//! same model and reports its true location only when it drifts more than
+//! the tolerable uncertainty distance `U` from the prediction. Between
+//! reports, the server's best knowledge of the object is the prediction
+//! plus a normal error with `σ = U/c`.
+//!
+//! This crate builds that whole substrate:
+//!
+//! - [`MotionModel`]: snapshot-synchronous prediction models. Three
+//!   implementations mirror the paper's §6.1 comparison set:
+//!   [`LinearModel`] (LM, Wolfson et al. \[12\]), [`KalmanModel`] (linear
+//!   Kalman filter, Jain et al. \[2\]) and [`RecursiveMotionModel`] (RMF,
+//!   Tao et al. \[11\]).
+//! - [`ReportingScheme`]: the `U`/`c` dead-reckoning protocol with optional
+//!   message-loss injection.
+//! - [`simulate_reporting`]: runs a ground-truth path through the protocol
+//!   and returns both the report stream and the *imprecise trajectory* the
+//!   server reconstructs — the exact input format the miner consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod models;
+pub mod reporting;
+
+pub use models::{KalmanModel, LinearModel, MotionModel, RecursiveMotionModel};
+pub use reporting::{
+    simulate_reporting, Report, ReportingScheme, SchemeError, SimulationOutput, UncertaintyModel,
+};

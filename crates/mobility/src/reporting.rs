@@ -1,0 +1,523 @@
+//! The dead-reckoning location reporting protocol (§3.1).
+//!
+//! "A mobile object may choose to report its actual location only if it is
+//! more than U away from the predicted position μ. … σ is defined as U/c
+//! where U is the tolerable uncertainty distance of the object and c is a
+//! constant" tied to network reliability (c = 2 tolerates a 5 % message
+//! loss).
+//!
+//! [`simulate_reporting`] drives a ground-truth path through the protocol
+//! with any [`MotionModel`] and produces the server's reconstructed
+//! imprecise trajectory — the miner's input.
+
+use crate::models::MotionModel;
+use rand::Rng;
+use std::fmt;
+use trajdata::{SnapshotPoint, Trajectory};
+use trajgeo::Point2;
+
+/// How the tolerable uncertainty `U` evolves between reports. §3.1: "U can
+/// be either a constant, a function of the elapse time t, or the expected
+/// traversed distance d. In this paper, we assume that U is a constant" —
+/// the constant case is the paper's default; the other two are provided
+/// for completeness and exercised by tests and the failure-injection
+/// suite.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum UncertaintyModel {
+    /// `U(·) = base` — the paper's assumption.
+    #[default]
+    Constant,
+    /// `U(t) = base · (1 + rate·t)` where `t` is the number of snapshots
+    /// since the last received report: tolerance (and uncertainty) grow
+    /// the longer the object stays silent.
+    GrowingWithTime {
+        /// Relative growth per snapshot (≥ 0).
+        rate: f64,
+    },
+    /// `U(d) = base · (1 + rate·d)` where `d` is the expected distance
+    /// traversed (by the prediction) since the last received report.
+    GrowingWithDistance {
+        /// Relative growth per unit of predicted travel (≥ 0).
+        rate: f64,
+    },
+}
+
+impl UncertaintyModel {
+    /// The effective tolerance given `base` U, snapshots since the last
+    /// report, and predicted distance traversed since the last report.
+    pub fn effective_u(&self, base: f64, elapsed: usize, predicted_distance: f64) -> f64 {
+        match *self {
+            UncertaintyModel::Constant => base,
+            UncertaintyModel::GrowingWithTime { rate } => base * (1.0 + rate * elapsed as f64),
+            UncertaintyModel::GrowingWithDistance { rate } => {
+                base * (1.0 + rate * predicted_distance)
+            }
+        }
+    }
+
+    fn is_valid(&self) -> bool {
+        match *self {
+            UncertaintyModel::Constant => true,
+            UncertaintyModel::GrowingWithTime { rate }
+            | UncertaintyModel::GrowingWithDistance { rate } => rate.is_finite() && rate >= 0.0,
+        }
+    }
+}
+
+/// Parameters of the reporting protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReportingScheme {
+    /// Tolerable uncertainty distance `U` (its base value; see
+    /// [`ReportingScheme::uncertainty_model`]): the object reports
+    /// whenever the prediction error exceeds the effective tolerance.
+    pub uncertainty: f64,
+    /// The constant `c` relating `U` to the error std: `σ = U/c`. The paper
+    /// discusses c ∈ {1, 2, 3} (68 %, 95 %, 99.7 % confidence).
+    pub c: f64,
+    /// Probability that a report message is lost in transit (the paper's
+    /// motivation for c = 2 is a 5 % loss rate). Losses are independent.
+    pub loss_probability: f64,
+    /// Evolution of `U` between reports (§3.1); the paper's default is
+    /// [`UncertaintyModel::Constant`].
+    pub uncertainty_model: UncertaintyModel,
+}
+
+/// Errors validating a [`ReportingScheme`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// `uncertainty` must be positive and finite.
+    BadUncertainty,
+    /// `c` must be positive and finite.
+    BadC,
+    /// `loss_probability` must be in `[0, 1)`.
+    BadLossProbability,
+    /// The uncertainty model's growth rate must be non-negative and finite.
+    BadUncertaintyModel,
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::BadUncertainty => write!(f, "uncertainty U must be positive and finite"),
+            SchemeError::BadC => write!(f, "constant c must be positive and finite"),
+            SchemeError::BadLossProbability => {
+                write!(f, "loss probability must be in [0, 1)")
+            }
+            SchemeError::BadUncertaintyModel => {
+                write!(f, "uncertainty growth rate must be non-negative and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+impl ReportingScheme {
+    /// Creates a validated scheme.
+    pub fn new(uncertainty: f64, c: f64, loss_probability: f64) -> Result<Self, SchemeError> {
+        if !(uncertainty.is_finite() && uncertainty > 0.0) {
+            return Err(SchemeError::BadUncertainty);
+        }
+        if !(c.is_finite() && c > 0.0) {
+            return Err(SchemeError::BadC);
+        }
+        if !(0.0..1.0).contains(&loss_probability) {
+            return Err(SchemeError::BadLossProbability);
+        }
+        Ok(ReportingScheme {
+            uncertainty,
+            c,
+            loss_probability,
+            uncertainty_model: UncertaintyModel::Constant,
+        })
+    }
+
+    /// Replaces the uncertainty-evolution model (§3.1's "function of the
+    /// elapse time t, or the expected traversed distance d").
+    pub fn with_uncertainty_model(
+        mut self,
+        model: UncertaintyModel,
+    ) -> Result<Self, SchemeError> {
+        if !model.is_valid() {
+            return Err(SchemeError::BadUncertaintyModel);
+        }
+        self.uncertainty_model = model;
+        Ok(self)
+    }
+
+    /// The per-snapshot location error standard deviation `σ = U/c`.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.uncertainty / self.c
+    }
+}
+
+/// One report received by the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Report {
+    /// Snapshot index at which the report was received.
+    pub snapshot: usize,
+    /// The reported (true) location.
+    pub loc: Point2,
+}
+
+/// Result of simulating the protocol over one ground-truth path.
+#[derive(Debug, Clone)]
+pub struct SimulationOutput {
+    /// Reports that actually reached the server.
+    pub reports: Vec<Report>,
+    /// The server's reconstructed imprecise trajectory: means are the
+    /// server-side location estimates, sigmas are 0 at received reports and
+    /// `U/c` at dead-reckoned snapshots.
+    pub reconstructed: Trajectory,
+    /// Number of snapshots where the object *attempted* to report (the
+    /// prediction missed by more than U) — the paper's "mis-predictions".
+    pub attempted_reports: usize,
+    /// Number of report messages lost in transit.
+    pub lost_reports: usize,
+}
+
+impl SimulationOutput {
+    /// Fraction of snapshots (after the initial mandatory report) where the
+    /// prediction missed by more than U.
+    pub fn misprediction_rate(&self) -> f64 {
+        let n = self.reconstructed.len();
+        if n <= 1 {
+            return 0.0;
+        }
+        self.attempted_reports as f64 / (n - 1) as f64
+    }
+}
+
+/// Runs the reporting protocol over `true_path` (one exact location per
+/// snapshot) with the given prediction model, returning the report stream
+/// and the server's reconstructed imprecise trajectory.
+///
+/// ```
+/// use mobility::{simulate_reporting, LinearModel, ReportingScheme};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use trajgeo::Point2;
+///
+/// // A perfectly linear path: after the initial fix and one velocity-
+/// // establishing report, the server predicts everything.
+/// let path: Vec<Point2> = (0..20).map(|i| Point2::new(i as f64 * 0.01, 0.5)).collect();
+/// let scheme = ReportingScheme::new(0.005, 2.0, 0.0).unwrap();
+/// let mut model = LinearModel::new();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let out = simulate_reporting(&path, &mut model, &scheme, &mut rng);
+/// assert!(out.reports.len() <= 3);
+/// assert_eq!(out.reconstructed.len(), 20);
+/// ```
+///
+/// The first snapshot is always reported (and never lost): the protocol
+/// needs a starting fix. After that, at each snapshot the object compares
+/// the model's prediction against its true location and reports only when
+/// the error exceeds `U`; each such report is lost independently with
+/// `scheme.loss_probability`. Both the object and the server advance the
+/// *same* model with the same information (a lost report leaves both
+/// dead-reckoning, since the object receives no acknowledgement it keeps
+/// trying at subsequent snapshots while the error stays above `U`).
+pub fn simulate_reporting<R: Rng + ?Sized>(
+    true_path: &[Point2],
+    model: &mut dyn MotionModel,
+    scheme: &ReportingScheme,
+    rng: &mut R,
+) -> SimulationOutput {
+    model.reset();
+    let mut reports = Vec::new();
+    let mut points = Vec::with_capacity(true_path.len());
+    let mut attempted = 0usize;
+    let mut lost = 0usize;
+    // State for the non-constant uncertainty models: snapshots and
+    // predicted travel since the last *received* report.
+    let mut elapsed = 0usize;
+    let mut predicted_distance = 0.0f64;
+    let mut last_estimate = Point2::ORIGIN;
+
+    for (i, &truth) in true_path.iter().enumerate() {
+        if i == 0 {
+            // Mandatory initial fix.
+            reports.push(Report {
+                snapshot: 0,
+                loc: truth,
+            });
+            model.advance(Some(truth));
+            points.push(SnapshotPoint::exact(truth));
+            last_estimate = truth;
+            continue;
+        }
+        let predicted = model.predict_next();
+        elapsed += 1;
+        predicted_distance += predicted.distance(last_estimate);
+        let u = scheme.uncertainty_model.effective_u(
+            scheme.uncertainty,
+            elapsed,
+            predicted_distance,
+        );
+        if predicted.distance(truth) > u {
+            attempted += 1;
+            if rng.gen::<f64>() < scheme.loss_probability {
+                // Message lost: the server keeps the prediction and both
+                // sides dead-reckon.
+                lost += 1;
+                model.advance(None);
+                points.push(SnapshotPoint {
+                    mean: predicted,
+                    sigma: u / scheme.c,
+                });
+                last_estimate = predicted;
+            } else {
+                reports.push(Report {
+                    snapshot: i,
+                    loc: truth,
+                });
+                model.advance(Some(truth));
+                points.push(SnapshotPoint::exact(truth));
+                last_estimate = truth;
+                elapsed = 0;
+                predicted_distance = 0.0;
+            }
+        } else {
+            model.advance(None);
+            points.push(SnapshotPoint {
+                mean: predicted,
+                sigma: u / scheme.c,
+            });
+            last_estimate = predicted;
+        }
+    }
+
+    SimulationOutput {
+        reports,
+        reconstructed: Trajectory::new(points)
+            .expect("simulation produces finite snapshot points"),
+        attempted_reports: attempted,
+        lost_reports: lost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{KalmanModel, LinearModel, RecursiveMotionModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scheme(u: f64) -> ReportingScheme {
+        ReportingScheme::new(u, 2.0, 0.0).unwrap()
+    }
+
+    #[test]
+    fn scheme_validation() {
+        assert!(ReportingScheme::new(0.1, 2.0, 0.0).is_ok());
+        assert_eq!(
+            ReportingScheme::new(0.0, 2.0, 0.0),
+            Err(SchemeError::BadUncertainty)
+        );
+        assert_eq!(
+            ReportingScheme::new(0.1, 0.0, 0.0),
+            Err(SchemeError::BadC)
+        );
+        assert_eq!(
+            ReportingScheme::new(0.1, 2.0, 1.0),
+            Err(SchemeError::BadLossProbability)
+        );
+        assert!((scheme(0.1).sigma() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_path_needs_few_reports_under_lm() {
+        // An exactly linear path is perfectly predictable after 2 reports.
+        let path: Vec<Point2> = (0..50).map(|i| Point2::new(i as f64 * 0.01, 0.0)).collect();
+        let mut model = LinearModel::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = simulate_reporting(&path, &mut model, &scheme(0.005), &mut rng);
+        // Initial fix + one report to establish velocity; everything else
+        // is predicted exactly.
+        assert!(
+            out.reports.len() <= 3,
+            "too many reports: {}",
+            out.reports.len()
+        );
+        assert_eq!(out.reconstructed.len(), 50);
+        // Reported snapshots are exact; dead-reckoned ones carry σ = U/c.
+        assert_eq!(out.reconstructed[0].sigma, 0.0);
+        let dead_reckoned = out
+            .reconstructed
+            .points()
+            .iter()
+            .filter(|p| p.sigma > 0.0)
+            .count();
+        assert!(dead_reckoned >= 45);
+    }
+
+    #[test]
+    fn erratic_path_reports_often() {
+        // A zig-zag with jumps larger than U defeats the linear model.
+        let path: Vec<Point2> = (0..40)
+            .map(|i| Point2::new(if i % 2 == 0 { 0.0 } else { 1.0 }, i as f64 * 0.1))
+            .collect();
+        let mut model = LinearModel::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = simulate_reporting(&path, &mut model, &scheme(0.05), &mut rng);
+        assert!(
+            out.attempted_reports > 30,
+            "zig-zag should defeat LM: {} attempts",
+            out.attempted_reports
+        );
+        assert!(out.misprediction_rate() > 0.75);
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_when_no_loss() {
+        // Without message loss, the server estimate is either exact (report)
+        // or within U of the truth (otherwise the object would have
+        // reported).
+        let path: Vec<Point2> = (0..60)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                Point2::new(t.sin() * 0.3 + 0.5, t.cos() * 0.3 + 0.5)
+            })
+            .collect();
+        for m in [
+            &mut LinearModel::new() as &mut dyn MotionModel,
+            &mut KalmanModel::with_defaults(),
+            &mut RecursiveMotionModel::with_defaults(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let u = 0.05;
+            let out = simulate_reporting(&path, m, &scheme(u), &mut rng);
+            for (i, sp) in out.reconstructed.points().iter().enumerate() {
+                assert!(
+                    sp.mean.distance(path[i]) <= u + 1e-9,
+                    "{}: error at {i} is {}",
+                    m.name(),
+                    sp.mean.distance(path[i])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_loss_increases_uncertainty() {
+        let path: Vec<Point2> = (0..80)
+            .map(|i| Point2::new((i as f64 * 0.37).sin(), (i as f64 * 0.59).cos()))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let lossy = ReportingScheme::new(0.05, 2.0, 0.5).unwrap();
+        let mut model = LinearModel::new();
+        let out = simulate_reporting(&path, &mut model, &lossy, &mut rng);
+        assert!(out.lost_reports > 0, "50% loss must drop something");
+        assert!(out.reports.len() + out.lost_reports >= out.attempted_reports);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let path: Vec<Point2> = (0..30)
+            .map(|i| Point2::new((i as f64 * 0.7).sin(), 0.0))
+            .collect();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model = LinearModel::new();
+            let lossy = ReportingScheme::new(0.1, 2.0, 0.3).unwrap();
+            simulate_reporting(&path, &mut model, &lossy, &mut rng).reports
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn empty_path_yields_empty_output() {
+        let mut model = LinearModel::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = simulate_reporting(&[], &mut model, &scheme(0.1), &mut rng);
+        assert!(out.reports.is_empty());
+        assert!(out.reconstructed.is_empty());
+        assert_eq!(out.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn uncertainty_model_validation() {
+        let base = ReportingScheme::new(0.05, 2.0, 0.0).unwrap();
+        assert!(base
+            .with_uncertainty_model(UncertaintyModel::GrowingWithTime { rate: 0.1 })
+            .is_ok());
+        assert_eq!(
+            base.with_uncertainty_model(UncertaintyModel::GrowingWithTime { rate: -0.1 }),
+            Err(SchemeError::BadUncertaintyModel)
+        );
+        assert_eq!(
+            base.with_uncertainty_model(UncertaintyModel::GrowingWithDistance {
+                rate: f64::NAN
+            }),
+            Err(SchemeError::BadUncertaintyModel)
+        );
+    }
+
+    #[test]
+    fn effective_u_formulas() {
+        assert_eq!(UncertaintyModel::Constant.effective_u(0.1, 7, 3.0), 0.1);
+        let t = UncertaintyModel::GrowingWithTime { rate: 0.5 };
+        assert!((t.effective_u(0.1, 4, 0.0) - 0.3).abs() < 1e-12);
+        let d = UncertaintyModel::GrowingWithDistance { rate: 2.0 };
+        assert!((d.effective_u(0.1, 0, 1.5) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growing_tolerance_reduces_reports() {
+        // A wiggly path: with constant U every wiggle reports; with a
+        // tolerance growing in elapsed time, later wiggles are absorbed.
+        let path: Vec<Point2> = (0..60)
+            .map(|i| {
+                Point2::new(
+                    i as f64 * 0.01,
+                    0.03 * ((i as f64) * 1.3).sin(),
+                )
+            })
+            .collect();
+        let constant = ReportingScheme::new(0.02, 2.0, 0.0).unwrap();
+        let growing = constant
+            .with_uncertainty_model(UncertaintyModel::GrowingWithTime { rate: 0.6 })
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m1 = LinearModel::new();
+        let n_const = simulate_reporting(&path, &mut m1, &constant, &mut rng)
+            .reports
+            .len();
+        let mut m2 = LinearModel::new();
+        let n_grow = simulate_reporting(&path, &mut m2, &growing, &mut rng)
+            .reports
+            .len();
+        assert!(
+            n_grow < n_const,
+            "growing tolerance should reduce reports: {n_grow} vs {n_const}"
+        );
+    }
+
+    #[test]
+    fn growing_uncertainty_inflates_sigma_between_reports() {
+        // A perfectly straight path never reports after the velocity is
+        // established, so sigma keeps growing under GrowingWithTime.
+        let path: Vec<Point2> = (0..30).map(|i| Point2::new(i as f64 * 0.01, 0.0)).collect();
+        let growing = ReportingScheme::new(0.02, 2.0, 0.0)
+            .unwrap()
+            .with_uncertainty_model(UncertaintyModel::GrowingWithTime { rate: 0.2 })
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = LinearModel::new();
+        let out = simulate_reporting(&path, &mut model, &growing, &mut rng);
+        let sigmas: Vec<f64> = out
+            .reconstructed
+            .points()
+            .iter()
+            .map(|p| p.sigma)
+            .collect();
+        // After the last report, sigma is strictly increasing.
+        let last_report = out.reports.last().unwrap().snapshot;
+        for w in sigmas[last_report + 1..].windows(2) {
+            assert!(w[1] > w[0], "sigma should grow: {w:?}");
+        }
+    }
+}

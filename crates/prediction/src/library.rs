@@ -1,0 +1,292 @@
+//! The pattern library: confirm a recent velocity window, predict the next
+//! velocity.
+
+use std::fmt;
+use trajdata::SnapshotPoint;
+use trajgeo::{Grid, Vec2};
+use trajpattern::scorer::log_match_segment;
+use trajpattern::MinedPattern;
+
+/// Errors building a [`PatternLibrary`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibraryError {
+    /// The confirm threshold must be a probability in `(0, 1]`.
+    BadThreshold,
+    /// `delta` must be positive and finite.
+    BadDelta,
+    /// `min_prob` must be in `(0, 1)`.
+    BadMinProb,
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::BadThreshold => write!(f, "confirm threshold must be in (0, 1]"),
+            LibraryError::BadDelta => write!(f, "delta must be positive and finite"),
+            LibraryError::BadMinProb => write!(f, "min_prob must be in (0, 1)"),
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+/// A library of mined *velocity* patterns used to assist prediction.
+///
+/// Only patterns of length ≥ 2 participate (a singular pattern has no
+/// prefix to confirm against). The grid must be the velocity-space grid
+/// the patterns were mined on.
+///
+/// ```
+/// use prediction::PatternLibrary;
+/// use trajdata::SnapshotPoint;
+/// use trajgeo::{BBox, CellId, Grid, Point2};
+/// use trajpattern::{MinedPattern, Pattern};
+///
+/// // Velocity grid over [-0.5, 0.5]²; cells of width 0.1.
+/// let grid = Grid::new(
+///     BBox::new(Point2::new(-0.5, -0.5), Point2::new(0.5, 0.5)).unwrap(), 10, 10,
+/// ).unwrap();
+/// // Pattern: cell 55 (v=(0.05,0.05)) twice, then cell 56 (v=(0.15,0.05)).
+/// let pattern = Pattern::new(vec![CellId(55), CellId(55), CellId(56)]).unwrap();
+/// let lib = PatternLibrary::new(
+///     vec![MinedPattern::new(pattern, -0.2)], grid, 0.05, 1e-12, 0.9,
+/// ).unwrap();
+///
+/// // Recent velocities sit exactly on the prefix: the library predicts
+/// // the pattern's continuation.
+/// let recent = vec![
+///     SnapshotPoint::exact(Point2::new(0.05, 0.05)),
+///     SnapshotPoint::exact(Point2::new(0.05, 0.05)),
+/// ];
+/// let v = lib.predict_next_velocity(&recent).unwrap();
+/// assert!((v.x - 0.15).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternLibrary {
+    patterns: Vec<MinedPattern>,
+    grid: Grid,
+    delta: f64,
+    min_prob: f64,
+    /// Log of the confirm probability threshold (paper: ln 0.9).
+    confirm_log: f64,
+}
+
+impl PatternLibrary {
+    /// Builds a library. `confirm_threshold` is the §6.1 footnote's 90 %
+    /// by default in the experiments; patterns shorter than 2 positions
+    /// are dropped.
+    pub fn new(
+        patterns: Vec<MinedPattern>,
+        grid: Grid,
+        delta: f64,
+        min_prob: f64,
+        confirm_threshold: f64,
+    ) -> Result<PatternLibrary, LibraryError> {
+        if !(confirm_threshold > 0.0 && confirm_threshold <= 1.0) {
+            return Err(LibraryError::BadThreshold);
+        }
+        if !(delta.is_finite() && delta > 0.0) {
+            return Err(LibraryError::BadDelta);
+        }
+        if !(min_prob > 0.0 && min_prob < 1.0) {
+            return Err(LibraryError::BadMinProb);
+        }
+        let mut patterns: Vec<MinedPattern> =
+            patterns.into_iter().filter(|m| m.pattern.len() >= 2).collect();
+        // Deterministic matching order: longer first (more context), then
+        // by NM.
+        patterns.sort_by(|a, b| {
+            b.pattern
+                .len()
+                .cmp(&a.pattern.len())
+                .then_with(|| b.nm.partial_cmp(&a.nm).expect("finite NM"))
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        });
+        Ok(PatternLibrary {
+            patterns,
+            grid,
+            delta,
+            min_prob,
+            confirm_log: confirm_threshold.ln(),
+        })
+    }
+
+    /// Number of usable (length ≥ 2) patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the library holds no usable patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Given the recent velocity estimates (oldest → newest), returns the
+    /// pattern-predicted next velocity, or `None` when the patterns offer
+    /// no unambiguous advice.
+    ///
+    /// A pattern `P = (p₁,…,p_m)` *confirms* when the last `m−1` recent
+    /// velocities match `(p₁,…,p_{m−1})` with Eq. 2 probability above the
+    /// threshold. Among confirming patterns, only the most specific ones —
+    /// those with the longest confirmed prefix — are consulted; if their
+    /// continuations disagree (beyond the δ-indifference), the library
+    /// abstains and the caller falls back to its motion model. Without the
+    /// agreement rule, near-tied patterns with a shared prefix but
+    /// different continuations (e.g. "keep cruising" vs "slow down") would
+    /// override predictions the model was already getting right.
+    pub fn predict_next_velocity(&self, recent: &[SnapshotPoint]) -> Option<Vec2> {
+        // Patterns are sorted longest-first, so the first confirming
+        // pattern fixes the specificity level.
+        let mut specificity: Option<usize> = None;
+        let mut best: Option<(f64, Vec2)> = None;
+        let mut candidates: Vec<Vec2> = Vec::new();
+        for m in &self.patterns {
+            let cells = m.pattern.cells();
+            let prefix_len = cells.len() - 1;
+            if prefix_len == 0 || recent.len() < prefix_len {
+                continue;
+            }
+            if let Some(s) = specificity {
+                if prefix_len < s {
+                    break; // sorted: only shorter prefixes remain
+                }
+            }
+            let segment = &recent[recent.len() - prefix_len..];
+            let Some(lm) = log_match_segment(
+                segment,
+                &cells[..prefix_len],
+                &self.grid,
+                self.delta,
+                self.min_prob,
+            ) else {
+                continue;
+            };
+            if lm < self.confirm_log {
+                continue;
+            }
+            specificity = Some(prefix_len);
+            let next = self.grid.center(cells[prefix_len]);
+            let v = Vec2::new(next.x, next.y);
+            candidates.push(v);
+            if best.is_none_or(|(b, _)| lm > b) {
+                best = Some((lm, v));
+            }
+        }
+        let (_, winner) = best?;
+        // Agreement: every most-specific continuation must lie within the
+        // indifference distance of the winner.
+        let tol = 2.0 * self.delta;
+        if candidates
+            .iter()
+            .all(|v| (*v - winner).norm() <= tol)
+        {
+            Some(winner)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajgeo::{BBox, CellId, Point2};
+    use trajpattern::Pattern;
+
+    /// Velocity grid over [-0.5, 0.5]²: 10×10 cells of width 0.1.
+    fn vgrid() -> Grid {
+        Grid::new(
+            BBox::new(Point2::new(-0.5, -0.5), Point2::new(0.5, 0.5)).unwrap(),
+            10,
+            10,
+        )
+        .unwrap()
+    }
+
+    fn lib(patterns: Vec<MinedPattern>) -> PatternLibrary {
+        PatternLibrary::new(patterns, vgrid(), 0.08, 1e-12, 0.9).unwrap()
+    }
+
+    fn mined(cells: &[u32], nm: f64) -> MinedPattern {
+        MinedPattern::new(
+            Pattern::new(cells.iter().map(|&c| CellId(c)).collect()).unwrap(),
+            nm,
+        )
+    }
+
+    fn vel(x: f64, y: f64) -> SnapshotPoint {
+        SnapshotPoint::new(Point2::new(x, y), 0.01).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(
+            PatternLibrary::new(vec![], vgrid(), 0.1, 1e-12, 0.0).unwrap_err(),
+            LibraryError::BadThreshold
+        );
+        assert_eq!(
+            PatternLibrary::new(vec![], vgrid(), 0.0, 1e-12, 0.9).unwrap_err(),
+            LibraryError::BadDelta
+        );
+        assert_eq!(
+            PatternLibrary::new(vec![], vgrid(), 0.1, 0.0, 0.9).unwrap_err(),
+            LibraryError::BadMinProb
+        );
+    }
+
+    #[test]
+    fn singular_patterns_are_dropped() {
+        let l = lib(vec![mined(&[5], -1.0)]);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn confirming_prefix_predicts_next_cell_center() {
+        // Grid cell (cx, cy) center = (-0.5 + (cx+0.5)*0.1, ...).
+        // Cell 55 = (5,5) → center (0.05, 0.05). Cell 56 → (0.15, 0.05).
+        // Pattern (55, 56, 57): prefix (55, 56), next = 57 → (0.25, 0.05).
+        let l = lib(vec![mined(&[55, 56, 57], -0.5)]);
+        let recent = [vel(0.05, 0.05), vel(0.15, 0.05)];
+        let v = l.predict_next_velocity(&recent).expect("should confirm");
+        assert!((v.x - 0.25).abs() < 1e-9 && (v.y - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_matching_history_yields_none() {
+        let l = lib(vec![mined(&[55, 56, 57], -0.5)]);
+        // Velocities in a far-away grid region.
+        let recent = [vel(-0.45, -0.45), vel(-0.45, -0.45)];
+        assert!(l.predict_next_velocity(&recent).is_none());
+    }
+
+    #[test]
+    fn too_short_history_yields_none() {
+        let l = lib(vec![mined(&[55, 56, 57], -0.5)]);
+        assert!(l.predict_next_velocity(&[vel(0.05, 0.05)]).is_none());
+        assert!(l.predict_next_velocity(&[]).is_none());
+    }
+
+    #[test]
+    fn best_confirming_pattern_wins() {
+        // Two patterns share the first prefix position; the recent window
+        // sits exactly on (55, 56) so pattern A confirms better than B
+        // whose prefix expects (55, 66).
+        let a = mined(&[55, 56, 57], -1.0);
+        let b = mined(&[55, 66, 77], -0.1);
+        let l = lib(vec![a, b]);
+        let recent = [vel(0.05, 0.05), vel(0.15, 0.05)];
+        let v = l.predict_next_velocity(&recent).expect("A should confirm");
+        assert!((v.x - 0.25).abs() < 1e-9, "expected pattern A's successor");
+    }
+
+    #[test]
+    fn uncertain_history_fails_confirmation() {
+        // Same means but huge sigma: the Eq. 2 probability collapses.
+        let l = lib(vec![mined(&[55, 56, 57], -0.5)]);
+        let fuzzy = [
+            SnapshotPoint::new(Point2::new(0.05, 0.05), 0.5).unwrap(),
+            SnapshotPoint::new(Point2::new(0.15, 0.05), 0.5).unwrap(),
+        ];
+        assert!(l.predict_next_velocity(&fuzzy).is_none());
+    }
+}

@@ -1,0 +1,264 @@
+//! Plain-text CSV interchange for trajectory datasets.
+//!
+//! Real deployments rarely speak JSON for bulk trace data; this module
+//! provides a dependency-free CSV codec with the schema
+//!
+//! ```text
+//! traj_id,snapshot,x,y,sigma
+//! 0,0,0.125,0.625,0.0
+//! 0,1,0.375,0.625,0.006
+//! ```
+//!
+//! Rows must be grouped by `traj_id` with `snapshot` increasing from 0
+//! within each trajectory (the on-disk order *is* the snapshot order;
+//! the indices exist to catch truncated or shuffled files).
+
+use crate::dataset::Dataset;
+use crate::snapshot::SnapshotPoint;
+use crate::trajectory::Trajectory;
+use std::fmt;
+use trajgeo::Point2;
+
+/// Errors reading CSV trajectory data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The header row was missing or not the expected schema.
+    BadHeader,
+    /// A data row did not have exactly five fields.
+    WrongFieldCount {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// `snapshot` indices were not consecutive from 0 within a trajectory,
+    /// or `traj_id`s went backwards.
+    BadOrdering {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A snapshot had non-finite coordinates or a negative sigma.
+    InvalidSnapshot {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadHeader => {
+                write!(f, "expected header 'traj_id,snapshot,x,y,sigma'")
+            }
+            CsvError::WrongFieldCount { line } => {
+                write!(f, "line {line}: expected 5 comma-separated fields")
+            }
+            CsvError::BadNumber { line, field } => {
+                write!(f, "line {line}: field '{field}' is not a valid number")
+            }
+            CsvError::BadOrdering { line } => {
+                write!(f, "line {line}: snapshots/trajectories out of order")
+            }
+            CsvError::InvalidSnapshot { line } => {
+                write!(f, "line {line}: non-finite coordinates or negative sigma")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+const HEADER: &str = "traj_id,snapshot,x,y,sigma";
+
+/// Serializes a dataset to CSV (including the header row).
+pub fn to_csv(data: &Dataset) -> String {
+    let mut out = String::with_capacity(32 * (1 + data.iter().map(|t| t.len()).sum::<usize>()));
+    out.push_str(HEADER);
+    out.push('\n');
+    for (ti, traj) in data.iter().enumerate() {
+        for (si, sp) in traj.points().iter().enumerate() {
+            // 17 significant digits round-trip f64 exactly.
+            out.push_str(&format!(
+                "{ti},{si},{:.17e},{:.17e},{:.17e}\n",
+                sp.mean.x, sp.mean.y, sp.sigma
+            ));
+        }
+    }
+    out
+}
+
+/// Parses CSV produced by [`to_csv`] (or any file with the same schema).
+pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(CsvError::BadHeader),
+    }
+
+    let mut trajectories: Vec<Trajectory> = Vec::new();
+    let mut current: Vec<SnapshotPoint> = Vec::new();
+    let mut current_id: Option<u64> = None;
+
+    for (idx, raw) in lines {
+        let line = idx + 1; // 1-based, counting the header as line 1
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split(',').collect();
+        if fields.len() != 5 {
+            return Err(CsvError::WrongFieldCount { line });
+        }
+        let traj_id: u64 = fields[0].trim().parse().map_err(|_| CsvError::BadNumber {
+            line,
+            field: "traj_id",
+        })?;
+        let snapshot: usize = fields[1].trim().parse().map_err(|_| CsvError::BadNumber {
+            line,
+            field: "snapshot",
+        })?;
+        let x: f64 = fields[2].trim().parse().map_err(|_| CsvError::BadNumber {
+            line,
+            field: "x",
+        })?;
+        let y: f64 = fields[3].trim().parse().map_err(|_| CsvError::BadNumber {
+            line,
+            field: "y",
+        })?;
+        let sigma: f64 = fields[4].trim().parse().map_err(|_| CsvError::BadNumber {
+            line,
+            field: "sigma",
+        })?;
+
+        match current_id {
+            Some(id) if id == traj_id => {
+                if snapshot != current.len() {
+                    return Err(CsvError::BadOrdering { line });
+                }
+            }
+            Some(id) => {
+                if traj_id < id || snapshot != 0 {
+                    return Err(CsvError::BadOrdering { line });
+                }
+                trajectories.push(
+                    Trajectory::new(std::mem::take(&mut current))
+                        .expect("validated per-row"),
+                );
+                current_id = Some(traj_id);
+            }
+            None => {
+                if snapshot != 0 {
+                    return Err(CsvError::BadOrdering { line });
+                }
+                current_id = Some(traj_id);
+            }
+        }
+        let sp = SnapshotPoint::new(Point2::new(x, y), sigma)
+            .ok_or(CsvError::InvalidSnapshot { line })?;
+        current.push(sp);
+    }
+    if current_id.is_some() {
+        trajectories.push(Trajectory::new(current).expect("validated per-row"));
+    }
+    Ok(Dataset::from_trajectories(trajectories))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let t1 = Trajectory::new(vec![
+            SnapshotPoint::new(Point2::new(0.1, 0.2), 0.0).unwrap(),
+            SnapshotPoint::new(Point2::new(0.30000000000000004, 0.4), 0.0125).unwrap(),
+        ])
+        .unwrap();
+        let t2 = Trajectory::new(vec![SnapshotPoint::new(
+            Point2::new(-1.5e-3, 2.25),
+            0.5,
+        )
+        .unwrap()])
+        .unwrap();
+        Dataset::from_trajectories(vec![t1, t2])
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let d = sample();
+        let csv = to_csv(&d);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(d, back, "CSV round-trip must be bit-exact");
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let d = Dataset::new();
+        let back = from_csv(&to_csv(&d)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(from_csv("0,0,1.0,2.0,0.1\n"), Err(CsvError::BadHeader));
+        assert_eq!(from_csv(""), Err(CsvError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let text = format!("{HEADER}\n0,0,1.0,2.0\n");
+        assert_eq!(from_csv(&text), Err(CsvError::WrongFieldCount { line: 2 }));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let text = format!("{HEADER}\n0,0,one,2.0,0.1\n");
+        assert_eq!(
+            from_csv(&text),
+            Err(CsvError::BadNumber { line: 2, field: "x" })
+        );
+    }
+
+    #[test]
+    fn rejects_shuffled_snapshots() {
+        let text = format!("{HEADER}\n0,1,1.0,2.0,0.1\n");
+        assert_eq!(from_csv(&text), Err(CsvError::BadOrdering { line: 2 }));
+        let text = format!("{HEADER}\n0,0,1.0,2.0,0.1\n0,2,1.0,2.0,0.1\n");
+        assert_eq!(from_csv(&text), Err(CsvError::BadOrdering { line: 3 }));
+    }
+
+    #[test]
+    fn rejects_backwards_trajectory_ids() {
+        let text = format!("{HEADER}\n5,0,1.0,2.0,0.1\n3,0,1.0,2.0,0.1\n");
+        assert_eq!(from_csv(&text), Err(CsvError::BadOrdering { line: 3 }));
+    }
+
+    #[test]
+    fn rejects_invalid_snapshots() {
+        let text = format!("{HEADER}\n0,0,1.0,2.0,-0.5\n");
+        assert_eq!(from_csv(&text), Err(CsvError::InvalidSnapshot { line: 2 }));
+        let text = format!("{HEADER}\n0,0,inf,2.0,0.5\n");
+        assert_eq!(from_csv(&text), Err(CsvError::InvalidSnapshot { line: 2 }));
+    }
+
+    #[test]
+    fn tolerates_blank_lines_and_whitespace() {
+        let text = format!("{HEADER}\n\n0, 0, 1.0, 2.0, 0.1\n\n");
+        let d = from_csv(&text).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.trajectories()[0].len(), 1);
+    }
+
+    #[test]
+    fn non_contiguous_trajectory_ids_are_allowed() {
+        // Ids only need to be non-decreasing; gaps are fine (filtered
+        // exports).
+        let text = format!("{HEADER}\n1,0,1.0,2.0,0.1\n7,0,3.0,4.0,0.2\n");
+        let d = from_csv(&text).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+}

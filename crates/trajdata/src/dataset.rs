@@ -1,0 +1,225 @@
+//! Trajectory datasets: the miner's input `D`.
+
+use crate::trajectory::{Trajectory, TrajectoryError};
+use trajgeo::BBox;
+
+/// A set of imprecise trajectories, the input to pattern mining.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dataset {
+    trajectories: Vec<Trajectory>,
+}
+
+/// Summary statistics of a dataset (the paper's `S`, `L` parameters and the
+/// spatial extent).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DatasetStats {
+    /// Number of trajectories (`S` / `N` in the paper).
+    pub num_trajectories: usize,
+    /// Total number of snapshots across all trajectories.
+    pub total_snapshots: usize,
+    /// Average trajectory length (`L`).
+    pub avg_len: f64,
+    /// Shortest trajectory length.
+    pub min_len: usize,
+    /// Longest trajectory length.
+    pub max_len: usize,
+    /// Mean of the per-snapshot sigmas (how imprecise the data is overall).
+    pub avg_sigma: f64,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Builds a dataset from trajectories.
+    pub fn from_trajectories(trajectories: Vec<Trajectory>) -> Dataset {
+        Dataset { trajectories }
+    }
+
+    /// Adds one trajectory.
+    pub fn push(&mut self, t: Trajectory) {
+        self.trajectories.push(t);
+    }
+
+    /// Number of trajectories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Whether the dataset holds no trajectories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// The trajectories as a slice.
+    #[inline]
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// Iterate over the trajectories.
+    pub fn iter(&self) -> impl Iterator<Item = &Trajectory> {
+        self.trajectories.iter()
+    }
+
+    /// Transforms every location trajectory into a velocity trajectory
+    /// (§3.2). Trajectories with fewer than 2 snapshots are rejected.
+    pub fn to_velocity(&self) -> Result<Dataset, TrajectoryError> {
+        let trajectories = self
+            .trajectories
+            .iter()
+            .map(|t| t.to_velocity())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Dataset { trajectories })
+    }
+
+    /// Summary statistics; `None` for an empty dataset.
+    pub fn stats(&self) -> Option<DatasetStats> {
+        if self.trajectories.is_empty() {
+            return None;
+        }
+        let mut total = 0usize;
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        let mut sigma_sum = 0.0;
+        for t in &self.trajectories {
+            total += t.len();
+            min_len = min_len.min(t.len());
+            max_len = max_len.max(t.len());
+            sigma_sum += t.points().iter().map(|p| p.sigma).sum::<f64>();
+        }
+        Some(DatasetStats {
+            num_trajectories: self.trajectories.len(),
+            total_snapshots: total,
+            avg_len: total as f64 / self.trajectories.len() as f64,
+            min_len,
+            max_len,
+            avg_sigma: if total > 0 {
+                sigma_sum / total as f64
+            } else {
+                0.0
+            },
+        })
+    }
+
+    /// Smallest bounding box enclosing every snapshot mean, or `None` if
+    /// the dataset has no snapshots. This is the natural domain for a grid
+    /// when none is given explicitly.
+    pub fn bounding_box(&self) -> Option<BBox> {
+        BBox::enclosing(self.trajectories.iter().flat_map(|t| t.means()))
+    }
+
+    /// Splits into `(head, tail)` where `head` holds the first `n`
+    /// trajectories — the train/test split used by the Fig. 3 experiment
+    /// (450 training / 50 test trajectories).
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        let n = n.min(self.trajectories.len());
+        (
+            Dataset {
+                trajectories: self.trajectories[..n].to_vec(),
+            },
+            Dataset {
+                trajectories: self.trajectories[n..].to_vec(),
+            },
+        )
+    }
+
+    /// Serializes to pretty JSON.
+    #[cfg(feature = "serde")]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serialization cannot fail")
+    }
+
+    /// Deserializes from JSON produced by [`Dataset::to_json`].
+    #[cfg(feature = "serde")]
+    pub fn from_json(s: &str) -> Result<Dataset, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl FromIterator<Trajectory> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Dataset {
+        Dataset {
+            trajectories: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotPoint;
+    use trajgeo::Point2;
+
+    fn line_traj(n: usize, sigma: f64) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| SnapshotPoint::new(Point2::new(i as f64, 0.0), sigma).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let d = Dataset::from_trajectories(vec![line_traj(4, 0.2), line_traj(8, 0.4)]);
+        let s = d.stats().unwrap();
+        assert_eq!(s.num_trajectories, 2);
+        assert_eq!(s.total_snapshots, 12);
+        assert!((s.avg_len - 6.0).abs() < 1e-12);
+        assert_eq!(s.min_len, 4);
+        assert_eq!(s.max_len, 8);
+        assert!((s.avg_sigma - (4.0 * 0.2 + 8.0 * 0.4) / 12.0).abs() < 1e-12);
+        assert!(Dataset::new().stats().is_none());
+    }
+
+    #[test]
+    fn velocity_dataset_preserves_cardinality() {
+        let d = Dataset::from_trajectories(vec![line_traj(5, 0.1), line_traj(3, 0.1)]);
+        let v = d.to_velocity().unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.trajectories()[0].len(), 4);
+        assert_eq!(v.trajectories()[1].len(), 2);
+    }
+
+    #[test]
+    fn velocity_dataset_fails_on_singleton_trajectory() {
+        let d = Dataset::from_trajectories(vec![line_traj(1, 0.1)]);
+        assert!(d.to_velocity().is_err());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_means() {
+        let d = Dataset::from_trajectories(vec![line_traj(5, 0.1)]);
+        let b = d.bounding_box().unwrap();
+        assert!(b.contains(Point2::new(0.0, 0.0)));
+        assert!(b.contains(Point2::new(4.0, 0.0)));
+        assert!(Dataset::new().bounding_box().is_none());
+    }
+
+    #[test]
+    fn split_for_train_test() {
+        let d: Dataset = (0..10).map(|_| line_traj(3, 0.1)).collect();
+        let (train, test) = d.split_at(7);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        let (all, none) = d.split_at(99);
+        assert_eq!(all.len(), 10);
+        assert!(none.is_empty());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn json_round_trip() {
+        let d = Dataset::from_trajectories(vec![line_traj(3, 0.25)]);
+        let j = d.to_json();
+        let back = Dataset::from_json(&j).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,128 @@
+//! Synchronizing raw timestamped traces onto snapshot schedules.
+//!
+//! §3.2: "a set of synchronous snapshots are generated on the server. A
+//! series of synchronization points can be superimposed on the asynchronous
+//! data. The interpolated values (at synchronization points) can be taken as
+//! the input to the data mining modules."
+//!
+//! Two layers of synchronization exist in the pipeline:
+//!
+//! 1. Raw device readings (e.g. the bus GPS readings, one per minute with
+//!    jitter) → a regular ground-truth path. That is this module: plain
+//!    linear interpolation of *exact* positions.
+//! 2. Asynchronous *reports* filtered by a prediction model → imprecise
+//!    snapshots `(l_i, σ_i)`. That lives in the `mobility` crate because it
+//!    needs the prediction model.
+
+use trajgeo::Point2;
+
+/// A raw timestamped reading from a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RawReading {
+    /// Time of the reading, in arbitrary but consistent units.
+    pub time: f64,
+    /// Observed location.
+    pub loc: Point2,
+}
+
+/// Linearly interpolates the piecewise-linear path through `readings` at
+/// each time in `at_times`. Readings must be sorted by strictly increasing
+/// time; query times outside the covered range are clamped to the endpoint
+/// positions (the object is assumed stationary before its first and after
+/// its last reading).
+///
+/// Returns `None` if `readings` is empty or not strictly sorted.
+pub fn resample_linear(readings: &[RawReading], at_times: &[f64]) -> Option<Vec<Point2>> {
+    if readings.is_empty() {
+        return None;
+    }
+    if readings.windows(2).any(|w| w[0].time >= w[1].time || w[0].time.is_nan()) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(at_times.len());
+    for &t in at_times {
+        out.push(position_at(readings, t));
+    }
+    Some(out)
+}
+
+/// Builds a regular snapshot schedule `start, start+dt, …` with `n` points.
+pub fn regular_schedule(start: f64, dt: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|i| start + dt * i as f64).collect()
+}
+
+fn position_at(readings: &[RawReading], t: f64) -> Point2 {
+    match readings.binary_search_by(|r| r.time.partial_cmp(&t).expect("times are finite")) {
+        Ok(i) => readings[i].loc,
+        Err(0) => readings[0].loc,
+        Err(i) if i == readings.len() => readings[readings.len() - 1].loc,
+        Err(i) => {
+            let a = &readings[i - 1];
+            let b = &readings[i];
+            let frac = (t - a.time) / (b.time - a.time);
+            a.loc.lerp(b.loc, frac)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(time: f64, x: f64, y: f64) -> RawReading {
+        RawReading {
+            time,
+            loc: Point2::new(x, y),
+        }
+    }
+
+    #[test]
+    fn interpolates_between_readings() {
+        let readings = [r(0.0, 0.0, 0.0), r(10.0, 10.0, 0.0)];
+        let out = resample_linear(&readings, &[0.0, 2.5, 5.0, 10.0]).unwrap();
+        assert_eq!(out[0], Point2::new(0.0, 0.0));
+        assert_eq!(out[1], Point2::new(2.5, 0.0));
+        assert_eq!(out[2], Point2::new(5.0, 0.0));
+        assert_eq!(out[3], Point2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let readings = [r(1.0, 1.0, 1.0), r(2.0, 2.0, 2.0)];
+        let out = resample_linear(&readings, &[0.0, 3.0]).unwrap();
+        assert_eq!(out[0], Point2::new(1.0, 1.0));
+        assert_eq!(out[1], Point2::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn exact_hits_return_reading() {
+        let readings = [r(0.0, 0.0, 0.0), r(1.0, 3.0, 4.0), r(2.0, 5.0, 5.0)];
+        let out = resample_linear(&readings, &[1.0]).unwrap();
+        assert_eq!(out[0], Point2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn rejects_empty_and_unsorted() {
+        assert!(resample_linear(&[], &[0.0]).is_none());
+        let unsorted = [r(1.0, 0.0, 0.0), r(0.5, 1.0, 1.0)];
+        assert!(resample_linear(&unsorted, &[0.7]).is_none());
+        let dup = [r(1.0, 0.0, 0.0), r(1.0, 1.0, 1.0)];
+        assert!(resample_linear(&dup, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn regular_schedule_spacing() {
+        let s = regular_schedule(5.0, 0.5, 4);
+        assert_eq!(s, vec![5.0, 5.5, 6.0, 6.5]);
+        assert!(regular_schedule(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn multi_segment_path() {
+        let readings = [r(0.0, 0.0, 0.0), r(1.0, 1.0, 0.0), r(2.0, 1.0, 2.0)];
+        let out = resample_linear(&readings, &[0.5, 1.5]).unwrap();
+        assert_eq!(out[0], Point2::new(0.5, 0.0));
+        assert_eq!(out[1], Point2::new(1.0, 1.0));
+    }
+}

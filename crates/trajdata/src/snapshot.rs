@@ -1,0 +1,71 @@
+//! A single imprecise observation: `(l_i, σ_i)`.
+
+use trajgeo::stats::prob_within_delta;
+use trajgeo::Point2;
+
+/// The state of one object at one synchronized snapshot: the true location
+/// is distributed as `N(mean, sigma²·I)` (§3.1).
+///
+/// `sigma == 0` is allowed and means the location is known exactly (e.g. a
+/// snapshot that coincides with an actual report).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SnapshotPoint {
+    /// Expected (predicted) location `l_i`.
+    pub mean: Point2,
+    /// Standard deviation `σ_i` of each marginal (non-negative).
+    pub sigma: f64,
+}
+
+impl SnapshotPoint {
+    /// Creates a snapshot point. Returns `None` for non-finite coordinates
+    /// or a negative/non-finite sigma.
+    pub fn new(mean: Point2, sigma: f64) -> Option<SnapshotPoint> {
+        if mean.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Some(SnapshotPoint { mean, sigma })
+        } else {
+            None
+        }
+    }
+
+    /// An exactly-known location (σ = 0).
+    pub fn exact(mean: Point2) -> SnapshotPoint {
+        SnapshotPoint { mean, sigma: 0.0 }
+    }
+
+    /// The paper's `Prob(l_i, σ_i, p, δ)`: probability that the true
+    /// location is within δ of `p`.
+    #[inline]
+    pub fn prob_near(&self, p: Point2, delta: f64) -> f64 {
+        prob_within_delta(self.mean, self.sigma, p, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(SnapshotPoint::new(Point2::new(0.0, 0.0), 0.0).is_some());
+        assert!(SnapshotPoint::new(Point2::new(0.0, 0.0), -0.1).is_none());
+        assert!(SnapshotPoint::new(Point2::new(f64::NAN, 0.0), 0.1).is_none());
+        assert!(SnapshotPoint::new(Point2::new(0.0, 0.0), f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn prob_near_peaks_at_mean() {
+        let s = SnapshotPoint::new(Point2::new(0.5, 0.5), 0.05).unwrap();
+        let at_mean = s.prob_near(Point2::new(0.5, 0.5), 0.02);
+        let off = s.prob_near(Point2::new(0.6, 0.5), 0.02);
+        assert!(at_mean > off);
+        assert!(off > 0.0);
+    }
+
+    #[test]
+    fn exact_point_probability_is_indicator() {
+        let s = SnapshotPoint::exact(Point2::new(1.0, 1.0));
+        assert_eq!(s.prob_near(Point2::new(1.01, 1.0), 0.05), 1.0);
+        assert_eq!(s.prob_near(Point2::new(2.0, 1.0), 0.05), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Trajectories and the location→velocity transformation (§3.2).
+
+use crate::snapshot::SnapshotPoint;
+use std::fmt;
+use trajgeo::Point2;
+
+/// Errors constructing or transforming a [`Trajectory`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// A snapshot point had non-finite coordinates or an invalid sigma.
+    InvalidPoint {
+        /// Index of the offending snapshot.
+        index: usize,
+    },
+    /// The operation needs at least `required` snapshots but the trajectory
+    /// has fewer.
+    TooShort {
+        /// Snapshots required by the operation.
+        required: usize,
+        /// Snapshots actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::InvalidPoint { index } => {
+                write!(f, "invalid snapshot point at index {index}")
+            }
+            TrajectoryError::TooShort { required, actual } => {
+                write!(f, "trajectory too short: need {required}, have {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+/// A sequence of imprecise snapshot observations of one mobile object.
+///
+/// Both *location* trajectories and *velocity* trajectories share this type:
+/// "the transformed velocity trajectories are in the same form as the
+/// original location trajectories. Thus, we call both … *trajectories*."
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Trajectory {
+    points: Vec<SnapshotPoint>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory, validating every snapshot point.
+    pub fn new(points: Vec<SnapshotPoint>) -> Result<Trajectory, TrajectoryError> {
+        for (index, p) in points.iter().enumerate() {
+            if !p.mean.is_finite() || !p.sigma.is_finite() || p.sigma < 0.0 {
+                return Err(TrajectoryError::InvalidPoint { index });
+            }
+        }
+        Ok(Trajectory { points })
+    }
+
+    /// Builds a trajectory of exactly-known locations (σ = 0 everywhere) —
+    /// convenient for ground-truth paths in tests and generators.
+    pub fn from_exact(locations: impl IntoIterator<Item = Point2>) -> Trajectory {
+        Trajectory {
+            points: locations.into_iter().map(SnapshotPoint::exact).collect(),
+        }
+    }
+
+    /// Number of snapshots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no snapshots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Snapshot at index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&SnapshotPoint> {
+        self.points.get(i)
+    }
+
+    /// All snapshots as a slice.
+    #[inline]
+    pub fn points(&self) -> &[SnapshotPoint] {
+        &self.points
+    }
+
+    /// The contiguous window of `len` snapshots starting at `start`, or
+    /// `None` if it does not fit. Pattern matching slides such windows
+    /// across the trajectory.
+    #[inline]
+    pub fn window(&self, start: usize, len: usize) -> Option<&[SnapshotPoint]> {
+        let end = start.checked_add(len)?;
+        self.points.get(start..end)
+    }
+
+    /// §3.2 location→velocity transformation. The velocity at snapshot `i`
+    /// is the difference of two independent normals, hence itself normal
+    /// with mean `l_{i+1} − l_i` and standard deviation
+    /// `√(σ_i² + σ_{i+1}²)`. Requires at least 2 snapshots; the result has
+    /// one fewer snapshot than `self`.
+    ///
+    /// ```
+    /// use trajdata::{SnapshotPoint, Trajectory};
+    /// use trajgeo::Point2;
+    ///
+    /// let t = Trajectory::new(vec![
+    ///     SnapshotPoint::new(Point2::new(0.0, 0.0), 0.3).unwrap(),
+    ///     SnapshotPoint::new(Point2::new(1.0, 2.0), 0.4).unwrap(),
+    /// ]).unwrap();
+    /// let v = t.to_velocity().unwrap();
+    /// assert_eq!(v.len(), 1);
+    /// assert_eq!(v[0].mean, Point2::new(1.0, 2.0));
+    /// assert!((v[0].sigma - 0.5).abs() < 1e-12); // √(0.09 + 0.16)
+    /// ```
+    pub fn to_velocity(&self) -> Result<Trajectory, TrajectoryError> {
+        if self.points.len() < 2 {
+            return Err(TrajectoryError::TooShort {
+                required: 2,
+                actual: self.points.len(),
+            });
+        }
+        let points = self
+            .points
+            .windows(2)
+            .map(|w| {
+                let d = w[1].mean - w[0].mean;
+                SnapshotPoint {
+                    // Velocities are displacements per snapshot interval;
+                    // we store them as points in "velocity space".
+                    mean: Point2::new(d.x, d.y),
+                    sigma: (w[0].sigma * w[0].sigma + w[1].sigma * w[1].sigma).sqrt(),
+                }
+            })
+            .collect();
+        Ok(Trajectory { points })
+    }
+
+    /// Mean locations only (drops the uncertainty), e.g. for plotting or
+    /// for deriving bounding boxes.
+    pub fn means(&self) -> impl Iterator<Item = Point2> + '_ {
+        self.points.iter().map(|p| p.mean)
+    }
+
+    /// Splits the trajectory at `mid`, returning the two halves. Useful for
+    /// building train/test splits along time.
+    pub fn split_at(&self, mid: usize) -> (Trajectory, Trajectory) {
+        let mid = mid.min(self.points.len());
+        (
+            Trajectory {
+                points: self.points[..mid].to_vec(),
+            },
+            Trajectory {
+                points: self.points[mid..].to_vec(),
+            },
+        )
+    }
+}
+
+impl std::ops::Index<usize> for Trajectory {
+    type Output = SnapshotPoint;
+    #[inline]
+    fn index(&self, i: usize) -> &SnapshotPoint {
+        &self.points[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(x: f64, y: f64, s: f64) -> SnapshotPoint {
+        SnapshotPoint::new(Point2::new(x, y), s).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Trajectory::new(vec![st(0.0, 0.0, 0.1)]).is_ok());
+        let bad = vec![SnapshotPoint {
+            mean: Point2::new(f64::NAN, 0.0),
+            sigma: 0.1,
+        }];
+        assert_eq!(
+            Trajectory::new(bad),
+            Err(TrajectoryError::InvalidPoint { index: 0 })
+        );
+    }
+
+    #[test]
+    fn velocity_transform_matches_paper_formulas() {
+        let t = Trajectory::new(vec![
+            st(0.0, 0.0, 0.3),
+            st(1.0, 2.0, 0.4),
+            st(3.0, 3.0, 0.0),
+        ])
+        .unwrap();
+        let v = t.to_velocity().unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].mean, Point2::new(1.0, 2.0));
+        assert!((v[0].sigma - 0.5).abs() < 1e-12); // √(0.09+0.16)
+        assert_eq!(v[1].mean, Point2::new(2.0, 1.0));
+        assert!((v[1].sigma - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_transform_requires_two_points() {
+        let t = Trajectory::new(vec![st(0.0, 0.0, 0.1)]).unwrap();
+        assert_eq!(
+            t.to_velocity(),
+            Err(TrajectoryError::TooShort {
+                required: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn constant_motion_has_constant_velocity() {
+        let pts: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64 * 0.5, 0.0)).collect();
+        let v = Trajectory::from_exact(pts).to_velocity().unwrap();
+        assert_eq!(v.len(), 9);
+        for p in v.points() {
+            assert_eq!(p.mean, Point2::new(0.5, 0.0));
+            assert_eq!(p.sigma, 0.0);
+        }
+    }
+
+    #[test]
+    fn window_bounds() {
+        let t = Trajectory::from_exact((0..5).map(|i| Point2::new(i as f64, 0.0)));
+        assert_eq!(t.window(0, 5).unwrap().len(), 5);
+        assert_eq!(t.window(3, 2).unwrap().len(), 2);
+        assert!(t.window(3, 3).is_none());
+        assert!(t.window(usize::MAX, 2).is_none()); // overflow-safe
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let t = Trajectory::from_exact((0..6).map(|i| Point2::new(i as f64, 0.0)));
+        let (a, b) = t.split_at(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0].mean.x, 2.0);
+        // Clamped split.
+        let (c, d) = t.split_at(100);
+        assert_eq!(c.len(), 6);
+        assert!(d.is_empty());
+    }
+}

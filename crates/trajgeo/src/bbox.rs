@@ -1,0 +1,220 @@
+//! Axis-aligned bounding boxes.
+//!
+//! The paper assumes "the objects are traveling in a square" (§6.1); a
+//! [`BBox`] describes that region and is the domain that a [`crate::Grid`]
+//! discretizes. Boxes are also used by the data generators to keep simulated
+//! objects inside the space (reflecting walls).
+
+use crate::point::Point2;
+
+/// A non-degenerate axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BBox {
+    min: Point2,
+    max: Point2,
+}
+
+impl BBox {
+    /// Creates a box from two opposite corners. Returns `None` if the box
+    /// would be degenerate (zero or negative extent on either axis) or if
+    /// any coordinate is non-finite.
+    pub fn new(min: Point2, max: Point2) -> Option<BBox> {
+        if !min.is_finite() || !max.is_finite() || max.x <= min.x || max.y <= min.y {
+            None
+        } else {
+            Some(BBox { min, max })
+        }
+    }
+
+    /// The unit square `[0,1] × [0,1]` — the default space used throughout
+    /// the experiments (the paper normalizes δ and the grid size to fractions
+    /// of "the side of the space").
+    pub fn unit() -> BBox {
+        BBox {
+            min: Point2::ORIGIN,
+            max: Point2::new(1.0, 1.0),
+        }
+    }
+
+    /// A square `[0,side] × [0,side]`. Panics if `side` is not positive
+    /// and finite.
+    pub fn square(side: f64) -> BBox {
+        BBox::new(Point2::ORIGIN, Point2::new(side, side))
+            .expect("BBox::square requires a positive, finite side")
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn min(&self) -> Point2 {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn max(&self) -> Point2 {
+        self.max
+    }
+
+    /// Horizontal extent.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Vertical extent.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        self.min.lerp(self.max, 0.5)
+    }
+
+    /// Whether `p` lies inside the box (inclusive on all edges).
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` to the closest point inside the box.
+    #[inline]
+    pub fn clamp(&self, p: Point2) -> Point2 {
+        Point2::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Reflects `p` back into the box as if the edges were mirrors. Used by
+    /// the data generators so that simulated objects bounce off the walls of
+    /// the space instead of escaping it. Points already inside are returned
+    /// unchanged.
+    pub fn reflect(&self, p: Point2) -> Point2 {
+        Point2::new(
+            reflect_axis(p.x, self.min.x, self.max.x),
+            reflect_axis(p.y, self.min.y, self.max.y),
+        )
+    }
+
+    /// Smallest box containing every point in `points`, or `None` if the
+    /// input is empty or degenerate (all points collinear on an axis). A
+    /// tiny margin is added so that boundary points are strictly inside.
+    pub fn enclosing(points: impl IntoIterator<Item = Point2>) -> Option<BBox> {
+        let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut any = false;
+        for p in points {
+            if !p.is_finite() {
+                continue;
+            }
+            any = true;
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        if !any {
+            return None;
+        }
+        // Guarantee non-degeneracy with a relative margin.
+        let span = (max.x - min.x).max(max.y - min.y).max(1e-9);
+        let margin = span * 1e-6 + 1e-12;
+        BBox::new(
+            Point2::new(min.x - margin, min.y - margin),
+            Point2::new(max.x + margin, max.y + margin),
+        )
+    }
+}
+
+/// 1-D mirror reflection of `x` into `[lo, hi]`.
+fn reflect_axis(x: f64, lo: f64, hi: f64) -> f64 {
+    let span = hi - lo;
+    if span <= 0.0 || !x.is_finite() {
+        return lo;
+    }
+    // Map to a sawtooth with period 2*span, then fold.
+    let mut t = (x - lo) % (2.0 * span);
+    if t < 0.0 {
+        t += 2.0 * span;
+    }
+    if t > span {
+        t = 2.0 * span - t;
+    }
+    lo + t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(BBox::new(Point2::new(0.0, 0.0), Point2::new(0.0, 1.0)).is_none());
+        assert!(BBox::new(Point2::new(1.0, 0.0), Point2::new(0.0, 1.0)).is_none());
+        assert!(BBox::new(Point2::new(0.0, 0.0), Point2::new(f64::NAN, 1.0)).is_none());
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let b = BBox::square(10.0);
+        assert!(b.contains(Point2::new(5.0, 5.0)));
+        assert!(b.contains(Point2::new(0.0, 10.0))); // boundary inclusive
+        assert!(!b.contains(Point2::new(-0.1, 5.0)));
+        assert_eq!(b.clamp(Point2::new(-3.0, 12.0)), Point2::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn reflect_folds_back_inside() {
+        let b = BBox::square(1.0);
+        let r = b.reflect(Point2::new(1.2, -0.3));
+        assert!(b.contains(r));
+        assert!((r.x - 0.8).abs() < 1e-12);
+        assert!((r.y - 0.3).abs() < 1e-12);
+        // Inside points are unchanged.
+        let p = Point2::new(0.4, 0.6);
+        assert_eq!(b.reflect(p), p);
+    }
+
+    #[test]
+    fn reflect_handles_multiple_periods() {
+        let b = BBox::square(1.0);
+        let r = b.reflect(Point2::new(3.4, -2.6));
+        assert!(b.contains(r));
+        // 3.4 mod 2 = 1.4 -> fold -> 0.6 ; -2.6 mod 2 = 1.4 -> fold -> 0.6
+        assert!((r.x - 0.6).abs() < 1e-12);
+        assert!((r.y - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enclosing_covers_all_points() {
+        let pts = [
+            Point2::new(1.0, 2.0),
+            Point2::new(-3.0, 4.0),
+            Point2::new(2.0, -1.0),
+        ];
+        let b = BBox::enclosing(pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert!(BBox::enclosing(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn enclosing_single_point_is_nondegenerate() {
+        let b = BBox::enclosing([Point2::new(5.0, 5.0)]).unwrap();
+        assert!(b.width() > 0.0 && b.height() > 0.0);
+        assert!(b.contains(Point2::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let b = BBox::new(Point2::new(1.0, 2.0), Point2::new(4.0, 8.0)).unwrap();
+        assert_eq!(b.width(), 3.0);
+        assert_eq!(b.height(), 6.0);
+        assert_eq!(b.center(), Point2::new(2.5, 5.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! Geometry and numerics substrate for the TrajPattern reproduction.
+//!
+//! The TrajPattern paper (Yang & Hu, EDBT 2006) works in a continuous 2-D
+//! space in which mobile objects travel. The location of an object at a
+//! snapshot is never known exactly; it is a 2-D normal distribution around a
+//! predicted mean. This crate provides everything the higher layers need to
+//! talk about that space:
+//!
+//! - [`Point2`] / [`Vec2`]: plain 2-D points and displacement vectors.
+//! - [`BBox`]: axis-aligned bounding boxes (the "space" objects travel in).
+//! - [`Grid`] / [`CellId`]: the discretization of the space into small
+//!   rectangular cells whose centers serve as pattern positions (§3.3 of the
+//!   paper).
+//! - [`stats`]: an `erf`-based normal CDF, 1-D/2-D normal distributions, the
+//!   paper's `Prob(l, σ, p, δ)` kernel, and deterministic Box–Muller
+//!   sampling.
+//! - [`fxhash`]: a small Fx-style hasher for integer-keyed hash maps on hot
+//!   paths.
+//!
+//! Everything here is `f64`-based, deterministic, and free of `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod fxhash;
+pub mod grid;
+pub mod point;
+pub mod stats;
+
+pub use bbox::BBox;
+pub use grid::{CellId, Grid, GridError};
+pub use point::{Point2, Vec2};

@@ -1,0 +1,10 @@
+//! Statistical kernels: `erf`, the normal CDF, the paper's
+//! `Prob(l, σ, p, δ)` measure, and deterministic normal sampling.
+
+pub mod erf;
+pub mod normal;
+
+pub use erf::{erf, erfc};
+pub use normal::{
+    prob_within_delta, sample_std_normal, std_normal_cdf, std_normal_interval, Normal1,
+};

@@ -1,0 +1,595 @@
+//! The TrajPattern mining algorithm (§4 of the paper).
+//!
+//! Mining proceeds by *growing*:
+//!
+//! 1. Initialize the candidate set `Q` with every singular pattern (one per
+//!    grid cell) and set the threshold ω to the k-th best NM seen.
+//! 2. Mark patterns with NM ≥ ω *high* (`H`), the rest *low*.
+//! 3. For each high pattern `P` and every pattern `P' ∈ Q`, generate the
+//!    two concatenations `P·P'` and `P'·P`, score them, and insert them
+//!    into `Q`.
+//! 4. Update ω, re-mark high/low, and prune: low patterns survive only if
+//!    they satisfy the 1-extension property (Lemma 1) — and, in this
+//!    implementation, only if their NM clears an *exact composability
+//!    threshold* τ derived from the weighted-mean bound (see below).
+//! 5. Stop when the high set does not change.
+//!
+//! # Bound pruning (exact)
+//!
+//! The min-max proof gives `NM(A·B) ≤ (|A|·NM(A) + |B|·NM(B))/(|A|+|B|)`.
+//! Before scoring a candidate we evaluate this bound:
+//!
+//! - a candidate that cannot reach ω can never become high (ω only rises);
+//! - a candidate kept *as a low 1-extension building block* only matters if
+//!   some high pattern `F = H'·P` with `|F| ≤ max_len` exists; unrolling
+//!   the weighted-mean bound along the Lemma-1 composition chain shows `P`
+//!   is useful only if `NM(P) ≥ τ(|P|) = ω + (max_len−|P|)·(ω−NM_best)/|P|`
+//!   where `NM_best` is the best NM overall (always attained by a singular,
+//!   by min-max). The τ threshold is self-consistent under recursion, so
+//!   pruning against it never loses a reachable high pattern.
+//!
+//! Both prunings can be disabled via [`MiningParams`] for ablation.
+//!
+//! # Incremental pair enumeration
+//!
+//! Naively, step 3 re-enumerates `2·|H|·|Q|` pairs every iteration even
+//! though almost all of them were already tried. This implementation
+//! interns patterns (so pair identity is a cheap `u64`) and enumerates
+//! only pairs involving something *new*: newly inserted `Q` members pair
+//! with all current highs, and newly promoted highs pair with all of `Q`.
+//! This is exact: ω and τ are monotone non-decreasing, so a pair that was
+//! bound-pruned stays prunable forever, and a pattern that leaves the high
+//! set (ω rose past it) can never return. Pruned-then-needed patterns are
+//! regenerated through `(singular × fresh high)` pairs, which is exactly
+//! the shape Lemma 1 requires.
+
+use crate::groups::{discover_groups, PatternGroup};
+use crate::minmax::weighted_mean_bound;
+use crate::params::{MiningParams, ParamsError};
+use crate::pattern::{MinedPattern, Pattern};
+use crate::prune::is_one_extension;
+use crate::scorer::Scorer;
+use crate::topk::ThresholdTracker;
+use trajdata::Dataset;
+use trajgeo::fxhash::{FxHashMap, FxHashSet};
+use trajgeo::Grid;
+
+/// Counters describing one mining run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MiningStats {
+    /// Growing iterations executed.
+    pub iterations: usize,
+    /// Candidate concatenations considered (distinct ordered pairs).
+    pub candidates_generated: u64,
+    /// Candidates whose NM was actually computed against the data.
+    pub candidates_scored: u64,
+    /// Candidates skipped by the weighted-mean bound.
+    pub candidates_bound_pruned: u64,
+    /// Size of the active set `Q` when mining stopped.
+    pub final_queue_size: usize,
+    /// Total pattern scorings performed by the scorer (including the
+    /// singular initialization pass counted as one batch of `G`).
+    pub nm_evaluations: u64,
+}
+
+/// The result of a mining run.
+#[derive(Debug, Clone)]
+pub struct MiningOutcome {
+    /// The top-k patterns (length ≥ `min_len`), best NM first. Ties are
+    /// broken by pattern content for determinism.
+    pub patterns: Vec<MinedPattern>,
+    /// Pattern groups over `patterns` (§4.2), if `params.gamma` was set;
+    /// empty otherwise.
+    pub groups: Vec<PatternGroup>,
+    /// Run counters.
+    pub stats: MiningStats,
+}
+
+/// Mines the top-k NM patterns from `data` over `grid`.
+///
+/// This is the main entry point of the crate; see the crate docs for an
+/// example. Returns `Err` only for invalid parameters.
+pub fn mine(
+    data: &Dataset,
+    grid: &Grid,
+    params: &MiningParams,
+) -> Result<MiningOutcome, ParamsError> {
+    params.validate()?;
+    let scorer = Scorer::new(data, grid, params.delta, params.min_prob);
+    mine_with_scorer(&scorer, params)
+}
+
+/// Pattern interner: dense u32 ids for cheap pair bookkeeping.
+#[derive(Default)]
+struct Store {
+    patterns: Vec<Pattern>,
+    ids: FxHashMap<Pattern, u32>,
+    nms: Vec<f64>,
+    lens: Vec<u32>,
+}
+
+impl Store {
+    fn add(&mut self, p: Pattern, nm: f64) -> u32 {
+        debug_assert!(!self.ids.contains_key(&p));
+        let id = self.patterns.len() as u32;
+        self.lens.push(p.len() as u32);
+        self.nms.push(nm);
+        self.ids.insert(p.clone(), id);
+        self.patterns.push(p);
+        id
+    }
+
+    #[inline]
+    fn id_of(&self, p: &Pattern) -> Option<u32> {
+        self.ids.get(p).copied()
+    }
+
+    #[inline]
+    fn get(&self, id: u32) -> &Pattern {
+        &self.patterns[id as usize]
+    }
+
+    #[inline]
+    fn nm(&self, id: u32) -> f64 {
+        self.nms[id as usize]
+    }
+
+    #[inline]
+    fn len(&self, id: u32) -> u32 {
+        self.lens[id as usize]
+    }
+}
+
+/// Like [`mine`], but reuses an existing [`Scorer`] (and its probability
+/// cache) — useful when several mining configurations run over the same
+/// data, as in the benchmark sweeps.
+pub fn mine_with_scorer(
+    scorer: &Scorer<'_>,
+    params: &MiningParams,
+) -> Result<MiningOutcome, ParamsError> {
+    params.validate()?;
+    let data = scorer.data();
+    let grid = scorer.grid();
+    let mut stats = MiningStats::default();
+
+    if data.is_empty() || grid.num_cells() == 0 {
+        return Ok(MiningOutcome {
+            patterns: Vec::new(),
+            groups: Vec::new(),
+            stats,
+        });
+    }
+
+    // Patterns longer than the longest trajectory only ever score the
+    // floor; don't grow past it.
+    let data_max_len = data.iter().map(|t| t.len()).max().unwrap_or(0);
+    let max_len = params.max_len.min(data_max_len.max(1));
+
+    let mut store = Store::default();
+    // The active candidate set Q (ids into the store).
+    let mut q: FxHashSet<u32> = FxHashSet::default();
+    // Ordered pairs already attempted: (a << 32) | b.
+    let mut tried: FxHashSet<u64> = FxHashSet::default();
+
+    // ω over *qualifying* patterns (length ≥ min_len). §5: "The NM
+    // threshold ω is set to the minimum NM of the set of k patterns with
+    // the most NM of length at least d."
+    let mut qual_tracker = ThresholdTracker::new(params.k);
+
+    // Initialization: all singular patterns.
+    let singular_nms = scorer.nm_all_singulars();
+    stats.nm_evaluations += grid.num_cells() as u64;
+    let mut nm_best = f64::NEG_INFINITY;
+    for cell in grid.cells() {
+        let nm = singular_nms[cell.index()];
+        let id = store.add(Pattern::singular(cell), nm);
+        q.insert(id);
+        if params.min_len <= 1 {
+            qual_tracker.offer(nm);
+        }
+        nm_best = nm_best.max(nm);
+    }
+
+    // min_len > 1 bootstrap: until k qualifying patterns exist, ω is -∞
+    // and nothing can be pruned, which explodes on large grids. Seed the
+    // tracker with genuine length-min_len patterns read directly off the
+    // data (most frequent discretized windows) — their true NMs are valid
+    // lower-bound evidence for ω, so pruning stays exact.
+    if params.min_len > 1 {
+        for p in seed_patterns(scorer, params.min_len, params.k) {
+            if store.id_of(&p).is_some() {
+                continue;
+            }
+            let nm = scorer.nm(&p);
+            stats.candidates_scored += 1;
+            stats.nm_evaluations += 1;
+            let id = store.add(p, nm);
+            q.insert(id);
+            qual_tracker.offer(nm);
+        }
+    }
+
+    let mut omega = qual_tracker.omega();
+    let mut high: FxHashSet<u32> = q
+        .iter()
+        .copied()
+        .filter(|&id| store.nm(id) >= omega)
+        .collect();
+    // Highs whose (h × Q) pairs have been fully enumerated.
+    let mut enumerated_high: FxHashSet<u32> = FxHashSet::default();
+    // Q members not yet enumerated as the "any" side of a pair.
+    let mut fresh: Vec<u32> = {
+        let mut v: Vec<u32> = q.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+
+    for _ in 0..params.max_iters {
+        stats.iterations += 1;
+
+        let fresh_vec: Vec<u32> = {
+            let mut v: Vec<u32> = fresh.iter().copied().filter(|id| q.contains(id)).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut fresh_high_vec: Vec<u32> = high
+            .iter()
+            .copied()
+            .filter(|id| !enumerated_high.contains(id))
+            .collect();
+        fresh_high_vec.sort_unstable();
+        let mut high_vec: Vec<u32> = high.iter().copied().collect();
+        high_vec.sort_unstable();
+        let mut q_vec: Vec<u32> = q.iter().copied().collect();
+        q_vec.sort_unstable();
+
+        let mut next_fresh: Vec<u32> = Vec::new();
+
+        // One candidate pair (ordered): bound-check, dedupe, score.
+        macro_rules! try_pair {
+            ($a:expr, $b:expr) => {{
+                let a: u32 = $a;
+                let b: u32 = $b;
+                let la = store.len(a);
+                let lb = store.len(b);
+                let total_len = (la + lb) as usize;
+                if total_len <= max_len {
+                    let key = ((a as u64) << 32) | b as u64;
+                    if tried.insert(key) {
+                        stats.candidates_generated += 1;
+                        // Candidate shapes high·singular / singular·high
+                        // are the Lemma-1 building blocks: prune them
+                        // against the composability threshold τ, others
+                        // against ω.
+                        let one_ext_shape = (lb == 1 && high.contains(&a))
+                            || (la == 1 && high.contains(&b));
+                        let mut pruned = false;
+                        if params.use_bound_prune {
+                            let bound = weighted_mean_bound(
+                                store.nm(a),
+                                la as usize,
+                                store.nm(b),
+                                lb as usize,
+                            );
+                            let threshold = if one_ext_shape {
+                                tau(total_len, omega, nm_best, max_len)
+                            } else {
+                                omega
+                            };
+                            if bound < threshold {
+                                stats.candidates_bound_pruned += 1;
+                                pruned = true;
+                            }
+                        }
+                        if !pruned {
+                            let cand = store.get(a).concat(store.get(b));
+                            match store.id_of(&cand) {
+                                Some(id) => {
+                                    if q.insert(id) {
+                                        next_fresh.push(id);
+                                    }
+                                }
+                                None => {
+                                    let nm = scorer.nm(&cand);
+                                    stats.candidates_scored += 1;
+                                    stats.nm_evaluations += 1;
+                                    let id = store.add(cand, nm);
+                                    if total_len >= params.min_len {
+                                        qual_tracker.offer(nm);
+                                    }
+                                    q.insert(id);
+                                    next_fresh.push(id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }};
+        }
+
+        // New Q members × current highs, both orders.
+        for &h in &high_vec {
+            for &x in &fresh_vec {
+                try_pair!(h, x);
+                try_pair!(x, h);
+            }
+        }
+        // Newly promoted highs × all of Q, both orders.
+        for &h in &fresh_high_vec {
+            for &x in &q_vec {
+                try_pair!(h, x);
+                try_pair!(x, h);
+            }
+        }
+        enumerated_high.extend(fresh_high_vec);
+
+        // Re-threshold and re-mark.
+        omega = qual_tracker.omega();
+        let high_new: FxHashSet<u32> = q
+            .iter()
+            .copied()
+            .filter(|&id| store.nm(id) >= omega)
+            .collect();
+
+        // Prune low patterns: keep only 1-extension lows above τ.
+        if params.use_one_extension_prune {
+            let high_patterns: FxHashSet<Pattern> = high_new
+                .iter()
+                .map(|&id| store.get(id).clone())
+                .collect();
+            let omega_snapshot = omega;
+            q.retain(|&id| {
+                if high_new.contains(&id) {
+                    return true;
+                }
+                if !is_one_extension(store.get(id), &high_patterns) {
+                    return false;
+                }
+                !params.use_bound_prune
+                    || store.nm(id)
+                        >= tau(store.len(id) as usize, omega_snapshot, nm_best, max_len)
+            });
+        }
+
+        let converged = high_new == high;
+        high = high_new;
+        fresh = next_fresh;
+        if converged {
+            break;
+        }
+    }
+
+    stats.final_queue_size = q.len();
+    stats.nm_evaluations = scorer.evaluations().max(stats.nm_evaluations);
+
+    // Final answer: best k qualifying patterns over everything scored.
+    let mut order: Vec<u32> = (0..store.patterns.len() as u32)
+        .filter(|&id| store.len(id) as usize >= params.min_len)
+        .collect();
+    order.sort_unstable_by(|&a, &b| {
+        store
+            .nm(b)
+            .partial_cmp(&store.nm(a))
+            .expect("NM values are finite")
+            .then_with(|| store.get(a).cmp(store.get(b)))
+    });
+    order.truncate(params.k);
+    let qualifying: Vec<MinedPattern> = order
+        .into_iter()
+        .map(|id| MinedPattern::new(store.get(id).clone(), store.nm(id)))
+        .collect();
+
+    let groups = match params.gamma {
+        Some(gamma) => discover_groups(&qualifying, grid, gamma),
+        None => Vec::new(),
+    };
+
+    Ok(MiningOutcome {
+        patterns: qualifying,
+        groups,
+        stats,
+    })
+}
+
+/// Harvests up to `k` seed patterns of exactly `min_len` positions from
+/// the data itself: each trajectory's snapshot means are discretized to
+/// cells and every contiguous window becomes a candidate; the most
+/// frequent distinct windows are returned (deterministic order).
+///
+/// Used to bootstrap the qualifying threshold ω when mining with a
+/// minimum-length constraint (§5) — the seeds are genuine patterns, so the
+/// ω they establish is a valid (exact) pruning threshold. The baseline
+/// miners share this bootstrap for a fair comparison.
+pub fn seed_patterns(scorer: &Scorer<'_>, min_len: usize, k: usize) -> Vec<Pattern> {
+    let grid = scorer.grid();
+    let mut counts: FxHashMap<Vec<trajgeo::CellId>, u32> = FxHashMap::default();
+    for traj in scorer.data().iter() {
+        if traj.len() < min_len {
+            continue;
+        }
+        let cells: Vec<trajgeo::CellId> =
+            traj.points().iter().map(|sp| grid.locate(sp.mean)).collect();
+        for w in cells.windows(min_len) {
+            *counts.entry(w.to_vec()).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(Vec<trajgeo::CellId>, u32)> = counts.into_iter().collect();
+    ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked
+        .into_iter()
+        .take(k)
+        .map(|(cells, _)| Pattern::new(cells).expect("windows are non-empty"))
+        .collect()
+}
+
+/// The composability threshold τ for a (potential) low building block of
+/// length `len`: a pattern below τ cannot participate in any high pattern
+/// of length ≤ `max_len` (see the module docs). `-∞` while ω is unset.
+fn tau(len: usize, omega: f64, nm_best: f64, max_len: usize) -> f64 {
+    if !omega.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    let slack = max_len.saturating_sub(len) as f64;
+    omega + slack * (omega - nm_best) / len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajdata::{SnapshotPoint, Trajectory};
+    use trajgeo::{BBox, CellId, Point2};
+
+    fn pat(ids: &[u32]) -> Pattern {
+        Pattern::new(ids.iter().map(|&i| CellId(i)).collect()).unwrap()
+    }
+
+    /// Objects sweeping the third row (cells 8..12) of a 4×4 unit grid.
+    fn sweep_data(n: usize, sigma: f64) -> (Dataset, Grid) {
+        let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+        let data: Dataset = (0..n)
+            .map(|_| {
+                Trajectory::new(
+                    (0..4)
+                        .map(|i| {
+                            SnapshotPoint::new(
+                                Point2::new(0.125 + i as f64 * 0.25, 0.625),
+                                sigma,
+                            )
+                            .unwrap()
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        (data, grid)
+    }
+
+    #[test]
+    fn finds_the_dominant_singulars() {
+        let (data, grid) = sweep_data(8, 0.03);
+        let params = MiningParams::new(4, 0.1).unwrap().with_max_len(1).unwrap();
+        let out = mine(&data, &grid, &params).unwrap();
+        assert_eq!(out.patterns.len(), 4);
+        // The four on-path cells dominate all others.
+        let found: FxHashSet<Pattern> =
+            out.patterns.iter().map(|m| m.pattern.clone()).collect();
+        for c in [8u32, 9, 10, 11] {
+            assert!(found.contains(&pat(&[c])), "missing singular c{c}");
+        }
+    }
+
+    #[test]
+    fn grows_long_patterns_on_clean_data() {
+        let (data, grid) = sweep_data(10, 0.02);
+        let params = MiningParams::new(1, 0.1)
+            .unwrap()
+            .with_min_len(4)
+            .unwrap()
+            .with_max_len(4)
+            .unwrap();
+        let out = mine(&data, &grid, &params).unwrap();
+        assert_eq!(out.patterns.len(), 1);
+        assert_eq!(out.patterns[0].pattern, pat(&[8, 9, 10, 11]));
+    }
+
+    #[test]
+    fn results_are_sorted_and_truncated() {
+        let (data, grid) = sweep_data(5, 0.05);
+        let params = MiningParams::new(7, 0.1).unwrap().with_max_len(3).unwrap();
+        let out = mine(&data, &grid, &params).unwrap();
+        assert_eq!(out.patterns.len(), 7);
+        for w in out.patterns.windows(2) {
+            assert!(w[0].nm >= w[1].nm);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_returns_empty() {
+        let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+        let params = MiningParams::new(3, 0.1).unwrap();
+        let out = mine(&Dataset::new(), &grid, &params).unwrap();
+        assert!(out.patterns.is_empty());
+        assert_eq!(out.stats.iterations, 0);
+    }
+
+    #[test]
+    fn pruning_does_not_change_results() {
+        // Ablation invariant: both prunings are exact, so the mined set is
+        // identical with and without them.
+        let (data, grid) = sweep_data(6, 0.06);
+        let base = MiningParams::new(5, 0.1).unwrap().with_max_len(4).unwrap();
+        let mut no_prune = base.clone();
+        no_prune.use_bound_prune = false;
+        no_prune.use_one_extension_prune = false;
+        let a = mine(&data, &grid, &base).unwrap();
+        let b = mine(&data, &grid, &no_prune).unwrap();
+        let pa: Vec<_> = a.patterns.iter().map(|m| m.pattern.clone()).collect();
+        let pb: Vec<_> = b.patterns.iter().map(|m| m.pattern.clone()).collect();
+        assert_eq!(pa, pb);
+        // And the pruned run does no more scoring work.
+        assert!(a.stats.candidates_scored <= b.stats.candidates_scored);
+    }
+
+    #[test]
+    fn bound_pruning_saves_work() {
+        let (data, grid) = sweep_data(6, 0.06);
+        let base = MiningParams::new(3, 0.1).unwrap().with_max_len(4).unwrap();
+        let out = mine(&data, &grid, &base).unwrap();
+        assert!(
+            out.stats.candidates_bound_pruned > 0,
+            "bound pruning should fire on a 16-cell grid"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (data, grid) = sweep_data(6, 0.05);
+        let params = MiningParams::new(6, 0.1).unwrap().with_max_len(3).unwrap();
+        let a = mine(&data, &grid, &params).unwrap();
+        let b = mine(&data, &grid, &params).unwrap();
+        let pa: Vec<_> = a.patterns.iter().map(|m| (m.pattern.clone(), m.nm)).collect();
+        let pb: Vec<_> = b.patterns.iter().map(|m| (m.pattern.clone(), m.nm)).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn min_len_filters_results() {
+        let (data, grid) = sweep_data(6, 0.05);
+        let params = MiningParams::new(5, 0.1)
+            .unwrap()
+            .with_min_len(3)
+            .unwrap()
+            .with_max_len(4)
+            .unwrap();
+        let out = mine(&data, &grid, &params).unwrap();
+        assert!(!out.patterns.is_empty());
+        for m in &out.patterns {
+            assert!(m.pattern.len() >= 3, "pattern {} too short", m.pattern);
+        }
+    }
+
+    #[test]
+    fn tau_is_no_higher_than_omega() {
+        let omega = -2.0;
+        let best = -0.5;
+        for len in 1..8 {
+            let t = tau(len, omega, best, 8);
+            assert!(t <= omega + 1e-12, "tau({len}) = {t} > omega");
+        }
+        // Unset omega disables the threshold.
+        assert_eq!(tau(3, f64::NEG_INFINITY, best, 8), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pair_memoization_does_not_rescore() {
+        // Candidates are scored at most once across iterations.
+        let (data, grid) = sweep_data(8, 0.05);
+        let params = MiningParams::new(8, 0.1).unwrap().with_max_len(4).unwrap();
+        let out = mine(&data, &grid, &params).unwrap();
+        // generated counts distinct ordered pairs only.
+        assert!(out.stats.candidates_scored <= out.stats.candidates_generated);
+    }
+}

@@ -1,0 +1,320 @@
+//! Pattern-group discovery (§3.4 definition, §4.2 procedure).
+//!
+//! Imprecise data makes many near-identical patterns surface together; the
+//! paper compacts the top-k answer into *pattern groups*: sets of patterns
+//! of the same length that are pairwise within γ of each other at every
+//! snapshot (Definitions 1–2).
+//!
+//! The discovery procedure follows §4.2: patterns are first clustered *per
+//! snapshot* into "snapshot groups" (we use greedy complete-linkage so the
+//! pairwise-γ guarantee holds inside each snapshot group), then groups are
+//! refined: repeatedly take the smallest remaining snapshot group; if its
+//! members sit in a single snapshot group at *every* snapshot they form a
+//! pattern group, otherwise shrink to the smallest fragment and retry.
+//! Singletons always qualify, so the procedure terminates with a partition
+//! of the input patterns.
+
+use crate::pattern::MinedPattern;
+use std::collections::BTreeSet;
+use trajgeo::{Grid, Point2};
+
+/// A group of same-length patterns pairwise within γ at every snapshot.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PatternGroup {
+    /// Member patterns, best NM first.
+    pub patterns: Vec<MinedPattern>,
+}
+
+impl PatternGroup {
+    /// The highest-NM member — the group's representative.
+    pub fn representative(&self) -> &MinedPattern {
+        &self.patterns[0]
+    }
+
+    /// Number of member patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Groups are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Discovers pattern groups among `patterns` under similarity distance
+/// `gamma` (Euclidean, per snapshot). Patterns of different lengths never
+/// share a group. Returns groups ordered by their representative's NM
+/// (best first); the union of all groups is exactly the input.
+pub fn discover_groups(
+    patterns: &[MinedPattern],
+    grid: &Grid,
+    gamma: f64,
+) -> Vec<PatternGroup> {
+    let mut groups: Vec<PatternGroup> = Vec::new();
+    // Partition by pattern length, preserving deterministic order.
+    let mut lengths: Vec<usize> = patterns.iter().map(|m| m.pattern.len()).collect();
+    lengths.sort_unstable();
+    lengths.dedup();
+    for len in lengths {
+        let class: Vec<&MinedPattern> = patterns
+            .iter()
+            .filter(|m| m.pattern.len() == len)
+            .collect();
+        groups.extend(group_same_length(&class, grid, gamma, len));
+    }
+    groups.sort_by(|a, b| {
+        b.representative()
+            .nm
+            .partial_cmp(&a.representative().nm)
+            .expect("NM values are finite")
+            .then_with(|| a.representative().pattern.cmp(&b.representative().pattern))
+    });
+    groups
+}
+
+fn group_same_length(
+    class: &[&MinedPattern],
+    grid: &Grid,
+    gamma: f64,
+    len: usize,
+) -> Vec<PatternGroup> {
+    let n = class.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Cell-center coordinates of each pattern at each snapshot.
+    let coords: Vec<Vec<Point2>> = class.iter().map(|m| m.pattern.centers(grid)).collect();
+
+    // Snapshot groups: for each snapshot, a complete-linkage clustering of
+    // the patterns by their position at that snapshot. `membership[s][i]`
+    // is the cluster index of pattern i at snapshot s.
+    let mut membership: Vec<Vec<usize>> = Vec::with_capacity(len);
+    #[allow(clippy::needless_range_loop)] // `s` indexes into every pattern's coords
+    for s in 0..len {
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        let mut member = vec![usize::MAX; n];
+        for i in 0..n {
+            let mut placed = false;
+            for (ci, cluster) in clusters.iter_mut().enumerate() {
+                if cluster
+                    .iter()
+                    .all(|&j| coords[i][s].distance(coords[j][s]) <= gamma)
+                {
+                    cluster.push(i);
+                    member[i] = ci;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                member[i] = clusters.len();
+                clusters.push(vec![i]);
+            }
+        }
+        membership.push(member);
+    }
+
+    // Refinement (§4.2). Work with index sets; `remaining` tracks
+    // ungrouped patterns.
+    let mut remaining: BTreeSet<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        // Current snapshot groups restricted to remaining patterns; pick
+        // the smallest (ties: lowest snapshot, then lowest cluster id).
+        let mut smallest: Option<BTreeSet<usize>> = None;
+        for member in membership.iter() {
+            let mut per_cluster: std::collections::BTreeMap<usize, BTreeSet<usize>> =
+                std::collections::BTreeMap::new();
+            for &i in &remaining {
+                per_cluster.entry(member[i]).or_default().insert(i);
+            }
+            for set in per_cluster.values() {
+                if smallest.as_ref().is_none_or(|s| set.len() < s.len()) {
+                    smallest = Some(set.clone());
+                }
+            }
+        }
+        let mut candidate = smallest.expect("remaining is non-empty");
+
+        // Shrink until the candidate lies inside one snapshot group at
+        // every snapshot. Singletons always do.
+        loop {
+            let mut split_piece: Option<BTreeSet<usize>> = None;
+            for member in membership.iter() {
+                let mut per_cluster: std::collections::BTreeMap<usize, BTreeSet<usize>> =
+                    std::collections::BTreeMap::new();
+                for &i in &candidate {
+                    per_cluster.entry(member[i]).or_default().insert(i);
+                }
+                if per_cluster.len() > 1 {
+                    // Candidate splits here: keep the smallest fragment
+                    // (the paper's minimal-intersection rule).
+                    let piece = per_cluster
+                        .values()
+                        .min_by_key(|s| (s.len(), s.iter().next().copied()))
+                        .expect("non-empty")
+                        .clone();
+                    split_piece = Some(piece);
+                    break;
+                }
+            }
+            match split_piece {
+                Some(piece) => candidate = piece,
+                None => break,
+            }
+        }
+
+        let mut members: Vec<MinedPattern> = candidate
+            .iter()
+            .map(|&i| class[i].clone())
+            .collect();
+        members.sort_by(|a, b| {
+            b.nm.partial_cmp(&a.nm)
+                .expect("NM values are finite")
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        });
+        out.push(PatternGroup { patterns: members });
+        for i in candidate {
+            remaining.remove(&i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use trajgeo::{BBox, CellId};
+
+    /// A 320×1 grid over [0,32]×[0,1]: cells of width 0.1, centers at
+    /// 0.05 + 0.1·i — lets tests place patterns at precise x positions.
+    fn line_grid() -> Grid {
+        Grid::new(
+            BBox::new(Point2::new(0.0, 0.0), Point2::new(32.0, 1.0)).unwrap(),
+            320,
+            1,
+        )
+        .unwrap()
+    }
+
+    fn mined(cells: &[u32], nm: f64) -> MinedPattern {
+        MinedPattern::new(
+            Pattern::new(cells.iter().map(|&c| CellId(c)).collect()).unwrap(),
+            nm,
+        )
+    }
+
+    #[test]
+    fn reproduces_the_papers_section_4_2_example() {
+        // Six length-2 patterns engineered so that with γ = 1.0 the
+        // snapshot groups match the paper's example:
+        //   snapshot 1: (p1,p3,p4,p5), (p2,p6)
+        //   snapshot 2: (p1',p3',p6'), (p2',p4'), (p5')
+        // Expected pattern groups: (P5),(P2),(P6),(P4),(P1,P3).
+        let patterns = vec![
+            mined(&[0, 0], -1.0),    // P1: x=0.05 / 0.05
+            mined(&[50, 50], -2.0),  // P2: x=5.05 / 5.05
+            mined(&[3, 3], -3.0),    // P3: x=0.35 / 0.35
+            mined(&[6, 52], -4.0),   // P4: x=0.65 / 5.25
+            mined(&[9, 100], -5.0),  // P5: x=0.95 / 10.05
+            mined(&[55, 6], -6.0),   // P6: x=5.55 / 0.65
+        ];
+        let groups = discover_groups(&patterns, &line_grid(), 1.0);
+        assert_eq!(groups.len(), 5);
+        // Collect the member multisets.
+        let mut sets: Vec<Vec<&MinedPattern>> = groups
+            .iter()
+            .map(|g| g.patterns.iter().collect())
+            .collect();
+        sets.sort_by_key(|s| s.len());
+        // Four singletons and one pair {P1, P3}.
+        assert_eq!(sets[0].len(), 1);
+        assert_eq!(sets[4].len(), 2);
+        let pair = &groups
+            .iter()
+            .find(|g| g.len() == 2)
+            .expect("one pair group")
+            .patterns;
+        assert_eq!(pair[0].nm, -1.0); // P1 (representative, higher NM)
+        assert_eq!(pair[1].nm, -3.0); // P3
+    }
+
+    #[test]
+    fn all_input_patterns_appear_exactly_once() {
+        let patterns = vec![
+            mined(&[0, 0], -1.0),
+            mined(&[1, 1], -2.0),
+            mined(&[100, 100], -3.0),
+            mined(&[101, 100], -4.0),
+        ];
+        let groups = discover_groups(&patterns, &line_grid(), 0.25);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, patterns.len());
+    }
+
+    #[test]
+    fn grouped_patterns_are_pairwise_similar_at_every_snapshot() {
+        let grid = line_grid();
+        let patterns: Vec<MinedPattern> = (0..8)
+            .map(|i| mined(&[i, i + 2], -(i as f64)))
+            .collect();
+        let gamma = 0.35;
+        for g in discover_groups(&patterns, &grid, gamma) {
+            for a in &g.patterns {
+                for b in &g.patterns {
+                    let ca = a.pattern.centers(&grid);
+                    let cb = b.pattern.centers(&grid);
+                    for (pa, pb) in ca.iter().zip(&cb) {
+                        assert!(
+                            pa.distance(*pb) <= gamma + 1e-9,
+                            "group violates pairwise γ"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_lengths_never_share_groups() {
+        let patterns = vec![mined(&[0], -1.0), mined(&[0, 0], -2.0)];
+        let groups = discover_groups(&patterns, &line_grid(), 10.0);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn larger_gamma_yields_no_more_groups() {
+        // Fig. 4(e)'s qualitative behaviour at the grouping level: growing
+        // the similarity distance can only merge, never split.
+        let patterns: Vec<MinedPattern> = (0..10)
+            .map(|i| mined(&[i * 3, i * 3], -(i as f64)))
+            .collect();
+        let grid = line_grid();
+        let mut prev = usize::MAX;
+        for gamma in [0.1, 0.35, 0.7, 1.5, 3.0] {
+            let n = discover_groups(&patterns, &grid, gamma).len();
+            assert!(n <= prev, "groups grew from {prev} to {n} at γ={gamma}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn groups_sorted_by_representative_nm() {
+        let patterns = vec![
+            mined(&[0, 0], -5.0),
+            mined(&[100, 100], -1.0),
+            mined(&[200, 200], -3.0),
+        ];
+        let groups = discover_groups(&patterns, &line_grid(), 0.2);
+        let nms: Vec<f64> = groups.iter().map(|g| g.representative().nm).collect();
+        assert_eq!(nms, vec![-1.0, -3.0, -5.0]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_groups() {
+        assert!(discover_groups(&[], &line_grid(), 1.0).is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! The min-max property and the tighter weighted-mean bound (§3.5).
+//!
+//! Property 1 of the paper: for `P = P'·P''`,
+//! `NM(P) ≤ max(NM(P'), NM(P''))`. The proof actually establishes the
+//! stronger inequality
+//!
+//! ```text
+//! (i+j)·NM(P) ≤ i·NM(P') + j·NM(P'')
+//! ```
+//!
+//! i.e. `NM(P)` is bounded by the *length-weighted mean* of the parts' NMs
+//! (which in turn is bounded by their max). The miner uses the weighted
+//! mean as its candidate-pruning bound — it is strictly tighter, free to
+//! evaluate, and exact (the property is measure-shape independent: it only
+//! uses that a window sum splits into two window sums over sub-windows of
+//! the same trajectory).
+
+/// The weighted-mean upper bound on `NM(P'·P'')`:
+/// `(len1·nm1 + len2·nm2) / (len1 + len2)`.
+///
+/// Panics in debug builds if either length is zero.
+#[inline]
+pub fn weighted_mean_bound(nm1: f64, len1: usize, nm2: f64, len2: usize) -> f64 {
+    debug_assert!(len1 > 0 && len2 > 0);
+    (len1 as f64 * nm1 + len2 as f64 * nm2) / (len1 + len2) as f64
+}
+
+/// The (looser) min-max bound of Property 1: `max(NM(P'), NM(P''))`.
+#[inline]
+pub fn min_max_bound(nm1: f64, nm2: f64) -> f64 {
+    nm1.max(nm2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean_is_between_parts() {
+        let b = weighted_mean_bound(-2.0, 1, -4.0, 3);
+        assert!((b - (-3.5)).abs() < 1e-12);
+        assert!(b <= min_max_bound(-2.0, -4.0));
+        assert!(b >= (-4.0f64).min(-2.0));
+    }
+
+    #[test]
+    fn equal_parts_give_same_value() {
+        assert_eq!(weighted_mean_bound(-1.5, 4, -1.5, 2), -1.5);
+        assert_eq!(min_max_bound(-1.5, -1.5), -1.5);
+    }
+
+    #[test]
+    fn weighted_mean_never_exceeds_min_max() {
+        // Deterministic sweep over a small grid of values/lengths.
+        for &nm1 in &[-10.0, -3.5, -0.1] {
+            for &nm2 in &[-8.0, -1.0, -0.5] {
+                for len1 in 1..5usize {
+                    for len2 in 1..5usize {
+                        let wm = weighted_mean_bound(nm1, len1, nm2, len2);
+                        assert!(
+                            wm <= min_max_bound(nm1, nm2) + 1e-12,
+                            "wm {wm} > minmax for ({nm1},{len1},{nm2},{len2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Mining parameters (§3.3, §4, §5 of the paper).
+
+use std::fmt;
+
+/// Default floor applied to each per-position probability before taking
+/// logs, so `log M` stays finite (see DESIGN.md §5).
+pub const DEFAULT_MIN_PROB: f64 = 1e-12;
+
+/// Parameters of a TrajPattern mining run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MiningParams {
+    /// Number of patterns to mine (`k`).
+    pub k: usize,
+    /// Indifference distance `δ`: a location within δ of a pattern position
+    /// is considered to match it.
+    pub delta: f64,
+    /// Floor applied to each per-position probability (keeps `log M`
+    /// finite). Must be in `(0, 1)`.
+    pub min_prob: f64,
+    /// Minimum pattern length `d` (§5: "find patterns longer than a certain
+    /// threshold d"). `1` recovers the unconstrained problem.
+    pub min_len: usize,
+    /// Hard cap on pattern length, a safety bound on the growing process
+    /// (patterns longer than any trajectory are meaningless anyway).
+    pub max_len: usize,
+    /// Maximum similar-pattern distance `γ` for pattern groups (§3.4).
+    /// `None` disables group discovery.
+    pub gamma: Option<f64>,
+    /// Apply the weighted-mean upper bound (derived from the min-max proof)
+    /// to skip scoring hopeless candidates. Exact — never discards a true
+    /// top-k pattern. Disable only for ablation.
+    pub use_bound_prune: bool,
+    /// Apply Lemma 1's 1-extension pruning to low patterns in `Q`.
+    /// Disable only for ablation (Q then grows much faster).
+    pub use_one_extension_prune: bool,
+    /// Safety limit on growing iterations.
+    pub max_iters: usize,
+}
+
+/// Parameter validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamsError {
+    /// `k` must be at least 1.
+    ZeroK,
+    /// `delta` must be positive and finite.
+    BadDelta,
+    /// `min_prob` must be in `(0, 1)`.
+    BadMinProb,
+    /// `min_len` must be at least 1 and no greater than `max_len`.
+    BadLengths,
+    /// `gamma` must be positive and finite when present.
+    BadGamma,
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::ZeroK => write!(f, "k must be at least 1"),
+            ParamsError::BadDelta => write!(f, "delta must be positive and finite"),
+            ParamsError::BadMinProb => write!(f, "min_prob must be in (0, 1)"),
+            ParamsError::BadLengths => {
+                write!(f, "min_len must satisfy 1 <= min_len <= max_len")
+            }
+            ParamsError::BadGamma => write!(f, "gamma must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+impl MiningParams {
+    /// Creates parameters with the given `k` and `δ` and sensible defaults
+    /// for everything else (no length constraint, groups disabled, all
+    /// prunings on).
+    pub fn new(k: usize, delta: f64) -> Result<MiningParams, ParamsError> {
+        let p = MiningParams {
+            k,
+            delta,
+            min_prob: DEFAULT_MIN_PROB,
+            min_len: 1,
+            max_len: 24,
+            gamma: None,
+            use_bound_prune: true,
+            use_one_extension_prune: true,
+            max_iters: 64,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Sets the minimum pattern length (§5 extension).
+    pub fn with_min_len(mut self, d: usize) -> Result<MiningParams, ParamsError> {
+        self.min_len = d;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Sets the maximum pattern length cap.
+    pub fn with_max_len(mut self, m: usize) -> Result<MiningParams, ParamsError> {
+        self.max_len = m;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Enables pattern-group discovery with maximum similar-pattern
+    /// distance `γ`.
+    pub fn with_gamma(mut self, gamma: f64) -> Result<MiningParams, ParamsError> {
+        self.gamma = Some(gamma);
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Overrides the probability floor.
+    pub fn with_min_prob(mut self, min_prob: f64) -> Result<MiningParams, ParamsError> {
+        self.min_prob = min_prob;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Validates the full parameter set.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        if self.k == 0 {
+            return Err(ParamsError::ZeroK);
+        }
+        if !(self.delta.is_finite() && self.delta > 0.0) {
+            return Err(ParamsError::BadDelta);
+        }
+        if !(self.min_prob > 0.0 && self.min_prob < 1.0) {
+            return Err(ParamsError::BadMinProb);
+        }
+        if self.min_len == 0 || self.min_len > self.max_len {
+            return Err(ParamsError::BadLengths);
+        }
+        if let Some(g) = self.gamma {
+            if !(g.is_finite() && g > 0.0) {
+                return Err(ParamsError::BadGamma);
+            }
+        }
+        Ok(())
+    }
+
+    /// The log of the probability floor — the smallest possible
+    /// per-position contribution to `log M`.
+    #[inline]
+    pub fn floor_log(&self) -> f64 {
+        self.min_prob.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let p = MiningParams::new(10, 0.01).unwrap();
+        assert_eq!(p.k, 10);
+        assert_eq!(p.min_len, 1);
+        assert!(p.use_bound_prune && p.use_one_extension_prune);
+        assert!(p.floor_log() < 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert_eq!(MiningParams::new(0, 0.01), Err(ParamsError::ZeroK));
+        assert_eq!(MiningParams::new(1, 0.0), Err(ParamsError::BadDelta));
+        assert_eq!(MiningParams::new(1, f64::NAN), Err(ParamsError::BadDelta));
+        assert_eq!(
+            MiningParams::new(1, 0.01).unwrap().with_min_len(0),
+            Err(ParamsError::BadLengths)
+        );
+        assert_eq!(
+            MiningParams::new(1, 0.01).unwrap().with_min_len(100),
+            Err(ParamsError::BadLengths)
+        );
+        assert_eq!(
+            MiningParams::new(1, 0.01).unwrap().with_gamma(-1.0),
+            Err(ParamsError::BadGamma)
+        );
+        assert_eq!(
+            MiningParams::new(1, 0.01).unwrap().with_min_prob(1.5),
+            Err(ParamsError::BadMinProb)
+        );
+    }
+
+    #[test]
+    fn builder_chains() {
+        let p = MiningParams::new(5, 0.02)
+            .unwrap()
+            .with_min_len(4)
+            .unwrap()
+            .with_max_len(10)
+            .unwrap()
+            .with_gamma(0.05)
+            .unwrap();
+        assert_eq!(p.min_len, 4);
+        assert_eq!(p.max_len, 10);
+        assert_eq!(p.gamma, Some(0.05));
+    }
+}

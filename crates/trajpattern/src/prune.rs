@@ -1,0 +1,78 @@
+//! The 1-extension pruning of §4.1 (Definition 5 and Lemma 1).
+//!
+//! Low patterns are kept in the candidate set `Q` only if they satisfy the
+//! *1-extension property*: either the pattern is singular, or removing its
+//! first or last position yields a *high* pattern. Lemma 1 guarantees this
+//! retains enough building blocks: every high pattern is the concatenation
+//! of a high pattern with either a high pattern or a 1-extension low
+//! pattern.
+
+use crate::pattern::Pattern;
+use trajgeo::fxhash::FxHashSet;
+
+/// Whether `p` satisfies the 1-extension property with respect to the set
+/// of high patterns `high` (Definition 5): any singular pattern qualifies;
+/// a longer pattern qualifies iff dropping its first **or** last position
+/// yields a member of `high`.
+pub fn is_one_extension(p: &Pattern, high: &FxHashSet<Pattern>) -> bool {
+    if p.is_singular() {
+        return true;
+    }
+    if let Some(head) = p.drop_last() {
+        if high.contains(&head) {
+            return true;
+        }
+    }
+    if let Some(tail) = p.drop_first() {
+        if high.contains(&tail) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajgeo::CellId;
+
+    fn pat(ids: &[u32]) -> Pattern {
+        Pattern::new(ids.iter().map(|&i| CellId(i)).collect()).unwrap()
+    }
+
+    fn high_set(patterns: &[&[u32]]) -> FxHashSet<Pattern> {
+        patterns.iter().map(|ids| pat(ids)).collect()
+    }
+
+    #[test]
+    fn singulars_always_qualify() {
+        let high = high_set(&[]);
+        assert!(is_one_extension(&pat(&[5]), &high));
+    }
+
+    #[test]
+    fn prefix_high_qualifies() {
+        // Figure 2(a): the pattern's (j-1)-prefix is high.
+        let high = high_set(&[&[1, 2]]);
+        assert!(is_one_extension(&pat(&[1, 2, 3]), &high));
+    }
+
+    #[test]
+    fn suffix_high_qualifies() {
+        let high = high_set(&[&[2, 3]]);
+        assert!(is_one_extension(&pat(&[1, 2, 3]), &high));
+    }
+
+    #[test]
+    fn interior_high_subpattern_does_not_qualify() {
+        // Figure 2(b): only *first-or-last-removed* sub-patterns count.
+        let high = high_set(&[&[2]]);
+        assert!(!is_one_extension(&pat(&[1, 2, 3]), &high));
+    }
+
+    #[test]
+    fn no_high_subpattern_fails() {
+        let high = high_set(&[&[7, 8]]);
+        assert!(!is_one_extension(&pat(&[1, 2, 3]), &high));
+    }
+}

@@ -1,0 +1,33 @@
+//! # trajpattern-repro
+//!
+//! A full reproduction of **"TrajPattern: Mining Sequential Patterns from
+//! Imprecise Trajectories of Mobile Objects"** (Yang & Hu, EDBT 2006) as a
+//! Rust workspace. This facade crate re-exports every subsystem:
+//!
+//! - [`trajgeo`]: geometry, normal-distribution kernels, grids.
+//! - [`trajdata`]: imprecise trajectories and datasets (§3.2).
+//! - [`mobility`]: motion models (LM/LKF/RMF) and the dead-reckoning
+//!   location-reporting protocol (§3.1).
+//! - [`datagen`]: bus-fleet, ZebraNet-style, uniform and posture workload
+//!   generators (§6).
+//! - [`trajpattern`]: the TrajPattern miner — NM measure, min-max
+//!   property, 1-extension pruning, pattern groups, wildcard extension
+//!   (§3.3–§5).
+//! - [`baselines`]: the match-measure miner \[14\] and the
+//!   projection-based NM miner \[13\] used as §6 comparators.
+//! - [`prediction`]: pattern-assisted location prediction and the
+//!   mis-prediction evaluation harness (Fig. 3).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour, and the `bench`
+//! crate for the experiment harness regenerating every figure of the
+//! paper.
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use datagen;
+pub use mobility;
+pub use prediction;
+pub use trajdata;
+pub use trajgeo;
+pub use trajpattern;

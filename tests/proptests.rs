@@ -1,0 +1,174 @@
+//! Property-based tests of the paper's core invariants on random data.
+
+use proptest::prelude::*;
+use trajdata::{Dataset, SnapshotPoint, Trajectory};
+use trajgeo::stats::{prob_within_delta, std_normal_interval};
+use trajgeo::{BBox, CellId, Grid, Point2};
+use trajpattern::minmax::{min_max_bound, weighted_mean_bound};
+use trajpattern::{Pattern, Scorer};
+
+/// Strategy: a random imprecise trajectory on the unit square.
+fn arb_trajectory(len: std::ops::Range<usize>) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec(
+        (0.0f64..1.0, 0.0f64..1.0, 0.005f64..0.2),
+        len,
+    )
+    .prop_map(|pts| {
+        Trajectory::new(
+            pts.into_iter()
+                .map(|(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(arb_trajectory(4..10), 1..6)
+        .prop_map(Dataset::from_trajectories)
+}
+
+/// Strategy: a random pattern over a `side × side` grid.
+fn arb_pattern(side: u32, len: std::ops::Range<usize>) -> impl Strategy<Value = Pattern> {
+    prop::collection::vec(0..side * side, len)
+        .prop_map(|cells| Pattern::new(cells.into_iter().map(CellId).collect()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1 of the paper: NM(P'·P'') ≤ max(NM(P'), NM(P'')), and the
+    /// tighter weighted-mean inequality from its proof.
+    #[test]
+    fn min_max_property_holds(
+        data in arb_dataset(),
+        p1 in arb_pattern(4, 1..4),
+        p2 in arb_pattern(4, 1..4),
+    ) {
+        let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+        let scorer = Scorer::new(&data, &grid, 0.08, 1e-12);
+        let nm1 = scorer.nm(&p1);
+        let nm2 = scorer.nm(&p2);
+        let joined = scorer.nm(&p1.concat(&p2));
+        let wm = weighted_mean_bound(nm1, p1.len(), nm2, p2.len());
+        prop_assert!(joined <= wm + 1e-9,
+            "weighted-mean bound violated: NM(P1·P2)={joined} > {wm}");
+        prop_assert!(joined <= min_max_bound(nm1, nm2) + 1e-9,
+            "min-max violated: NM(P1·P2)={joined} > max({nm1},{nm2})");
+    }
+
+    /// The match measure is anti-monotone under extension on both sides
+    /// (the Apriori property the paper contrasts NM against).
+    #[test]
+    fn match_is_antimonotone(
+        data in arb_dataset(),
+        p in arb_pattern(4, 1..4),
+        cell in 0u32..16,
+    ) {
+        let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+        let scorer = Scorer::new(&data, &grid, 0.08, 1e-12);
+        let base = scorer.match_score(&p);
+        let single = Pattern::singular(CellId(cell));
+        let right = scorer.match_score(&p.concat(&single));
+        let left = scorer.match_score(&single.concat(&p));
+        prop_assert!(right <= base + 1e-9, "right extension raised match");
+        prop_assert!(left <= base + 1e-9, "left extension raised match");
+    }
+
+    /// NM values are always finite and non-positive (means of log
+    /// probabilities, floored).
+    #[test]
+    fn nm_is_finite_and_nonpositive(
+        data in arb_dataset(),
+        p in arb_pattern(4, 1..5),
+    ) {
+        let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+        let scorer = Scorer::new(&data, &grid, 0.08, 1e-12);
+        let nm = scorer.nm(&p);
+        prop_assert!(nm.is_finite());
+        prop_assert!(nm <= 1e-12);
+        // Bounded below by the floor.
+        let floor = (1e-12f64).ln() * data.len() as f64;
+        prop_assert!(nm >= floor - 1e-9);
+    }
+
+    /// §3.2 velocity transformation: means difference, variances add.
+    #[test]
+    fn velocity_transform_is_exact(t in arb_trajectory(2..12)) {
+        let v = t.to_velocity().unwrap();
+        prop_assert_eq!(v.len(), t.len() - 1);
+        for i in 0..v.len() {
+            let expect = t[i + 1].mean - t[i].mean;
+            prop_assert!((v[i].mean.x - expect.x).abs() < 1e-12);
+            prop_assert!((v[i].mean.y - expect.y).abs() < 1e-12);
+            let sig = (t[i].sigma.powi(2) + t[i + 1].sigma.powi(2)).sqrt();
+            prop_assert!((v[i].sigma - sig).abs() < 1e-12);
+        }
+    }
+
+    /// Grid locate/center round-trip for arbitrary points.
+    #[test]
+    fn grid_locate_contains_point(
+        x in 0.0f64..1.0,
+        y in 0.0f64..1.0,
+        nx in 1u32..40,
+        ny in 1u32..40,
+    ) {
+        let grid = Grid::new(BBox::unit(), nx, ny).unwrap();
+        let cell = grid.locate(Point2::new(x, y));
+        let c = grid.center(cell);
+        // The located cell's center is within half a cell of the point.
+        prop_assert!((c.x - x).abs() <= grid.cell_width() / 2.0 + 1e-12);
+        prop_assert!((c.y - y).abs() <= grid.cell_height() / 2.0 + 1e-12);
+    }
+
+    /// Prob(l, σ, p, δ) is a probability, symmetric in l and p, and
+    /// monotone in δ.
+    #[test]
+    fn prob_kernel_properties(
+        lx in 0.0f64..1.0, ly in 0.0f64..1.0,
+        px in 0.0f64..1.0, py in 0.0f64..1.0,
+        sigma in 0.001f64..0.5,
+        delta in 0.001f64..0.3,
+    ) {
+        let l = Point2::new(lx, ly);
+        let p = Point2::new(px, py);
+        let v = prob_within_delta(l, sigma, p, delta);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let sym = prob_within_delta(p, sigma, l, delta);
+        prop_assert!((v - sym).abs() < 1e-9);
+        let bigger = prob_within_delta(l, sigma, p, delta * 1.5);
+        prop_assert!(bigger >= v - 1e-12);
+    }
+
+    /// The standard normal interval function is non-negative, bounded by
+    /// one, and additive over adjacent intervals.
+    #[test]
+    fn normal_interval_additivity(
+        a in -6.0f64..6.0,
+        width1 in 0.001f64..3.0,
+        width2 in 0.001f64..3.0,
+    ) {
+        let b = a + width1;
+        let c = b + width2;
+        let ab = std_normal_interval(a, b);
+        let bc = std_normal_interval(b, c);
+        let ac = std_normal_interval(a, c);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab + bc - ac).abs() < 1e-7,
+            "additivity violated: {ab} + {bc} != {ac}");
+    }
+
+    /// Pattern super/sub relations are consistent with concatenation.
+    #[test]
+    fn concat_creates_super_patterns(
+        p1 in arb_pattern(6, 1..4),
+        p2 in arb_pattern(6, 1..4),
+    ) {
+        let joined = p1.concat(&p2);
+        prop_assert!(joined.is_super_pattern_of(&p1));
+        prop_assert!(joined.is_super_pattern_of(&p2));
+        prop_assert!(joined.is_proper_super_pattern_of(&p1));
+        prop_assert_eq!(joined.len(), p1.len() + p2.len());
+    }
+}
