@@ -51,7 +51,7 @@ pub fn mine_match(
     params: &MiningParams,
 ) -> Result<MatchMiningOutcome, ParamsError> {
     params.validate()?;
-    let scorer = Scorer::new(data, grid, params.delta, params.min_prob);
+    let scorer = Scorer::with_threads(data, grid, params.delta, params.min_prob, params.threads);
     let mut evaluated: u64 = 0;
 
     if data.is_empty() || grid.num_cells() == 0 {
@@ -70,12 +70,12 @@ pub fn mine_match(
     let mut have = 0usize;
 
     let offer = |pool: &mut Vec<MinedMatchPattern>,
-                     omega: &mut f64,
-                     have: &mut usize,
-                     p: &Pattern,
-                     v: f64,
-                     min_len: usize,
-                     k: usize| {
+                 omega: &mut f64,
+                 have: &mut usize,
+                 p: &Pattern,
+                 v: f64,
+                 min_len: usize,
+                 k: usize| {
         if p.len() >= min_len {
             pool.push(MinedMatchPattern {
                 pattern: p.clone(),
@@ -113,15 +113,19 @@ pub fn mine_match(
 
     // min_len bootstrap: prime ω with genuine qualifying patterns from the
     // data windows, exactly like the TrajPattern miner does.
+    // Scores never depend on ω, so each group of patterns below is scored
+    // in one batch and the offer / frontier bookkeeping is replayed in the
+    // original order — bit-identical to scoring one at a time.
     if params.min_len > 1 {
-        for p in seed_patterns(&scorer, params.min_len, params.k) {
-            let v = scorer.match_score(&p);
-            evaluated += 1;
+        let seeds = seed_patterns(&scorer, params.min_len, params.k);
+        let values = scorer.score_batch_match(&seeds);
+        evaluated += seeds.len() as u64;
+        for (p, v) in seeds.iter().zip(values) {
             offer(
                 &mut pool,
                 &mut omega,
                 &mut have,
-                &p,
+                p,
                 v,
                 params.min_len,
                 params.k,
@@ -129,12 +133,12 @@ pub fn mine_match(
         }
     }
 
-    // Level 1: all singulars.
+    // Level 1: all singulars, one batch.
     let mut frontier: Vec<(Pattern, f64)> = Vec::new();
-    for cell in grid.cells() {
-        let p = Pattern::singular(cell);
-        let v = scorer.match_score(&p);
-        evaluated += 1;
+    let singulars: Vec<Pattern> = grid.cells().map(Pattern::singular).collect();
+    let values = scorer.score_batch_match(&singulars);
+    evaluated += singulars.len() as u64;
+    for (p, v) in singulars.into_iter().zip(values) {
         offer(
             &mut pool,
             &mut omega,
@@ -154,14 +158,19 @@ pub fn mine_match(
         levels += 1;
         let mut next: Vec<(Pattern, f64)> = Vec::new();
         for (p, parent_match) in &frontier {
-            // Apriori: a child can never beat its parent.
+            // Apriori: a child can never beat its parent. The check uses
+            // the ω current *before* this parent's children are offered,
+            // exactly as in the sequential order.
             if *parent_match < omega {
                 continue;
             }
-            for cell in grid.cells() {
-                let child = p.concat(&Pattern::singular(cell));
-                let v = scorer.match_score(&child);
-                evaluated += 1;
+            let children: Vec<Pattern> = grid
+                .cells()
+                .map(|cell| p.concat(&Pattern::singular(cell)))
+                .collect();
+            let values = scorer.score_batch_match(&children);
+            evaluated += children.len() as u64;
+            for (child, v) in children.into_iter().zip(values) {
                 offer(
                     &mut pool,
                     &mut omega,
@@ -225,11 +234,8 @@ mod tests {
                 Trajectory::new(
                     (0..4)
                         .map(|i| {
-                            SnapshotPoint::new(
-                                Point2::new(0.125 + i as f64 * 0.25, 0.625),
-                                sigma,
-                            )
-                            .unwrap()
+                            SnapshotPoint::new(Point2::new(0.125 + i as f64 * 0.25, 0.625), sigma)
+                                .unwrap()
                         })
                         .collect(),
                 )
@@ -303,11 +309,7 @@ mod tests {
                 all.push((p2, v));
             }
         }
-        all.sort_by(|x, y| {
-            y.1.partial_cmp(&x.1)
-                .unwrap()
-                .then_with(|| x.0.cmp(&y.0))
-        });
+        all.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then_with(|| x.0.cmp(&y.0)));
         let out = mine_match(&data, &grid, &params).unwrap();
         for (m, (_, v)) in out.patterns.iter().zip(&all) {
             assert!(

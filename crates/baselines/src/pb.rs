@@ -76,7 +76,7 @@ pub fn mine_pb_budgeted(
     budget: Option<u64>,
 ) -> Result<PbOutcome, ParamsError> {
     params.validate()?;
-    let scorer = Scorer::new(data, grid, params.delta, params.min_prob);
+    let scorer = Scorer::with_threads(data, grid, params.delta, params.min_prob, params.threads);
     let mut stats = PbStats::default();
 
     if data.is_empty() || grid.num_cells() == 0 {
@@ -104,9 +104,10 @@ pub fn mine_pb_budgeted(
     // and break exactness).
     let mut seeds: FxHashSet<Pattern> = FxHashSet::default();
     if min_len > 1 {
-        for p in seed_patterns(&scorer, min_len, params.k) {
-            let nm = scorer.nm(&p);
-            stats.prefixes_scored += 1;
+        let seed_pats = seed_patterns(&scorer, min_len, params.k);
+        let nms = scorer.score_batch(&seed_pats);
+        stats.prefixes_scored += seed_pats.len() as u64;
+        for (p, nm) in seed_pats.into_iter().zip(nms) {
             tracker.offer(nm);
             pool.push(MinedPattern::new(p.clone(), nm));
             seeds.insert(p);
@@ -248,13 +249,21 @@ fn dfs(
         }
     }
 
-    for cell in scorer.grid().cells() {
+    // Score all G children of this prefix in one batch before recursing —
+    // the values are ω-independent, so they are identical to one-at-a-time
+    // scoring. Only a budget-truncated run can differ (the cutoff lands on
+    // a batch boundary, at most G−1 scores later than sequentially).
+    let children: Vec<Pattern> = scorer
+        .grid()
+        .cells()
+        .map(|cell| prefix.concat(&Pattern::singular(cell)))
+        .collect();
+    let nms = scorer.score_batch(&children);
+    stats.prefixes_scored += children.len() as u64;
+    for (child, nm) in children.into_iter().zip(nms) {
         if stats.truncated {
             return;
         }
-        let child = prefix.concat(&Pattern::singular(cell));
-        let nm = scorer.nm(&child);
-        stats.prefixes_scored += 1;
         dfs(
             scorer,
             &child,
@@ -286,11 +295,8 @@ mod tests {
                 Trajectory::new(
                     (0..3)
                         .map(|i| {
-                            SnapshotPoint::new(
-                                Point2::new(1.0 / 6.0 + i as f64 / 3.0, 0.5),
-                                sigma,
-                            )
-                            .unwrap()
+                            SnapshotPoint::new(Point2::new(1.0 / 6.0 + i as f64 / 3.0, 0.5), sigma)
+                                .unwrap()
                         })
                         .collect(),
                 )

@@ -30,9 +30,7 @@ fn bench_vs_k(c: &mut Criterion) {
             b.iter(|| black_box(mine(&w.data, &w.grid, &params(k)).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("pb", k), &k, |b, &k| {
-            b.iter(|| {
-                black_box(mine_pb_budgeted(&w.data, &w.grid, &params(k), PB_BUDGET).unwrap())
-            })
+            b.iter(|| black_box(mine_pb_budgeted(&w.data, &w.grid, &params(k), PB_BUDGET).unwrap()))
         });
     }
     g.finish();
@@ -48,9 +46,7 @@ fn bench_vs_s(c: &mut Criterion) {
             b.iter(|| black_box(mine(&w.data, &w.grid, &params(8)).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("pb", s), &s, |b, _| {
-            b.iter(|| {
-                black_box(mine_pb_budgeted(&w.data, &w.grid, &params(8), PB_BUDGET).unwrap())
-            })
+            b.iter(|| black_box(mine_pb_budgeted(&w.data, &w.grid, &params(8), PB_BUDGET).unwrap()))
         });
     }
     g.finish();
@@ -66,9 +62,7 @@ fn bench_vs_l(c: &mut Criterion) {
             b.iter(|| black_box(mine(&w.data, &w.grid, &params(8)).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("pb", l), &l, |b, _| {
-            b.iter(|| {
-                black_box(mine_pb_budgeted(&w.data, &w.grid, &params(8), PB_BUDGET).unwrap())
-            })
+            b.iter(|| black_box(mine_pb_budgeted(&w.data, &w.grid, &params(8), PB_BUDGET).unwrap()))
         });
     }
     g.finish();
@@ -85,9 +79,7 @@ fn bench_vs_g(c: &mut Criterion) {
             b.iter(|| black_box(mine(&w.data, &w.grid, &params(8)).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("pb", cells), &cells, |b, _| {
-            b.iter(|| {
-                black_box(mine_pb_budgeted(&w.data, &w.grid, &params(8), PB_BUDGET).unwrap())
-            })
+            b.iter(|| black_box(mine_pb_budgeted(&w.data, &w.grid, &params(8), PB_BUDGET).unwrap()))
         });
     }
     g.finish();

@@ -39,7 +39,10 @@ fn bench_full_mine(c: &mut Criterion) {
 
 fn bench_groups(c: &mut Criterion) {
     let w = zebranet_workload(30, 30, 10, 3);
-    let params = MiningParams::new(30, 0.04).unwrap().with_max_len(4).unwrap();
+    let params = MiningParams::new(30, 0.04)
+        .unwrap()
+        .with_max_len(4)
+        .unwrap();
     let out = mine(&w.data, &w.grid, &params).unwrap();
     c.bench_function("group_discovery_k30", |b| {
         b.iter(|| {

@@ -39,7 +39,14 @@ pub struct AblationResult {
 }
 
 /// Runs the four pruning variants on a ZebraNet workload.
-pub fn run(s: usize, l: usize, grid_side: u32, k: usize, max_len: usize, seed: u64) -> AblationResult {
+pub fn run(
+    s: usize,
+    l: usize,
+    grid_side: u32,
+    k: usize,
+    max_len: usize,
+    seed: u64,
+) -> AblationResult {
     let w = zebranet_workload(s, l, grid_side, seed);
     let base = MiningParams::new(k, 0.03)
         .expect("valid params")
@@ -67,9 +74,7 @@ pub fn run(s: usize, l: usize, grid_side: u32, k: usize, max_len: usize, seed: u
         match &reference {
             None => reference = Some(nms),
             Some(r) => {
-                if r.len() != nms.len()
-                    || r.iter().zip(&nms).any(|(a, b)| (a - b).abs() > 1e-9)
-                {
+                if r.len() != nms.len() || r.iter().zip(&nms).any(|(a, b)| (a - b).abs() > 1e-9) {
                     identical = false;
                 }
             }

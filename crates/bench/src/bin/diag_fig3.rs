@@ -29,8 +29,8 @@ fn main() {
         .with_max_len(8)
         .unwrap();
     let nm_out = mine(&velocities, &grid, &params).unwrap();
-    let lib = PatternLibrary::new(nm_out.patterns.clone(), grid.clone(), 0.005, 1e-12, 0.9)
-        .unwrap();
+    let lib =
+        PatternLibrary::new(nm_out.patterns.clone(), grid.clone(), 0.005, 1e-12, 0.9).unwrap();
 
     let mut model = LinearModel::new();
     let (result, stats) = evaluate_paths_detailed(test, &mut model, &scheme, &lib);

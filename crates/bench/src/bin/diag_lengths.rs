@@ -47,8 +47,17 @@ fn main() {
     let name = |c: trajgeo::CellId| -> String {
         let p = grid.center(c);
         let lab = |v: f64| -> &'static str {
-            if v > 0.015 { "F+" } else if v > 0.0055 { "s+" }
-            else if v < -0.015 { "F-" } else if v < -0.0055 { "s-" } else { "0" }
+            if v > 0.015 {
+                "F+"
+            } else if v > 0.0055 {
+                "s+"
+            } else if v < -0.015 {
+                "F-"
+            } else if v < -0.0055 {
+                "s-"
+            } else {
+                "0"
+            }
         };
         format!("({},{})", lab(p.x), lab(p.y))
     };
@@ -56,11 +65,21 @@ fn main() {
         cells.iter().map(|&c| name(c)).collect::<Vec<_>>().join(" ")
     };
     for m in out.patterns.iter().take(50) {
-        println!("  len {}  nm {:>7.1}  {}", m.pattern.len(), m.nm, show(m.pattern.cells()));
+        println!(
+            "  len {}  nm {:>7.1}  {}",
+            m.pattern.len(),
+            m.nm,
+            show(m.pattern.cells())
+        );
     }
     let mout = baselines::mine_match(&velocities, &grid, &params).unwrap();
     println!("match top-50:");
     for m in mout.patterns.iter().take(50) {
-        println!("  len {}  match {:>7.2}  {}", m.pattern.len(), m.match_value, show(m.pattern.cells()));
+        println!(
+            "  len {}  match {:>7.2}  {}",
+            m.pattern.len(),
+            m.match_value,
+            show(m.pattern.cells())
+        );
     }
 }

@@ -72,9 +72,7 @@ fn main() {
         }
         results.push(result);
     }
-    println!(
-        "paper: NM reduces mis-predictions by 20-40%, match by 10-20%, for all three models"
-    );
+    println!("paper: NM reduces mis-predictions by 20-40%, match by 10-20%, for all three models");
 
     match write_json("fig3", &results) {
         Ok(path) => eprintln!("wrote {path}"),

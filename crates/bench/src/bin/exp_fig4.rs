@@ -1,14 +1,21 @@
 //! Regenerates Fig. 4(a)–(d): TrajPattern vs PB response times across the
 //! four scalability axes.
 //!
-//! Usage: `cargo run -p bench --release --bin exp_fig4 [--quick] [--axis k|s|l|g]`
-//! (no `--axis` runs all four panels).
+//! Usage: `cargo run -p bench --release --bin exp_fig4 [--quick] [--axis k|s|l|g]
+//! [--threads N,N,…]`. No `--axis` runs all four panels; `--threads` runs
+//! the scorer thread-scaling sweep instead (written to `fig4_threads`).
 
-use bench::fig4::{sweep_g, sweep_k, sweep_l, sweep_s, Fig4Config, SweepResult};
+use bench::fig4::{
+    sweep_g, sweep_k, sweep_l, sweep_s, sweep_threads, Fig4Config, SweepResult, ThreadsSweepResult,
+};
 use bench::report::{fmt_secs, row, write_dat, write_json};
 
 fn print_sweep(r: &SweepResult) {
-    println!("=== Fig. 4({}): response time vs {} ===", panel(&r.axis), r.axis);
+    println!(
+        "=== Fig. 4({}): response time vs {} ===",
+        panel(&r.axis),
+        r.axis
+    );
     let widths = [8, 14, 14, 12, 14, 6];
     println!(
         "{}",
@@ -42,6 +49,47 @@ fn print_sweep(r: &SweepResult) {
     }
 }
 
+fn print_threads_sweep(r: &ThreadsSweepResult) {
+    println!(
+        "=== scorer thread scaling (host reports {} core(s)) ===",
+        r.available_parallelism
+    );
+    let widths = [8, 14, 10, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "threads".into(),
+                "TrajPattern".into(),
+                "speedup".into(),
+                "tp_scored".into(),
+                "identical".into()
+            ],
+            &widths
+        )
+    );
+    for p in &r.points {
+        println!(
+            "{}",
+            row(
+                &[
+                    p.threads.to_string(),
+                    fmt_secs(p.trajpattern_secs),
+                    format!("{:.2}x", p.speedup_vs_one),
+                    p.tp_scored.to_string(),
+                    if p.identical_to_sequential {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .into(),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
 fn panel(axis: &str) -> &'static str {
     match axis {
         "k" => "a",
@@ -60,7 +108,34 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
 
+    let threads: Option<Vec<usize>> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--threads takes N,N,…"))
+                .collect()
+        });
+
     let cfg = Fig4Config::default();
+
+    if let Some(counts) = threads {
+        eprintln!("running fig4 thread-scaling sweep…");
+        let mut cfg = cfg;
+        if quick {
+            cfg.s = 30;
+            cfg.l = 20;
+        }
+        let r = sweep_threads(&cfg, &counts);
+        print_threads_sweep(&r);
+        match write_json("fig4_threads", &r) {
+            Ok(path) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write results: {e}"),
+        }
+        return;
+    }
+
     let (ks, ss, ls, gs): (Vec<usize>, Vec<usize>, Vec<usize>, Vec<u32>) = if quick {
         (vec![5, 10], vec![30, 60], vec![20, 40], vec![8, 12])
     } else {
@@ -100,7 +175,11 @@ fn main() {
                 .iter()
                 .map(|p| vec![p.x, p.trajpattern_secs, p.pb_secs])
                 .collect();
-            match write_dat(&format!("fig4{}", panel(&r.axis)), &["x", "trajpattern_secs", "pb_secs"], &rows) {
+            match write_dat(
+                &format!("fig4{}", panel(&r.axis)),
+                &["x", "trajpattern_secs", "pb_secs"],
+                &rows,
+            ) {
                 Ok(path) => eprintln!("wrote {path}"),
                 Err(e) => eprintln!("could not write dat: {e}"),
             }

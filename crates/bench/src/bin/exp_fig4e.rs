@@ -25,7 +25,10 @@ fn main() {
     let widths = [8, 10, 8];
     println!(
         "{}",
-        row(&["delta".into(), "patterns".into(), "groups".into()], &widths)
+        row(
+            &["delta".into(), "patterns".into(), "groups".into()],
+            &widths
+        )
     );
     for p in &result.points {
         println!(

@@ -158,6 +158,110 @@ where
     p
 }
 
+/// One point of the scorer thread-scaling sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadsPoint {
+    /// Scorer worker-thread count (`0` = auto).
+    pub threads: usize,
+    /// TrajPattern wall time in seconds (averaged over seeds).
+    pub trajpattern_secs: f64,
+    /// Wall-clock speedup relative to the 1-thread point.
+    pub speedup_vs_one: f64,
+    /// Candidates scored (identical across thread counts by construction).
+    pub tp_scored: u64,
+    /// Whether the mined patterns and NM values were bit-identical to the
+    /// sequential run (must always hold; recorded as evidence).
+    pub identical_to_sequential: bool,
+}
+
+/// Result of the thread-scaling sweep (the `--threads` panel).
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadsSweepResult {
+    /// Always "threads".
+    pub axis: String,
+    /// Configuration the sweep was based on.
+    pub config: Fig4Config,
+    /// Cores the host reports — speedup is bounded by this, so a
+    /// single-core machine honestly records ~1× for every thread count.
+    pub available_parallelism: usize,
+    /// The measured points.
+    pub points: Vec<ThreadsPoint>,
+}
+
+/// Sweeps the scorer worker-thread count on the baseline (S, L, G)
+/// workload, timing TrajPattern mining only (PB's runtime is unaffected
+/// by this knob at its defaults). Every point's output is checked
+/// bit-identical to the sequential run.
+pub fn sweep_threads(cfg: &Fig4Config, thread_counts: &[usize]) -> ThreadsSweepResult {
+    let params = MiningParams::new(cfg.k, cfg.delta)
+        .expect("valid params")
+        .with_max_len(cfg.max_len)
+        .expect("valid params");
+
+    let workloads: Vec<crate::workloads::ScalabilityWorkload> = cfg
+        .seeds
+        .iter()
+        .map(|&seed| zebranet_workload(cfg.s, cfg.l, cfg.grid_side, seed))
+        .collect();
+    let references: Vec<_> = workloads
+        .iter()
+        .map(|w| mine(&w.data, &w.grid, &params).expect("mining succeeds"))
+        .collect();
+
+    let n = cfg.seeds.len().max(1) as f64;
+    let mut points: Vec<ThreadsPoint> = thread_counts
+        .iter()
+        .map(|&threads| {
+            let tparams = params.clone().with_threads(threads).expect("valid params");
+            let mut secs = 0.0;
+            let mut scored = 0u64;
+            let mut identical = true;
+            for (w, reference) in workloads.iter().zip(&references) {
+                let t0 = Instant::now();
+                let out = mine(&w.data, &w.grid, &tparams).expect("mining succeeds");
+                secs += t0.elapsed().as_secs_f64();
+                scored += out.stats.candidates_scored;
+                identical &=
+                    out.patterns.len() == reference.patterns.len()
+                        && out.patterns.iter().zip(&reference.patterns).all(|(a, b)| {
+                            a.pattern == b.pattern && a.nm.to_bits() == b.nm.to_bits()
+                        });
+                assert!(identical, "parallel mining diverged at threads = {threads}");
+            }
+            ThreadsPoint {
+                threads,
+                trajpattern_secs: secs / n,
+                speedup_vs_one: 0.0,
+                tp_scored: (scored as f64 / n) as u64,
+                identical_to_sequential: identical,
+            }
+        })
+        .collect();
+
+    let base = points
+        .iter()
+        .find(|p| p.threads == 1)
+        .or(points.first())
+        .map(|p| p.trajpattern_secs)
+        .unwrap_or(0.0);
+    for p in &mut points {
+        p.speedup_vs_one = if p.trajpattern_secs > 0.0 {
+            base / p.trajpattern_secs
+        } else {
+            0.0
+        };
+    }
+
+    ThreadsSweepResult {
+        axis: "threads".into(),
+        config: cfg.clone(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1),
+        points,
+    }
+}
+
 /// Fig. 4(a): sweep `k`.
 pub fn sweep_k(cfg: &Fig4Config, ks: &[usize]) -> SweepResult {
     SweepResult {
@@ -261,5 +365,18 @@ mod tests {
         let r = sweep_g(&tiny(), &[4, 8]);
         assert_eq!(r.points[0].x, 16.0);
         assert_eq!(r.points[1].x, 64.0);
+    }
+
+    #[test]
+    fn sweep_threads_is_bit_identical() {
+        let r = sweep_threads(&tiny(), &[1, 2, 4]);
+        assert_eq!(r.axis, "threads");
+        assert_eq!(r.points.len(), 3);
+        assert!(r.available_parallelism >= 1);
+        for p in &r.points {
+            assert!(p.identical_to_sequential, "threads = {}", p.threads);
+            assert!(p.trajpattern_secs > 0.0);
+        }
+        assert!((r.points[0].speedup_vs_one - 1.0).abs() < 1e-9);
     }
 }

@@ -90,13 +90,7 @@ pub fn run(cfg: &LengthsConfig) -> LengthsResult {
     LengthsResult {
         config: cfg.clone(),
         nm_avg_len: avg(nm_out.patterns.iter().map(|m| m.pattern.len()).collect()),
-        match_avg_len: avg(
-            match_out
-                .patterns
-                .iter()
-                .map(|m| m.pattern.len())
-                .collect(),
-        ),
+        match_avg_len: avg(match_out.patterns.iter().map(|m| m.pattern.len()).collect()),
         nm_count: nm_out.patterns.len(),
         match_count: match_out.patterns.len(),
     }

@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        assert!(matches!(
-            Args::parse(v(&[])),
-            Err(ArgError::MissingCommand)
-        ));
+        assert!(matches!(Args::parse(v(&[])), Err(ArgError::MissingCommand)));
         assert!(matches!(
             Args::parse(v(&["--k", "5"])),
             Err(ArgError::Malformed { .. })

@@ -5,7 +5,7 @@ use datagen::{observe_directly, BusConfig, PostureConfig, UniformConfig, ZebraCo
 use std::error::Error;
 use trajdata::Dataset;
 use trajgeo::{Grid, Point2};
-use trajpattern::{mine, MiningParams};
+use trajpattern::{Miner, MiningParams};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -17,7 +17,7 @@ USAGE:
   trajmine stats    --input FILE
   trajmine validate --input FILE [--max-sigma F] [--min-len N]
   trajmine mine     --input FILE --k N [--delta F] [--grid N] [--min-len N]
-                    [--max-len N] [--gamma F] [--velocity true]
+                    [--max-len N] [--gamma F] [--threads N] [--velocity true]
                     [--map true] [--json FILE]
 
 Dataset files ending in .csv use the CSV schema `traj_id,snapshot,x,y,sigma`;
@@ -25,7 +25,8 @@ anything else is JSON. `generate` observes ground-truth paths with Gaussian
 noise --sigma (default 0.01). `mine` lays an N×N grid (default 16) over the
 dataset's bounding box; --velocity true mines velocity trajectories instead
 of locations; --gamma enables pattern-group discovery; --map true prints an
-ASCII density map with the top pattern overlaid.";
+ASCII density map with the top pattern overlaid; --threads sets the scorer
+worker count (0 = one per core; any value gives bit-identical results).";
 
 /// Runs the subcommand in `args`.
 pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -73,22 +74,18 @@ fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
             p.truncate(traces);
             p
         }
-        "uniform" => {
-            UniformConfig {
-                num_objects: traces,
-                snapshots,
-                ..UniformConfig::default()
-            }
-            .paths(seed)
+        "uniform" => UniformConfig {
+            num_objects: traces,
+            snapshots,
+            ..UniformConfig::default()
         }
-        "posture" => {
-            PostureConfig {
-                num_subjects: traces,
-                snapshots,
-                ..PostureConfig::default()
-            }
-            .paths(seed)
+        .paths(seed),
+        "posture" => PostureConfig {
+            num_subjects: traces,
+            snapshots,
+            ..PostureConfig::default()
         }
+        .paths(seed),
         other => return Err(format!("unknown workload '{other}'").into()),
     };
     let data = observe_directly(&paths, sigma, seed ^ 0x0b5e);
@@ -193,10 +190,7 @@ fn validate(args: &Args) -> Result<(), Box<dyn Error>> {
         println!("… and {} more", problems.len() - MAX_REPORT);
     }
     if problems.is_empty() {
-        println!(
-            "ok: {} trajectories pass all checks",
-            data.len()
-        );
+        println!("ok: {} trajectories pass all checks", data.len());
         Ok(())
     } else {
         Err(format!("{} validation problem(s)", problems.len()).into())
@@ -210,28 +204,33 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     let min_len: usize = args.get_or("min-len", 1usize)?;
     let max_len: usize = args.get_or("max-len", 8usize)?;
     let velocity: bool = args.get_or("velocity", false)?;
+    let threads: usize = args.get_or("threads", 1usize)?;
 
     if velocity {
-        data = data.to_velocity()?;
+        data = data.to_velocity().map_err(trajpattern::Error::from)?;
     }
     let bbox = data
         .bounding_box()
         .ok_or("dataset has no snapshots to mine")?;
-    let grid = Grid::new(bbox, grid_side, grid_side)?;
+    let grid = Grid::new(bbox, grid_side, grid_side).map_err(trajpattern::Error::from)?;
     let default_delta = grid.cell_width().min(grid.cell_height()) * 0.5;
     let delta: f64 = args.get_or("delta", default_delta)?;
 
-    let mut params = MiningParams::new(k, delta)?
-        .with_min_len(min_len)?
-        .with_max_len(max_len)?;
+    let mut params = MiningParams::new(k, delta)
+        .and_then(|p| p.with_min_len(min_len))
+        .and_then(|p| p.with_max_len(max_len))
+        .map_err(trajpattern::Error::from)?;
     if let Some(g) = args.get("gamma") {
         let gamma: f64 = g
             .parse()
             .map_err(|_| format!("invalid --gamma value '{g}'"))?;
-        params = params.with_gamma(gamma)?;
+        params = params.with_gamma(gamma).map_err(trajpattern::Error::from)?;
     }
 
-    let out = mine(&data, &grid, &params)?;
+    let out = Miner::new(&data, &grid)
+        .params(params)
+        .threads(threads)
+        .mine()?;
     println!(
         "mined {} patterns in {} iterations ({} candidates scored)",
         out.patterns.len(),
@@ -244,7 +243,13 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
             .iter()
             .map(|p| format!("({:.3},{:.3})", p.x, p.y))
             .collect();
-        println!("#{:<3} nm {:>10.2}  len {}  {}", i + 1, m.nm, m.pattern.len(), path.join(" "));
+        println!(
+            "#{:<3} nm {:>10.2}  len {}  {}",
+            i + 1,
+            m.nm,
+            m.pattern.len(),
+            path.join(" ")
+        );
     }
     if args.get_or("map", false)? {
         let overlay = out.patterns.first().map(|m| &m.pattern);
@@ -397,9 +402,13 @@ mod tests {
         .is_err());
         // A single-snapshot trajectory fails the length check.
         let bad = dir.join("bad.csv");
-        std::fs::write(&bad, "traj_id,snapshot,x,y,sigma
+        std::fs::write(
+            &bad,
+            "traj_id,snapshot,x,y,sigma
 0,0,0.5,0.5,0.01
-").unwrap();
+",
+        )
+        .unwrap();
         assert!(dispatch(&args(&["validate", "--input", bad.to_str().unwrap()])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

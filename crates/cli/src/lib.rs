@@ -25,7 +25,7 @@ pub fn run(argv: Vec<String>) -> i32 {
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("{}", render::render_error(&e));
             eprintln!("{}", commands::USAGE);
             return 2;
         }
@@ -33,7 +33,7 @@ pub fn run(argv: Vec<String>) -> i32 {
     match commands::dispatch(&args) {
         Ok(()) => 0,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("{}", render::render_error(e.as_ref()));
             1
         }
     }

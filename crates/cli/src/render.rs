@@ -8,6 +8,20 @@ use trajdata::Dataset;
 use trajgeo::Grid;
 use trajpattern::Pattern;
 
+/// Renders an error and its full `source` chain, one cause per indented
+/// line — the uniform error format for all `trajmine` failures. Errors
+/// funneled through [`trajpattern::Error`] show the originating crate's
+/// message as the cause.
+pub fn render_error(e: &(dyn std::error::Error + 'static)) -> String {
+    let mut out = format!("error: {e}");
+    let mut source = e.source();
+    while let Some(s) = source {
+        out.push_str(&format!("\n  caused by: {s}"));
+        source = s.source();
+    }
+    out
+}
+
 /// Density ramp from empty to dense.
 const RAMP: &[u8] = b" .:-=+*#%@";
 
@@ -155,5 +169,15 @@ mod tests {
         let grid = Grid::new(BBox::unit(), 3, 3).unwrap();
         let map = render_map(&Dataset::new(), &grid, None);
         assert!(map.lines().skip(1).take(3).all(|l| l == "|   |"));
+    }
+
+    #[test]
+    fn render_error_walks_source_chain() {
+        let e = trajpattern::Error::from(trajpattern::ParamsError::ZeroK);
+        let rendered = render_error(&e);
+        assert_eq!(
+            rendered,
+            "error: invalid mining parameters\n  caused by: k must be at least 1"
+        );
     }
 }

@@ -55,7 +55,10 @@ impl CorruptionConfig {
     pub fn corrupt(&self, paths: &[Vec<Point2>], seed: u64) -> Vec<Vec<Point2>> {
         assert!(self.is_valid(), "invalid corruption config");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_44u64);
-        paths.iter().map(|p| self.corrupt_one(p, &mut rng)).collect()
+        paths
+            .iter()
+            .map(|p| self.corrupt_one(p, &mut rng))
+            .collect()
     }
 
     fn corrupt_one(&self, path: &[Point2], rng: &mut StdRng) -> Vec<Point2> {
@@ -109,7 +112,9 @@ mod tests {
     use super::*;
 
     fn line(n: usize) -> Vec<Point2> {
-        (0..n).map(|i| Point2::new(i as f64 / n as f64, 0.5)).collect()
+        (0..n)
+            .map(|i| Point2::new(i as f64 / n as f64, 0.5))
+            .collect()
     }
 
     #[test]

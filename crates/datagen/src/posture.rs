@@ -142,9 +142,7 @@ mod tests {
                 archetypes
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| {
-                        a.1.distance(*p).partial_cmp(&b.1.distance(*p)).unwrap()
-                    })
+                    .min_by(|a, b| a.1.distance(*p).partial_cmp(&b.1.distance(*p)).unwrap())
                     .unwrap()
                     .0
             })

@@ -109,8 +109,7 @@ impl StreetConfig {
 
         (0..self.num_walkers)
             .map(|w| {
-                let commuter = (w as f64 / self.num_walkers.max(1) as f64)
-                    < self.commuter_fraction;
+                let commuter = (w as f64 / self.num_walkers.max(1) as f64) < self.commuter_fraction;
                 if commuter && !routes.is_empty() {
                     let route = &routes[w % routes.len()];
                     self.walk_route(route, &mut rng)
@@ -285,7 +284,12 @@ mod tests {
         let visited = |path: &Vec<Point2>| -> std::collections::BTreeSet<(i64, i64)> {
             let b = cfg.block_size();
             path.iter()
-                .map(|p| (((p.x / b) * 2.0).round() as i64, ((p.y / b) * 2.0).round() as i64))
+                .map(|p| {
+                    (
+                        ((p.x / b) * 2.0).round() as i64,
+                        ((p.y / b) * 2.0).round() as i64,
+                    )
+                })
                 .collect()
         };
         let sets: Vec<_> = paths.iter().map(visited).collect();

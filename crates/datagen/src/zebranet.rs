@@ -115,8 +115,7 @@ impl ZebraConfig {
             for g in groups.iter_mut() {
                 g.heading += self.heading_drift * sample_std_normal(&mut rng);
                 let step =
-                    (self.step_log_mean + self.step_log_sigma * sample_std_normal(&mut rng))
-                        .exp();
+                    (self.step_log_mean + self.step_log_sigma * sample_std_normal(&mut rng)).exp();
                 g.pos = bbox.reflect(g.pos + Vec2::from_polar(step, g.heading));
             }
             // Advance zebras.

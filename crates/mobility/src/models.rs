@@ -428,9 +428,7 @@ mod tests {
         // recurrence fits exactly on 3+ points (x_t = 2x_{t−1} − x_{t−2} + 2
         // — not exact without intercept, so allow tolerance).
         let mut m = RecursiveMotionModel::new(6);
-        let path: Vec<Point2> = (1..8)
-            .map(|i| Point2::new((i * i) as f64, 0.0))
-            .collect();
+        let path: Vec<Point2> = (1..8).map(|i| Point2::new((i * i) as f64, 0.0)).collect();
         drive(&mut m, &path);
         let p = m.predict_next();
         // True next is 64; linear extrapolation gives 62; RMF should do at

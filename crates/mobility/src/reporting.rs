@@ -136,10 +136,7 @@ impl ReportingScheme {
 
     /// Replaces the uncertainty-evolution model (§3.1's "function of the
     /// elapse time t, or the expected traversed distance d").
-    pub fn with_uncertainty_model(
-        mut self,
-        model: UncertaintyModel,
-    ) -> Result<Self, SchemeError> {
+    pub fn with_uncertainty_model(mut self, model: UncertaintyModel) -> Result<Self, SchemeError> {
         if !model.is_valid() {
             return Err(SchemeError::BadUncertaintyModel);
         }
@@ -252,11 +249,10 @@ pub fn simulate_reporting<R: Rng + ?Sized>(
         let predicted = model.predict_next();
         elapsed += 1;
         predicted_distance += predicted.distance(last_estimate);
-        let u = scheme.uncertainty_model.effective_u(
-            scheme.uncertainty,
-            elapsed,
-            predicted_distance,
-        );
+        let u =
+            scheme
+                .uncertainty_model
+                .effective_u(scheme.uncertainty, elapsed, predicted_distance);
         if predicted.distance(truth) > u {
             attempted += 1;
             if rng.gen::<f64>() < scheme.loss_probability {
@@ -292,8 +288,7 @@ pub fn simulate_reporting<R: Rng + ?Sized>(
 
     SimulationOutput {
         reports,
-        reconstructed: Trajectory::new(points)
-            .expect("simulation produces finite snapshot points"),
+        reconstructed: Trajectory::new(points).expect("simulation produces finite snapshot points"),
         attempted_reports: attempted,
         lost_reports: lost,
     }
@@ -317,10 +312,7 @@ mod tests {
             ReportingScheme::new(0.0, 2.0, 0.0),
             Err(SchemeError::BadUncertainty)
         );
-        assert_eq!(
-            ReportingScheme::new(0.1, 0.0, 0.0),
-            Err(SchemeError::BadC)
-        );
+        assert_eq!(ReportingScheme::new(0.1, 0.0, 0.0), Err(SchemeError::BadC));
         assert_eq!(
             ReportingScheme::new(0.1, 2.0, 1.0),
             Err(SchemeError::BadLossProbability)
@@ -449,9 +441,7 @@ mod tests {
             Err(SchemeError::BadUncertaintyModel)
         );
         assert_eq!(
-            base.with_uncertainty_model(UncertaintyModel::GrowingWithDistance {
-                rate: f64::NAN
-            }),
+            base.with_uncertainty_model(UncertaintyModel::GrowingWithDistance { rate: f64::NAN }),
             Err(SchemeError::BadUncertaintyModel)
         );
     }
@@ -470,12 +460,7 @@ mod tests {
         // A wiggly path: with constant U every wiggle reports; with a
         // tolerance growing in elapsed time, later wiggles are absorbed.
         let path: Vec<Point2> = (0..60)
-            .map(|i| {
-                Point2::new(
-                    i as f64 * 0.01,
-                    0.03 * ((i as f64) * 1.3).sin(),
-                )
-            })
+            .map(|i| Point2::new(i as f64 * 0.01, 0.03 * ((i as f64) * 1.3).sin()))
             .collect();
         let constant = ReportingScheme::new(0.02, 2.0, 0.0).unwrap();
         let growing = constant
@@ -508,12 +493,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut model = LinearModel::new();
         let out = simulate_reporting(&path, &mut model, &growing, &mut rng);
-        let sigmas: Vec<f64> = out
-            .reconstructed
-            .points()
-            .iter()
-            .map(|p| p.sigma)
-            .collect();
+        let sigmas: Vec<f64> = out.reconstructed.points().iter().map(|p| p.sigma).collect();
         // After the last report, sigma is strictly increasing.
         let last_report = out.reports.last().unwrap().snapshot;
         for w in sigmas[last_report + 1..].windows(2) {

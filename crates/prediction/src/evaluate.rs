@@ -139,9 +139,7 @@ pub fn count_mispredictions_detailed(
             estimates.push(SnapshotPoint::exact(truth));
         } else {
             model.advance(None);
-            estimates.push(
-                SnapshotPoint::new(pred, scheme.sigma()).expect("finite prediction"),
-            );
+            estimates.push(SnapshotPoint::new(pred, scheme.sigma()).expect("finite prediction"));
         }
         // Velocity estimate between the last two server-side estimates.
         // For pattern confirmation the estimates are treated as *point*
@@ -248,13 +246,23 @@ mod tests {
         let lib = PatternLibrary::new(
             vec![
                 MinedPattern::new(
-                    Pattern::new(vec![45u32, 54, 45].into_iter().map(trajgeo::CellId).collect())
-                        .unwrap(),
+                    Pattern::new(
+                        vec![45u32, 54, 45]
+                            .into_iter()
+                            .map(trajgeo::CellId)
+                            .collect(),
+                    )
+                    .unwrap(),
                     -0.1,
                 ),
                 MinedPattern::new(
-                    Pattern::new(vec![54u32, 45, 54].into_iter().map(trajgeo::CellId).collect())
-                        .unwrap(),
+                    Pattern::new(
+                        vec![54u32, 45, 54]
+                            .into_iter()
+                            .map(trajgeo::CellId)
+                            .collect(),
+                    )
+                    .unwrap(),
                     -0.1,
                 ),
             ],
@@ -296,13 +304,23 @@ mod tests {
         let lib = PatternLibrary::new(
             vec![
                 MinedPattern::new(
-                    Pattern::new(vec![45u32, 54, 45].into_iter().map(trajgeo::CellId).collect())
-                        .unwrap(),
+                    Pattern::new(
+                        vec![45u32, 54, 45]
+                            .into_iter()
+                            .map(trajgeo::CellId)
+                            .collect(),
+                    )
+                    .unwrap(),
                     -0.1,
                 ),
                 MinedPattern::new(
-                    Pattern::new(vec![54u32, 45, 54].into_iter().map(trajgeo::CellId).collect())
-                        .unwrap(),
+                    Pattern::new(
+                        vec![54u32, 45, 54]
+                            .into_iter()
+                            .map(trajgeo::CellId)
+                            .collect(),
+                    )
+                    .unwrap(),
                     -0.1,
                 ),
             ],

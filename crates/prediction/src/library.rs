@@ -91,8 +91,10 @@ impl PatternLibrary {
         if !(min_prob > 0.0 && min_prob < 1.0) {
             return Err(LibraryError::BadMinProb);
         }
-        let mut patterns: Vec<MinedPattern> =
-            patterns.into_iter().filter(|m| m.pattern.len() >= 2).collect();
+        let mut patterns: Vec<MinedPattern> = patterns
+            .into_iter()
+            .filter(|m| m.pattern.len() >= 2)
+            .collect();
         // Deterministic matching order: longer first (more context), then
         // by NM.
         patterns.sort_by(|a, b| {
@@ -135,32 +137,26 @@ impl PatternLibrary {
     /// different continuations (e.g. "keep cruising" vs "slow down") would
     /// override predictions the model was already getting right.
     pub fn predict_next_velocity(&self, recent: &[SnapshotPoint]) -> Option<Vec2> {
+        // Phase 1: batch-confirm every pattern prefix against the window.
+        // Phase 2 replays the selection in library order, so the result is
+        // identical to interleaving the two.
+        let scores = self.confirm_scores(recent);
         // Patterns are sorted longest-first, so the first confirming
         // pattern fixes the specificity level.
         let mut specificity: Option<usize> = None;
         let mut best: Option<(f64, Vec2)> = None;
         let mut candidates: Vec<Vec2> = Vec::new();
-        for m in &self.patterns {
+        for (m, score) in self.patterns.iter().zip(scores) {
             let cells = m.pattern.cells();
             let prefix_len = cells.len() - 1;
-            if prefix_len == 0 || recent.len() < prefix_len {
+            let Some(lm) = score else {
                 continue;
-            }
+            };
             if let Some(s) = specificity {
                 if prefix_len < s {
                     break; // sorted: only shorter prefixes remain
                 }
             }
-            let segment = &recent[recent.len() - prefix_len..];
-            let Some(lm) = log_match_segment(
-                segment,
-                &cells[..prefix_len],
-                &self.grid,
-                self.delta,
-                self.min_prob,
-            ) else {
-                continue;
-            };
             if lm < self.confirm_log {
                 continue;
             }
@@ -176,14 +172,38 @@ impl PatternLibrary {
         // Agreement: every most-specific continuation must lie within the
         // indifference distance of the winner.
         let tol = 2.0 * self.delta;
-        if candidates
-            .iter()
-            .all(|v| (*v - winner).norm() <= tol)
-        {
+        if candidates.iter().all(|v| (*v - winner).norm() <= tol) {
             Some(winner)
         } else {
             None
         }
+    }
+
+    /// The Eq. 2 confirmation score of every library pattern's prefix
+    /// against the recent velocity window, in library order (the batch
+    /// phase of [`predict_next_velocity`](Self::predict_next_velocity)).
+    ///
+    /// An entry is `None` when the pattern cannot apply — its prefix is
+    /// empty or longer than the history — or when no finite match exists.
+    pub fn confirm_scores(&self, recent: &[SnapshotPoint]) -> Vec<Option<f64>> {
+        self.patterns
+            .iter()
+            .map(|m| {
+                let cells = m.pattern.cells();
+                let prefix_len = cells.len() - 1;
+                if prefix_len == 0 || recent.len() < prefix_len {
+                    return None;
+                }
+                let segment = &recent[recent.len() - prefix_len..];
+                log_match_segment(
+                    segment,
+                    &cells[..prefix_len],
+                    &self.grid,
+                    self.delta,
+                    self.min_prob,
+                )
+            })
+            .collect()
     }
 }
 
@@ -277,6 +297,18 @@ mod tests {
         let recent = [vel(0.05, 0.05), vel(0.15, 0.05)];
         let v = l.predict_next_velocity(&recent).expect("A should confirm");
         assert!((v.x - 0.25).abs() < 1e-9, "expected pattern A's successor");
+    }
+
+    #[test]
+    fn confirm_scores_align_with_prediction() {
+        let l = lib(vec![mined(&[55, 56, 57], -0.5), mined(&[55, 66], -0.1)]);
+        let recent = [vel(0.05, 0.05), vel(0.15, 0.05)];
+        let scores = l.confirm_scores(&recent);
+        assert_eq!(scores.len(), l.len());
+        // The 3-cell pattern sorts first and its on-path prefix confirms.
+        assert!(scores[0].unwrap() > 0.9_f64.ln());
+        // History shorter than any prefix: all entries are None.
+        assert!(l.confirm_scores(&[]).iter().all(Option::is_none));
     }
 
     #[test]

@@ -122,14 +122,14 @@ pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
             line,
             field: "snapshot",
         })?;
-        let x: f64 = fields[2].trim().parse().map_err(|_| CsvError::BadNumber {
-            line,
-            field: "x",
-        })?;
-        let y: f64 = fields[3].trim().parse().map_err(|_| CsvError::BadNumber {
-            line,
-            field: "y",
-        })?;
+        let x: f64 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadNumber { line, field: "x" })?;
+        let y: f64 = fields[3]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadNumber { line, field: "y" })?;
         let sigma: f64 = fields[4].trim().parse().map_err(|_| CsvError::BadNumber {
             line,
             field: "sigma",
@@ -146,8 +146,7 @@ pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
                     return Err(CsvError::BadOrdering { line });
                 }
                 trajectories.push(
-                    Trajectory::new(std::mem::take(&mut current))
-                        .expect("validated per-row"),
+                    Trajectory::new(std::mem::take(&mut current)).expect("validated per-row"),
                 );
                 current_id = Some(traj_id);
             }
@@ -178,11 +177,9 @@ mod tests {
             SnapshotPoint::new(Point2::new(0.30000000000000004, 0.4), 0.0125).unwrap(),
         ])
         .unwrap();
-        let t2 = Trajectory::new(vec![SnapshotPoint::new(
-            Point2::new(-1.5e-3, 2.25),
-            0.5,
-        )
-        .unwrap()])
+        let t2 = Trajectory::new(vec![
+            SnapshotPoint::new(Point2::new(-1.5e-3, 2.25), 0.5).unwrap()
+        ])
         .unwrap();
         Dataset::from_trajectories(vec![t1, t2])
     }
@@ -219,7 +216,10 @@ mod tests {
         let text = format!("{HEADER}\n0,0,one,2.0,0.1\n");
         assert_eq!(
             from_csv(&text),
-            Err(CsvError::BadNumber { line: 2, field: "x" })
+            Err(CsvError::BadNumber {
+                line: 2,
+                field: "x"
+            })
         );
     }
 

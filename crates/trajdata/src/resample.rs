@@ -37,7 +37,10 @@ pub fn resample_linear(readings: &[RawReading], at_times: &[f64]) -> Option<Vec<
     if readings.is_empty() {
         return None;
     }
-    if readings.windows(2).any(|w| w[0].time >= w[1].time || w[0].time.is_nan()) {
+    if readings
+        .windows(2)
+        .any(|w| w[0].time >= w[1].time || w[0].time.is_nan())
+    {
         return None;
     }
     let mut out = Vec::with_capacity(at_times.len());

@@ -25,8 +25,7 @@ pub fn erfc(x: f64) -> f64 {
                     + t * (-0.186_288_06
                         + t * (0.278_868_07
                             + t * (-1.135_203_98
-                                + t * (1.488_515_87
-                                    + t * (-0.822_152_23 + t * 0.170_872_77))))))));
+                                + t * (1.488_515_87 + t * (-0.822_152_23 + t * 0.170_872_77))))))));
     let ans = t * (-z * z + poly).exp();
     if x >= 0.0 {
         ans
@@ -69,7 +68,10 @@ mod tests {
     #[test]
     fn erfc_tail_relative_accuracy() {
         // erfc(3) = 2.209049699858544e-5, erfc(5) = 1.5374597944280351e-12
-        let cases = [(3.0, 2.209_049_699_858_544e-5), (5.0, 1.537_459_794_428_035e-12)];
+        let cases = [
+            (3.0, 2.209_049_699_858_544e-5),
+            (5.0, 1.537_459_794_428_035e-12),
+        ];
         for (x, want) in cases {
             let got = erfc(x);
             assert!(

@@ -93,7 +93,11 @@ pub fn prob_within_delta(l: Point2, sigma: f64, p: Point2, delta: f64) -> f64 {
     debug_assert!(sigma >= 0.0, "sigma must be non-negative");
     debug_assert!(delta >= 0.0, "delta must be non-negative");
     if sigma <= 0.0 {
-        return if l.linf_distance(p) <= delta { 1.0 } else { 0.0 };
+        return if l.linf_distance(p) <= delta {
+            1.0
+        } else {
+            0.0
+        };
     }
     let px = std_normal_interval((p.x - delta - l.x) / sigma, (p.x + delta - l.x) / sigma);
     let py = std_normal_interval((p.y - delta - l.y) / sigma, (p.y + delta - l.y) / sigma);

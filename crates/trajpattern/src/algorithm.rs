@@ -88,15 +88,16 @@ pub struct MiningOutcome {
 
 /// Mines the top-k NM patterns from `data` over `grid`.
 ///
-/// This is the main entry point of the crate; see the crate docs for an
-/// example. Returns `Err` only for invalid parameters.
+/// This is a thin compatibility wrapper around the [`crate::Miner`]
+/// session API; see the crate docs for an example. Returns `Err` only for
+/// invalid parameters.
 pub fn mine(
     data: &Dataset,
     grid: &Grid,
     params: &MiningParams,
 ) -> Result<MiningOutcome, ParamsError> {
     params.validate()?;
-    let scorer = Scorer::new(data, grid, params.delta, params.min_prob);
+    let scorer = Scorer::with_threads(data, grid, params.delta, params.min_prob, params.threads);
     mine_with_scorer(&scorer, params)
 }
 
@@ -197,13 +198,14 @@ pub fn mine_with_scorer(
     // data (most frequent discretized windows) — their true NMs are valid
     // lower-bound evidence for ω, so pruning stays exact.
     if params.min_len > 1 {
-        for p in seed_patterns(scorer, params.min_len, params.k) {
-            if store.id_of(&p).is_some() {
-                continue;
-            }
-            let nm = scorer.nm(&p);
-            stats.candidates_scored += 1;
-            stats.nm_evaluations += 1;
+        let seeds: Vec<Pattern> = seed_patterns(scorer, params.min_len, params.k)
+            .into_iter()
+            .filter(|p| store.id_of(p).is_none())
+            .collect();
+        let nms = scorer.score_batch(&seeds);
+        stats.candidates_scored += seeds.len() as u64;
+        stats.nm_evaluations += seeds.len() as u64;
+        for (p, nm) in seeds.into_iter().zip(nms) {
             let id = store.add(p, nm);
             q.insert(id);
             qual_tracker.offer(nm);
@@ -247,7 +249,15 @@ pub fn mine_with_scorer(
 
         let mut next_fresh: Vec<u32> = Vec::new();
 
-        // One candidate pair (ordered): bound-check, dedupe, score.
+        // Candidates surviving the bound check are *collected* here and
+        // scored in one batch after pair enumeration. This is exact: ω and
+        // τ are deliberately read once per iteration (the seed code also
+        // refreshed them only after enumeration), so no pruning decision
+        // inside the loop can depend on a score produced within it.
+        let mut pending: Vec<Pattern> = Vec::new();
+        let mut pending_ids: FxHashMap<Pattern, usize> = FxHashMap::default();
+
+        // One candidate pair (ordered): bound-check, dedupe, enqueue.
         macro_rules! try_pair {
             ($a:expr, $b:expr) => {{
                 let a: u32 = $a;
@@ -263,8 +273,8 @@ pub fn mine_with_scorer(
                         // are the Lemma-1 building blocks: prune them
                         // against the composability threshold τ, others
                         // against ω.
-                        let one_ext_shape = (lb == 1 && high.contains(&a))
-                            || (la == 1 && high.contains(&b));
+                        let one_ext_shape =
+                            (lb == 1 && high.contains(&a)) || (la == 1 && high.contains(&b));
                         let mut pruned = false;
                         if params.use_bound_prune {
                             let bound = weighted_mean_bound(
@@ -292,15 +302,14 @@ pub fn mine_with_scorer(
                                     }
                                 }
                                 None => {
-                                    let nm = scorer.nm(&cand);
-                                    stats.candidates_scored += 1;
-                                    stats.nm_evaluations += 1;
-                                    let id = store.add(cand, nm);
-                                    if total_len >= params.min_len {
-                                        qual_tracker.offer(nm);
+                                    // Defer scoring to the per-iteration
+                                    // batch; dedupe within the batch so a
+                                    // candidate reachable through several
+                                    // pairs is scored once.
+                                    if !pending_ids.contains_key(&cand) {
+                                        pending_ids.insert(cand.clone(), pending.len());
+                                        pending.push(cand);
                                     }
-                                    q.insert(id);
-                                    next_fresh.push(id);
                                 }
                             }
                         }
@@ -325,6 +334,22 @@ pub fn mine_with_scorer(
         }
         enumerated_high.extend(fresh_high_vec);
 
+        // Batch-score everything enqueued this iteration (in enumeration
+        // order, so store ids — and therefore the whole run — are
+        // identical to one-at-a-time scoring).
+        let nms = scorer.score_batch(&pending);
+        stats.candidates_scored += pending.len() as u64;
+        stats.nm_evaluations += pending.len() as u64;
+        for (cand, nm) in pending.into_iter().zip(nms) {
+            let total_len = cand.len();
+            let id = store.add(cand, nm);
+            if total_len >= params.min_len {
+                qual_tracker.offer(nm);
+            }
+            q.insert(id);
+            next_fresh.push(id);
+        }
+
         // Re-threshold and re-mark.
         omega = qual_tracker.omega();
         let high_new: FxHashSet<u32> = q
@@ -335,10 +360,8 @@ pub fn mine_with_scorer(
 
         // Prune low patterns: keep only 1-extension lows above τ.
         if params.use_one_extension_prune {
-            let high_patterns: FxHashSet<Pattern> = high_new
-                .iter()
-                .map(|&id| store.get(id).clone())
-                .collect();
+            let high_patterns: FxHashSet<Pattern> =
+                high_new.iter().map(|&id| store.get(id).clone()).collect();
             let omega_snapshot = omega;
             q.retain(|&id| {
                 if high_new.contains(&id) {
@@ -348,8 +371,7 @@ pub fn mine_with_scorer(
                     return false;
                 }
                 !params.use_bound_prune
-                    || store.nm(id)
-                        >= tau(store.len(id) as usize, omega_snapshot, nm_best, max_len)
+                    || store.nm(id) >= tau(store.len(id) as usize, omega_snapshot, nm_best, max_len)
             });
         }
 
@@ -409,8 +431,11 @@ pub fn seed_patterns(scorer: &Scorer<'_>, min_len: usize, k: usize) -> Vec<Patte
         if traj.len() < min_len {
             continue;
         }
-        let cells: Vec<trajgeo::CellId> =
-            traj.points().iter().map(|sp| grid.locate(sp.mean)).collect();
+        let cells: Vec<trajgeo::CellId> = traj
+            .points()
+            .iter()
+            .map(|sp| grid.locate(sp.mean))
+            .collect();
         for w in cells.windows(min_len) {
             *counts.entry(w.to_vec()).or_insert(0) += 1;
         }
@@ -453,11 +478,8 @@ mod tests {
                 Trajectory::new(
                     (0..4)
                         .map(|i| {
-                            SnapshotPoint::new(
-                                Point2::new(0.125 + i as f64 * 0.25, 0.625),
-                                sigma,
-                            )
-                            .unwrap()
+                            SnapshotPoint::new(Point2::new(0.125 + i as f64 * 0.25, 0.625), sigma)
+                                .unwrap()
                         })
                         .collect(),
                 )
@@ -474,8 +496,7 @@ mod tests {
         let out = mine(&data, &grid, &params).unwrap();
         assert_eq!(out.patterns.len(), 4);
         // The four on-path cells dominate all others.
-        let found: FxHashSet<Pattern> =
-            out.patterns.iter().map(|m| m.pattern.clone()).collect();
+        let found: FxHashSet<Pattern> = out.patterns.iter().map(|m| m.pattern.clone()).collect();
         for c in [8u32, 9, 10, 11] {
             assert!(found.contains(&pat(&[c])), "missing singular c{c}");
         }
@@ -550,8 +571,16 @@ mod tests {
         let params = MiningParams::new(6, 0.1).unwrap().with_max_len(3).unwrap();
         let a = mine(&data, &grid, &params).unwrap();
         let b = mine(&data, &grid, &params).unwrap();
-        let pa: Vec<_> = a.patterns.iter().map(|m| (m.pattern.clone(), m.nm)).collect();
-        let pb: Vec<_> = b.patterns.iter().map(|m| (m.pattern.clone(), m.nm)).collect();
+        let pa: Vec<_> = a
+            .patterns
+            .iter()
+            .map(|m| (m.pattern.clone(), m.nm))
+            .collect();
+        let pb: Vec<_> = b
+            .patterns
+            .iter()
+            .map(|m| (m.pattern.clone(), m.nm))
+            .collect();
         assert_eq!(pa, pb);
     }
 

@@ -93,11 +93,8 @@ mod tests {
                 Trajectory::new(
                     (0..3)
                         .map(|i| {
-                            SnapshotPoint::new(
-                                Point2::new(1.0 / 6.0 + i as f64 / 3.0, 0.5),
-                                0.05,
-                            )
-                            .unwrap()
+                            SnapshotPoint::new(Point2::new(1.0 / 6.0 + i as f64 / 3.0, 0.5), 0.05)
+                                .unwrap()
                         })
                         .collect(),
                 )

@@ -66,10 +66,7 @@ impl std::error::Error for GappedError {}
 impl GappedPattern {
     /// Builds a gapped pattern from positions and per-adjacency gap
     /// bounds.
-    pub fn new(
-        positions: Vec<CellId>,
-        gaps: Vec<(u8, u8)>,
-    ) -> Result<GappedPattern, GappedError> {
+    pub fn new(positions: Vec<CellId>, gaps: Vec<(u8, u8)>) -> Result<GappedPattern, GappedError> {
         if positions.is_empty() {
             return Err(GappedError::Empty);
         }
@@ -415,8 +412,7 @@ mod tests {
         // pattern (0,1,*,3,4) skips it.
         let (data, grid) = detour_data();
         let contiguous = GappedPattern::contiguous(&pat(&[0, 1, 2, 3, 4]));
-        let skipping =
-            GappedPattern::join_with_gap(&pat(&[0, 1]), &pat(&[3, 4]), 1);
+        let skipping = GappedPattern::join_with_gap(&pat(&[0, 1]), &pat(&[3, 4]), 1);
         let nm_contig = contiguous.nm(&data, &grid, 0.4, 1e-12);
         let nm_skip = skipping.nm(&data, &grid, 0.4, 1e-12);
         assert!(

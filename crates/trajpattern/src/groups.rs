@@ -47,21 +47,15 @@ impl PatternGroup {
 /// `gamma` (Euclidean, per snapshot). Patterns of different lengths never
 /// share a group. Returns groups ordered by their representative's NM
 /// (best first); the union of all groups is exactly the input.
-pub fn discover_groups(
-    patterns: &[MinedPattern],
-    grid: &Grid,
-    gamma: f64,
-) -> Vec<PatternGroup> {
+pub fn discover_groups(patterns: &[MinedPattern], grid: &Grid, gamma: f64) -> Vec<PatternGroup> {
     let mut groups: Vec<PatternGroup> = Vec::new();
     // Partition by pattern length, preserving deterministic order.
     let mut lengths: Vec<usize> = patterns.iter().map(|m| m.pattern.len()).collect();
     lengths.sort_unstable();
     lengths.dedup();
     for len in lengths {
-        let class: Vec<&MinedPattern> = patterns
-            .iter()
-            .filter(|m| m.pattern.len() == len)
-            .collect();
+        let class: Vec<&MinedPattern> =
+            patterns.iter().filter(|m| m.pattern.len() == len).collect();
         groups.extend(group_same_length(&class, grid, gamma, len));
     }
     groups.sort_by(|a, b| {
@@ -166,10 +160,7 @@ fn group_same_length(
             }
         }
 
-        let mut members: Vec<MinedPattern> = candidate
-            .iter()
-            .map(|&i| class[i].clone())
-            .collect();
+        let mut members: Vec<MinedPattern> = candidate.iter().map(|&i| class[i].clone()).collect();
         members.sort_by(|a, b| {
             b.nm.partial_cmp(&a.nm)
                 .expect("NM values are finite")
@@ -215,20 +206,18 @@ mod tests {
         //   snapshot 2: (p1',p3',p6'), (p2',p4'), (p5')
         // Expected pattern groups: (P5),(P2),(P6),(P4),(P1,P3).
         let patterns = vec![
-            mined(&[0, 0], -1.0),    // P1: x=0.05 / 0.05
-            mined(&[50, 50], -2.0),  // P2: x=5.05 / 5.05
-            mined(&[3, 3], -3.0),    // P3: x=0.35 / 0.35
-            mined(&[6, 52], -4.0),   // P4: x=0.65 / 5.25
-            mined(&[9, 100], -5.0),  // P5: x=0.95 / 10.05
-            mined(&[55, 6], -6.0),   // P6: x=5.55 / 0.65
+            mined(&[0, 0], -1.0),   // P1: x=0.05 / 0.05
+            mined(&[50, 50], -2.0), // P2: x=5.05 / 5.05
+            mined(&[3, 3], -3.0),   // P3: x=0.35 / 0.35
+            mined(&[6, 52], -4.0),  // P4: x=0.65 / 5.25
+            mined(&[9, 100], -5.0), // P5: x=0.95 / 10.05
+            mined(&[55, 6], -6.0),  // P6: x=5.55 / 0.65
         ];
         let groups = discover_groups(&patterns, &line_grid(), 1.0);
         assert_eq!(groups.len(), 5);
         // Collect the member multisets.
-        let mut sets: Vec<Vec<&MinedPattern>> = groups
-            .iter()
-            .map(|g| g.patterns.iter().collect())
-            .collect();
+        let mut sets: Vec<Vec<&MinedPattern>> =
+            groups.iter().map(|g| g.patterns.iter().collect()).collect();
         sets.sort_by_key(|s| s.len());
         // Four singletons and one pair {P1, P3}.
         assert_eq!(sets[0].len(), 1);
@@ -258,9 +247,7 @@ mod tests {
     #[test]
     fn grouped_patterns_are_pairwise_similar_at_every_snapshot() {
         let grid = line_grid();
-        let patterns: Vec<MinedPattern> = (0..8)
-            .map(|i| mined(&[i, i + 2], -(i as f64)))
-            .collect();
+        let patterns: Vec<MinedPattern> = (0..8).map(|i| mined(&[i, i + 2], -(i as f64))).collect();
         let gamma = 0.35;
         for g in discover_groups(&patterns, &grid, gamma) {
             for a in &g.patterns {

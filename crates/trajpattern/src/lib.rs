@@ -36,7 +36,7 @@
 //! ```
 //! use trajdata::{Dataset, Trajectory};
 //! use trajgeo::{BBox, Grid, Point2};
-//! use trajpattern::{mine, MiningParams};
+//! use trajpattern::{Miner, MiningParams};
 //!
 //! // Ten objects sweeping left-to-right across a 4×4 grid.
 //! let data: Dataset = (0..10)
@@ -45,10 +45,16 @@
 //!     })
 //!     .collect();
 //! let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
-//! let params = MiningParams::new(3, 0.1).unwrap();
-//! let outcome = mine(&data, &grid, &params).unwrap();
+//! let outcome = Miner::new(&data, &grid)
+//!     .params(MiningParams::new(3, 0.1).unwrap())
+//!     .threads(0) // 0 = one scorer worker per core; results are identical
+//!     .mine()
+//!     .unwrap();
 //! assert_eq!(outcome.patterns.len(), 3);
 //! ```
+//!
+//! The free function [`mine`] remains as a one-call compatibility wrapper
+//! over the same machinery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +63,7 @@ pub mod algorithm;
 pub mod bruteforce;
 pub mod gapped;
 pub mod groups;
+pub mod miner;
 pub mod minmax;
 pub mod params;
 pub mod pattern;
@@ -66,6 +73,7 @@ pub mod topk;
 
 pub use algorithm::{mine, MiningOutcome, MiningStats};
 pub use groups::PatternGroup;
+pub use miner::{Error, Miner};
 pub use params::{MiningParams, ParamsError};
 pub use pattern::{MinedPattern, Pattern};
 pub use scorer::Scorer;

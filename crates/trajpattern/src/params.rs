@@ -7,8 +7,13 @@ use std::fmt;
 pub const DEFAULT_MIN_PROB: f64 = 1e-12;
 
 /// Parameters of a TrajPattern mining run.
+///
+/// Marked `#[non_exhaustive]` so new knobs can be added without a breaking
+/// release: construct via [`MiningParams::new`] and the `with_*` builders
+/// instead of a struct literal.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
 pub struct MiningParams {
     /// Number of patterns to mine (`k`).
     pub k: usize,
@@ -36,6 +41,10 @@ pub struct MiningParams {
     pub use_one_extension_prune: bool,
     /// Safety limit on growing iterations.
     pub max_iters: usize,
+    /// Worker threads used by the batch scorer. `0` means "auto" (one per
+    /// available core); `1` scores sequentially. Any value yields
+    /// bit-identical results (see DESIGN.md §5).
+    pub threads: usize,
 }
 
 /// Parameter validation errors.
@@ -84,6 +93,7 @@ impl MiningParams {
             use_bound_prune: true,
             use_one_extension_prune: true,
             max_iters: 64,
+            threads: 1,
         };
         p.validate()?;
         Ok(p)
@@ -114,6 +124,13 @@ impl MiningParams {
     /// Overrides the probability floor.
     pub fn with_min_prob(mut self, min_prob: f64) -> Result<MiningParams, ParamsError> {
         self.min_prob = min_prob;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Sets the scorer worker-thread count (`0` = auto, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Result<MiningParams, ParamsError> {
+        self.threads = threads;
         self.validate()?;
         Ok(self)
     }
@@ -197,5 +214,15 @@ mod tests {
         assert_eq!(p.min_len, 4);
         assert_eq!(p.max_len, 10);
         assert_eq!(p.gamma, Some(0.05));
+    }
+
+    #[test]
+    fn threads_default_and_builder() {
+        let p = MiningParams::new(3, 0.01).unwrap();
+        assert_eq!(p.threads, 1);
+        let p = p.with_threads(0).unwrap();
+        assert_eq!(p.threads, 0);
+        let p = p.with_threads(4).unwrap();
+        assert_eq!(p.threads, 4);
     }
 }

@@ -4,14 +4,25 @@
 //! (the paper's complexity analysis charges `O(MN)` per pattern). The
 //! [`Scorer`] therefore:
 //!
-//! - lazily caches, per grid cell, the full table of per-snapshot log
+//! - lazily caches, per grid cell, the table of per-snapshot log
 //!   probabilities `ln Prob(l, σ, center(cell), δ)` the first time a cell
 //!   appears in a scored pattern (patterns reuse few distinct cells, so the
 //!   cache stays small);
 //! - computes all `G` singular-pattern NMs in one *sparse* streaming pass
 //!   ([`Scorer::nm_all_singulars`]) without materializing the `G × ΣL`
 //!   table: a snapshot only gives non-floor probability to cells within
-//!   `δ + 8σ` of its mean.
+//!   `δ + 8σ` of its mean;
+//! - scores whole candidate *batches* ([`Scorer::score_batch`]) by
+//!   partitioning trajectories into contiguous shards, evaluating shards on
+//!   scoped worker threads, and reducing the per-trajectory `NM(P, T)`
+//!   contributions in ascending trajectory order — so the result is
+//!   bit-identical to the sequential fold for every thread count (the
+//!   determinism convention in DESIGN.md §5).
+//!
+//! Internally the scorer is split into a `Send + Sync` read-only core
+//! ([`ScorerCore`]: dataset/grid/δ) shared by all workers, and per-shard
+//! mutable state (the shard's slice of every cell-row cache), so the
+//! parallel path needs no locks and no `unsafe`.
 //!
 //! Per-position probabilities are clamped below by `min_prob` so `log M`
 //! stays finite; DESIGN.md §5 explains why this preserves the min-max
@@ -20,202 +31,91 @@
 use crate::pattern::Pattern;
 use std::cell::{Cell, RefCell};
 use trajdata::{Dataset, SnapshotPoint};
-use trajgeo::fxhash::FxHashMap;
+use trajgeo::fxhash::{FxHashMap, FxHashSet};
 use trajgeo::stats::prob_within_delta;
 use trajgeo::{CellId, Grid};
 
-/// Pattern scoring engine over one dataset/grid/δ configuration.
-pub struct Scorer<'a> {
+/// Below this many trajectories the parallel path is all overhead; scoring
+/// falls back to the single-shard loop (results are identical either way).
+const MIN_TRAJECTORIES_PER_SHARD: usize = 8;
+
+/// The read-only half of the scorer: everything workers share. Contains
+/// only borrows of immutable data and plain floats, so it is `Send + Sync`
+/// by construction and can be captured by scoped threads.
+#[derive(Debug, Clone, Copy)]
+struct ScorerCore<'a> {
     data: &'a Dataset,
     grid: &'a Grid,
     delta: f64,
     min_prob: f64,
     floor_log: f64,
-    /// Per-cell cache: for each trajectory, the dense row of per-snapshot
-    /// log probabilities.
-    rows: RefCell<FxHashMap<CellId, Vec<Box<[f64]>>>>,
-    evaluations: Cell<u64>,
 }
 
-impl<'a> std::fmt::Debug for Scorer<'a> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scorer")
-            .field("trajectories", &self.data.len())
-            .field("grid_cells", &self.grid.num_cells())
-            .field("delta", &self.delta)
-            .field("min_prob", &self.min_prob)
-            .field("cached_cells", &self.rows.borrow().len())
-            .finish()
-    }
-}
-
-impl<'a> Scorer<'a> {
-    /// Creates a scorer. `min_prob` must be in `(0, 1)` (validated by
-    /// `MiningParams`; debug-asserted here).
-    pub fn new(data: &'a Dataset, grid: &'a Grid, delta: f64, min_prob: f64) -> Scorer<'a> {
-        debug_assert!(min_prob > 0.0 && min_prob < 1.0);
-        debug_assert!(delta > 0.0);
-        Scorer {
-            data,
-            grid,
-            delta,
-            min_prob,
-            floor_log: min_prob.ln(),
-            rows: RefCell::new(FxHashMap::default()),
-            evaluations: Cell::new(0),
-        }
-    }
-
-    /// The dataset being scored.
+impl<'a> ScorerCore<'a> {
+    /// `ln(max(Prob(l, σ, center(cell), δ), min_prob))` for one snapshot.
     #[inline]
-    pub fn data(&self) -> &'a Dataset {
-        self.data
+    fn log_prob(&self, sp: &SnapshotPoint, cell: CellId) -> f64 {
+        prob_within_delta(sp.mean, sp.sigma, self.grid.center(cell), self.delta)
+            .max(self.min_prob)
+            .ln()
     }
 
-    /// The grid defining pattern positions.
-    #[inline]
-    pub fn grid(&self) -> &'a Grid {
-        self.grid
-    }
-
-    /// The indifference distance δ.
-    #[inline]
-    pub fn delta(&self) -> f64 {
-        self.delta
-    }
-
-    /// `ln(min_prob)` — the per-position contribution floor, and also the
-    /// NM a pattern receives from a trajectory it cannot fit in.
-    #[inline]
-    pub fn floor_log(&self) -> f64 {
-        self.floor_log
-    }
-
-    /// Number of pattern scorings performed so far (NM or match).
-    #[inline]
-    pub fn evaluations(&self) -> u64 {
-        self.evaluations.get()
-    }
-
-    /// `NM(P)` over the whole dataset (Eq. 3 + 4 summed over `D`).
-    pub fn nm(&self, pattern: &Pattern) -> f64 {
-        self.evaluations.set(self.evaluations.get() + 1);
-        self.ensure_cached(pattern.cells());
-        let rows = self.rows.borrow();
-        let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
-            .cells()
-            .iter()
-            .map(|c| rows.get(c).expect("ensured above"))
-            .collect();
-        let m = pattern.len();
-        let mut total = 0.0;
-        for ti in 0..self.data.len() {
-            total += best_window_mean(&cell_rows, ti, m, self.floor_log);
-        }
-        total
-    }
-
-    /// `NM(P, T)` for a single trajectory (Eq. 4); the floor value if the
-    /// trajectory is shorter than the pattern.
-    pub fn nm_in_trajectory(&self, pattern: &Pattern, traj_index: usize) -> f64 {
-        assert!(traj_index < self.data.len(), "trajectory index out of range");
-        self.ensure_cached(pattern.cells());
-        let rows = self.rows.borrow();
-        let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
-            .cells()
-            .iter()
-            .map(|c| rows.get(c).expect("ensured above"))
-            .collect();
-        best_window_mean(&cell_rows, traj_index, pattern.len(), self.floor_log)
-    }
-
-    /// The *match* measure of Yang et al. \[14\]: `Σ_T max_window M(P,T')`
-    /// — the expected number of (best-aligned) occurrences, without length
-    /// normalization. Used by the baseline match miner.
-    pub fn match_score(&self, pattern: &Pattern) -> f64 {
-        self.evaluations.set(self.evaluations.get() + 1);
-        self.ensure_cached(pattern.cells());
-        let rows = self.rows.borrow();
-        let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
-            .cells()
-            .iter()
-            .map(|c| rows.get(c).expect("ensured above"))
-            .collect();
-        let m = pattern.len();
-        let mut total = 0.0;
-        for ti in 0..self.data.len() {
-            // best window *sum* (not mean); match contribution is its exp.
-            let mean = best_window_mean(&cell_rows, ti, m, self.floor_log);
-            total += (mean * m as f64).exp();
-        }
-        total
-    }
-
-    /// `NM` of a *gapped* pattern (§5): positions `cells` with
-    /// `gaps[i] = (min, max)` wildcard snapshots allowed between positions
-    /// `i` and `i+1`. Dynamic programming over each trajectory reusing the
-    /// per-cell probability row cache; normalization is by the number of
-    /// specified positions (wildcards contribute probability 1 and no
-    /// normalization mass). Callers must pass `gaps.len() == cells.len()-1`
-    /// with `min <= max` everywhere (debug-asserted).
-    pub fn nm_gapped(&self, cells: &[CellId], gaps: &[(u8, u8)]) -> f64 {
-        debug_assert_eq!(gaps.len() + 1, cells.len());
-        debug_assert!(gaps.iter().all(|&(lo, hi)| lo <= hi));
-        self.evaluations.set(self.evaluations.get() + 1);
-        self.ensure_cached(cells);
-        let rows = self.rows.borrow();
-        let cell_rows: Vec<&Vec<Box<[f64]>>> = cells
-            .iter()
-            .map(|c| rows.get(c).expect("ensured above"))
-            .collect();
-        let m = cells.len();
-        let min_span: usize =
-            m + gaps.iter().map(|&(lo, _)| lo as usize).sum::<usize>();
-        let mut total = 0.0;
-        for ti in 0..self.data.len() {
-            let l = cell_rows[0][ti].len();
-            if l < min_span {
-                total += self.floor_log;
+    /// Fills `shard`'s row cache for every cell of `cells` (rows cover only
+    /// the shard's trajectory range, indexed locally).
+    fn ensure_cached(&self, shard: &mut Shard, cells: &[CellId]) {
+        for &cell in cells {
+            if shard.rows.contains_key(&cell) {
                 continue;
             }
-            // dp[j]: best sum with the current position at snapshot j.
-            let mut dp: Vec<f64> = cell_rows[0][ti].to_vec();
-            for i in 1..m {
-                let (lo, hi) = gaps[i - 1];
-                let row = &cell_rows[i][ti];
-                let mut next = vec![f64::NEG_INFINITY; l];
-                for (j, slot) in next.iter_mut().enumerate() {
-                    let mut best_prev = f64::NEG_INFINITY;
-                    for g in lo..=hi {
-                        let offset = 1 + g as usize;
-                        if j >= offset && dp[j - offset] > best_prev {
-                            best_prev = dp[j - offset];
-                        }
-                    }
-                    if best_prev > f64::NEG_INFINITY {
-                        *slot = best_prev + row[j];
-                    }
-                }
-                dp = next;
-            }
-            let best = dp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            total += if best.is_finite() {
-                best / m as f64
-            } else {
-                self.floor_log
-            };
+            let per_traj: Vec<Box<[f64]>> = self.data.trajectories()[shard.start..shard.end]
+                .iter()
+                .map(|t| {
+                    t.points()
+                        .iter()
+                        .map(|sp| self.log_prob(sp, cell))
+                        .collect::<Vec<f64>>()
+                        .into_boxed_slice()
+                })
+                .collect();
+            shard.rows.insert(cell, per_traj);
         }
-        total
     }
 
-    /// NM of every singular pattern, indexed by `CellId`. One sparse pass:
-    /// memory `O(G + touched cells per trajectory)`, no row caching.
-    pub fn nm_all_singulars(&self) -> Vec<f64> {
-        let g = self.grid.num_cells() as usize;
-        let n = self.data.len() as f64;
-        let mut totals = vec![self.floor_log * n; g];
+    /// Per-trajectory contributions of every pattern in `batch` over one
+    /// shard, in (pattern, ascending local trajectory) order.
+    fn score_shard(&self, shard: &mut Shard, batch: &[Pattern], kind: BatchKind) -> Vec<Vec<f64>> {
+        batch
+            .iter()
+            .map(|pattern| {
+                self.ensure_cached(shard, pattern.cells());
+                let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
+                    .cells()
+                    .iter()
+                    .map(|c| shard.rows.get(c).expect("ensured above"))
+                    .collect();
+                let m = pattern.len();
+                (0..shard.end - shard.start)
+                    .map(|local| {
+                        let mean = best_window_mean(&cell_rows, local, m, self.floor_log);
+                        match kind {
+                            BatchKind::Nm => mean,
+                            // best window *sum* (not mean); the match
+                            // contribution is its exp.
+                            BatchKind::Match => (mean * m as f64).exp(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The sparse singular-NM pass over one shard: for each trajectory (in
+    /// ascending order) the `(cell, best log-prob)` updates it produces, in
+    /// the exact order the sequential pass would apply them.
+    fn singular_updates(&self, start: usize, end: usize) -> Vec<(u32, f64)> {
+        let mut updates = Vec::new();
         let mut best: FxHashMap<u32, f64> = FxHashMap::default();
-        for traj in self.data.iter() {
+        for traj in &self.data.trajectories()[start..end] {
             best.clear();
             for sp in traj.points() {
                 let radius = self.delta + 8.0 * sp.sigma;
@@ -230,45 +130,351 @@ impl<'a> Scorer<'a> {
                 }
             }
             for (&cell, &b) in best.iter() {
-                totals[cell as usize] += b - self.floor_log;
+                updates.push((cell, b));
+            }
+        }
+        updates
+    }
+}
+
+/// Which measure a batch computes.
+#[derive(Debug, Clone, Copy)]
+enum BatchKind {
+    /// Normalized match: mean log probability of the best window (Eq. 3+4).
+    Nm,
+    /// The match measure of Yang et al. \[14\]: expected best-window
+    /// occurrence count.
+    Match,
+}
+
+/// One worker's mutable state: a contiguous trajectory range and the
+/// shard-local slice of every cell-row cache (rows indexed by
+/// `trajectory_index - start`).
+#[derive(Debug)]
+struct Shard {
+    start: usize,
+    end: usize,
+    rows: FxHashMap<CellId, Vec<Box<[f64]>>>,
+}
+
+/// Pattern scoring engine over one dataset/grid/δ configuration.
+///
+/// Construct with [`Scorer::new`] for the sequential engine or
+/// [`Scorer::with_threads`] for the deterministic parallel one; both
+/// produce bit-identical scores (see the module docs).
+pub struct Scorer<'a> {
+    core: ScorerCore<'a>,
+    threads: usize,
+    shards: RefCell<Vec<Shard>>,
+    evaluations: Cell<u64>,
+}
+
+impl<'a> std::fmt::Debug for Scorer<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scorer")
+            .field("trajectories", &self.core.data.len())
+            .field("grid_cells", &self.core.grid.num_cells())
+            .field("delta", &self.core.delta)
+            .field("min_prob", &self.core.min_prob)
+            .field("threads", &self.threads)
+            .field("cached_cells", &self.cached_cells())
+            .finish()
+    }
+}
+
+impl<'a> Scorer<'a> {
+    /// Creates a sequential (single-shard) scorer. `min_prob` must be in
+    /// `(0, 1)` (validated by `MiningParams`; debug-asserted here).
+    pub fn new(data: &'a Dataset, grid: &'a Grid, delta: f64, min_prob: f64) -> Scorer<'a> {
+        Scorer::with_threads(data, grid, delta, min_prob, 1)
+    }
+
+    /// Creates a scorer that scores batches on `threads` worker threads
+    /// (`0` = one per available CPU). Scores are bit-identical to the
+    /// sequential scorer for every thread count: trajectories are split
+    /// into contiguous shards and per-trajectory contributions are reduced
+    /// in ascending trajectory order.
+    pub fn with_threads(
+        data: &'a Dataset,
+        grid: &'a Grid,
+        delta: f64,
+        min_prob: f64,
+        threads: usize,
+    ) -> Scorer<'a> {
+        debug_assert!(min_prob > 0.0 && min_prob < 1.0);
+        debug_assert!(delta > 0.0);
+        let threads = effective_threads(threads);
+        // Never split below MIN_TRAJECTORIES_PER_SHARD per worker: tiny
+        // shards cost more in spawn/cache duplication than they win.
+        let shard_count = (data.len() / MIN_TRAJECTORIES_PER_SHARD).clamp(1, threads);
+        let n = data.len();
+        let shards = (0..shard_count)
+            .map(|s| Shard {
+                start: n * s / shard_count,
+                end: n * (s + 1) / shard_count,
+                rows: FxHashMap::default(),
+            })
+            .collect();
+        Scorer {
+            core: ScorerCore {
+                data,
+                grid,
+                delta,
+                min_prob,
+                floor_log: min_prob.ln(),
+            },
+            threads,
+            shards: RefCell::new(shards),
+            evaluations: Cell::new(0),
+        }
+    }
+
+    /// The dataset being scored.
+    #[inline]
+    pub fn data(&self) -> &'a Dataset {
+        self.core.data
+    }
+
+    /// The grid defining pattern positions.
+    #[inline]
+    pub fn grid(&self) -> &'a Grid {
+        self.core.grid
+    }
+
+    /// The indifference distance δ.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.core.delta
+    }
+
+    /// `ln(min_prob)` — the per-position contribution floor, and also the
+    /// NM a pattern receives from a trajectory it cannot fit in.
+    #[inline]
+    pub fn floor_log(&self) -> f64 {
+        self.core.floor_log
+    }
+
+    /// The worker-thread count this scorer was built with (≥ 1).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of pattern scorings performed so far (NM or match).
+    #[inline]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.get()
+    }
+
+    /// `NM(P)` over the whole dataset (Eq. 3 + 4 summed over `D`).
+    pub fn nm(&self, pattern: &Pattern) -> f64 {
+        self.score_batch(std::slice::from_ref(pattern))[0]
+    }
+
+    /// `NM(P)` for every pattern of `batch`, in order. One cache-fill pass
+    /// per shard; shards are scored on scoped worker threads when the
+    /// scorer was built with more than one.
+    pub fn score_batch(&self, batch: &[Pattern]) -> Vec<f64> {
+        self.run_batch(batch, BatchKind::Nm)
+    }
+
+    /// The *match* measure of Yang et al. \[14\]: `Σ_T max_window M(P,T')`
+    /// — the expected number of (best-aligned) occurrences, without length
+    /// normalization. Used by the baseline match miner.
+    pub fn match_score(&self, pattern: &Pattern) -> f64 {
+        self.score_batch_match(std::slice::from_ref(pattern))[0]
+    }
+
+    /// Match measure for every pattern of `batch`, in order.
+    pub fn score_batch_match(&self, batch: &[Pattern]) -> Vec<f64> {
+        self.run_batch(batch, BatchKind::Match)
+    }
+
+    fn run_batch(&self, batch: &[Pattern], kind: BatchKind) -> Vec<f64> {
+        self.evaluations
+            .set(self.evaluations.get() + batch.len() as u64);
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let mut shards = self.shards.borrow_mut();
+        let core = self.core;
+        let per_shard: Vec<Vec<Vec<f64>>> = if shards.len() == 1 {
+            vec![core.score_shard(&mut shards[0], batch, kind)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .map(|shard| scope.spawn(move || core.score_shard(shard, batch, kind)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scoring worker panicked"))
+                    .collect()
+            })
+        };
+        // Deterministic reduction: fold per-trajectory contributions in
+        // ascending trajectory order — shards are contiguous and ordered,
+        // so this is the exact sequential summation order.
+        batch
+            .iter()
+            .enumerate()
+            .map(|(p, _)| {
+                let mut total = 0.0;
+                for contributions in per_shard.iter() {
+                    for &c in &contributions[p] {
+                        total += c;
+                    }
+                }
+                total
+            })
+            .collect()
+    }
+
+    /// `NM(P, T)` for a single trajectory (Eq. 4); the floor value if the
+    /// trajectory is shorter than the pattern.
+    pub fn nm_in_trajectory(&self, pattern: &Pattern, traj_index: usize) -> f64 {
+        assert!(
+            traj_index < self.core.data.len(),
+            "trajectory index out of range"
+        );
+        let mut shards = self.shards.borrow_mut();
+        let shard = shards
+            .iter_mut()
+            .find(|s| s.start <= traj_index && traj_index < s.end)
+            .expect("shards cover every trajectory");
+        self.core.ensure_cached(shard, pattern.cells());
+        let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
+            .cells()
+            .iter()
+            .map(|c| shard.rows.get(c).expect("ensured above"))
+            .collect();
+        best_window_mean(
+            &cell_rows,
+            traj_index - shard.start,
+            pattern.len(),
+            self.core.floor_log,
+        )
+    }
+
+    /// `NM` of a *gapped* pattern (§5): positions `cells` with
+    /// `gaps[i] = (min, max)` wildcard snapshots allowed between positions
+    /// `i` and `i+1`. Dynamic programming over each trajectory reusing the
+    /// per-cell probability row cache; normalization is by the number of
+    /// specified positions (wildcards contribute probability 1 and no
+    /// normalization mass). Callers must pass `gaps.len() == cells.len()-1`
+    /// with `min <= max` everywhere (debug-asserted).
+    pub fn nm_gapped(&self, cells: &[CellId], gaps: &[(u8, u8)]) -> f64 {
+        debug_assert_eq!(gaps.len() + 1, cells.len());
+        debug_assert!(gaps.iter().all(|&(lo, hi)| lo <= hi));
+        self.evaluations.set(self.evaluations.get() + 1);
+        let m = cells.len();
+        let min_span: usize = m + gaps.iter().map(|&(lo, _)| lo as usize).sum::<usize>();
+        let mut total = 0.0;
+        let mut shards = self.shards.borrow_mut();
+        for shard in shards.iter_mut() {
+            self.core.ensure_cached(shard, cells);
+            let cell_rows: Vec<&Vec<Box<[f64]>>> = cells
+                .iter()
+                .map(|c| shard.rows.get(c).expect("ensured above"))
+                .collect();
+            // `local` indexes every row in `cell_rows`, not just the first.
+            #[allow(clippy::needless_range_loop)]
+            for local in 0..shard.end - shard.start {
+                let l = cell_rows[0][local].len();
+                if l < min_span {
+                    total += self.core.floor_log;
+                    continue;
+                }
+                // dp[j]: best sum with the current position at snapshot j.
+                let mut dp: Vec<f64> = cell_rows[0][local].to_vec();
+                for i in 1..m {
+                    let (lo, hi) = gaps[i - 1];
+                    let row = &cell_rows[i][local];
+                    let mut next = vec![f64::NEG_INFINITY; l];
+                    for (j, slot) in next.iter_mut().enumerate() {
+                        let mut best_prev = f64::NEG_INFINITY;
+                        for g in lo..=hi {
+                            let offset = 1 + g as usize;
+                            if j >= offset && dp[j - offset] > best_prev {
+                                best_prev = dp[j - offset];
+                            }
+                        }
+                        if best_prev > f64::NEG_INFINITY {
+                            *slot = best_prev + row[j];
+                        }
+                    }
+                    dp = next;
+                }
+                let best = dp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                total += if best.is_finite() {
+                    best / m as f64
+                } else {
+                    self.core.floor_log
+                };
+            }
+        }
+        total
+    }
+
+    /// NM of every singular pattern, indexed by `CellId`. One sparse pass:
+    /// memory `O(G + touched cells per trajectory)`, no row caching. Runs
+    /// sharded on the scorer's worker threads; the per-cell accumulations
+    /// are applied in the exact order of the sequential pass, so results
+    /// are bit-identical for every thread count.
+    pub fn nm_all_singulars(&self) -> Vec<f64> {
+        let g = self.core.grid.num_cells() as usize;
+        let n = self.core.data.len() as f64;
+        let mut totals = vec![self.core.floor_log * n; g];
+        let shards = self.shards.borrow();
+        let core = self.core;
+        let per_shard: Vec<Vec<(u32, f64)>> = if shards.len() == 1 {
+            vec![core.singular_updates(shards[0].start, shards[0].end)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        let (start, end) = (shard.start, shard.end);
+                        scope.spawn(move || core.singular_updates(start, end))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("singular worker panicked"))
+                    .collect()
+            })
+        };
+        for updates in per_shard.iter() {
+            for &(cell, b) in updates {
+                totals[cell as usize] += b - self.core.floor_log;
             }
         }
         totals
     }
 
-    /// `ln(max(Prob(l, σ, center(cell), δ), min_prob))` for one snapshot.
-    #[inline]
-    fn log_prob(&self, sp: &SnapshotPoint, cell: CellId) -> f64 {
-        prob_within_delta(sp.mean, sp.sigma, self.grid.center(cell), self.delta)
-            .max(self.min_prob)
-            .ln()
-    }
-
-    /// Fills the per-cell row cache for every cell of `cells`.
-    fn ensure_cached(&self, cells: &[CellId]) {
-        let mut rows = self.rows.borrow_mut();
-        for &cell in cells {
-            if rows.contains_key(&cell) {
-                continue;
-            }
-            let per_traj: Vec<Box<[f64]>> = self
-                .data
-                .iter()
-                .map(|t| {
-                    t.points()
-                        .iter()
-                        .map(|sp| self.log_prob(sp, cell))
-                        .collect::<Vec<f64>>()
-                        .into_boxed_slice()
-                })
-                .collect();
-            rows.insert(cell, per_traj);
-        }
-    }
-
-    /// Number of distinct cells whose probability rows are cached.
+    /// Number of distinct cells whose probability rows are cached (across
+    /// all shards).
     pub fn cached_cells(&self) -> usize {
-        self.rows.borrow().len()
+        let shards = self.shards.borrow();
+        if shards.len() == 1 {
+            return shards[0].rows.len();
+        }
+        let mut distinct: FxHashSet<CellId> = FxHashSet::default();
+        for shard in shards.iter() {
+            distinct.extend(shard.rows.keys().copied());
+        }
+        distinct.len()
+    }
+}
+
+/// Resolves a requested thread count: `0` means one per available CPU.
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
     }
 }
 
@@ -336,11 +542,8 @@ mod tests {
                 Trajectory::new(
                     (0..4)
                         .map(|i| {
-                            SnapshotPoint::new(
-                                Point2::new(0.125 + i as f64 * 0.25, 0.625),
-                                sigma,
-                            )
-                            .unwrap()
+                            SnapshotPoint::new(Point2::new(0.125 + i as f64 * 0.25, 0.625), sigma)
+                                .unwrap()
                         })
                         .collect(),
                 )
@@ -489,5 +692,55 @@ mod tests {
         let p = pat(&[8, 9, 10]);
         let total: f64 = (0..data.len()).map(|i| s.nm_in_trajectory(&p, i)).sum();
         assert!((total - s.nm(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_batch_matches_one_at_a_time() {
+        let (data, grid) = setup(7, 0.05);
+        let s = Scorer::new(&data, &grid, 0.1, 1e-12);
+        let batch = [pat(&[8, 9]), pat(&[9, 10, 11]), pat(&[0, 1]), pat(&[8, 9])];
+        let batched = s.score_batch(&batch);
+        let fresh = Scorer::new(&data, &grid, 0.1, 1e-12);
+        for (p, &b) in batch.iter().zip(&batched) {
+            assert_eq!(fresh.nm(p).to_bits(), b.to_bits());
+        }
+        // One evaluation is charged per pattern, duplicates included.
+        assert_eq!(s.evaluations(), 4);
+    }
+
+    #[test]
+    fn parallel_scores_are_bit_identical() {
+        // 4 workers over 32 trajectories: both measures, every pattern,
+        // down to the last bit. (The dedicated proptest covers random
+        // data; this is the deterministic spot check.)
+        let (data, grid) = setup(32, 0.05);
+        let seq = Scorer::new(&data, &grid, 0.1, 1e-12);
+        let par = Scorer::with_threads(&data, &grid, 0.1, 1e-12, 4);
+        assert_eq!(par.threads(), 4);
+        let batch = [pat(&[8, 9, 10]), pat(&[0, 1]), pat(&[15]), pat(&[8, 9])];
+        for (s, p) in seq.score_batch(&batch).iter().zip(par.score_batch(&batch)) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        for (s, p) in seq
+            .score_batch_match(&batch)
+            .iter()
+            .zip(par.score_batch_match(&batch))
+        {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        for (s, p) in seq.nm_all_singulars().iter().zip(par.nm_all_singulars()) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        assert_eq!(
+            seq.nm_gapped(&[CellId(8), CellId(10)], &[(0, 2)]).to_bits(),
+            par.nm_gapped(&[CellId(8), CellId(10)], &[(0, 2)]).to_bits()
+        );
+    }
+
+    #[test]
+    fn thread_count_zero_means_auto() {
+        let (data, grid) = setup(2, 0.05);
+        let s = Scorer::with_threads(&data, &grid, 0.1, 1e-12, 0);
+        assert!(s.threads() >= 1);
     }
 }

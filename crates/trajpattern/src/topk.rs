@@ -69,7 +69,10 @@ impl ThresholdTracker {
         if self.heap.len() < self.k {
             f64::NEG_INFINITY
         } else {
-            self.heap.peek().map(|r| r.0 .0).unwrap_or(f64::NEG_INFINITY)
+            self.heap
+                .peek()
+                .map(|r| r.0 .0)
+                .unwrap_or(f64::NEG_INFINITY)
         }
     }
 

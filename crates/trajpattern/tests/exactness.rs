@@ -109,10 +109,7 @@ fn matches_brute_force_without_prunes() {
     // tests).
     let data = random_dataset(42, 5, 8, 0.08);
     let grid = Grid::new(BBox::unit(), 3, 3).unwrap();
-    let mut params = MiningParams::new(6, 0.12)
-        .unwrap()
-        .with_max_len(3)
-        .unwrap();
+    let mut params = MiningParams::new(6, 0.12).unwrap().with_max_len(3).unwrap();
     params.use_bound_prune = false;
     params.use_one_extension_prune = false;
     let reference = brute_force_top_k(&data, &grid, &params).unwrap();
@@ -142,9 +139,7 @@ mod property {
                 .map(|pts| {
                     Trajectory::new(
                         pts.into_iter()
-                            .map(|(x, y, s)| {
-                                SnapshotPoint::new(Point2::new(x, y), s).unwrap()
-                            })
+                            .map(|(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
                             .collect(),
                     )
                     .unwrap()

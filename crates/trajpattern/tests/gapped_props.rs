@@ -22,9 +22,7 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
             .map(|pts| {
                 Trajectory::new(
                     pts.into_iter()
-                        .map(|(x, y, s)| {
-                            SnapshotPoint::new(Point2::new(x, y), s).unwrap()
-                        })
+                        .map(|(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
                         .collect(),
                 )
                 .unwrap()

@@ -21,7 +21,11 @@ fn main() {
     };
     let paths = fleet.paths_interleaved(11);
     let (train, test) = paths.split_at(85);
-    println!("{} training traces, {} test traces", train.len(), test.len());
+    println!(
+        "{} training traces, {} test traces",
+        train.len(),
+        test.len()
+    );
 
     // Observe the training traces through the reporting protocol and move
     // to velocity space (two buses on different streets share velocity
@@ -46,7 +50,11 @@ fn main() {
         .with_max_len(8)
         .expect("valid params");
     let mined = mine(&velocities, &grid, &params).expect("mining succeeds");
-    let avg_len: f64 = mined.patterns.iter().map(|m| m.pattern.len()).sum::<usize>() as f64
+    let avg_len: f64 = mined
+        .patterns
+        .iter()
+        .map(|m| m.pattern.len())
+        .sum::<usize>() as f64
         / mined.patterns.len().max(1) as f64;
     println!(
         "mined {} velocity patterns (avg length {:.2})",
@@ -54,8 +62,8 @@ fn main() {
         avg_len
     );
 
-    let library = PatternLibrary::new(mined.patterns, grid, 0.005, 1e-12, 0.9)
-        .expect("valid library");
+    let library =
+        PatternLibrary::new(mined.patterns, grid, 0.005, 1e-12, 0.9).expect("valid library");
 
     println!("\nmis-prediction reduction on held-out buses:");
     let models: Vec<Box<dyn MotionModel>> = vec![

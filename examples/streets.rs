@@ -29,8 +29,8 @@ fn main() {
     );
 
     // One grid cell per street block.
-    let grid = Grid::new(trajgeo::BBox::unit(), city.blocks * 2, city.blocks * 2)
-        .expect("valid grid");
+    let grid =
+        Grid::new(trajgeo::BBox::unit(), city.blocks * 2, city.blocks * 2).expect("valid grid");
     let params = MiningParams::new(9, 0.04)
         .expect("valid params")
         .with_min_len(3)

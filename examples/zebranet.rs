@@ -46,8 +46,7 @@ fn main() {
 
     // Projection-based baseline (same exact answer, much more work).
     let t1 = Instant::now();
-    let pb = mine_pb_budgeted(&data, &grid, &params, Some(2_000_000))
-        .expect("mining succeeds");
+    let pb = mine_pb_budgeted(&data, &grid, &params, Some(2_000_000)).expect("mining succeeds");
     let t_pb = t1.elapsed();
 
     println!("\ntop migration motifs (pattern groups):");

@@ -115,7 +115,10 @@ fn match_miner_top_patterns_have_nonincreasing_match_under_extension() {
     };
     let data = observe_directly(&cfg.paths(21), 0.02, 22);
     let grid = Grid::new(BBox::unit(), 6, 6).unwrap();
-    let params = MiningParams::new(12, 0.06).unwrap().with_max_len(3).unwrap();
+    let params = MiningParams::new(12, 0.06)
+        .unwrap()
+        .with_max_len(3)
+        .unwrap();
     let out = baselines::mine_match(&data, &grid, &params).unwrap();
     assert!(!out.patterns.is_empty());
 

@@ -79,11 +79,14 @@ fn bus_velocity_patterns_assist_all_three_models() {
     ];
     for mut model in models {
         let r = evaluate_paths(test, model.as_mut(), &scheme, &lib);
-        assert!(r.base_mispredictions > 0, "{} never mispredicts?", model.name());
+        assert!(
+            r.base_mispredictions > 0,
+            "{} never mispredicts?",
+            model.name()
+        );
         // Patterns must not make prediction catastrophically worse.
         assert!(
-            (r.assisted_mispredictions as f64)
-                <= r.base_mispredictions as f64 * 1.3 + 5.0,
+            (r.assisted_mispredictions as f64) <= r.base_mispredictions as f64 * 1.3 + 5.0,
             "{}: assisted {} vs base {}",
             model.name(),
             r.assisted_mispredictions,

@@ -9,11 +9,7 @@ use trajpattern::{Pattern, Scorer};
 
 /// Strategy: a random imprecise trajectory on the unit square.
 fn arb_trajectory(len: std::ops::Range<usize>) -> impl Strategy<Value = Trajectory> {
-    prop::collection::vec(
-        (0.0f64..1.0, 0.0f64..1.0, 0.005f64..0.2),
-        len,
-    )
-    .prop_map(|pts| {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.005f64..0.2), len).prop_map(|pts| {
         Trajectory::new(
             pts.into_iter()
                 .map(|(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
@@ -24,8 +20,7 @@ fn arb_trajectory(len: std::ops::Range<usize>) -> impl Strategy<Value = Trajecto
 }
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(arb_trajectory(4..10), 1..6)
-        .prop_map(Dataset::from_trajectories)
+    prop::collection::vec(arb_trajectory(4..10), 1..6).prop_map(Dataset::from_trajectories)
 }
 
 /// Strategy: a random pattern over a `side × side` grid.

@@ -58,7 +58,10 @@ fn mined_patterns_serialize_with_stable_shape() {
         "final_queue_size",
         "nm_evaluations",
     ] {
-        assert!(stats_json.get(field).is_some(), "missing stats field {field}");
+        assert!(
+            stats_json.get(field).is_some(),
+            "missing stats field {field}"
+        );
     }
 
     let groups_json = serde_json::to_value(&out.groups).unwrap();

@@ -1,0 +1,469 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides JSON text on top of the vendored `serde` stub's [`Value`]
+//! tree: `to_value` / `to_string` / `to_string_pretty` / `from_str`, the
+//! [`json!`] object macro, and an [`Error`] type.
+//!
+//! Floats are printed with Rust's shortest-round-trip `Display` and parsed
+//! with `str::parse::<f64>` (correctly rounded), so `f64` round-trips are
+//! exact — the property the workspace opts into upstream via the
+//! `float_roundtrip` feature.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+pub use serde::{Number, Value};
+
+/// A JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Builds a [`Value`] from an object literal of serializable expressions.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $((
+                ::std::string::String::from($key),
+                $crate::to_value(&$val).expect("json! value serializes"),
+            )),*
+        ])
+    };
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![
+            $($crate::to_value(&$elem).expect("json! value serializes")),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::PosInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::NegInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(v) => {
+            if v.is_finite() {
+                // Shortest round-trip formatting; parse::<f64> restores bits.
+                let _ = write!(out, "{v}");
+            } else {
+                // JSON has no non-finite literals; upstream errors here, but
+                // a lossy `null` keeps best-effort report writers working.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected character {other:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this stub's
+                            // writer; reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid \\u code point"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if let Ok(neg) = i64::try_from(v) {
+                        return Ok(Value::Number(Number::NegInt(-neg)));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for v in [0.1, 1.0 / 3.0, 6.02e23, -0.0625, 1e-300, 123456789.123456789] {
+            let s = to_string(&v).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "round-trip of {v} via {s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nquote\"backslash\\tab\tunicode\u{1F600}control\u{01}end";
+        let j = to_string(&String::from(s)).unwrap();
+        let back: String = from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn object_order_and_lookup() {
+        let v = json!({"b": 1u32, "a": 2u32});
+        assert_eq!(to_string(&v).unwrap(), "{\"b\":1,\"a\":2}");
+        assert_eq!(v["a"].as_u64(), Some(2));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let v = json!({"xs": vec![1u32, 2u32]});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"xs\": [\n    1,\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v: Value = from_str("{\"a\": [1, -2, 3.5, null, true], \"b\": {\"c\": \"d\"}}")
+            .unwrap();
+        assert_eq!(v["a"].as_array().unwrap().len(), 5);
+        assert_eq!(v["b"]["c"].as_str(), Some("d"));
+    }
+}
