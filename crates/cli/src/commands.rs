@@ -3,7 +3,7 @@
 use crate::args::Args;
 use datagen::{observe_directly, BusConfig, PostureConfig, UniformConfig, ZebraConfig};
 use std::error::Error;
-use trajdata::Dataset;
+use trajdata::{Dataset, IngestPolicy, IngestReport};
 use trajgeo::{Grid, Point2};
 use trajpattern::{Miner, MiningParams};
 
@@ -18,7 +18,8 @@ USAGE:
   trajmine validate --input FILE [--max-sigma F] [--min-len N]
   trajmine mine     --input FILE --k N [--delta F] [--grid N] [--min-len N]
                     [--max-len N] [--gamma F] [--threads N] [--velocity true]
-                    [--map true] [--json FILE]
+                    [--map true] [--json FILE] [--on-error strict|skip|repair]
+                    [--checkpoint FILE] [--resume FILE]
 
 Dataset files ending in .csv use the CSV schema `traj_id,snapshot,x,y,sigma`;
 anything else is JSON. `generate` observes ground-truth paths with Gaussian
@@ -26,7 +27,13 @@ noise --sigma (default 0.01). `mine` lays an N×N grid (default 16) over the
 dataset's bounding box; --velocity true mines velocity trajectories instead
 of locations; --gamma enables pattern-group discovery; --map true prints an
 ASCII density map with the top pattern overlaid; --threads sets the scorer
-worker count (0 = one per core; any value gives bit-identical results).";
+worker count (0 = one per core; any value gives bit-identical results).
+--on-error controls damaged-CSV handling: strict (default) aborts on the
+first defect, skip drops bad rows/trajectories, repair additionally fixes
+recoverable values; skip and repair print an ingest report to stderr.
+--checkpoint FILE saves resumable state after every growth level;
+--resume FILE continues an interrupted run (the data and parameters must
+match the checkpointed run) with bit-identical results.";
 
 /// Runs the subcommand in `args`.
 pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -103,12 +110,31 @@ fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn load(args: &Args) -> Result<Dataset, Box<dyn Error>> {
+    Ok(load_with_policy(args, IngestPolicy::Strict)?.0)
+}
+
+/// Loads the dataset under an ingest policy. CSV inputs go through the
+/// fault-tolerant [`trajdata::ingest`] path and return a report; JSON
+/// inputs are all-or-nothing, but `Repair` still sanitizes the loaded
+/// dataset in place.
+fn load_with_policy(
+    args: &Args,
+    policy: IngestPolicy,
+) -> Result<(Dataset, Option<IngestReport>), Box<dyn Error>> {
     let input = args.require("input")?;
     let raw = std::fs::read_to_string(input)?;
     if input.ends_with(".csv") {
-        Ok(trajdata::csv::from_csv(&raw)?)
+        let (data, report) = trajdata::ingest(&raw, policy).map_err(trajpattern::Error::from)?;
+        Ok((data, Some(report)))
     } else {
-        Ok(Dataset::from_json(&raw)?)
+        let mut data = Dataset::from_json(&raw)?;
+        if policy == IngestPolicy::Repair {
+            let fixed = trajdata::sanitize(&mut data);
+            if !fixed.is_clean() {
+                eprintln!("repair: {fixed}");
+            }
+        }
+        Ok((data, None))
     }
 }
 
@@ -198,7 +224,18 @@ fn validate(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
-    let mut data = load(args)?;
+    let policy: IngestPolicy = match args.get("on-error") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("invalid --on-error value '{s}' (use strict|skip|repair)"))?,
+        None => IngestPolicy::Strict,
+    };
+    let (mut data, report) = load_with_policy(args, policy)?;
+    if let Some(r) = &report {
+        if !r.is_clean() {
+            eprintln!("ingest: {r}");
+        }
+    }
     let k: usize = args.get_or("k", 10usize)?;
     let grid_side: u32 = args.get_or("grid", 16u32)?;
     let min_len: usize = args.get_or("min-len", 1usize)?;
@@ -227,16 +264,27 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
         params = params.with_gamma(gamma).map_err(trajpattern::Error::from)?;
     }
 
-    let out = Miner::new(&data, &grid)
-        .params(params)
-        .threads(threads)
-        .mine()?;
+    let mut miner = Miner::new(&data, &grid).params(params).threads(threads);
+    if let Some(path) = args.get("checkpoint") {
+        miner = miner.checkpoint(path);
+    }
+    if let Some(path) = args.get("resume") {
+        miner = miner.resume(path);
+    }
+    let out = miner.mine()?;
     println!(
         "mined {} patterns in {} iterations ({} candidates scored)",
         out.patterns.len(),
         out.stats.iterations,
         out.stats.candidates_scored
     );
+    if out.stats.degraded_shard_rescores > 0 {
+        eprintln!(
+            "note: degraded run — {} scorer shard(s) panicked and were rescored \
+             sequentially; results are still exact",
+            out.stats.degraded_shard_rescores
+        );
+    }
     for (i, m) in out.patterns.iter().enumerate() {
         let pts = m.pattern.centers(&grid);
         let path: Vec<String> = pts
@@ -410,6 +458,91 @@ mod tests {
         )
         .unwrap();
         assert!(dispatch(&args(&["validate", "--input", bad.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_on_error_skip_survives_damaged_csv() {
+        let dir = std::env::temp_dir().join(format!("trajmine-skip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.csv");
+        let mut text = String::from("traj_id,snapshot,x,y,sigma\n");
+        for t in 0..6 {
+            for s in 0..5 {
+                text.push_str(&format!("{t},{s},0.{},0.5,0.01\n", s + 1));
+            }
+        }
+        text.push_str("6,0,not-a-number,0.5,0.01\n"); // bad row
+        text.push_str("6,1,0.2,0.5,0.01\n");
+        std::fs::write(&bad, &text).unwrap();
+        let base = [
+            "mine",
+            "--input",
+            "",
+            "--k",
+            "2",
+            "--grid",
+            "5",
+            "--max-len",
+            "2",
+        ];
+        let mut strict = base.to_vec();
+        strict[2] = bad.to_str().unwrap();
+        assert!(dispatch(&args(&strict)).is_err());
+        let mut skip = strict.clone();
+        skip.extend(["--on-error", "skip"]);
+        dispatch(&args(&skip)).unwrap();
+        let mut repair = strict.clone();
+        repair.extend(["--on-error", "repair"]);
+        dispatch(&args(&repair)).unwrap();
+        let mut bogus = strict.clone();
+        bogus.extend(["--on-error", "explode"]);
+        assert!(dispatch(&args(&bogus)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_checkpoint_then_resume_round_trips() {
+        let dir = std::env::temp_dir().join(format!("trajmine-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("d.csv");
+        let data_str = data_path.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "bus",
+            "--traces",
+            "6",
+            "--snapshots",
+            "12",
+            "--out",
+            data_str,
+        ]))
+        .unwrap();
+        let ckpt = dir.join("run.ckpt");
+        let ckpt_str = ckpt.to_str().unwrap();
+        let common = [
+            "mine",
+            "--input",
+            data_str,
+            "--k",
+            "3",
+            "--grid",
+            "5",
+            "--max-len",
+            "3",
+        ];
+        let mut with_ckpt = common.to_vec();
+        with_ckpt.extend(["--checkpoint", ckpt_str]);
+        dispatch(&args(&with_ckpt)).unwrap();
+        assert!(ckpt.exists(), "checkpoint file must be written");
+        let mut resumed = common.to_vec();
+        resumed.extend(["--resume", ckpt_str]);
+        dispatch(&args(&resumed)).unwrap();
+        // Resuming under different parameters is rejected.
+        let mut wrong = resumed.clone();
+        wrong[4] = "4";
+        assert!(dispatch(&args(&wrong)).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,4 +1,5 @@
-//! Trace corruption utilities: sensor dropouts and outlier injection.
+//! Trace corruption utilities: sensor dropouts, outlier injection, and
+//! structural file damage.
 //!
 //! Real tracking deployments lose samples (dead sensor batteries, §1's
 //! "sensors are limited in power and may fail from time to time") and
@@ -6,9 +7,19 @@
 //! corrupt ground-truth paths *before* observation so robustness can be
 //! tested end-to-end; the integration suite verifies that mining degrades
 //! gracefully rather than failing.
+//!
+//! Two layers of damage are modelled:
+//!
+//! - **Value corruption** ([`CorruptionConfig`]): dropouts and outliers on
+//!   in-memory paths, as above.
+//! - **Structural corruption** ([`corrupt_csv_structurally`]): damage to a
+//!   *serialized* dataset — truncated files, shuffled rows, garbage
+//!   fields, NaN injection — exercising the fault-tolerant ingest policies
+//!   in `trajdata::csv`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use trajgeo::stats::sample_std_normal;
 use trajgeo::{BBox, Point2};
 
@@ -39,26 +50,80 @@ impl Default for CorruptionConfig {
     }
 }
 
+/// Why a [`CorruptionConfig`] is unusable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorruptionConfigError {
+    /// A probability field is negative, above 1, or not a number.
+    ProbabilityOutOfRange {
+        /// Which field (`"dropout_prob"` or `"outlier_prob"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `outlier_sigma` is non-positive or non-finite — a zero or negative
+    /// displacement scale silently produces no outliers at all, which is
+    /// never what a corruption experiment intends.
+    NonPositiveSigma {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CorruptionConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionConfigError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} must be a probability in [0, 1], got {value}")
+            }
+            CorruptionConfigError::NonPositiveSigma { value } => {
+                write!(f, "outlier_sigma must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorruptionConfigError {}
+
 impl CorruptionConfig {
-    /// Validates the probabilities.
+    /// Checks every field, naming the first offender.
+    pub fn validate(&self) -> Result<(), CorruptionConfigError> {
+        for (field, value) in [
+            ("dropout_prob", self.dropout_prob),
+            ("outlier_prob", self.outlier_prob),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(CorruptionConfigError::ProbabilityOutOfRange { field, value });
+            }
+        }
+        if !self.outlier_sigma.is_finite() || self.outlier_sigma <= 0.0 {
+            return Err(CorruptionConfigError::NonPositiveSigma {
+                value: self.outlier_sigma,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether [`validate`](CorruptionConfig::validate) passes.
     pub fn is_valid(&self) -> bool {
-        (0.0..1.0).contains(&self.dropout_prob)
-            && (0.0..1.0).contains(&self.outlier_prob)
-            && self.outlier_sigma.is_finite()
-            && self.outlier_sigma >= 0.0
+        self.validate().is_ok()
     }
 
     /// Corrupts every path: drops readings (repaired by interpolation) and
     /// displaces survivors into outliers. Path lengths are preserved; the
     /// first and last snapshot of each path never drop (so interpolation
-    /// is always anchored).
-    pub fn corrupt(&self, paths: &[Vec<Point2>], seed: u64) -> Vec<Vec<Point2>> {
-        assert!(self.is_valid(), "invalid corruption config");
+    /// is always anchored). An invalid configuration is a typed error, not
+    /// a panic.
+    pub fn corrupt(
+        &self,
+        paths: &[Vec<Point2>],
+        seed: u64,
+    ) -> Result<Vec<Vec<Point2>>, CorruptionConfigError> {
+        self.validate()?;
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_44u64);
-        paths
+        Ok(paths
             .iter()
             .map(|p| self.corrupt_one(p, &mut rng))
-            .collect()
+            .collect())
     }
 
     fn corrupt_one(&self, path: &[Point2], rng: &mut StdRng) -> Vec<Point2> {
@@ -107,6 +172,143 @@ impl CorruptionConfig {
     }
 }
 
+/// One kind of structural damage to a serialized (CSV) dataset.
+///
+/// These model what actually happens to files in the field — partial
+/// writes, concatenation mishaps, encoding bugs — rather than noisy
+/// sensor values. Apply with [`corrupt_csv_structurally`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructuralDefect {
+    /// Cut the file mid-row (a partial write / interrupted download):
+    /// roughly the last fifth of the text is removed, ending mid-line.
+    TruncateTail,
+    /// Shuffle all data rows (a parallel writer flushing out of order).
+    ShuffleRows,
+    /// Replace numeric fields on a few rows with non-numeric garbage.
+    GarbageFields,
+    /// Replace coordinates on a few rows with literal `NaN` — which Rust's
+    /// float parser *accepts*, so this exercises value validation rather
+    /// than parse errors.
+    NanInjection,
+    /// Duplicate a few rows in place (an at-least-once delivery replay).
+    DuplicateRows,
+    /// Remove the header row entirely.
+    DropHeader,
+}
+
+impl StructuralDefect {
+    /// Every defect, for exhaustive matrix tests.
+    pub const ALL: [StructuralDefect; 6] = [
+        StructuralDefect::TruncateTail,
+        StructuralDefect::ShuffleRows,
+        StructuralDefect::GarbageFields,
+        StructuralDefect::NanInjection,
+        StructuralDefect::DuplicateRows,
+        StructuralDefect::DropHeader,
+    ];
+}
+
+/// Applies each defect (in the order given) to CSV `text`, deterministic
+/// per `seed`. The input is treated as opaque lines plus a header, so this
+/// works on any CSV the `trajdata` codec emits.
+pub fn corrupt_csv_structurally(text: &str, defects: &[StructuralDefect], seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57_4c_75u64);
+    let mut out = text.to_string();
+    for defect in defects {
+        out = apply_defect(&out, *defect, &mut rng);
+    }
+    out
+}
+
+fn apply_defect(text: &str, defect: StructuralDefect, rng: &mut StdRng) -> String {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    match defect {
+        StructuralDefect::TruncateTail => {
+            let mut cut = text.len() - text.len() / 5;
+            // A byte cut can coincidentally leave a parseable final row;
+            // a real partial write usually doesn't. Pull the cut back to
+            // just before the line's second comma so the surviving
+            // fragment can never pass as a five-field record.
+            let line_start = text[..cut].rfind('\n').map_or(0, |i| i + 1);
+            let line_end = text[cut..].find('\n').map_or(text.len(), |i| cut + i);
+            let second_comma = text[line_start..line_end]
+                .char_indices()
+                .filter(|(_, c)| *c == ',')
+                .nth(1)
+                .map(|(i, _)| line_start + i);
+            if let Some(pos) = second_comma {
+                cut = pos;
+            }
+            return text[..cut].to_string();
+        }
+        StructuralDefect::ShuffleRows => {
+            // Fisher–Yates over the data rows, keeping the header fixed.
+            let start = 1.min(lines.len());
+            for i in (start + 1..lines.len()).rev() {
+                let j = rng.gen_range(start..=i);
+                lines.swap(i, j);
+            }
+        }
+        StructuralDefect::GarbageFields => {
+            mutate_data_rows(&mut lines, rng, |row, rng| {
+                let mut fields: Vec<&str> = row.split(',').collect();
+                if !fields.is_empty() {
+                    let idx = rng.gen_range(0..fields.len());
+                    fields[idx] = "##garbage##";
+                }
+                fields.join(",")
+            });
+        }
+        StructuralDefect::NanInjection => {
+            mutate_data_rows(&mut lines, rng, |row, _| {
+                let mut fields: Vec<String> = row.split(',').map(str::to_string).collect();
+                // Fields 2 and 3 are x and y in the trajdata schema.
+                for f in fields.iter_mut().skip(2).take(2) {
+                    *f = "NaN".to_string();
+                }
+                fields.join(",")
+            });
+        }
+        StructuralDefect::DuplicateRows => {
+            let mut i = 1;
+            while i < lines.len() {
+                if rng.gen::<f64>() < 0.15 {
+                    lines.insert(i + 1, lines[i].clone());
+                    i += 1; // Skip over the copy so replays don't cascade.
+                }
+                i += 1;
+            }
+        }
+        StructuralDefect::DropHeader => {
+            if !lines.is_empty() {
+                lines.remove(0);
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    if text.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Rewrites ~15% of data rows (always at least one when any exist).
+fn mutate_data_rows(
+    lines: &mut [String],
+    rng: &mut StdRng,
+    mut mutate: impl FnMut(&str, &mut StdRng) -> String,
+) {
+    if lines.len() <= 1 {
+        return;
+    }
+    let forced = rng.gen_range(1..lines.len());
+    for (i, line) in lines.iter_mut().enumerate().skip(1) {
+        if i == forced || rng.gen::<f64>() < 0.15 {
+            *line = mutate(line, rng);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,7 +323,7 @@ mod tests {
     fn preserves_shape_and_endpoints() {
         let cfg = CorruptionConfig::default();
         let paths = vec![line(50), line(30)];
-        let out = cfg.corrupt(&paths, 1);
+        let out = cfg.corrupt(&paths, 1).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].len(), 50);
         assert_eq!(out[1].len(), 30);
@@ -135,7 +337,7 @@ mod tests {
             ..CorruptionConfig::default()
         };
         let paths = vec![line(20)];
-        assert_eq!(cfg.corrupt(&paths, 2), paths);
+        assert_eq!(cfg.corrupt(&paths, 2).unwrap(), paths);
     }
 
     #[test]
@@ -148,7 +350,7 @@ mod tests {
             ..CorruptionConfig::default()
         };
         let paths = vec![line(40)];
-        let out = cfg.corrupt(&paths, 3);
+        let out = cfg.corrupt(&paths, 3).unwrap();
         for (a, b) in out[0].iter().zip(&paths[0]) {
             assert!(a.distance(*b) < 1e-9, "straight-line repair must be exact");
         }
@@ -163,7 +365,7 @@ mod tests {
             bbox: BBox::unit(),
         };
         let paths = vec![line(100)];
-        let out = cfg.corrupt(&paths, 4);
+        let out = cfg.corrupt(&paths, 4).unwrap();
         let moved = out[0]
             .iter()
             .zip(&paths[0])
@@ -179,24 +381,119 @@ mod tests {
     fn deterministic_per_seed() {
         let cfg = CorruptionConfig::default();
         let paths = vec![line(25)];
-        assert_eq!(cfg.corrupt(&paths, 9), cfg.corrupt(&paths, 9));
-        assert_ne!(cfg.corrupt(&paths, 9), cfg.corrupt(&paths, 10));
+        assert_eq!(
+            cfg.corrupt(&paths, 9).unwrap(),
+            cfg.corrupt(&paths, 9).unwrap()
+        );
+        assert_ne!(
+            cfg.corrupt(&paths, 9).unwrap(),
+            cfg.corrupt(&paths, 10).unwrap()
+        );
     }
 
     #[test]
-    #[should_panic(expected = "invalid corruption config")]
-    fn rejects_invalid_rates() {
-        let cfg = CorruptionConfig {
+    fn rejects_invalid_rates_with_typed_error() {
+        let bad_prob = CorruptionConfig {
             dropout_prob: 1.5,
             ..CorruptionConfig::default()
         };
-        cfg.corrupt(&[line(5)], 0);
+        assert_eq!(
+            bad_prob.corrupt(&[line(5)], 0).unwrap_err(),
+            CorruptionConfigError::ProbabilityOutOfRange {
+                field: "dropout_prob",
+                value: 1.5,
+            }
+        );
+        let negative = CorruptionConfig {
+            outlier_prob: -0.25,
+            ..CorruptionConfig::default()
+        };
+        assert!(matches!(
+            negative.validate(),
+            Err(CorruptionConfigError::ProbabilityOutOfRange {
+                field: "outlier_prob",
+                ..
+            })
+        ));
+        let flat = CorruptionConfig {
+            outlier_sigma: 0.0,
+            ..CorruptionConfig::default()
+        };
+        assert_eq!(
+            flat.validate().unwrap_err(),
+            CorruptionConfigError::NonPositiveSigma { value: 0.0 }
+        );
+        assert!(!flat.is_valid());
+        let err = flat.validate().unwrap_err().to_string();
+        assert!(err.contains("outlier_sigma"), "unhelpful message: {err}");
+        assert!(CorruptionConfig::default().is_valid());
+    }
+
+    const CSV: &str = "traj_id,snapshot,x,y,sigma\n\
+        0,0,0.1,0.2,0.01\n\
+        0,1,0.2,0.2,0.01\n\
+        1,0,0.3,0.4,0.01\n\
+        1,1,0.4,0.4,0.01\n";
+
+    #[test]
+    fn truncate_tail_cuts_mid_line() {
+        let out = corrupt_csv_structurally(CSV, &[StructuralDefect::TruncateTail], 1);
+        assert!(out.len() < CSV.len());
+        assert!(CSV.starts_with(&out));
+    }
+
+    #[test]
+    fn shuffle_keeps_header_and_row_multiset() {
+        let out = corrupt_csv_structurally(CSV, &[StructuralDefect::ShuffleRows], 2);
+        let mut orig: Vec<&str> = CSV.lines().skip(1).collect();
+        let mut got: Vec<&str> = out.lines().skip(1).collect();
+        assert_eq!(out.lines().next(), CSV.lines().next());
+        orig.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn garbage_and_nan_touch_at_least_one_row() {
+        let garbage = corrupt_csv_structurally(CSV, &[StructuralDefect::GarbageFields], 3);
+        assert!(garbage.contains("##garbage##"));
+        let nan = corrupt_csv_structurally(CSV, &[StructuralDefect::NanInjection], 4);
+        assert!(nan.contains("NaN,NaN"));
+    }
+
+    #[test]
+    fn duplicate_rows_only_adds_copies() {
+        let out = corrupt_csv_structurally(CSV, &[StructuralDefect::DuplicateRows], 5);
+        assert!(out.lines().count() >= CSV.lines().count());
+        for l in out.lines() {
+            assert!(CSV.lines().any(|o| o == l), "invented row: {l}");
+        }
+    }
+
+    #[test]
+    fn drop_header_removes_first_line() {
+        let out = corrupt_csv_structurally(CSV, &[StructuralDefect::DropHeader], 6);
+        assert_eq!(out.lines().next(), CSV.lines().nth(1));
+    }
+
+    #[test]
+    fn structural_corruption_is_deterministic_and_composable() {
+        let defects = StructuralDefect::ALL;
+        let a = corrupt_csv_structurally(CSV, &defects, 11);
+        let b = corrupt_csv_structurally(CSV, &defects, 11);
+        assert_eq!(a, b);
+        // Empty input never panics.
+        for d in StructuralDefect::ALL {
+            corrupt_csv_structurally("", &[d], 0);
+        }
     }
 
     #[test]
     fn empty_and_singleton_paths_are_fine() {
         let cfg = CorruptionConfig::default();
-        let out = cfg.corrupt(&[vec![], vec![Point2::new(0.5, 0.5)]], 7);
+        let out = cfg
+            .corrupt(&[vec![], vec![Point2::new(0.5, 0.5)]], 7)
+            .unwrap();
         assert!(out[0].is_empty());
         assert_eq!(out[1].len(), 1);
     }

@@ -38,7 +38,9 @@ pub mod uniform;
 pub mod zebranet;
 
 pub use bus::BusConfig;
-pub use corrupt::CorruptionConfig;
+pub use corrupt::{
+    corrupt_csv_structurally, CorruptionConfig, CorruptionConfigError, StructuralDefect,
+};
 pub use observe::{observe_directly, observe_via_reporting};
 pub use posture::PostureConfig;
 pub use streets::StreetConfig;

@@ -14,6 +14,7 @@
 //! the indices exist to catch truncated or shuffled files).
 
 use crate::dataset::Dataset;
+use crate::sanitize::{sanitize, SanitizeReport};
 use crate::snapshot::SnapshotPoint;
 use crate::trajectory::Trajectory;
 use std::fmt;
@@ -167,6 +168,331 @@ pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
     Ok(Dataset::from_trajectories(trajectories))
 }
 
+/// How [`ingest`] reacts to malformed input.
+///
+/// Real deployments break in exactly the places §1 warns about — sensors
+/// fail, exports truncate, fields corrupt. The policy decides whether one
+/// bad row aborts the load or the load routes around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPolicy {
+    /// Abort on the first defect with a precise [`CsvError`] — today's
+    /// (and the default) behavior.
+    #[default]
+    Strict,
+    /// Drop defective rows (and trajectories left empty by the drops),
+    /// returning whatever parses cleanly plus an [`IngestReport`].
+    Skip,
+    /// Like [`IngestPolicy::Skip`], but additionally repair recoverable
+    /// defects: non-finite coordinates are interpolated from neighbours
+    /// (à la §3.2), negative sigmas clamped, duplicate snapshots deduped
+    /// and out-of-order snapshots reordered when unambiguous.
+    Repair,
+}
+
+impl std::str::FromStr for IngestPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<IngestPolicy, String> {
+        match s {
+            "strict" => Ok(IngestPolicy::Strict),
+            "skip" => Ok(IngestPolicy::Skip),
+            "repair" => Ok(IngestPolicy::Repair),
+            other => Err(format!(
+                "unknown ingest policy '{other}' (expected strict|skip|repair)"
+            )),
+        }
+    }
+}
+
+/// Categories of input defects an [`IngestReport`] counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// The header row was missing or malformed.
+    MissingHeader,
+    /// A data row did not have exactly five fields.
+    WrongFieldCount,
+    /// A field failed to parse as a number.
+    BadNumber,
+    /// Snapshot indices were out of order within a trajectory.
+    OutOfOrder,
+    /// Two rows claimed the same snapshot index of one trajectory.
+    DuplicateSnapshot,
+    /// Non-finite coordinates or a negative sigma.
+    InvalidValue,
+    /// A trajectory id went backwards (ids must be non-decreasing).
+    IdRegression,
+}
+
+impl Defect {
+    /// Every category, in report order.
+    pub const ALL: [Defect; 7] = [
+        Defect::MissingHeader,
+        Defect::WrongFieldCount,
+        Defect::BadNumber,
+        Defect::OutOfOrder,
+        Defect::DuplicateSnapshot,
+        Defect::InvalidValue,
+        Defect::IdRegression,
+    ];
+
+    fn index(self) -> usize {
+        Defect::ALL.iter().position(|&d| d == self).expect("listed")
+    }
+
+    /// Short human-readable category name.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Defect::MissingHeader => "missing header",
+            Defect::WrongFieldCount => "wrong field count",
+            Defect::BadNumber => "unparseable number",
+            Defect::OutOfOrder => "out-of-order snapshot",
+            Defect::DuplicateSnapshot => "duplicate snapshot",
+            Defect::InvalidValue => "invalid value",
+            Defect::IdRegression => "trajectory id regression",
+        }
+    }
+}
+
+/// One located defect: what went wrong and on which 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// The defect category.
+    pub defect: Defect,
+}
+
+/// Per-category cap on retained [`Diagnostic`]s, so a pathological file
+/// (millions of bad rows) cannot balloon memory through error collection.
+/// Counts stay exact; only the located diagnostics are truncated (and
+/// [`IngestReport::truncated`] says so).
+pub const MAX_DIAGNOSTICS_PER_DEFECT: usize = 32;
+
+/// What [`ingest`] saw and did: row counts, per-category defect counts,
+/// capped per-line diagnostics, and (under [`IngestPolicy::Repair`]) the
+/// sanitizer's fix report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Non-blank data rows encountered (header excluded).
+    pub rows_read: usize,
+    /// Rows accepted into the dataset (under `Repair`, possibly after
+    /// in-place repair).
+    pub rows_kept: usize,
+    /// Trajectories in the returned dataset.
+    pub trajectories_kept: usize,
+    /// Whether per-line diagnostics were dropped after hitting
+    /// [`MAX_DIAGNOSTICS_PER_DEFECT`] (defect *counts* remain exact).
+    pub truncated: bool,
+    /// Value-level repairs performed by the sanitizer (`Repair` only).
+    pub sanitize: Option<SanitizeReport>,
+    counts: [usize; Defect::ALL.len()],
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl IngestReport {
+    fn record(&mut self, line: usize, defect: Defect) {
+        let i = defect.index();
+        self.counts[i] += 1;
+        if self.counts[i] <= MAX_DIAGNOSTICS_PER_DEFECT {
+            self.diagnostics.push(Diagnostic { line, defect });
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// Exact number of defects seen in `defect`'s category (not capped).
+    pub fn count(&self, defect: Defect) -> usize {
+        self.counts[defect.index()]
+    }
+
+    /// Exact total number of defects across all categories.
+    pub fn total_defects(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The retained per-line diagnostics (at most
+    /// [`MAX_DIAGNOSTICS_PER_DEFECT`] per category, in input order).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Whether the input had no defects at all.
+    pub fn is_clean(&self) -> bool {
+        self.total_defects() == 0 && self.sanitize.is_none_or(|s| s.is_clean())
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingested {}/{} rows into {} trajectories",
+            self.rows_kept, self.rows_read, self.trajectories_kept
+        )?;
+        for d in Defect::ALL {
+            if self.count(d) > 0 {
+                write!(f, "; {} × {}", self.count(d), d.describe())?;
+            }
+        }
+        if let Some(s) = &self.sanitize {
+            if !s.is_clean() {
+                write!(f, "; {s}")?;
+            }
+        }
+        if self.truncated {
+            write!(f, " (diagnostics truncated)")?;
+        }
+        Ok(())
+    }
+}
+
+/// One successfully parsed data row, before ordering/validity checks.
+struct ParsedRow {
+    line: usize,
+    snapshot: usize,
+    x: f64,
+    y: f64,
+    sigma: f64,
+}
+
+/// Parses CSV trajectory data under the given fault-handling `policy`.
+///
+/// - [`IngestPolicy::Strict`] behaves exactly like [`from_csv`]: the first
+///   defect aborts with a precise [`CsvError`].
+/// - [`IngestPolicy::Skip`] and [`IngestPolicy::Repair`] never fail: they
+///   return whatever could be salvaged plus an [`IngestReport`] describing
+///   every defect (diagnostics capped, counts exact).
+pub fn ingest(text: &str, policy: IngestPolicy) -> Result<(Dataset, IngestReport), CsvError> {
+    if policy == IngestPolicy::Strict {
+        let data = from_csv(text)?;
+        let mut report = IngestReport::default();
+        report.rows_read = data.iter().map(|t| t.len()).sum();
+        report.rows_kept = report.rows_read;
+        report.trajectories_kept = data.len();
+        return Ok((data, report));
+    }
+
+    let mut report = IngestReport::default();
+    let mut lines = text.lines().enumerate().peekable();
+    match lines.peek() {
+        Some((_, h)) if h.trim() == HEADER => {
+            lines.next();
+        }
+        // No header: note it and fall through — the first line may still
+        // be a recoverable data row (e.g. after a shuffled export).
+        _ => report.record(1, Defect::MissingHeader),
+    }
+
+    // Phase 1: structural row parse, grouped into runs of equal traj_id.
+    let mut runs: Vec<(u64, Vec<ParsedRow>)> = Vec::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        report.rows_read += 1;
+        let fields: Vec<&str> = raw.split(',').collect();
+        if fields.len() != 5 {
+            report.record(line, Defect::WrongFieldCount);
+            continue;
+        }
+        let parsed = (
+            fields[0].trim().parse::<u64>(),
+            fields[1].trim().parse::<usize>(),
+            fields[2].trim().parse::<f64>(),
+            fields[3].trim().parse::<f64>(),
+            fields[4].trim().parse::<f64>(),
+        );
+        let (Ok(traj_id), Ok(snapshot), Ok(x), Ok(y), Ok(sigma)) =
+            (parsed.0, parsed.1, parsed.2, parsed.3, parsed.4)
+        else {
+            report.record(line, Defect::BadNumber);
+            continue;
+        };
+        let row = ParsedRow {
+            line,
+            snapshot,
+            x,
+            y,
+            sigma,
+        };
+        match runs.last_mut() {
+            Some((id, rows)) if *id == traj_id => rows.push(row),
+            prev => {
+                if let Some((prev_id, _)) = prev {
+                    if traj_id < *prev_id {
+                        report.record(line, Defect::IdRegression);
+                    }
+                }
+                runs.push((traj_id, vec![row]));
+            }
+        }
+    }
+
+    // Phase 2: per-trajectory ordering/validity under the policy.
+    let mut trajectories: Vec<Trajectory> = Vec::new();
+    for (_, mut rows) in runs {
+        let points = match policy {
+            IngestPolicy::Skip => {
+                let mut points: Vec<SnapshotPoint> = Vec::new();
+                for r in &rows {
+                    if r.snapshot != points.len() {
+                        report.record(r.line, Defect::OutOfOrder);
+                        continue;
+                    }
+                    match SnapshotPoint::new(Point2::new(r.x, r.y), r.sigma) {
+                        Some(sp) => {
+                            points.push(sp);
+                            report.rows_kept += 1;
+                        }
+                        None => report.record(r.line, Defect::InvalidValue),
+                    }
+                }
+                points
+            }
+            IngestPolicy::Repair => {
+                let sorted = rows.windows(2).all(|w| w[0].snapshot <= w[1].snapshot);
+                if !sorted {
+                    report.record(rows[0].line, Defect::OutOfOrder);
+                    rows.sort_by_key(|r| r.snapshot); // stable: ties keep input order
+                }
+                let mut points: Vec<SnapshotPoint> = Vec::new();
+                let mut prev_snapshot = None;
+                for r in &rows {
+                    if prev_snapshot == Some(r.snapshot) {
+                        // Ambiguous duplicates keep the first occurrence.
+                        report.record(r.line, Defect::DuplicateSnapshot);
+                        continue;
+                    }
+                    prev_snapshot = Some(r.snapshot);
+                    let mean = Point2::new(r.x, r.y);
+                    if SnapshotPoint::new(mean, r.sigma).is_none() {
+                        report.record(r.line, Defect::InvalidValue);
+                    }
+                    // Staged raw; the sanitizer below repairs the values.
+                    points.push(SnapshotPoint {
+                        mean,
+                        sigma: r.sigma,
+                    });
+                    report.rows_kept += 1;
+                }
+                points
+            }
+            IngestPolicy::Strict => unreachable!("handled above"),
+        };
+        if !points.is_empty() {
+            trajectories.push(Trajectory::from_raw_points(points));
+        }
+    }
+
+    let mut data = Dataset::from_trajectories(trajectories);
+    if policy == IngestPolicy::Repair {
+        report.sanitize = Some(sanitize(&mut data));
+    }
+    report.trajectories_kept = data.len();
+    Ok((data, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +586,138 @@ mod tests {
         let text = format!("{HEADER}\n1,0,1.0,2.0,0.1\n7,0,3.0,4.0,0.2\n");
         let d = from_csv(&text).unwrap();
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ingest_strict_matches_from_csv() {
+        let d = sample();
+        let csv = to_csv(&d);
+        let (back, report) = ingest(&csv, IngestPolicy::Strict).unwrap();
+        assert_eq!(d, back);
+        assert!(report.is_clean());
+        assert_eq!(report.rows_read, 3);
+        assert_eq!(report.rows_kept, 3);
+        assert_eq!(report.trajectories_kept, 2);
+
+        let bad = format!("{HEADER}\n0,0,one,2.0,0.1\n");
+        assert!(ingest(&bad, IngestPolicy::Strict).is_err());
+    }
+
+    #[test]
+    fn ingest_skip_drops_bad_rows() {
+        let text = format!(
+            "{HEADER}\n\
+             0,0,1.0,2.0,0.1\n\
+             0,1,garbage,2.0,0.1\n\
+             0,too,few\n\
+             0,2,3.0,4.0,0.1\n"
+        );
+        let (d, report) = ingest(&text, IngestPolicy::Skip).unwrap();
+        assert_eq!(d.len(), 1);
+        // The dropped row shifted expectations: snapshot 2 no longer lines
+        // up, so Skip keeps only the prefix.
+        assert_eq!(report.count(Defect::BadNumber), 1);
+        assert_eq!(report.count(Defect::WrongFieldCount), 1);
+        assert_eq!(report.count(Defect::OutOfOrder), 1);
+        assert_eq!(report.rows_read, 4);
+        assert_eq!(report.rows_kept, 1);
+        assert!(!report.is_clean());
+        assert_eq!(report.diagnostics().len(), 3);
+    }
+
+    #[test]
+    fn ingest_skip_drops_invalid_values() {
+        let text = format!("{HEADER}\n0,0,1.0,2.0,0.1\n0,1,1.5,2.0,-0.5\n");
+        let (d, report) = ingest(&text, IngestPolicy::Skip).unwrap();
+        assert_eq!(d.trajectories()[0].len(), 1);
+        assert_eq!(report.count(Defect::InvalidValue), 1);
+    }
+
+    #[test]
+    fn ingest_without_header_is_recoverable() {
+        let text = "0,0,1.0,2.0,0.1\n0,1,2.0,2.0,0.1\n";
+        let (d, report) = ingest(text, IngestPolicy::Skip).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.trajectories()[0].len(), 2);
+        assert_eq!(report.count(Defect::MissingHeader), 1);
+    }
+
+    #[test]
+    fn ingest_repair_reorders_and_dedupes() {
+        let text = format!(
+            "{HEADER}\n\
+             0,1,1.0,1.0,0.1\n\
+             0,0,0.0,0.0,0.1\n\
+             0,2,2.0,2.0,0.1\n\
+             0,2,9.0,9.0,0.1\n"
+        );
+        let (d, report) = ingest(&text, IngestPolicy::Repair).unwrap();
+        assert_eq!(d.len(), 1);
+        let pts = d.trajectories()[0].points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].mean, Point2::new(0.0, 0.0));
+        assert_eq!(pts[1].mean, Point2::new(1.0, 1.0));
+        // First occurrence wins on a duplicate index.
+        assert_eq!(pts[2].mean, Point2::new(2.0, 2.0));
+        assert_eq!(report.count(Defect::OutOfOrder), 1);
+        assert_eq!(report.count(Defect::DuplicateSnapshot), 1);
+    }
+
+    #[test]
+    fn ingest_repair_sanitizes_values() {
+        let text = format!(
+            "{HEADER}\n\
+             0,0,0.0,0.0,0.1\n\
+             0,1,NaN,NaN,0.1\n\
+             0,2,2.0,2.0,-0.5\n"
+        );
+        let (d, report) = ingest(&text, IngestPolicy::Repair).unwrap();
+        let pts = d.trajectories()[0].points();
+        assert_eq!(pts.len(), 3);
+        assert!((pts[1].mean.x - 1.0).abs() < 1e-12);
+        assert_eq!(pts[2].sigma, 0.0);
+        let s = report.sanitize.expect("repair runs the sanitizer");
+        assert_eq!(s.coords_interpolated, 1);
+        assert_eq!(s.sigmas_clamped, 1);
+        assert_eq!(report.count(Defect::InvalidValue), 2);
+        // Strict re-ingest of the repaired dataset succeeds.
+        assert!(from_csv(&to_csv(&d)).is_ok());
+    }
+
+    #[test]
+    fn ingest_id_regression_starts_new_trajectory() {
+        let text = format!("{HEADER}\n5,0,1.0,2.0,0.1\n3,0,3.0,4.0,0.1\n");
+        let (d, report) = ingest(&text, IngestPolicy::Skip).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(report.count(Defect::IdRegression), 1);
+    }
+
+    #[test]
+    fn ingest_diagnostics_are_capped_but_counts_exact() {
+        let mut text = format!("{HEADER}\n");
+        for _ in 0..100 {
+            text.push_str("0,0,bad,0.0,0.1\n");
+        }
+        let (_, report) = ingest(&text, IngestPolicy::Skip).unwrap();
+        assert_eq!(report.count(Defect::BadNumber), 100);
+        assert!(report.truncated);
+        assert_eq!(report.diagnostics().len(), MAX_DIAGNOSTICS_PER_DEFECT);
+    }
+
+    #[test]
+    fn ingest_report_display_reads_well() {
+        let text = format!("{HEADER}\n0,0,1.0,2.0,0.1\n0,1,bad,2.0,0.1\n");
+        let (_, report) = ingest(&text, IngestPolicy::Skip).unwrap();
+        let s = report.to_string();
+        assert!(s.contains("ingested 1/2 rows"), "got: {s}");
+        assert!(s.contains("unparseable number"), "got: {s}");
+    }
+
+    #[test]
+    fn ingest_policy_parses_from_str() {
+        assert_eq!("strict".parse(), Ok(IngestPolicy::Strict));
+        assert_eq!("skip".parse(), Ok(IngestPolicy::Skip));
+        assert_eq!("repair".parse(), Ok(IngestPolicy::Repair));
+        assert!("lenient".parse::<IngestPolicy>().is_err());
     }
 }

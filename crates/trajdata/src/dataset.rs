@@ -63,6 +63,12 @@ impl Dataset {
         &self.trajectories
     }
 
+    /// Mutable access to the trajectory list, for the in-crate sanitizer.
+    #[inline]
+    pub(crate) fn trajectories_mut(&mut self) -> &mut Vec<Trajectory> {
+        &mut self.trajectories
+    }
+
     /// Iterate over the trajectories.
     pub fn iter(&self) -> impl Iterator<Item = &Trajectory> {
         self.trajectories.iter()

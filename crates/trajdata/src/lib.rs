@@ -13,7 +13,9 @@
 //! - [`resample`]: linear resampling of raw timestamped traces onto a
 //!   synchronized snapshot schedule, used to align raw GPS-style readings
 //!   before they enter the reporting/prediction pipeline.
-//! - [`csv`]: a dependency-free CSV codec for bulk trace interchange.
+//! - [`csv`]: a dependency-free CSV codec for bulk trace interchange, with
+//!   fault-tolerant ingest policies ([`csv::ingest`]) for damaged files.
+//! - [`sanitize`]: in-place repair of recoverable dataset defects.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +23,12 @@
 pub mod csv;
 pub mod dataset;
 pub mod resample;
+pub mod sanitize;
 pub mod snapshot;
 pub mod trajectory;
 
+pub use csv::{ingest, IngestPolicy, IngestReport};
 pub use dataset::{Dataset, DatasetStats};
+pub use sanitize::{sanitize, SanitizeReport};
 pub use snapshot::SnapshotPoint;
 pub use trajectory::{Trajectory, TrajectoryError};

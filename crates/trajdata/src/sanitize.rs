@@ -1,0 +1,272 @@
+//! Dataset sanitization: repairing recoverable defects in place.
+//!
+//! The paper's premise (§1) is that location data is unreliable; real
+//! feeds contain NaN coordinates from dead sensors, negative sigmas from
+//! unit bugs, and so on. [`sanitize`] repairs what is recoverable and
+//! drops what is not, reporting every fix:
+//!
+//! - **Non-finite coordinates** are linearly interpolated from the nearest
+//!   finite neighbours — the same repair §3.2 applies at synchronization
+//!   points. Unanchored garbage (a non-finite prefix/suffix) is dropped.
+//! - **Negative or non-finite sigmas** are clamped to `0` (exactly-known),
+//!   the conservative choice that never widens uncertainty it cannot
+//!   justify.
+//! - **Trajectories with no finite snapshot at all** are dropped.
+//!
+//! The sanitizer is idempotent (`sanitize(sanitize(d)) == sanitize(d)`)
+//! and never changes an already-valid dataset — both properties are
+//! enforced by `tests/sanitize_props.rs`. It runs on *any* dataset, not
+//! just CSV input: JSON deserialization also bypasses validation, so a
+//! loaded dataset can carry the same defects.
+
+use crate::dataset::Dataset;
+use crate::snapshot::SnapshotPoint;
+use std::fmt;
+
+/// Counts of the repairs performed by one [`sanitize`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Snapshots whose non-finite coordinates were interpolated from
+    /// finite neighbours.
+    pub coords_interpolated: usize,
+    /// Snapshots whose negative/non-finite sigma was clamped to `0`.
+    pub sigmas_clamped: usize,
+    /// Snapshots dropped because interpolation had no anchor (non-finite
+    /// prefix or suffix of a trajectory).
+    pub snapshots_dropped: usize,
+    /// Trajectories dropped because they had no finite snapshot at all.
+    pub trajectories_dropped: usize,
+}
+
+impl SanitizeReport {
+    /// Whether the pass changed nothing (the dataset was already valid).
+    pub fn is_clean(&self) -> bool {
+        *self == SanitizeReport::default()
+    }
+
+    /// Total number of individual repairs and drops.
+    pub fn total_fixes(&self) -> usize {
+        self.coords_interpolated
+            + self.sigmas_clamped
+            + self.snapshots_dropped
+            + self.trajectories_dropped
+    }
+}
+
+impl fmt::Display for SanitizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "sanitize: dataset already valid");
+        }
+        write!(
+            f,
+            "sanitize: {} coords interpolated, {} sigmas clamped, \
+             {} snapshots dropped, {} trajectories dropped",
+            self.coords_interpolated,
+            self.sigmas_clamped,
+            self.snapshots_dropped,
+            self.trajectories_dropped
+        )
+    }
+}
+
+/// Repairs recoverable defects in `data` in place (see the module docs)
+/// and reports what was fixed. After this returns, every remaining
+/// snapshot has finite coordinates and a finite, non-negative sigma.
+pub fn sanitize(data: &mut Dataset) -> SanitizeReport {
+    let mut report = SanitizeReport::default();
+    data.trajectories_mut()
+        .retain_mut(|t| sanitize_points(t.points_mut(), &mut report));
+    report
+}
+
+/// Repairs one trajectory's point list in place. Returns `false` when the
+/// trajectory is unrecoverable (non-empty but without a single finite
+/// snapshot) and should be dropped.
+pub(crate) fn sanitize_points(
+    points: &mut Vec<SnapshotPoint>,
+    report: &mut SanitizeReport,
+) -> bool {
+    // An empty trajectory is valid; never touch it.
+    if points.is_empty() {
+        return true;
+    }
+
+    // 1. Clamp invalid sigmas to "exactly known".
+    for p in points.iter_mut() {
+        if !(p.sigma.is_finite() && p.sigma >= 0.0) {
+            p.sigma = 0.0;
+            report.sigmas_clamped += 1;
+        }
+    }
+
+    // 2. Repair non-finite coordinates.
+    let finite: Vec<bool> = points.iter().map(|p| p.mean.is_finite()).collect();
+    if finite.iter().all(|&b| b) {
+        return true;
+    }
+    let Some(first_finite) = finite.iter().position(|&b| b) else {
+        report.trajectories_dropped += 1;
+        return false;
+    };
+    let last_finite = finite.iter().rposition(|&b| b).expect("position found");
+
+    // Interior gaps are anchored on both sides: interpolate, exactly as
+    // §3.2 interpolates between synchronization points.
+    let mut i = first_finite + 1;
+    while i < last_finite {
+        if finite[i] {
+            i += 1;
+            continue;
+        }
+        let lo = i;
+        let mut hi = i;
+        while !finite[hi + 1] {
+            hi += 1; // bounded: finite[last_finite] is true
+        }
+        let a = points[lo - 1].mean;
+        let b = points[hi + 1].mean;
+        let span = (hi + 2 - lo) as f64;
+        for (off, idx) in (lo..=hi).enumerate() {
+            points[idx].mean = a.lerp(b, (off + 1) as f64 / span);
+            report.coords_interpolated += 1;
+        }
+        i = hi + 2;
+    }
+
+    // Unanchored prefix/suffix garbage cannot be interpolated: drop it.
+    let n = points.len();
+    let dropped = first_finite + (n - 1 - last_finite);
+    if dropped > 0 {
+        report.snapshots_dropped += dropped;
+        points.truncate(last_finite + 1);
+        points.drain(..first_finite);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::Trajectory;
+    use trajgeo::Point2;
+
+    fn sp(x: f64, y: f64, sigma: f64) -> SnapshotPoint {
+        SnapshotPoint {
+            mean: Point2::new(x, y),
+            sigma,
+        }
+    }
+
+    fn raw(points: Vec<SnapshotPoint>) -> Dataset {
+        Dataset::from_trajectories(vec![Trajectory::from_raw_points(points)])
+    }
+
+    #[test]
+    fn valid_dataset_is_untouched() {
+        let mut d = raw(vec![sp(0.0, 0.0, 0.1), sp(1.0, 1.0, 0.0)]);
+        let before = d.clone();
+        let report = sanitize(&mut d);
+        assert!(report.is_clean());
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    fn empty_dataset_and_empty_trajectory_are_valid() {
+        let mut d = Dataset::new();
+        assert!(sanitize(&mut d).is_clean());
+        let mut d = raw(vec![]);
+        assert!(sanitize(&mut d).is_clean());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn negative_and_non_finite_sigmas_are_clamped() {
+        let mut d = raw(vec![
+            sp(0.0, 0.0, -0.5),
+            sp(1.0, 0.0, f64::NAN),
+            sp(2.0, 0.0, f64::INFINITY),
+            sp(3.0, 0.0, 0.2),
+        ]);
+        let report = sanitize(&mut d);
+        assert_eq!(report.sigmas_clamped, 3);
+        let pts = d.trajectories()[0].points();
+        assert_eq!(pts[0].sigma, 0.0);
+        assert_eq!(pts[1].sigma, 0.0);
+        assert_eq!(pts[2].sigma, 0.0);
+        assert_eq!(pts[3].sigma, 0.2);
+    }
+
+    #[test]
+    fn interior_nan_coords_are_interpolated() {
+        let mut d = raw(vec![
+            sp(0.0, 0.0, 0.1),
+            sp(f64::NAN, 5.0, 0.1),
+            sp(f64::NAN, f64::NAN, 0.1),
+            sp(3.0, 3.0, 0.1),
+        ]);
+        let report = sanitize(&mut d);
+        assert_eq!(report.coords_interpolated, 2);
+        let pts = d.trajectories()[0].points();
+        assert_eq!(pts.len(), 4);
+        assert!((pts[1].mean.x - 1.0).abs() < 1e-12);
+        assert!((pts[1].mean.y - 1.0).abs() < 1e-12);
+        assert!((pts[2].mean.x - 2.0).abs() < 1e-12);
+        assert!((pts[2].mean.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanchored_ends_are_dropped() {
+        let mut d = raw(vec![
+            sp(f64::NAN, 0.0, 0.1),
+            sp(1.0, 1.0, 0.1),
+            sp(2.0, 2.0, 0.1),
+            sp(f64::INFINITY, 0.0, 0.1),
+        ]);
+        let report = sanitize(&mut d);
+        assert_eq!(report.snapshots_dropped, 2);
+        let pts = d.trajectories()[0].points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].mean, Point2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn hopeless_trajectory_is_dropped() {
+        let mut d = Dataset::from_trajectories(vec![
+            Trajectory::from_raw_points(vec![sp(f64::NAN, f64::NAN, 0.1)]),
+            Trajectory::new(vec![SnapshotPoint::new(Point2::new(0.5, 0.5), 0.1).unwrap()]).unwrap(),
+        ]);
+        let report = sanitize(&mut d);
+        assert_eq!(report.trajectories_dropped, 1);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn sanitize_is_idempotent() {
+        let mut d = raw(vec![
+            sp(f64::NAN, 0.0, -1.0),
+            sp(1.0, 1.0, 0.1),
+            sp(f64::NAN, 0.0, 0.1),
+            sp(3.0, 3.0, f64::NAN),
+        ]);
+        sanitize(&mut d);
+        let once = d.clone();
+        let second = sanitize(&mut d);
+        assert!(second.is_clean(), "second pass must be a no-op: {second}");
+        assert_eq!(d, once);
+    }
+
+    #[test]
+    fn report_display_reads_well() {
+        let clean = SanitizeReport::default();
+        assert!(clean.to_string().contains("already valid"));
+        let busy = SanitizeReport {
+            coords_interpolated: 2,
+            sigmas_clamped: 1,
+            snapshots_dropped: 0,
+            trajectories_dropped: 0,
+        };
+        assert_eq!(busy.total_fixes(), 3);
+        assert!(busy.to_string().contains("2 coords interpolated"));
+    }
+}

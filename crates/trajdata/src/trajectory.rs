@@ -67,6 +67,23 @@ impl Trajectory {
         }
     }
 
+    /// Builds a trajectory **without validating** the snapshot points.
+    ///
+    /// This is the raw door used by repair pipelines: damaged input (NaN
+    /// coordinates, negative sigmas) can be staged into a [`Trajectory`]
+    /// and then fixed by [`crate::sanitize::sanitize`]. Anything that
+    /// reaches the miner should have gone through [`Trajectory::new`] or
+    /// the sanitizer first.
+    pub fn from_raw_points(points: Vec<SnapshotPoint>) -> Trajectory {
+        Trajectory { points }
+    }
+
+    /// Mutable access to the snapshot points, for the in-crate sanitizer.
+    #[inline]
+    pub(crate) fn points_mut(&mut self) -> &mut Vec<SnapshotPoint> {
+        &mut self.points
+    }
+
     /// Number of snapshots.
     #[inline]
     pub fn len(&self) -> usize {

@@ -1,0 +1,116 @@
+//! Property tests for the dataset sanitizer (ISSUE 2 satellite):
+//!
+//! 1. `sanitize` is **idempotent** — a second pass finds nothing to fix
+//!    and changes nothing.
+//! 2. `sanitize` never changes an already-valid dataset.
+//! 3. A sanitized dataset round-trips through the CSV codec and re-ingests
+//!    cleanly under `IngestPolicy::Strict` — repair output is always
+//!    strict-grade data.
+
+use proptest::prelude::*;
+use trajdata::csv::{from_csv, to_csv};
+use trajdata::{ingest, sanitize, Dataset, IngestPolicy, SnapshotPoint, Trajectory};
+use trajgeo::Point2;
+
+/// Datasets built through the validating constructors: every coordinate
+/// finite, every sigma finite and non-negative.
+fn arb_valid_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.3), 1..8),
+        1..12,
+    )
+    .prop_map(|trajs| {
+        trajs
+            .into_iter()
+            .map(|pts| {
+                Trajectory::new(
+                    pts.into_iter()
+                        .map(|(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    })
+}
+
+/// Datasets staged through the raw door, with deterministic poisoning:
+/// codes 0–5 inject NaN/∞ coordinates or invalid sigmas, the rest stay
+/// valid. Mirrors what `IngestPolicy::Repair` stages before sanitizing.
+fn arb_dirty_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.3, 0u8..12), 1..8),
+        1..12,
+    )
+    .prop_map(|trajs| {
+        trajs
+            .into_iter()
+            .map(|pts| {
+                Trajectory::from_raw_points(
+                    pts.into_iter()
+                        .map(|(x, y, s, poison)| {
+                            let (mean, sigma) = match poison {
+                                0 => (Point2::new(f64::NAN, y), s),
+                                1 => (Point2::new(x, f64::NAN), s),
+                                2 => (Point2::new(f64::INFINITY, y), s),
+                                3 => (Point2::new(x, f64::NEG_INFINITY), s),
+                                4 => (Point2::new(x, y), -1.0),
+                                5 => (Point2::new(x, y), f64::NAN),
+                                _ => (Point2::new(x, y), s),
+                            };
+                            SnapshotPoint { mean, sigma }
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Every point a validating constructor would accept?
+fn is_strictly_valid(data: &Dataset) -> bool {
+    data.iter().all(|t| {
+        t.points()
+            .iter()
+            .all(|p| p.mean.is_finite() && p.sigma.is_finite() && p.sigma >= 0.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sanitize_is_idempotent(data in arb_dirty_dataset()) {
+        let mut data = data;
+        sanitize(&mut data);
+        prop_assert!(is_strictly_valid(&data));
+        let once = data.clone();
+        let second = sanitize(&mut data);
+        prop_assert!(second.is_clean(), "second pass found defects: {second}");
+        prop_assert_eq!(data, once);
+    }
+
+    #[test]
+    fn sanitize_never_touches_valid_data(data in arb_valid_dataset()) {
+        let mut data = data;
+        let before = data.clone();
+        let report = sanitize(&mut data);
+        prop_assert!(report.is_clean(), "spurious fixes: {report}");
+        prop_assert_eq!(data, before);
+    }
+
+    #[test]
+    fn sanitized_csv_reingests_under_strict(data in arb_dirty_dataset()) {
+        let mut data = data;
+        sanitize(&mut data);
+        // Empty trajectories have no CSV representation; drop them the way
+        // an exporter would before comparing round-trips.
+        let kept: Dataset = data.iter().filter(|t| !t.is_empty()).cloned().collect();
+        let text = to_csv(&kept);
+        let strict = from_csv(&text).expect("sanitized data must be strict-grade");
+        prop_assert_eq!(&strict, &kept);
+        let (via_ingest, report) = ingest(&text, IngestPolicy::Strict).unwrap();
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(via_ingest, kept);
+    }
+}

@@ -71,6 +71,11 @@ pub struct MiningStats {
     /// Total pattern scorings performed by the scorer (including the
     /// singular initialization pass counted as one batch of `G`).
     pub nm_evaluations: u64,
+    /// Worker-shard panics absorbed by rescoring the failed shard
+    /// sequentially. `0` in a healthy run; a non-zero value means the run
+    /// degraded gracefully — results are still bit-identical to a healthy
+    /// run, only wall-clock time was lost.
+    pub degraded_shard_rescores: u64,
 }
 
 /// The result of a mining run.
@@ -103,7 +108,7 @@ pub fn mine(
 
 /// Pattern interner: dense u32 ids for cheap pair bookkeeping.
 #[derive(Default)]
-struct Store {
+pub(crate) struct Store {
     patterns: Vec<Pattern>,
     ids: FxHashMap<Pattern, u32>,
     nms: Vec<f64>,
@@ -111,7 +116,7 @@ struct Store {
 }
 
 impl Store {
-    fn add(&mut self, p: Pattern, nm: f64) -> u32 {
+    pub(crate) fn add(&mut self, p: Pattern, nm: f64) -> u32 {
         debug_assert!(!self.ids.contains_key(&p));
         let id = self.patterns.len() as u32;
         self.lens.push(p.len() as u32);
@@ -122,24 +127,67 @@ impl Store {
     }
 
     #[inline]
-    fn id_of(&self, p: &Pattern) -> Option<u32> {
+    pub(crate) fn id_of(&self, p: &Pattern) -> Option<u32> {
         self.ids.get(p).copied()
     }
 
     #[inline]
-    fn get(&self, id: u32) -> &Pattern {
+    pub(crate) fn get(&self, id: u32) -> &Pattern {
         &self.patterns[id as usize]
     }
 
     #[inline]
-    fn nm(&self, id: u32) -> f64 {
+    pub(crate) fn nm(&self, id: u32) -> f64 {
         self.nms[id as usize]
     }
 
     #[inline]
-    fn len(&self, id: u32) -> u32 {
+    pub(crate) fn len(&self, id: u32) -> u32 {
         self.lens[id as usize]
     }
+
+    /// Number of interned patterns (ids are `0..count`).
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Patterns in id order — the checkpoint codec serializes (and
+    /// re-adds) them in exactly this order so ids survive a round-trip.
+    #[inline]
+    pub(crate) fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+}
+
+/// Everything the growing process carries between levels. A checkpoint is
+/// a serialization of this struct; [`run_growth`] advances it one level at
+/// a time so mining can stop and resume at any level boundary with
+/// bit-identical results.
+pub(crate) struct GrowthState {
+    /// Every pattern ever scored (dense ids, with NM and length).
+    pub(crate) store: Store,
+    /// The active candidate set Q (ids into the store).
+    pub(crate) q: FxHashSet<u32>,
+    /// Ordered pairs already attempted: `(a << 32) | b`.
+    pub(crate) tried: FxHashSet<u64>,
+    /// ω over qualifying patterns (length ≥ min_len).
+    pub(crate) qual_tracker: ThresholdTracker,
+    /// Cached `qual_tracker.omega()` as of the last level boundary.
+    pub(crate) omega: f64,
+    /// Current high set `H` (NM ≥ ω).
+    pub(crate) high: FxHashSet<u32>,
+    /// Highs whose (h × Q) pairs have been fully enumerated.
+    pub(crate) enumerated_high: FxHashSet<u32>,
+    /// Q members not yet enumerated as the "any" side of a pair, in
+    /// insertion order.
+    pub(crate) fresh: Vec<u32>,
+    /// Best NM overall (attained by a singular, by min-max).
+    pub(crate) nm_best: f64,
+    /// Counters so far (`stats.iterations` is the level number).
+    pub(crate) stats: MiningStats,
+    /// Whether the high set reached a fixpoint.
+    pub(crate) converged: bool,
 }
 
 /// Like [`mine`], but reuses an existing [`Scorer`] (and its probability
@@ -150,28 +198,43 @@ pub fn mine_with_scorer(
     params: &MiningParams,
 ) -> Result<MiningOutcome, ParamsError> {
     params.validate()?;
-    let data = scorer.data();
+    if scorer.data().is_empty() || scorer.grid().num_cells() == 0 {
+        return Ok(empty_outcome());
+    }
+    let mut state = init_state(scorer, params);
+    match run_growth::<std::convert::Infallible>(scorer, params, &mut state, |_| Ok(())) {
+        Ok(()) => {}
+        Err(e) => match e {},
+    }
+    Ok(finish(scorer, params, state))
+}
+
+/// The outcome of mining nothing (empty dataset or empty grid).
+pub(crate) fn empty_outcome() -> MiningOutcome {
+    MiningOutcome {
+        patterns: Vec::new(),
+        groups: Vec::new(),
+        stats: MiningStats::default(),
+    }
+}
+
+/// The effective maximum pattern length: patterns longer than the longest
+/// trajectory only ever score the floor, so growing past it is wasted.
+fn effective_max_len(scorer: &Scorer<'_>, params: &MiningParams) -> usize {
+    let data_max_len = scorer.data().iter().map(|t| t.len()).max().unwrap_or(0);
+    params.max_len.min(data_max_len.max(1))
+}
+
+/// Level 0 of the growing process: score every singular pattern, seed ω
+/// (with genuine length-`min_len` windows when `min_len > 1`), and mark
+/// the initial high set.
+pub(crate) fn init_state(scorer: &Scorer<'_>, params: &MiningParams) -> GrowthState {
     let grid = scorer.grid();
     let mut stats = MiningStats::default();
-
-    if data.is_empty() || grid.num_cells() == 0 {
-        return Ok(MiningOutcome {
-            patterns: Vec::new(),
-            groups: Vec::new(),
-            stats,
-        });
-    }
-
-    // Patterns longer than the longest trajectory only ever score the
-    // floor; don't grow past it.
-    let data_max_len = data.iter().map(|t| t.len()).max().unwrap_or(0);
-    let max_len = params.max_len.min(data_max_len.max(1));
+    let degraded_base = scorer.degraded_rescores();
 
     let mut store = Store::default();
-    // The active candidate set Q (ids into the store).
     let mut q: FxHashSet<u32> = FxHashSet::default();
-    // Ordered pairs already attempted: (a << 32) | b.
-    let mut tried: FxHashSet<u64> = FxHashSet::default();
 
     // ω over *qualifying* patterns (length ≥ min_len). §5: "The NM
     // threshold ω is set to the minimum NM of the set of k patterns with
@@ -211,183 +274,234 @@ pub fn mine_with_scorer(
             qual_tracker.offer(nm);
         }
     }
+    stats.degraded_shard_rescores += scorer.degraded_rescores() - degraded_base;
 
-    let mut omega = qual_tracker.omega();
-    let mut high: FxHashSet<u32> = q
+    let omega = qual_tracker.omega();
+    let high: FxHashSet<u32> = q
         .iter()
         .copied()
         .filter(|&id| store.nm(id) >= omega)
         .collect();
-    // Highs whose (h × Q) pairs have been fully enumerated.
-    let mut enumerated_high: FxHashSet<u32> = FxHashSet::default();
-    // Q members not yet enumerated as the "any" side of a pair.
-    let mut fresh: Vec<u32> = {
+    let fresh: Vec<u32> = {
         let mut v: Vec<u32> = q.iter().copied().collect();
         v.sort_unstable();
         v
     };
 
-    for _ in 0..params.max_iters {
-        stats.iterations += 1;
+    GrowthState {
+        store,
+        q,
+        tried: FxHashSet::default(),
+        qual_tracker,
+        omega,
+        high,
+        enumerated_high: FxHashSet::default(),
+        fresh,
+        nm_best,
+        stats,
+        converged: false,
+    }
+}
 
-        let fresh_vec: Vec<u32> = {
-            let mut v: Vec<u32> = fresh.iter().copied().filter(|id| q.contains(id)).collect();
-            v.sort_unstable();
-            v.dedup();
-            v
-        };
-        let mut fresh_high_vec: Vec<u32> = high
+/// Runs growth levels until the high set converges or `max_iters` is
+/// reached, calling `on_level` after every completed level (this is the
+/// checkpoint hook). `state.stats.iterations` counts completed levels, so
+/// resuming a restored state continues exactly where it stopped.
+pub(crate) fn run_growth<E>(
+    scorer: &Scorer<'_>,
+    params: &MiningParams,
+    state: &mut GrowthState,
+    mut on_level: impl FnMut(&GrowthState) -> Result<(), E>,
+) -> Result<(), E> {
+    while !state.converged && state.stats.iterations < params.max_iters {
+        grow_level(scorer, params, state);
+        on_level(state)?;
+    }
+    Ok(())
+}
+
+/// One growing level: enumerate new pairs, bound-prune, batch-score,
+/// re-threshold, re-mark, and prune Q.
+pub(crate) fn grow_level(scorer: &Scorer<'_>, params: &MiningParams, state: &mut GrowthState) {
+    let max_len = effective_max_len(scorer, params);
+    let degraded_base = scorer.degraded_rescores();
+    state.stats.iterations += 1;
+
+    let fresh_vec: Vec<u32> = {
+        let mut v: Vec<u32> = state
+            .fresh
             .iter()
             .copied()
-            .filter(|id| !enumerated_high.contains(id))
+            .filter(|id| state.q.contains(id))
             .collect();
-        fresh_high_vec.sort_unstable();
-        let mut high_vec: Vec<u32> = high.iter().copied().collect();
-        high_vec.sort_unstable();
-        let mut q_vec: Vec<u32> = q.iter().copied().collect();
-        q_vec.sort_unstable();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut fresh_high_vec: Vec<u32> = state
+        .high
+        .iter()
+        .copied()
+        .filter(|id| !state.enumerated_high.contains(id))
+        .collect();
+    fresh_high_vec.sort_unstable();
+    let mut high_vec: Vec<u32> = state.high.iter().copied().collect();
+    high_vec.sort_unstable();
+    let mut q_vec: Vec<u32> = state.q.iter().copied().collect();
+    q_vec.sort_unstable();
 
-        let mut next_fresh: Vec<u32> = Vec::new();
+    let mut next_fresh: Vec<u32> = Vec::new();
 
-        // Candidates surviving the bound check are *collected* here and
-        // scored in one batch after pair enumeration. This is exact: ω and
-        // τ are deliberately read once per iteration (the seed code also
-        // refreshed them only after enumeration), so no pruning decision
-        // inside the loop can depend on a score produced within it.
-        let mut pending: Vec<Pattern> = Vec::new();
-        let mut pending_ids: FxHashMap<Pattern, usize> = FxHashMap::default();
+    // Candidates surviving the bound check are *collected* here and
+    // scored in one batch after pair enumeration. This is exact: ω and
+    // τ are deliberately read once per iteration (the seed code also
+    // refreshed them only after enumeration), so no pruning decision
+    // inside the loop can depend on a score produced within it.
+    let mut pending: Vec<Pattern> = Vec::new();
+    let mut pending_ids: FxHashMap<Pattern, usize> = FxHashMap::default();
 
-        // One candidate pair (ordered): bound-check, dedupe, enqueue.
-        macro_rules! try_pair {
-            ($a:expr, $b:expr) => {{
-                let a: u32 = $a;
-                let b: u32 = $b;
-                let la = store.len(a);
-                let lb = store.len(b);
-                let total_len = (la + lb) as usize;
-                if total_len <= max_len {
-                    let key = ((a as u64) << 32) | b as u64;
-                    if tried.insert(key) {
-                        stats.candidates_generated += 1;
-                        // Candidate shapes high·singular / singular·high
-                        // are the Lemma-1 building blocks: prune them
-                        // against the composability threshold τ, others
-                        // against ω.
-                        let one_ext_shape =
-                            (lb == 1 && high.contains(&a)) || (la == 1 && high.contains(&b));
-                        let mut pruned = false;
-                        if params.use_bound_prune {
-                            let bound = weighted_mean_bound(
-                                store.nm(a),
-                                la as usize,
-                                store.nm(b),
-                                lb as usize,
-                            );
-                            let threshold = if one_ext_shape {
-                                tau(total_len, omega, nm_best, max_len)
-                            } else {
-                                omega
-                            };
-                            if bound < threshold {
-                                stats.candidates_bound_pruned += 1;
-                                pruned = true;
-                            }
+    // One candidate pair (ordered): bound-check, dedupe, enqueue.
+    macro_rules! try_pair {
+        ($a:expr, $b:expr) => {{
+            let a: u32 = $a;
+            let b: u32 = $b;
+            let la = state.store.len(a);
+            let lb = state.store.len(b);
+            let total_len = (la + lb) as usize;
+            if total_len <= max_len {
+                let key = ((a as u64) << 32) | b as u64;
+                if state.tried.insert(key) {
+                    state.stats.candidates_generated += 1;
+                    // Candidate shapes high·singular / singular·high
+                    // are the Lemma-1 building blocks: prune them
+                    // against the composability threshold τ, others
+                    // against ω.
+                    let one_ext_shape = (lb == 1 && state.high.contains(&a))
+                        || (la == 1 && state.high.contains(&b));
+                    let mut pruned = false;
+                    if params.use_bound_prune {
+                        let bound = weighted_mean_bound(
+                            state.store.nm(a),
+                            la as usize,
+                            state.store.nm(b),
+                            lb as usize,
+                        );
+                        let threshold = if one_ext_shape {
+                            tau(total_len, state.omega, state.nm_best, max_len)
+                        } else {
+                            state.omega
+                        };
+                        if bound < threshold {
+                            state.stats.candidates_bound_pruned += 1;
+                            pruned = true;
                         }
-                        if !pruned {
-                            let cand = store.get(a).concat(store.get(b));
-                            match store.id_of(&cand) {
-                                Some(id) => {
-                                    if q.insert(id) {
-                                        next_fresh.push(id);
-                                    }
+                    }
+                    if !pruned {
+                        let cand = state.store.get(a).concat(state.store.get(b));
+                        match state.store.id_of(&cand) {
+                            Some(id) => {
+                                if state.q.insert(id) {
+                                    next_fresh.push(id);
                                 }
-                                None => {
-                                    // Defer scoring to the per-iteration
-                                    // batch; dedupe within the batch so a
-                                    // candidate reachable through several
-                                    // pairs is scored once.
-                                    if !pending_ids.contains_key(&cand) {
-                                        pending_ids.insert(cand.clone(), pending.len());
-                                        pending.push(cand);
-                                    }
+                            }
+                            None => {
+                                // Defer scoring to the per-iteration
+                                // batch; dedupe within the batch so a
+                                // candidate reachable through several
+                                // pairs is scored once.
+                                if !pending_ids.contains_key(&cand) {
+                                    pending_ids.insert(cand.clone(), pending.len());
+                                    pending.push(cand);
                                 }
                             }
                         }
                     }
                 }
-            }};
-        }
-
-        // New Q members × current highs, both orders.
-        for &h in &high_vec {
-            for &x in &fresh_vec {
-                try_pair!(h, x);
-                try_pair!(x, h);
             }
-        }
-        // Newly promoted highs × all of Q, both orders.
-        for &h in &fresh_high_vec {
-            for &x in &q_vec {
-                try_pair!(h, x);
-                try_pair!(x, h);
-            }
-        }
-        enumerated_high.extend(fresh_high_vec);
-
-        // Batch-score everything enqueued this iteration (in enumeration
-        // order, so store ids — and therefore the whole run — are
-        // identical to one-at-a-time scoring).
-        let nms = scorer.score_batch(&pending);
-        stats.candidates_scored += pending.len() as u64;
-        stats.nm_evaluations += pending.len() as u64;
-        for (cand, nm) in pending.into_iter().zip(nms) {
-            let total_len = cand.len();
-            let id = store.add(cand, nm);
-            if total_len >= params.min_len {
-                qual_tracker.offer(nm);
-            }
-            q.insert(id);
-            next_fresh.push(id);
-        }
-
-        // Re-threshold and re-mark.
-        omega = qual_tracker.omega();
-        let high_new: FxHashSet<u32> = q
-            .iter()
-            .copied()
-            .filter(|&id| store.nm(id) >= omega)
-            .collect();
-
-        // Prune low patterns: keep only 1-extension lows above τ.
-        if params.use_one_extension_prune {
-            let high_patterns: FxHashSet<Pattern> =
-                high_new.iter().map(|&id| store.get(id).clone()).collect();
-            let omega_snapshot = omega;
-            q.retain(|&id| {
-                if high_new.contains(&id) {
-                    return true;
-                }
-                if !is_one_extension(store.get(id), &high_patterns) {
-                    return false;
-                }
-                !params.use_bound_prune
-                    || store.nm(id) >= tau(store.len(id) as usize, omega_snapshot, nm_best, max_len)
-            });
-        }
-
-        let converged = high_new == high;
-        high = high_new;
-        fresh = next_fresh;
-        if converged {
-            break;
-        }
+        }};
     }
 
-    stats.final_queue_size = q.len();
-    stats.nm_evaluations = scorer.evaluations().max(stats.nm_evaluations);
+    // New Q members × current highs, both orders.
+    for &h in &high_vec {
+        for &x in &fresh_vec {
+            try_pair!(h, x);
+            try_pair!(x, h);
+        }
+    }
+    // Newly promoted highs × all of Q, both orders.
+    for &h in &fresh_high_vec {
+        for &x in &q_vec {
+            try_pair!(h, x);
+            try_pair!(x, h);
+        }
+    }
+    state.enumerated_high.extend(fresh_high_vec);
+
+    // Batch-score everything enqueued this iteration (in enumeration
+    // order, so store ids — and therefore the whole run — are
+    // identical to one-at-a-time scoring).
+    let nms = scorer.score_batch(&pending);
+    state.stats.candidates_scored += pending.len() as u64;
+    state.stats.nm_evaluations += pending.len() as u64;
+    for (cand, nm) in pending.into_iter().zip(nms) {
+        let total_len = cand.len();
+        let id = state.store.add(cand, nm);
+        if total_len >= params.min_len {
+            state.qual_tracker.offer(nm);
+        }
+        state.q.insert(id);
+        next_fresh.push(id);
+    }
+
+    // Re-threshold and re-mark.
+    state.omega = state.qual_tracker.omega();
+    let high_new: FxHashSet<u32> = state
+        .q
+        .iter()
+        .copied()
+        .filter(|&id| state.store.nm(id) >= state.omega)
+        .collect();
+
+    // Prune low patterns: keep only 1-extension lows above τ.
+    if params.use_one_extension_prune {
+        let high_patterns: FxHashSet<Pattern> = high_new
+            .iter()
+            .map(|&id| state.store.get(id).clone())
+            .collect();
+        let omega_snapshot = state.omega;
+        let nm_best = state.nm_best;
+        let store = &state.store;
+        state.q.retain(|&id| {
+            if high_new.contains(&id) {
+                return true;
+            }
+            if !is_one_extension(store.get(id), &high_patterns) {
+                return false;
+            }
+            !params.use_bound_prune
+                || store.nm(id) >= tau(store.len(id) as usize, omega_snapshot, nm_best, max_len)
+        });
+    }
+
+    state.converged = high_new == state.high;
+    state.high = high_new;
+    state.fresh = next_fresh;
+    state.stats.degraded_shard_rescores += scorer.degraded_rescores() - degraded_base;
+}
+
+/// Extracts the final top-k answer (and groups) from a finished — or
+/// deliberately interrupted — growth state.
+pub(crate) fn finish(
+    scorer: &Scorer<'_>,
+    params: &MiningParams,
+    mut state: GrowthState,
+) -> MiningOutcome {
+    state.stats.final_queue_size = state.q.len();
+    state.stats.nm_evaluations = scorer.evaluations().max(state.stats.nm_evaluations);
+    let store = &state.store;
 
     // Final answer: best k qualifying patterns over everything scored.
-    let mut order: Vec<u32> = (0..store.patterns.len() as u32)
+    let mut order: Vec<u32> = (0..store.count() as u32)
         .filter(|&id| store.len(id) as usize >= params.min_len)
         .collect();
     order.sort_unstable_by(|&a, &b| {
@@ -404,15 +518,15 @@ pub fn mine_with_scorer(
         .collect();
 
     let groups = match params.gamma {
-        Some(gamma) => discover_groups(&qualifying, grid, gamma),
+        Some(gamma) => discover_groups(&qualifying, scorer.grid(), gamma),
         None => Vec::new(),
     };
 
-    Ok(MiningOutcome {
+    MiningOutcome {
         patterns: qualifying,
         groups,
-        stats,
-    })
+        stats: state.stats,
+    }
 }
 
 /// Harvests up to `k` seed patterns of exactly `min_len` positions from

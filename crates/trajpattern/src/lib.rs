@@ -61,6 +61,7 @@
 
 pub mod algorithm;
 pub mod bruteforce;
+pub mod checkpoint;
 pub mod gapped;
 pub mod groups;
 pub mod miner;
@@ -72,6 +73,7 @@ pub mod scorer;
 pub mod topk;
 
 pub use algorithm::{mine, MiningOutcome, MiningStats};
+pub use checkpoint::CheckpointError;
 pub use groups::PatternGroup;
 pub use miner::{Error, Miner};
 pub use params::{MiningParams, ParamsError};

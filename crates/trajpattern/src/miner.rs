@@ -24,19 +24,24 @@
 //! # Ok::<(), trajpattern::Error>(())
 //! ```
 
-use crate::algorithm::{mine_with_scorer, MiningOutcome};
+use crate::algorithm::{empty_outcome, finish, init_state, run_growth, MiningOutcome};
+use crate::checkpoint::{self, CheckpointError, Fingerprint};
 use crate::params::{MiningParams, ParamsError};
 use crate::scorer::Scorer;
 use std::fmt;
+use std::path::PathBuf;
+use trajdata::csv::CsvError;
 use trajdata::{Dataset, TrajectoryError};
 use trajgeo::{Grid, GridError};
 
-/// Any error reachable from a mining session: invalid parameters, or a
-/// grid / trajectory construction problem surfaced while preparing input.
+/// Any error reachable from a mining session: invalid parameters, a grid /
+/// trajectory construction problem surfaced while preparing input, a CSV
+/// ingest failure, or a bad checkpoint file.
 ///
 /// Each variant wraps the originating crate's error and exposes it via
 /// [`std::error::Error::source`], so callers (e.g. the CLI) can render the
-/// whole chain uniformly.
+/// whole chain uniformly — ingest errors carry their 1-based line number
+/// through the source chain.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Error {
@@ -46,6 +51,11 @@ pub enum Error {
     Grid(GridError),
     /// Invalid trajectory construction or transformation.
     Trajectory(TrajectoryError),
+    /// CSV ingest failed (under [`trajdata::IngestPolicy::Strict`] any
+    /// defect is fatal; the wrapped error names the offending line).
+    Ingest(CsvError),
+    /// A checkpoint file could not be written, read, or validated.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for Error {
@@ -54,6 +64,8 @@ impl fmt::Display for Error {
             Error::Params(_) => write!(f, "invalid mining parameters"),
             Error::Grid(_) => write!(f, "invalid grid"),
             Error::Trajectory(_) => write!(f, "invalid trajectory data"),
+            Error::Ingest(_) => write!(f, "trajectory ingest failed"),
+            Error::Checkpoint(_) => write!(f, "checkpoint failure"),
         }
     }
 }
@@ -64,6 +76,8 @@ impl std::error::Error for Error {
             Error::Params(e) => Some(e),
             Error::Grid(e) => Some(e),
             Error::Trajectory(e) => Some(e),
+            Error::Ingest(e) => Some(e),
+            Error::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -86,6 +100,18 @@ impl From<TrajectoryError> for Error {
     }
 }
 
+impl From<CsvError> for Error {
+    fn from(e: CsvError) -> Error {
+        Error::Ingest(e)
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Error {
+        Error::Checkpoint(e)
+    }
+}
+
 /// Builder-style mining session over one dataset and grid.
 ///
 /// Construct with [`Miner::new`], optionally set [`params`](Miner::params)
@@ -98,6 +124,8 @@ pub struct Miner<'a> {
     grid: &'a Grid,
     params: Option<MiningParams>,
     threads: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 impl<'a> Miner<'a> {
@@ -108,6 +136,8 @@ impl<'a> Miner<'a> {
             grid,
             params: None,
             threads: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 
@@ -122,6 +152,26 @@ impl<'a> Miner<'a> {
     /// Any value yields bit-identical results (see DESIGN.md §5).
     pub fn threads(mut self, threads: usize) -> Miner<'a> {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Writes a checkpoint to `path` after every completed growth level
+    /// (atomically: a temporary sibling file is renamed into place, so an
+    /// interruption mid-save never leaves a torn file). See
+    /// [`crate::checkpoint`] for the format.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Miner<'a> {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Resumes a previous run from the checkpoint at `path` instead of
+    /// starting from the singular patterns. The checkpoint must have been
+    /// written under the same parameters, dataset, and grid (`max_iters`
+    /// excepted — raise it freely when resuming an interrupted run);
+    /// anything else is rejected with [`Error::Checkpoint`]. A resumed run
+    /// produces bit-identical patterns to an uninterrupted one.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Miner<'a> {
+        self.resume = Some(path.into());
         self
     }
 
@@ -145,6 +195,9 @@ impl<'a> Miner<'a> {
     /// are bit-identical for every thread count.
     pub fn mine(&self) -> Result<MiningOutcome, Error> {
         let params = self.effective_params()?;
+        if self.data.is_empty() || self.grid.num_cells() == 0 {
+            return Ok(empty_outcome());
+        }
         let scorer = Scorer::with_threads(
             self.data,
             self.grid,
@@ -152,7 +205,18 @@ impl<'a> Miner<'a> {
             params.min_prob,
             params.threads,
         );
-        Ok(mine_with_scorer(&scorer, &params)?)
+        let fingerprint = Fingerprint::new(&params, self.data, self.grid);
+        let mut state = match &self.resume {
+            Some(path) => checkpoint::load(path, &fingerprint)?,
+            None => init_state(&scorer, &params),
+        };
+        run_growth(&scorer, &params, &mut state, |s| -> Result<(), Error> {
+            if let Some(path) = &self.checkpoint {
+                checkpoint::save(path, s, &fingerprint)?;
+            }
+            Ok(())
+        })?;
+        Ok(finish(&scorer, &params, state))
     }
 }
 

@@ -167,6 +167,8 @@ pub struct Scorer<'a> {
     threads: usize,
     shards: RefCell<Vec<Shard>>,
     evaluations: Cell<u64>,
+    degraded: Cell<u64>,
+    panic_injection: Cell<Option<usize>>,
 }
 
 impl<'a> std::fmt::Debug for Scorer<'a> {
@@ -226,6 +228,8 @@ impl<'a> Scorer<'a> {
             threads,
             shards: RefCell::new(shards),
             evaluations: Cell::new(0),
+            degraded: Cell::new(0),
+            panic_injection: Cell::new(None),
         }
     }
 
@@ -266,6 +270,30 @@ impl<'a> Scorer<'a> {
         self.evaluations.get()
     }
 
+    /// How many worker-shard panics were absorbed by rescoring the failed
+    /// shard sequentially (see the module docs on graceful degradation).
+    /// `0` in a healthy run.
+    #[inline]
+    pub fn degraded_rescores(&self) -> u64 {
+        self.degraded.get()
+    }
+
+    /// Number of trajectory shards this scorer partitions work into.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.borrow().len()
+    }
+
+    /// Fault-injection hook: make the worker for shard `shard` panic during
+    /// the next multi-shard batch, exercising the degradation path (the
+    /// shard is then rescored sequentially and counted by
+    /// [`Scorer::degraded_rescores`]). Consumed by the next batch; ignored
+    /// when the scorer runs single-sharded (there is no worker thread to
+    /// isolate). Testing aid — never set in production paths.
+    pub fn inject_panic_next_batch(&self, shard: usize) {
+        self.panic_injection.set(Some(shard));
+    }
+
     /// `NM(P)` over the whole dataset (Eq. 3 + 4 summed over `D`).
     pub fn nm(&self, pattern: &Pattern) -> f64 {
         self.score_batch(std::slice::from_ref(pattern))[0]
@@ -298,19 +326,43 @@ impl<'a> Scorer<'a> {
         }
         let mut shards = self.shards.borrow_mut();
         let core = self.core;
+        let injected = self.panic_injection.take();
         let per_shard: Vec<Vec<Vec<f64>>> = if shards.len() == 1 {
             vec![core.score_shard(&mut shards[0], batch, kind)]
         } else {
-            std::thread::scope(|scope| {
+            let joined: Vec<std::thread::Result<Vec<Vec<f64>>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = shards
                     .iter_mut()
-                    .map(|shard| scope.spawn(move || core.score_shard(shard, batch, kind)))
+                    .enumerate()
+                    .map(|(i, shard)| {
+                        let inject = injected == Some(i);
+                        scope.spawn(move || {
+                            if inject {
+                                panic!("injected scorer fault (shard {i})");
+                            }
+                            core.score_shard(shard, batch, kind)
+                        })
+                    })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scoring worker panicked"))
-                    .collect()
-            })
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            // Graceful degradation: a worker panic must not poison the
+            // batch. Drop the failed shard's (possibly half-built) row
+            // cache and rescore that shard on this thread. The reduction
+            // below is unchanged, so the result stays bit-identical to a
+            // healthy run.
+            joined
+                .into_iter()
+                .enumerate()
+                .map(|(i, res)| match res {
+                    Ok(contributions) => contributions,
+                    Err(_) => {
+                        self.degraded.set(self.degraded.get() + 1);
+                        shards[i].rows.clear();
+                        core.score_shard(&mut shards[i], batch, kind)
+                    }
+                })
+                .collect()
         };
         // Deterministic reduction: fold per-trajectory contributions in
         // ascending trajectory order — shards are contiguous and ordered,
@@ -427,22 +479,41 @@ impl<'a> Scorer<'a> {
         let mut totals = vec![self.core.floor_log * n; g];
         let shards = self.shards.borrow();
         let core = self.core;
+        let injected = self.panic_injection.take();
         let per_shard: Vec<Vec<(u32, f64)>> = if shards.len() == 1 {
             vec![core.singular_updates(shards[0].start, shards[0].end)]
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
+            let ranges: Vec<(usize, usize)> = shards.iter().map(|s| (s.start, s.end)).collect();
+            let joined: Vec<std::thread::Result<Vec<(u32, f64)>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
                     .iter()
-                    .map(|shard| {
-                        let (start, end) = (shard.start, shard.end);
-                        scope.spawn(move || core.singular_updates(start, end))
+                    .enumerate()
+                    .map(|(i, &(start, end))| {
+                        let inject = injected == Some(i);
+                        scope.spawn(move || {
+                            if inject {
+                                panic!("injected scorer fault (shard {i})");
+                            }
+                            core.singular_updates(start, end)
+                        })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("singular worker panicked"))
-                    .collect()
-            })
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            // Same degradation as `run_batch`: recompute a panicked
+            // shard's updates sequentially; application order below is
+            // unchanged, so the totals stay bit-identical.
+            joined
+                .into_iter()
+                .zip(ranges)
+                .map(|(res, (start, end))| match res {
+                    Ok(updates) => updates,
+                    Err(_) => {
+                        self.degraded.set(self.degraded.get() + 1);
+                        core.singular_updates(start, end)
+                    }
+                })
+                .collect()
         };
         for updates in per_shard.iter() {
             for &(cell, b) in updates {
@@ -742,5 +813,52 @@ mod tests {
         let (data, grid) = setup(2, 0.05);
         let s = Scorer::with_threads(&data, &grid, 0.1, 1e-12, 0);
         assert!(s.threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_degrades_to_identical_scores() {
+        let (data, grid) = setup(32, 0.05);
+        let healthy = Scorer::with_threads(&data, &grid, 0.1, 1e-12, 4);
+        let faulty = Scorer::with_threads(&data, &grid, 0.1, 1e-12, 4);
+        assert_eq!(faulty.num_shards(), 4);
+        let batch = [pat(&[8, 9, 10]), pat(&[0, 1]), pat(&[15])];
+        let want = healthy.score_batch(&batch);
+        faulty.inject_panic_next_batch(2);
+        let got = faulty.score_batch(&batch);
+        assert_eq!(faulty.degraded_rescores(), 1);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+        // The injection is consumed: the next batch runs healthy.
+        let again = faulty.score_batch(&batch);
+        assert_eq!(faulty.degraded_rescores(), 1);
+        for (w, g) in want.iter().zip(&again) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn singular_pass_survives_worker_panic() {
+        let (data, grid) = setup(32, 0.05);
+        let healthy = Scorer::with_threads(&data, &grid, 0.1, 1e-12, 4);
+        let faulty = Scorer::with_threads(&data, &grid, 0.1, 1e-12, 4);
+        let want = healthy.nm_all_singulars();
+        faulty.inject_panic_next_batch(0);
+        let got = faulty.nm_all_singulars();
+        assert_eq!(faulty.degraded_rescores(), 1);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn injection_on_single_shard_scorer_is_ignored() {
+        let (data, grid) = setup(4, 0.05);
+        let s = Scorer::new(&data, &grid, 0.1, 1e-12);
+        assert_eq!(s.num_shards(), 1);
+        s.inject_panic_next_batch(0);
+        let nm = s.nm(&pat(&[8, 9]));
+        assert!(nm.is_finite());
+        assert_eq!(s.degraded_rescores(), 0);
     }
 }

@@ -76,6 +76,20 @@ impl ThresholdTracker {
         }
     }
 
+    /// The `k` this tracker was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The retained values (the up-to-`k` largest seen), sorted ascending —
+    /// a deterministic snapshot used by checkpointing to rebuild the
+    /// tracker exactly.
+    pub fn values(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.heap.iter().map(|r| r.0 .0).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("retained values are finite"));
+        v
+    }
+
     /// How many values have been retained (at most `k`).
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -143,5 +157,20 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan() {
         ThresholdTracker::new(1).offer(f64::NAN);
+    }
+
+    #[test]
+    fn values_snapshot_rebuilds_tracker() {
+        let mut t = ThresholdTracker::new(3);
+        for v in [-5.0, -1.0, -3.0, -2.0, -10.0] {
+            t.offer(v);
+        }
+        assert_eq!(t.k(), 3);
+        assert_eq!(t.values(), vec![-3.0, -2.0, -1.0]);
+        let mut rebuilt = ThresholdTracker::new(t.k());
+        for v in t.values() {
+            rebuilt.offer(v);
+        }
+        assert_eq!(rebuilt.omega(), t.omega());
     }
 }

@@ -1,0 +1,230 @@
+//! Checkpoint/resume invariants (ISSUE 2 tentpole): a mining run that is
+//! interrupted after any growth level and resumed from its checkpoint
+//! must produce **bit-identical** output — patterns, NM bit patterns,
+//! groups, and statistics — to the same run left uninterrupted. Also
+//! covers rejection of incompatible and corrupted checkpoints.
+
+use proptest::prelude::*;
+use trajdata::{Dataset, SnapshotPoint, Trajectory};
+use trajgeo::{BBox, Grid, Point2};
+use trajpattern::{CheckpointError, Error, Miner, MiningOutcome, MiningParams};
+
+/// Two interleaved motifs plus stragglers — converges after a few levels,
+/// so there are interesting intermediate checkpoints.
+fn sample_data() -> Dataset {
+    (0..14)
+        .map(|j| {
+            Trajectory::from_exact((0..6).map(|i| {
+                Point2::new(
+                    0.08 + i as f64 * 0.15,
+                    0.25 + (j % 3) as f64 * 0.22 + i as f64 * 0.012,
+                )
+            }))
+        })
+        .collect()
+}
+
+fn params() -> MiningParams {
+    MiningParams::new(4, 0.05)
+        .unwrap()
+        .with_max_len(4)
+        .unwrap()
+        .with_gamma(0.3)
+        .unwrap()
+}
+
+fn assert_bit_identical(a: &MiningOutcome, b: &MiningOutcome) {
+    assert_eq!(a.patterns, b.patterns);
+    for (x, y) in a.patterns.iter().zip(&b.patterns) {
+        assert_eq!(x.nm.to_bits(), y.nm.to_bits());
+    }
+    assert_eq!(a.groups, b.groups);
+    assert_eq!(a.stats, b.stats);
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("trajpattern-{name}-{}.ckpt", std::process::id()))
+}
+
+#[test]
+fn resume_after_every_level_is_bit_identical() {
+    let data = sample_data();
+    let grid = Grid::new(BBox::unit(), 6, 6).unwrap();
+    let baseline = Miner::new(&data, &grid).params(params()).mine().unwrap();
+    assert!(
+        baseline.stats.iterations >= 2,
+        "workload too easy to exercise resume ({} levels)",
+        baseline.stats.iterations
+    );
+
+    let path = tmp("levels");
+    for interrupt_after in 1..baseline.stats.iterations {
+        let mut truncated = params();
+        truncated.max_iters = interrupt_after;
+        let partial = Miner::new(&data, &grid)
+            .params(truncated)
+            .checkpoint(&path)
+            .mine()
+            .unwrap();
+        assert_eq!(partial.stats.iterations, interrupt_after);
+
+        let resumed = Miner::new(&data, &grid)
+            .params(params())
+            .resume(&path)
+            .mine()
+            .unwrap();
+        assert_bit_identical(&baseline, &resumed);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpointing_does_not_perturb_the_run() {
+    let data = sample_data();
+    let grid = Grid::new(BBox::unit(), 6, 6).unwrap();
+    let plain = Miner::new(&data, &grid).params(params()).mine().unwrap();
+    let path = tmp("perturb");
+    let observed = Miner::new(&data, &grid)
+        .params(params())
+        .checkpoint(&path)
+        .mine()
+        .unwrap();
+    assert_bit_identical(&plain, &observed);
+    assert!(path.exists());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_rejects_incompatible_parameters() {
+    let data = sample_data();
+    let grid = Grid::new(BBox::unit(), 6, 6).unwrap();
+    let path = tmp("incompat");
+    let mut one_level = params();
+    one_level.max_iters = 1;
+    Miner::new(&data, &grid)
+        .params(one_level)
+        .checkpoint(&path)
+        .mine()
+        .unwrap();
+
+    // Different k.
+    let err = Miner::new(&data, &grid)
+        .params(MiningParams::new(5, 0.05).unwrap().with_max_len(4).unwrap())
+        .resume(&path)
+        .mine()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Error::Checkpoint(CheckpointError::Incompatible { field: "k" })
+        ),
+        "unexpected error: {err:?}"
+    );
+
+    // Different dataset (one trajectory fewer).
+    let smaller: Dataset = sample_data().iter().skip(1).cloned().collect();
+    let err = Miner::new(&smaller, &grid)
+        .params(params())
+        .resume(&path)
+        .mine()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Checkpoint(CheckpointError::Incompatible { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_rejects_missing_and_corrupt_files() {
+    let data = sample_data();
+    let grid = Grid::new(BBox::unit(), 6, 6).unwrap();
+    let missing = tmp("missing-never-written");
+    let err = Miner::new(&data, &grid)
+        .params(params())
+        .resume(&missing)
+        .mine()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, Error::Checkpoint(CheckpointError::Io { .. })));
+
+    let garbage = tmp("garbage");
+    std::fs::write(&garbage, "trajpattern-checkpoint v1\nnot a checkpoint\n").unwrap();
+    let err = Miner::new(&data, &grid)
+        .params(params())
+        .resume(&garbage)
+        .mine()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Checkpoint(CheckpointError::Format { .. })
+    ));
+    std::fs::remove_file(&garbage).ok();
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.01f64..0.2), 3..8),
+        2..14,
+    )
+    .prop_map(|trajs| {
+        trajs
+            .into_iter()
+            .map(|pts| {
+                Trajectory::new(
+                    pts.into_iter()
+                        .map(|(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_runs_resume_bit_identically(
+        data in arb_dataset(),
+        k in 1usize..5,
+        interrupt in 1usize..3,
+        case in 0u32..u32::MAX,
+    ) {
+        let grid = Grid::new(BBox::unit(), 5, 5).unwrap();
+        let params = MiningParams::new(k, 0.06).unwrap().with_max_len(3).unwrap();
+        let baseline = Miner::new(&data, &grid).params(params.clone()).mine().unwrap();
+        // Interrupting at or past convergence is a no-op resume; both
+        // sides of the comparison still go through checkpoint I/O.
+        let path = std::env::temp_dir().join(format!(
+            "trajpattern-prop-{}-{case}.ckpt",
+            std::process::id()
+        ));
+        let mut truncated = params.clone();
+        truncated.max_iters = interrupt;
+        Miner::new(&data, &grid)
+            .params(truncated)
+            .checkpoint(&path)
+            .mine()
+            .unwrap();
+        if !path.exists() {
+            // Converged during init (zero growth levels): nothing to resume.
+            return;
+        }
+        let resumed = Miner::new(&data, &grid)
+            .params(params)
+            .resume(&path)
+            .mine()
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&baseline.patterns, &resumed.patterns);
+        for (a, b) in baseline.patterns.iter().zip(&resumed.patterns) {
+            prop_assert_eq!(a.nm.to_bits(), b.nm.to_bits());
+        }
+        prop_assert_eq!(&baseline.stats, &resumed.stats);
+    }
+}

@@ -1,0 +1,160 @@
+//! Corruption-matrix integration suite (ISSUE 2): drive ingest + mining
+//! through every `IngestPolicy` × structural-corruption combination and
+//! assert graceful degradation end-to-end — no panic escapes, `Strict`
+//! errors are precise, `Skip`/`Repair` always yield a mineable dataset
+//! with an accurate report, and a panicking scorer worker degrades to a
+//! bit-identical sequential rescore instead of aborting the process.
+
+use datagen::{corrupt_csv_structurally, observe_directly, BusConfig, StructuralDefect};
+use trajdata::csv::{to_csv, Defect};
+use trajdata::{ingest, IngestPolicy};
+use trajgeo::{BBox, Grid};
+use trajpattern::algorithm::mine_with_scorer;
+use trajpattern::{Miner, MiningParams, Scorer};
+
+const SEED: u64 = 2006;
+
+fn clean_csv() -> String {
+    let cfg = BusConfig {
+        snapshots: 10,
+        ..BusConfig::default()
+    };
+    let mut paths = cfg.paths_interleaved(SEED);
+    paths.truncate(8);
+    to_csv(&observe_directly(&paths, 0.01, SEED))
+}
+
+fn mining_grid() -> Grid {
+    Grid::new(BBox::unit(), 5, 5).unwrap()
+}
+
+fn mining_params() -> MiningParams {
+    MiningParams::new(3, 0.06).unwrap().with_max_len(3).unwrap()
+}
+
+#[test]
+fn every_policy_times_defect_combination_degrades_gracefully() {
+    let clean = clean_csv();
+    let policies = [
+        IngestPolicy::Strict,
+        IngestPolicy::Skip,
+        IngestPolicy::Repair,
+    ];
+    for (d, defect) in StructuralDefect::ALL.into_iter().enumerate() {
+        let corrupted = corrupt_csv_structurally(&clean, &[defect], SEED + d as u64);
+        assert_ne!(corrupted, clean, "{defect:?} must actually damage the file");
+        for policy in policies {
+            let result = ingest(&corrupted, policy);
+            if policy == IngestPolicy::Strict {
+                // Every defect in ALL damages this file; Strict refuses it
+                // with a precise, typed error rather than partial data.
+                let err = result.expect_err(&format!("Strict must reject {defect:?}"));
+                assert!(!err.to_string().is_empty());
+                continue;
+            }
+            let (data, report) =
+                result.unwrap_or_else(|e| panic!("{policy:?} must survive {defect:?}, got {e}"));
+            assert!(
+                report.rows_kept <= report.rows_read,
+                "{policy:?}/{defect:?}: kept {} of {} rows",
+                report.rows_kept,
+                report.rows_read
+            );
+            assert_eq!(report.trajectories_kept, data.len());
+            // The surviving dataset must mine without error (an empty
+            // dataset yields an empty outcome, which is still graceful).
+            let outcome = Miner::new(&data, &mining_grid())
+                .params(mining_params())
+                .mine()
+                .unwrap_or_else(|e| panic!("{policy:?}/{defect:?}: mining failed: {e}"));
+            assert!(outcome.patterns.iter().all(|m| m.nm.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn reports_attribute_defects_accurately() {
+    let clean = clean_csv();
+
+    let nan = corrupt_csv_structurally(&clean, &[StructuralDefect::NanInjection], SEED);
+    let (_, report) = ingest(&nan, IngestPolicy::Skip).unwrap();
+    assert!(report.count(Defect::InvalidValue) >= 1, "{report}");
+
+    let garbage = corrupt_csv_structurally(&clean, &[StructuralDefect::GarbageFields], SEED);
+    let (_, report) = ingest(&garbage, IngestPolicy::Skip).unwrap();
+    assert!(report.total_defects() >= 1, "{report}");
+
+    let headless = corrupt_csv_structurally(&clean, &[StructuralDefect::DropHeader], SEED);
+    let (data, report) = ingest(&headless, IngestPolicy::Skip).unwrap();
+    assert!(report.count(Defect::MissingHeader) == 1, "{report}");
+    assert!(!data.is_empty(), "data rows must survive a lost header");
+
+    // Repair fixes NaN coordinates instead of dropping those rows: it
+    // keeps strictly more rows than Skip does.
+    let (skipped, _) = ingest(&nan, IngestPolicy::Skip).unwrap();
+    let (repaired, report) = ingest(&nan, IngestPolicy::Repair).unwrap();
+    let rows = |d: &trajdata::Dataset| d.iter().map(|t| t.len()).sum::<usize>();
+    assert!(rows(&repaired) > rows(&skipped));
+    let fixes = report.sanitize.expect("repair attaches a sanitize report");
+    assert!(fixes.coords_interpolated >= 1, "{fixes}");
+}
+
+#[test]
+fn stacked_corruption_still_yields_a_result_under_repair() {
+    let clean = clean_csv();
+    let wrecked = corrupt_csv_structurally(&clean, &StructuralDefect::ALL, SEED);
+    let (data, report) = ingest(&wrecked, IngestPolicy::Repair).unwrap();
+    assert!(report.total_defects() >= 1);
+    Miner::new(&data, &mining_grid())
+        .params(mining_params())
+        .mine()
+        .expect("mining repaired wreckage must not fail");
+}
+
+#[test]
+fn injected_worker_panic_degrades_to_bit_identical_rescore() {
+    // Enough trajectories that the scorer actually splits into multiple
+    // shards (it refuses to shard tiny datasets).
+    let cfg = BusConfig {
+        snapshots: 10,
+        ..BusConfig::default()
+    };
+    let mut paths = cfg.paths_interleaved(SEED);
+    paths.truncate(32);
+    let data = observe_directly(&paths, 0.01, SEED);
+    let grid = mining_grid();
+    let params = mining_params();
+
+    let reference = {
+        let scorer = Scorer::with_threads(&data, &grid, params.delta, params.min_prob, 4);
+        mine_with_scorer(&scorer, &params).unwrap()
+    };
+    assert_eq!(reference.stats.degraded_shard_rescores, 0);
+
+    let degraded = {
+        let scorer = Scorer::with_threads(&data, &grid, params.delta, params.min_prob, 4);
+        assert!(scorer.num_shards() > 1, "dataset too small to shard");
+        scorer.inject_panic_next_batch(0);
+        mine_with_scorer(&scorer, &params).unwrap()
+    };
+    assert!(
+        degraded.stats.degraded_shard_rescores >= 1,
+        "injected panic must surface in the degraded counter"
+    );
+
+    // The process survived AND the answer is exactly the same.
+    assert_eq!(reference.patterns, degraded.patterns);
+    for (a, b) in reference.patterns.iter().zip(&degraded.patterns) {
+        assert_eq!(a.nm.to_bits(), b.nm.to_bits());
+    }
+    assert_eq!(reference.groups, degraded.groups);
+    assert_eq!(reference.stats.iterations, degraded.stats.iterations);
+    assert_eq!(
+        reference.stats.candidates_scored,
+        degraded.stats.candidates_scored
+    );
+    assert_eq!(
+        reference.stats.nm_evaluations,
+        degraded.stats.nm_evaluations
+    );
+}
