@@ -1,0 +1,119 @@
+//! Streaming throughput experiment: incremental sliding-window top-k
+//! maintenance vs re-mining the window on every event.
+//!
+//! Usage: `cargo run -p bench --release --bin exp_stream [--quick]`.
+//! Writes `results/stream_throughput.json` (the `fig4_threads`-style
+//! report envelope) and `results/stream_throughput.dat`.
+
+use bench::report::{fmt_secs, row, write_dat, write_json};
+use bench::stream::{run_stream, StreamBenchConfig, StreamThroughputResult};
+
+fn print_result(r: &StreamThroughputResult) {
+    println!(
+        "=== streaming throughput: window {} over {} events (host reports {} core(s)) ===",
+        r.config.window, r.config.events, r.available_parallelism
+    );
+    let widths = [8, 14, 14, 14, 10, 8, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "event".into(),
+                "delta/event".into(),
+                "repair/event".into(),
+                "re-mine".into(),
+                "speedup".into(),
+                "deltas".into(),
+                "repairs".into(),
+            ],
+            &widths
+        )
+    );
+    for p in &r.points {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", p.x),
+                    fmt_secs(p.delta_event_secs),
+                    if p.repairs > 0 {
+                        fmt_secs(p.repair_event_secs)
+                    } else {
+                        "-".into()
+                    },
+                    fmt_secs(p.remine_secs),
+                    format!("{:.1}x", p.speedup_vs_remine),
+                    p.deltas.to_string(),
+                    p.repairs.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    let t = &r.totals;
+    println!(
+        "totals: {} events, {} repairs (rate {:.3}), {:.0} events/s",
+        t.events, t.repairs, t.repair_rate, t.events_per_sec
+    );
+    println!(
+        "delta path {} per event vs re-mine {} — {:.1}x faster",
+        fmt_secs(t.mean_delta_event_secs),
+        fmt_secs(t.mean_remine_secs),
+        t.speedup_delta_vs_remine
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        StreamBenchConfig {
+            events: 40,
+            l: 20,
+            grid_side: 8,
+            k: 6,
+            max_len: 4,
+            window: 12,
+            remine_every: 8,
+            seeds: vec![7],
+            ..StreamBenchConfig::default()
+        }
+    } else {
+        StreamBenchConfig::default()
+    };
+
+    let r = run_stream(&cfg);
+    print_result(&r);
+
+    let json = write_json("stream_throughput", &r).expect("write results");
+    let rows: Vec<Vec<f64>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.x,
+                p.delta_event_secs,
+                p.repair_event_secs,
+                p.remine_secs,
+                p.speedup_vs_remine,
+                p.deltas as f64,
+                p.repairs as f64,
+            ]
+        })
+        .collect();
+    let dat = write_dat(
+        "stream_throughput",
+        &[
+            "event",
+            "delta_event_secs",
+            "repair_event_secs",
+            "remine_secs",
+            "speedup_vs_remine",
+            "deltas",
+            "repairs",
+        ],
+        &rows,
+    )
+    .expect("write results");
+    eprintln!("wrote {json} and {dat}");
+}

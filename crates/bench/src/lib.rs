@@ -16,6 +16,7 @@
 //! | Fig. 4(a)–(d) (scalability) | [`fig4`] |
 //! | Fig. 4(e) (groups vs δ) | [`fig4e`] |
 //! | Pruning ablation (ours) | [`ablation`] |
+//! | Streaming throughput (ours) | [`stream`] |
 
 #![forbid(unsafe_code)]
 
@@ -25,4 +26,5 @@ pub mod fig4;
 pub mod fig4e;
 pub mod lengths;
 pub mod report;
+pub mod stream;
 pub mod workloads;

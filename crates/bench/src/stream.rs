@@ -1,0 +1,297 @@
+//! Streaming throughput experiment (ours): incremental sliding-window
+//! maintenance vs re-mining the window from scratch on every event.
+//!
+//! Replays the ZebraNet-style workload as an arrival stream through
+//! [`trajstream::StreamMiner`] with a fixed window, timing every event
+//! (one `slide`: arrival + eviction + maintenance) and classifying it as
+//! a *pure delta*
+//! (the contribution ledger certified the top-k without scoring any
+//! candidate against the data) or a *repair*. At sample points the full
+//! batch miner is timed over the same window contents and the streamed
+//! top-k is checked bit-identical to it — the delta path has to beat that
+//! re-mine time by a wide margin for streaming to pay off.
+//!
+//! The result uses the same report envelope as the `fig4_threads` sweep
+//! (`axis`/`config`/`available_parallelism`/`points`).
+
+use crate::workloads::zebranet_workload;
+use serde::Serialize;
+use std::time::Instant;
+use trajpattern::{Miner, MiningParams};
+use trajstream::StreamMiner;
+
+/// Configuration of the streaming throughput run.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamBenchConfig {
+    /// Number of arrival events (trajectories streamed).
+    pub events: usize,
+    /// Trajectory length `L`.
+    pub l: usize,
+    /// Grid side (G = side²).
+    pub grid_side: u32,
+    /// Top-k size.
+    pub k: usize,
+    /// Pattern length cap.
+    pub max_len: usize,
+    /// Indifference distance δ.
+    pub delta: f64,
+    /// Sliding-window capacity (trajectories kept live).
+    pub window: u64,
+    /// Every `remine_every` events the window is also re-mined from
+    /// scratch for the time + bit-identity comparison.
+    pub remine_every: usize,
+    /// Workload seeds; bucket measurements are averaged across them.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for StreamBenchConfig {
+    fn default() -> Self {
+        StreamBenchConfig {
+            events: 120,
+            l: 40,
+            grid_side: 12,
+            k: 10,
+            max_len: 6,
+            delta: 0.03,
+            window: 30,
+            remine_every: 10,
+            seeds: vec![7, 8, 9],
+        }
+    }
+}
+
+/// One sample point (a `remine_every`-sized bucket of events).
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamPoint {
+    /// Event index at the end of the bucket.
+    pub x: f64,
+    /// Mean per-event wall time of pure-delta events in the bucket.
+    pub delta_event_secs: f64,
+    /// Mean per-event wall time of repair events (0 when none occurred).
+    pub repair_event_secs: f64,
+    /// Wall time of a from-scratch batch mine over the window here.
+    pub remine_secs: f64,
+    /// `remine_secs / delta_event_secs` — how much the delta path saves.
+    pub speedup_vs_remine: f64,
+    /// Pure-delta events in the bucket.
+    pub deltas: u64,
+    /// Repair events in the bucket.
+    pub repairs: u64,
+    /// Whether the streamed top-k was bit-identical to the batch mine
+    /// (asserted; recorded as evidence).
+    pub identical_to_batch: bool,
+}
+
+/// Aggregates over the whole run.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamTotals {
+    /// Arrival events processed (per seed).
+    pub events: u64,
+    /// Repair maintenance passes (arrivals or evictions that scored).
+    pub repairs: u64,
+    /// `repairs / events`.
+    pub repair_rate: f64,
+    /// Mean per-event wall time over pure-delta events.
+    pub mean_delta_event_secs: f64,
+    /// Mean from-scratch re-mine wall time at the sample points.
+    pub mean_remine_secs: f64,
+    /// `mean_remine_secs / mean_delta_event_secs`.
+    pub speedup_delta_vs_remine: f64,
+    /// Overall events per second sustained by the stream miner.
+    pub events_per_sec: f64,
+}
+
+/// Result of the streaming throughput experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamThroughputResult {
+    /// Always "events".
+    pub axis: String,
+    /// Configuration the run was based on.
+    pub config: StreamBenchConfig,
+    /// Cores the host reports (the run itself is single-threaded).
+    pub available_parallelism: usize,
+    /// The measured buckets.
+    pub points: Vec<StreamPoint>,
+    /// Whole-run aggregates.
+    pub totals: StreamTotals,
+}
+
+struct Bucket {
+    delta_secs: f64,
+    deltas: u64,
+    repair_secs: f64,
+    repairs: u64,
+    remine_secs: f64,
+    identical: bool,
+}
+
+/// Runs the streaming throughput experiment.
+pub fn run_stream(cfg: &StreamBenchConfig) -> StreamThroughputResult {
+    let params = MiningParams::new(cfg.k, cfg.delta)
+        .expect("valid params")
+        .with_max_len(cfg.max_len)
+        .expect("valid params");
+
+    let n_buckets = cfg.events.div_ceil(cfg.remine_every);
+    let mut buckets: Vec<Bucket> = (0..n_buckets)
+        .map(|_| Bucket {
+            delta_secs: 0.0,
+            deltas: 0,
+            repair_secs: 0.0,
+            repairs: 0,
+            remine_secs: 0.0,
+            identical: true,
+        })
+        .collect();
+    let mut total_stream_secs = 0.0;
+    let mut total_repairs = 0u64;
+    let mut total_events = 0u64;
+
+    for &seed in &cfg.seeds {
+        let w = zebranet_workload(cfg.events, cfg.l, cfg.grid_side, seed);
+        let mut miner =
+            StreamMiner::new(w.grid.clone(), params.clone()).expect("valid stream params");
+        for (i, traj) in w.data.trajectories().iter().cloned().enumerate() {
+            let bucket = &mut buckets[i / cfg.remine_every];
+            let repairs_before = miner.stats().repairs;
+            let t0 = Instant::now();
+            miner.slide(traj, cfg.window);
+            let secs = t0.elapsed().as_secs_f64();
+            total_stream_secs += secs;
+            total_events += 1;
+            // Event 0 is the bootstrap mine: neither a delta nor a repair.
+            let repaired = miner.stats().repairs > repairs_before;
+            if repaired {
+                bucket.repair_secs += secs;
+                bucket.repairs += 1;
+                total_repairs += 1;
+            } else if i > 0 {
+                bucket.delta_secs += secs;
+                bucket.deltas += 1;
+            }
+
+            if (i + 1) % cfg.remine_every == 0 || i + 1 == cfg.events {
+                let window = miner.window_dataset();
+                let t1 = Instant::now();
+                let batch = Miner::new(&window, miner.grid())
+                    .params(params.clone())
+                    .mine()
+                    .expect("batch mining the window succeeds");
+                bucket.remine_secs += t1.elapsed().as_secs_f64();
+                let identical =
+                    miner.topk().len() == batch.patterns.len()
+                        && miner.topk().iter().zip(&batch.patterns).all(|(a, b)| {
+                            a.pattern == b.pattern && a.nm.to_bits() == b.nm.to_bits()
+                        });
+                assert!(identical, "stream diverged from batch at event {}", i + 1);
+                bucket.identical &= identical;
+            }
+        }
+    }
+
+    let n_seeds = cfg.seeds.len().max(1) as f64;
+    let points: Vec<StreamPoint> = buckets
+        .iter()
+        .enumerate()
+        .map(|(b, bk)| {
+            let delta_event_secs = if bk.deltas > 0 {
+                bk.delta_secs / bk.deltas as f64
+            } else {
+                0.0
+            };
+            let remine_secs = bk.remine_secs / n_seeds;
+            StreamPoint {
+                x: (((b + 1) * cfg.remine_every).min(cfg.events)) as f64,
+                delta_event_secs,
+                repair_event_secs: if bk.repairs > 0 {
+                    bk.repair_secs / bk.repairs as f64
+                } else {
+                    0.0
+                },
+                remine_secs,
+                speedup_vs_remine: if delta_event_secs > 0.0 {
+                    remine_secs / delta_event_secs
+                } else {
+                    0.0
+                },
+                deltas: bk.deltas,
+                repairs: bk.repairs,
+                identical_to_batch: bk.identical,
+            }
+        })
+        .collect();
+
+    let total_delta_secs: f64 = buckets.iter().map(|b| b.delta_secs).sum();
+    let total_deltas: u64 = buckets.iter().map(|b| b.deltas).sum();
+    let total_remine_secs: f64 = buckets.iter().map(|b| b.remine_secs).sum();
+    let n_remines = cfg.seeds.len() * n_buckets;
+    let mean_delta_event_secs = if total_deltas > 0 {
+        total_delta_secs / total_deltas as f64
+    } else {
+        0.0
+    };
+    let mean_remine_secs = if n_remines > 0 {
+        total_remine_secs / n_remines as f64
+    } else {
+        0.0
+    };
+
+    StreamThroughputResult {
+        axis: "events".into(),
+        config: cfg.clone(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1),
+        points,
+        totals: StreamTotals {
+            events: total_events,
+            repairs: total_repairs,
+            repair_rate: if total_events > 0 {
+                total_repairs as f64 / total_events as f64
+            } else {
+                0.0
+            },
+            mean_delta_event_secs,
+            mean_remine_secs,
+            speedup_delta_vs_remine: if mean_delta_event_secs > 0.0 {
+                mean_remine_secs / mean_delta_event_secs
+            } else {
+                0.0
+            },
+            events_per_sec: if total_stream_secs > 0.0 {
+                total_events as f64 / total_stream_secs
+            } else {
+                0.0
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_bench_runs_and_stays_identical() {
+        let cfg = StreamBenchConfig {
+            events: 18,
+            l: 15,
+            grid_side: 6,
+            k: 4,
+            max_len: 4,
+            window: 8,
+            remine_every: 6,
+            seeds: vec![3],
+            ..StreamBenchConfig::default()
+        };
+        let r = run_stream(&cfg);
+        assert_eq!(r.axis, "events");
+        assert_eq!(r.points.len(), 3);
+        assert!(r.points.iter().all(|p| p.identical_to_batch));
+        assert_eq!(r.totals.events, 18);
+        assert!(r.totals.events_per_sec > 0.0);
+        // Bootstrap is excluded from both classes.
+        let classified: u64 = r.totals.repairs + r.points.iter().map(|p| p.deltas).sum::<u64>();
+        assert_eq!(classified, 17);
+    }
+}

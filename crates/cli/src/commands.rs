@@ -3,9 +3,12 @@
 use crate::args::Args;
 use datagen::{observe_directly, BusConfig, PostureConfig, UniformConfig, ZebraConfig};
 use std::error::Error;
+use std::io::BufRead;
+use trajdata::eventlog::{parse_event_line, EVENTS_VERSION_LINE};
 use trajdata::{Dataset, IngestPolicy, IngestReport};
-use trajgeo::{Grid, Point2};
+use trajgeo::{BBox, Grid, Point2};
 use trajpattern::{Miner, MiningParams};
+use trajstream::StreamMiner;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -18,14 +21,23 @@ USAGE:
   trajmine validate --input FILE [--max-sigma F] [--min-len N]
   trajmine mine     --input FILE --k N [--delta F] [--grid N] [--min-len N]
                     [--max-len N] [--gamma F] [--threads N] [--velocity true]
-                    [--map true] [--json FILE] [--on-error strict|skip|repair]
+                    [--bbox X0,Y0,X1,Y1] [--map true] [--json FILE]
+                    [--on-error strict|skip|repair]
+                    [--checkpoint FILE] [--resume FILE]
+  trajmine stream   --input FILE.events --window N [--emit-every M] [--k N]
+                    [--delta F] [--grid N] [--bbox X0,Y0,X1,Y1] [--min-len N]
+                    [--max-len N] [--gamma F] [--threads N] [--json FILE]
+                    [--follow true] [--idle-ms N]
                     [--checkpoint FILE] [--resume FILE]
 
 Dataset files ending in .csv use the CSV schema `traj_id,snapshot,x,y,sigma`;
-anything else is JSON. `generate` observes ground-truth paths with Gaussian
-noise --sigma (default 0.01). `mine` lays an N×N grid (default 16) over the
-dataset's bounding box; --velocity true mines velocity trajectories instead
-of locations; --gamma enables pattern-group discovery; --map true prints an
+files ending in .events use the trajstream event-log format (one arriving
+trajectory per line); anything else is JSON. `generate` observes
+ground-truth paths with Gaussian noise --sigma (default 0.01) and emits an
+event log when --out ends in .events. `mine` lays an N×N grid (default 16)
+over the dataset's bounding box (or --bbox, to pin the grid independently
+of the data); --velocity true mines velocity trajectories instead of
+locations; --gamma enables pattern-group discovery; --map true prints an
 ASCII density map with the top pattern overlaid; --threads sets the scorer
 worker count (0 = one per core; any value gives bit-identical results).
 --on-error controls damaged-CSV handling: strict (default) aborts on the
@@ -33,7 +45,20 @@ first defect, skip drops bad rows/trajectories, repair additionally fixes
 recoverable values; skip and repair print an ingest report to stderr.
 --checkpoint FILE saves resumable state after every growth level;
 --resume FILE continues an interrupted run (the data and parameters must
-match the checkpointed run) with bit-identical results.";
+match the checkpointed run) with bit-identical results.
+
+`stream` replays (or, with --follow true, tails) an append-only .events log
+through the incremental sliding-window miner: the last --window arrivals
+stay live, and after every event the maintained top-k is bit-identical to
+`mine` over the window contents. Grids need fixing before data arrives, so
+--bbox defaults to the unit square 0,0,1,1. Every --emit-every arrivals a
+top-k snapshot is printed to stdout as one JSON line; the final snapshot is
+also written to --json FILE. --follow true keeps polling the log for
+appended events every --idle-ms (default 50) until a `# eof` line arrives.
+--checkpoint FILE saves the stream state (window + contribution ledger)
+after every emission and at the end; --resume FILE (typically the same
+file) restores it and skips already-processed events, continuing
+bit-identically — if the file does not exist yet, the stream starts fresh.";
 
 /// Runs the subcommand in `args`.
 pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -42,6 +67,7 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
         "stats" => stats(args),
         "validate" => validate(args),
         "mine" => mine_cmd(args),
+        "stream" => stream_cmd(args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -98,6 +124,8 @@ fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
     let data = observe_directly(&paths, sigma, seed ^ 0x0b5e);
     if out.ends_with(".csv") {
         std::fs::write(&out, trajdata::csv::to_csv(&data))?;
+    } else if out.ends_with(".events") {
+        std::fs::write(&out, datagen::event_log(&data))?;
     } else {
         std::fs::write(&out, data.to_json())?;
     }
@@ -126,6 +154,17 @@ fn load_with_policy(
     if input.ends_with(".csv") {
         let (data, report) = trajdata::ingest(&raw, policy).map_err(trajpattern::Error::from)?;
         Ok((data, Some(report)))
+    } else if input.ends_with(".events") {
+        let mut data: Dataset = trajdata::eventlog::parse_event_log(&raw)?
+            .into_iter()
+            .collect();
+        if policy == IngestPolicy::Repair {
+            let fixed = trajdata::sanitize(&mut data);
+            if !fixed.is_clean() {
+                eprintln!("repair: {fixed}");
+            }
+        }
+        Ok((data, None))
     } else {
         let mut data = Dataset::from_json(&raw)?;
         if policy == IngestPolicy::Repair {
@@ -246,9 +285,12 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     if velocity {
         data = data.to_velocity().map_err(trajpattern::Error::from)?;
     }
-    let bbox = data
-        .bounding_box()
-        .ok_or("dataset has no snapshots to mine")?;
+    let bbox = match args.get("bbox") {
+        Some(s) => parse_bbox(s)?,
+        None => data
+            .bounding_box()
+            .ok_or("dataset has no snapshots to mine")?,
+    };
     let grid = Grid::new(bbox, grid_side, grid_side).map_err(trajpattern::Error::from)?;
     let default_delta = grid.cell_width().min(grid.cell_height()) * 0.5;
     let delta: f64 = args.get_or("delta", default_delta)?;
@@ -315,13 +357,169 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
         }
     }
     if let Some(json_path) = args.get("json") {
-        let payload = serde_json::json!({
-            "patterns": out.patterns,
-            "groups": out.groups,
-            "stats": out.stats,
-        });
+        let payload = crate::render::mining_json(&out);
         std::fs::write(json_path, serde_json::to_string_pretty(&payload)?)?;
         eprintln!("wrote {json_path}");
+    }
+    Ok(())
+}
+
+/// Parses `--bbox minx,miny,maxx,maxy`.
+fn parse_bbox(s: &str) -> Result<BBox, Box<dyn Error>> {
+    let parts: Vec<f64> = s
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("invalid --bbox '{s}' (use minx,miny,maxx,maxy)"))?;
+    if parts.len() != 4 {
+        return Err(format!("invalid --bbox '{s}' (expected 4 comma-separated numbers)").into());
+    }
+    BBox::new(
+        Point2::new(parts[0], parts[1]),
+        Point2::new(parts[2], parts[3]),
+    )
+    .ok_or_else(|| format!("degenerate --bbox '{s}'").into())
+}
+
+/// `trajmine stream`: replay or tail an append-only `.events` log through
+/// the incremental sliding-window miner.
+fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
+    let input = args.require("input")?;
+    let window: u64 = args.get_or("window", 64u64)?;
+    if window == 0 {
+        return Err("--window must be at least 1".into());
+    }
+    let emit_every: u64 = args.get_or("emit-every", 0u64)?;
+    let follow: bool = args.get_or("follow", false)?;
+    let idle_ms: u64 = args.get_or("idle-ms", 50u64)?;
+
+    let k: usize = args.get_or("k", 10usize)?;
+    let grid_side: u32 = args.get_or("grid", 16u32)?;
+    let bbox = parse_bbox(args.get("bbox").unwrap_or("0,0,1,1"))?;
+    let grid = Grid::new(bbox, grid_side, grid_side).map_err(trajpattern::Error::from)?;
+    let default_delta = grid.cell_width().min(grid.cell_height()) * 0.5;
+    let delta: f64 = args.get_or("delta", default_delta)?;
+    let min_len: usize = args.get_or("min-len", 1usize)?;
+    let max_len: usize = args.get_or("max-len", 8usize)?;
+    let threads: usize = args.get_or("threads", 1usize)?;
+
+    let mut params = MiningParams::new(k, delta)
+        .and_then(|p| p.with_min_len(min_len))
+        .and_then(|p| p.with_max_len(max_len))
+        .map_err(trajpattern::Error::from)?;
+    if let Some(g) = args.get("gamma") {
+        let gamma: f64 = g
+            .parse()
+            .map_err(|_| format!("invalid --gamma value '{g}'"))?;
+        params = params.with_gamma(gamma).map_err(trajpattern::Error::from)?;
+    }
+    params.threads = threads;
+
+    let mut miner = match args.get("resume") {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let m = StreamMiner::resume(std::path::Path::new(path))?;
+            eprintln!(
+                "resumed from {path}: {} arrivals processed, window {}",
+                m.stats().arrivals,
+                m.stats().window_len
+            );
+            m
+        }
+        _ => StreamMiner::new(grid, params).map_err(trajpattern::Error::from)?,
+    };
+    let skip = miner.next_seq();
+    let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
+
+    let file = std::fs::File::open(input)?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut seen_version = false;
+    let mut event_no = 0u64;
+
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            if !follow {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(idle_ms));
+            continue;
+        }
+        // In follow mode a partial line may arrive before its newline;
+        // wait for the rest rather than parsing half an event.
+        if follow && !line.ends_with('\n') {
+            std::thread::sleep(std::time::Duration::from_millis(idle_ms));
+            // Rewind is not possible on a BufReader line; accumulate by
+            // reading the remainder onto the same buffer.
+            loop {
+                let mut rest = String::new();
+                let m = reader.read_line(&mut rest)?;
+                line.push_str(&rest);
+                if m > 0 && line.ends_with('\n') {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(idle_ms));
+            }
+        }
+        line_no += 1;
+        let raw = line.trim_end_matches(['\n', '\r']);
+        if !seen_version {
+            if raw.trim() != EVENTS_VERSION_LINE {
+                return Err(format!(
+                    "{input}: expected '{EVENTS_VERSION_LINE}' on line 1, found '{raw}'"
+                )
+                .into());
+            }
+            seen_version = true;
+            continue;
+        }
+        if follow && raw.trim() == "# eof" {
+            break;
+        }
+        let Some(traj) = parse_event_line(raw, line_no)? else {
+            continue;
+        };
+        event_no += 1;
+        if event_no <= skip {
+            continue;
+        }
+        miner.slide(traj, window);
+        if emit_every > 0 && miner.stats().arrivals % emit_every == 0 {
+            println!(
+                "{}",
+                serde_json::to_string(&crate::render::stream_json(&miner))?
+            );
+            if let Some(path) = &checkpoint_path {
+                miner.checkpoint(path)?;
+            }
+        }
+    }
+
+    let s = miner.stats();
+    eprintln!(
+        "stream done: {} arrivals, {} evictions, window {}, {} ledger patterns, \
+         {} repairs ({} candidates rescored), {} deltas",
+        s.arrivals,
+        s.evictions,
+        s.window_len,
+        s.ledger_patterns,
+        s.repairs,
+        s.repair_scored,
+        s.deltas_applied
+    );
+    for (i, m) in miner.topk().iter().enumerate() {
+        println!("#{:<3} nm {:>10.2}  len {}", i + 1, m.nm, m.pattern.len());
+    }
+    if let Some(json_path) = args.get("json") {
+        let payload = crate::render::stream_json(&miner);
+        std::fs::write(json_path, serde_json::to_string_pretty(&payload)?)?;
+        eprintln!("wrote {json_path}");
+    }
+    if let Some(path) = &checkpoint_path {
+        miner.checkpoint(path)?;
+        eprintln!("checkpointed stream state to {}", path.display());
     }
     Ok(())
 }
@@ -544,6 +742,143 @@ mod tests {
         wrong[4] = "4";
         assert!(dispatch(&args(&wrong)).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_final_snapshot_matches_mine_on_same_window() {
+        let dir = std::env::temp_dir().join(format!("trajmine-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("d.events");
+        let events_str = events.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "bus",
+            "--traces",
+            "8",
+            "--snapshots",
+            "12",
+            "--out",
+            events_str,
+        ]))
+        .unwrap();
+        assert!(std::fs::read_to_string(&events)
+            .unwrap()
+            .starts_with(EVENTS_VERSION_LINE));
+
+        // Window covers the whole log, so `mine` over the same .events
+        // input with the same pinned grid must agree bit-for-bit.
+        let stream_json = dir.join("stream.json");
+        dispatch(&args(&[
+            "stream",
+            "--input",
+            events_str,
+            "--window",
+            "8",
+            "--k",
+            "3",
+            "--grid",
+            "6",
+            "--max-len",
+            "3",
+            "--bbox",
+            "0,0,1,1",
+            "--emit-every",
+            "3",
+            "--json",
+            stream_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mine_json = dir.join("mine.json");
+        dispatch(&args(&[
+            "mine",
+            "--input",
+            events_str,
+            "--k",
+            "3",
+            "--grid",
+            "6",
+            "--max-len",
+            "3",
+            "--bbox",
+            "0,0,1,1",
+            "--json",
+            mine_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let streamed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&stream_json).unwrap()).unwrap();
+        let mined: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&mine_json).unwrap()).unwrap();
+        assert_eq!(streamed["patterns"], mined["patterns"]);
+        assert!(streamed["stream"]["arrivals"].as_u64().unwrap() == 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_checkpoint_resume_continues_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("trajmine-sckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let all = dir.join("all.events");
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "zebranet",
+            "--traces",
+            "10",
+            "--snapshots",
+            "10",
+            "--out",
+            all.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Split the log: first 6 events, then the full file.
+        let text = std::fs::read_to_string(&all).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let partial = dir.join("partial.events");
+        std::fs::write(&partial, lines[..7].join("\n") + "\n").unwrap();
+
+        let ckpt = dir.join("stream.ckpt");
+        let ckpt_str = ckpt.to_str().unwrap();
+        let common = ["--window", "4", "--k", "3", "--grid", "5", "--max-len", "3"];
+        // Pass 1: process the partial log, checkpointing at the end.
+        let mut first = vec!["stream", "--input", partial.to_str().unwrap()];
+        first.extend(common);
+        first.extend(["--checkpoint", ckpt_str]);
+        dispatch(&args(&first)).unwrap();
+        assert!(ckpt.exists());
+        // Pass 2: resume against the full log; already-processed events
+        // are skipped.
+        let resumed_json = dir.join("resumed.json");
+        let mut second = vec!["stream", "--input", all.to_str().unwrap()];
+        second.extend(common);
+        second.extend([
+            "--resume",
+            ckpt_str,
+            "--json",
+            resumed_json.to_str().unwrap(),
+        ]);
+        dispatch(&args(&second)).unwrap();
+        // Reference: one uninterrupted run over the full log.
+        let straight_json = dir.join("straight.json");
+        let mut straight = vec!["stream", "--input", all.to_str().unwrap()];
+        straight.extend(common);
+        straight.extend(["--json", straight_json.to_str().unwrap()]);
+        dispatch(&args(&straight)).unwrap();
+        let a: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&resumed_json).unwrap()).unwrap();
+        let b: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&straight_json).unwrap()).unwrap();
+        assert_eq!(a["patterns"], b["patterns"]);
+        assert_eq!(a["stream"], b["stream"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_rejects_bad_flags() {
+        assert!(dispatch(&args(&["stream", "--input", "x.events", "--window", "0"])).is_err());
+        assert!(dispatch(&args(&["stream", "--input", "x.events", "--bbox", "0,0,1"])).is_err());
+        assert!(dispatch(&args(&["mine", "--input", "x.json", "--bbox", "bad"])).is_err());
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! - `stats`: summarize a dataset file.
 //! - `mine`: mine top-k NM patterns (optionally pattern groups) from a
 //!   dataset file and print/emit them.
+//! - `stream`: replay or tail an append-only `.events` log through the
+//!   incremental sliding-window miner ([`trajstream`]), emitting top-k
+//!   snapshots that are bit-identical to `mine` over the window.
 //!
 //! Argument parsing is deliberately dependency-free: flags are
 //! `--name value` pairs validated into typed options.

@@ -6,7 +6,8 @@
 
 use trajdata::Dataset;
 use trajgeo::Grid;
-use trajpattern::Pattern;
+use trajpattern::{MiningOutcome, Pattern};
+use trajstream::StreamMiner;
 
 /// Renders an error and its full `source` chain, one cause per indented
 /// line — the uniform error format for all `trajmine` failures. Errors
@@ -20,6 +21,33 @@ pub fn render_error(e: &(dyn std::error::Error + 'static)) -> String {
         source = s.source();
     }
     out
+}
+
+/// The JSON payload `trajmine mine --json` writes: patterns, groups, and
+/// the full [`trajpattern::MiningStats`] counter block (including
+/// `degraded_shard_rescores`, so degraded-but-exact runs are visible in
+/// machine-readable output, not only on stderr).
+pub fn mining_json(out: &MiningOutcome) -> serde_json::Value {
+    serde_json::json!({
+        "patterns": out.patterns,
+        "groups": out.groups,
+        "stats": out.stats,
+    })
+}
+
+/// One top-k snapshot of a stream miner, as JSON. The `patterns`,
+/// `groups`, and `stats` fields use the same schema as [`mining_json`]
+/// (they describe the last maintenance pass, bit-identical to batch
+/// mining the window), plus a `stream` block with the
+/// [`trajstream::StreamStats`] counters.
+pub fn stream_json(miner: &StreamMiner) -> serde_json::Value {
+    serde_json::json!({
+        "patterns": miner.topk(),
+        "groups": miner.groups(),
+        "stats": miner.last_mining_stats(),
+        "stream": miner.stats(),
+        "next_seq": miner.next_seq(),
+    })
 }
 
 /// Density ramp from empty to dense.

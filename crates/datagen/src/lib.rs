@@ -31,6 +31,7 @@
 
 pub mod bus;
 pub mod corrupt;
+pub mod events;
 pub mod observe;
 pub mod posture;
 pub mod streets;
@@ -41,6 +42,7 @@ pub use bus::BusConfig;
 pub use corrupt::{
     corrupt_csv_structurally, CorruptionConfig, CorruptionConfigError, StructuralDefect,
 };
+pub use events::{event_log, event_log_shuffled};
 pub use observe::{observe_directly, observe_via_reporting};
 pub use posture::PostureConfig;
 pub use streets::StreetConfig;

@@ -1,0 +1,287 @@
+//! Append-only trajectory event log — the interchange format between
+//! workload generators and the `trajstream` sliding-window miner.
+//!
+//! The format is line-oriented text so a stream can be *tailed* without
+//! any framing machinery (the target container is offline and single-core,
+//! so there is no async runtime to lean on — a byte offset and a line
+//! parser are the whole consumer):
+//!
+//! ```text
+//! trajstream-events v1
+//! t <x> <y> <sigma> <x> <y> <sigma> ...
+//! t ...
+//! ```
+//!
+//! One `t` line is one *arrival event*: a complete trajectory, as
+//! `(mean.x, mean.y, sigma)` triples. Values are written with Rust's `{}`
+//! float formatting, which is the shortest representation that parses back
+//! to the identical bits — so a replayed log reproduces the generating
+//! dataset exactly, and streamed results can be diffed bit-for-bit against
+//! batch mining. Blank lines and `#` comments are ignored.
+
+use crate::dataset::Dataset;
+use crate::snapshot::SnapshotPoint;
+use crate::trajectory::{Trajectory, TrajectoryError};
+use std::fmt;
+use trajgeo::Point2;
+
+/// First line of every event log.
+pub const EVENTS_VERSION_LINE: &str = "trajstream-events v1";
+
+/// Why an event log could not be parsed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EventLogError {
+    /// The first non-blank line is not [`EVENTS_VERSION_LINE`].
+    Version {
+        /// What was found instead.
+        found: String,
+    },
+    /// A line that could not be parsed.
+    Line {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A structurally valid line describing an invalid trajectory.
+    Trajectory {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying validation error.
+        source: TrajectoryError,
+    },
+}
+
+impl fmt::Display for EventLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventLogError::Version { found } => write!(
+                f,
+                "not a trajectory event log: first line is '{found}' (expected '{EVENTS_VERSION_LINE}')"
+            ),
+            EventLogError::Line { line, message } => {
+                write!(f, "event log line {line}: {message}")
+            }
+            EventLogError::Trajectory { line, .. } => {
+                write!(f, "event log line {line}: invalid trajectory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventLogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EventLogError::Trajectory { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes a dataset as an event log, one arrival per trajectory in
+/// dataset order. Round-trips exactly through [`parse_event_log`].
+pub fn write_event_log(data: &Dataset) -> String {
+    let mut out = String::from(EVENTS_VERSION_LINE);
+    out.push('\n');
+    for traj in data.iter() {
+        append_event(&mut out, traj);
+    }
+    out
+}
+
+/// Appends one arrival event line for `traj` to `out` (no version line) —
+/// the incremental producer used by live emitters.
+pub fn append_event(out: &mut String, traj: &Trajectory) {
+    out.push('t');
+    for sp in traj.points() {
+        use fmt::Write;
+        write!(out, " {} {} {}", sp.mean.x, sp.mean.y, sp.sigma)
+            .expect("writing to a String cannot fail");
+    }
+    out.push('\n');
+}
+
+/// Parses a complete event log (version line first) into arrival events in
+/// order.
+pub fn parse_event_log(text: &str) -> Result<Vec<Trajectory>, EventLogError> {
+    let mut events = Vec::new();
+    let mut version_seen = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !version_seen {
+            if line != EVENTS_VERSION_LINE {
+                return Err(EventLogError::Version {
+                    found: line.to_string(),
+                });
+            }
+            version_seen = true;
+            continue;
+        }
+        if let Some(traj) = parse_event_line(line, line_no)? {
+            events.push(traj);
+        }
+    }
+    if !version_seen {
+        return Err(EventLogError::Version {
+            found: String::new(),
+        });
+    }
+    Ok(events)
+}
+
+/// Parses one (already version-checked) log line. Returns `Ok(None)` for
+/// blank lines and comments, so a tailing consumer can feed every appended
+/// line through unconditionally.
+pub fn parse_event_line(raw: &str, line_no: usize) -> Result<Option<Trajectory>, EventLogError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    match fields.next() {
+        Some("t") => {}
+        Some(other) => {
+            return Err(EventLogError::Line {
+                line: line_no,
+                message: format!("unknown event kind '{other}'"),
+            })
+        }
+        None => return Ok(None),
+    }
+    let values: Vec<f64> = fields
+        .map(|s| {
+            s.parse::<f64>().map_err(|_| EventLogError::Line {
+                line: line_no,
+                message: format!("'{s}' is not a number"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if values.is_empty() || !values.len().is_multiple_of(3) {
+        return Err(EventLogError::Line {
+            line: line_no,
+            message: format!(
+                "expected (x, y, sigma) triples, found {} values",
+                values.len()
+            ),
+        });
+    }
+    // Build unvalidated and let `Trajectory::new` report the offending
+    // snapshot index.
+    let points: Vec<SnapshotPoint> = values
+        .chunks_exact(3)
+        .map(|c| SnapshotPoint {
+            mean: Point2::new(c[0], c[1]),
+            sigma: c[2],
+        })
+        .collect();
+    let traj = Trajectory::new(points).map_err(|source| EventLogError::Trajectory {
+        line: line_no,
+        source,
+    })?;
+    Ok(Some(traj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        (0..4)
+            .map(|i| {
+                Trajectory::new(
+                    (0..3)
+                        .map(|j| {
+                            SnapshotPoint::new(
+                                Point2::new(
+                                    0.1 + i as f64 * 0.071 + j as f64 / 3.0,
+                                    (0.3 + i as f64 * 0.17).fract(),
+                                ),
+                                0.01 + j as f64 * 0.013,
+                            )
+                            .unwrap()
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let data = sample();
+        let text = write_event_log(&data);
+        let events = parse_event_log(&text).unwrap();
+        assert_eq!(events.len(), data.len());
+        for (orig, parsed) in data.iter().zip(&events) {
+            for (a, b) in orig.points().iter().zip(parsed.points()) {
+                assert_eq!(a.mean.x.to_bits(), b.mean.x.to_bits());
+                assert_eq!(a.mean.y.to_bits(), b.mean.y.to_bits());
+                assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_awkward_floats() {
+        let pts = vec![
+            SnapshotPoint::new(Point2::new(1.0 / 3.0, 2.0f64.sqrt()), 0.1 + 0.2).unwrap(),
+            SnapshotPoint::new(Point2::new(f64::MIN_POSITIVE, 1e300), 0.0).unwrap(),
+        ];
+        let data: Dataset = vec![Trajectory::new(pts).unwrap()].into_iter().collect();
+        let text = write_event_log(&data);
+        let events = parse_event_log(&text).unwrap();
+        for (a, b) in data.trajectories()[0]
+            .points()
+            .iter()
+            .zip(events[0].points())
+        {
+            assert_eq!(a.mean.x.to_bits(), b.mean.x.to_bits());
+            assert_eq!(a.mean.y.to_bits(), b.mean.y.to_bits());
+            assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+        }
+    }
+
+    #[test]
+    fn skips_blanks_and_comments() {
+        let text = format!("# preamble\n\n{EVENTS_VERSION_LINE}\n# note\nt 0.1 0.2 0.0\n\n");
+        let events = parse_event_log(&text).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_input_with_line_numbers() {
+        assert!(matches!(
+            parse_event_log("nonsense\n"),
+            Err(EventLogError::Version { .. })
+        ));
+        assert!(matches!(
+            parse_event_log(""),
+            Err(EventLogError::Version { .. })
+        ));
+        let text = format!("{EVENTS_VERSION_LINE}\nt 0.1 0.2\n");
+        assert!(matches!(
+            parse_event_log(&text),
+            Err(EventLogError::Line { line: 2, .. })
+        ));
+        let text = format!("{EVENTS_VERSION_LINE}\nt 0.1 oops 0.0\n");
+        let err = parse_event_log(&text).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let text = format!("{EVENTS_VERSION_LINE}\nx 0.1 0.2 0.0\n");
+        assert!(matches!(
+            parse_event_log(&text),
+            Err(EventLogError::Line { line: 2, .. })
+        ));
+        let text = format!("{EVENTS_VERSION_LINE}\nt nan 0.2 0.0\n");
+        assert!(matches!(
+            parse_event_log(&text),
+            Err(EventLogError::Trajectory { line: 2, .. })
+        ));
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod csv;
 pub mod dataset;
+pub mod eventlog;
 pub mod resample;
 pub mod sanitize;
 pub mod snapshot;
@@ -29,6 +30,7 @@ pub mod trajectory;
 
 pub use csv::{ingest, IngestPolicy, IngestReport};
 pub use dataset::{Dataset, DatasetStats};
+pub use eventlog::EventLogError;
 pub use sanitize::{sanitize, SanitizeReport};
 pub use snapshot::SnapshotPoint;
 pub use trajectory::{Trajectory, TrajectoryError};

@@ -220,9 +220,16 @@ pub(crate) fn empty_outcome() -> MiningOutcome {
 
 /// The effective maximum pattern length: patterns longer than the longest
 /// trajectory only ever score the floor, so growing past it is wasted.
-fn effective_max_len(scorer: &Scorer<'_>, params: &MiningParams) -> usize {
+pub(crate) fn effective_max_len(scorer: &Scorer<'_>, params: &MiningParams) -> usize {
     let data_max_len = scorer.data().iter().map(|t| t.len()).max().unwrap_or(0);
-    params.max_len.min(data_max_len.max(1))
+    effective_max_len_from(params, data_max_len)
+}
+
+/// [`effective_max_len`] for callers that already know the longest
+/// trajectory length (e.g. a streaming window) and don't want to build a
+/// scorer just to ask: `min(params.max_len, longest.max(1))`.
+pub fn effective_max_len_from(params: &MiningParams, longest: usize) -> usize {
+    params.max_len.min(longest.max(1))
 }
 
 /// Level 0 of the growing process: score every singular pattern, seed ω
@@ -566,7 +573,7 @@ pub fn seed_patterns(scorer: &Scorer<'_>, min_len: usize, k: usize) -> Vec<Patte
 /// The composability threshold τ for a (potential) low building block of
 /// length `len`: a pattern below τ cannot participate in any high pattern
 /// of length ≤ `max_len` (see the module docs). `-∞` while ω is unset.
-fn tau(len: usize, omega: f64, nm_best: f64, max_len: usize) -> f64 {
+pub(crate) fn tau(len: usize, omega: f64, nm_best: f64, max_len: usize) -> f64 {
     if !omega.is_finite() {
         return f64::NEG_INFINITY;
     }

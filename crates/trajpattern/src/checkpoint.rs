@@ -78,7 +78,34 @@ pub enum CheckpointError {
     Incompatible {
         /// The first fingerprint field that differs.
         field: &'static str,
+        /// Whether the mismatch is in the mining *parameters* or in the
+        /// *data* (dataset / grid) half of the fingerprint.
+        kind: FingerprintKind,
+        /// The mismatching value recorded in the checkpoint file.
+        checkpoint_value: String,
+        /// The corresponding value of the current run.
+        run_value: String,
     },
+}
+
+/// Which half of the fingerprint a field belongs to — lets resume errors
+/// say *what category* of mismatch occurred, so a user knows whether to
+/// fix their flags (params) or their input file (data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintKind {
+    /// A mining parameter (`k`, `δ`, `min_prob`, length bounds, prunings).
+    Params,
+    /// The dataset or grid (trajectory count, snapshot count, grid cells).
+    Data,
+}
+
+impl fmt::Display for FingerprintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FingerprintKind::Params => write!(f, "params"),
+            FingerprintKind::Data => write!(f, "data"),
+        }
+    }
 }
 
 impl fmt::Display for CheckpointError {
@@ -96,10 +123,17 @@ impl fmt::Display for CheckpointError {
                     "unsupported checkpoint version: '{found}' (expected '{VERSION_LINE}')"
                 )
             }
-            CheckpointError::Incompatible { field } => {
+            CheckpointError::Incompatible {
+                field,
+                kind,
+                checkpoint_value,
+                run_value,
+            } => {
                 write!(
                     f,
-                    "checkpoint is incompatible with this run: '{field}' differs"
+                    "checkpoint is incompatible with this run: {kind} fingerprint \
+                     field '{field}' differs (checkpoint has {checkpoint_value}, \
+                     this run has {run_value})"
                 )
             }
         }
@@ -329,29 +363,88 @@ pub(crate) fn decode(text: &str, expected: &Fingerprint) -> Result<GrowthState, 
         total_snapshots: parse_int(f[9], fline, "snapshot count")?,
         grid_cells: parse_int(f[10], fline, "grid cell count")?,
     };
-    for (field, matches) in [
-        ("k", found.k == expected.k),
-        ("delta", found.delta_bits == expected.delta_bits),
-        ("min_prob", found.min_prob_bits == expected.min_prob_bits),
-        ("min_len", found.min_len == expected.min_len),
-        ("max_len", found.max_len == expected.max_len),
-        ("bound pruning", found.bound_prune == expected.bound_prune),
+    // Render a bit pattern as its f64 value for human-readable errors.
+    let bits = |b: u64| format!("{}", f64::from_bits(b));
+    let checks: [(&'static str, FingerprintKind, bool, String, String); 10] = [
+        (
+            "k",
+            FingerprintKind::Params,
+            found.k == expected.k,
+            found.k.to_string(),
+            expected.k.to_string(),
+        ),
+        (
+            "delta",
+            FingerprintKind::Params,
+            found.delta_bits == expected.delta_bits,
+            bits(found.delta_bits),
+            bits(expected.delta_bits),
+        ),
+        (
+            "min_prob",
+            FingerprintKind::Params,
+            found.min_prob_bits == expected.min_prob_bits,
+            bits(found.min_prob_bits),
+            bits(expected.min_prob_bits),
+        ),
+        (
+            "min_len",
+            FingerprintKind::Params,
+            found.min_len == expected.min_len,
+            found.min_len.to_string(),
+            expected.min_len.to_string(),
+        ),
+        (
+            "max_len",
+            FingerprintKind::Params,
+            found.max_len == expected.max_len,
+            found.max_len.to_string(),
+            expected.max_len.to_string(),
+        ),
+        (
+            "bound pruning",
+            FingerprintKind::Params,
+            found.bound_prune == expected.bound_prune,
+            found.bound_prune.to_string(),
+            expected.bound_prune.to_string(),
+        ),
         (
             "one-extension pruning",
+            FingerprintKind::Params,
             found.one_ext_prune == expected.one_ext_prune,
+            found.one_ext_prune.to_string(),
+            expected.one_ext_prune.to_string(),
         ),
         (
             "trajectory count",
+            FingerprintKind::Data,
             found.num_trajectories == expected.num_trajectories,
+            found.num_trajectories.to_string(),
+            expected.num_trajectories.to_string(),
         ),
         (
             "snapshot count",
+            FingerprintKind::Data,
             found.total_snapshots == expected.total_snapshots,
+            found.total_snapshots.to_string(),
+            expected.total_snapshots.to_string(),
         ),
-        ("grid cells", found.grid_cells == expected.grid_cells),
-    ] {
+        (
+            "grid cells",
+            FingerprintKind::Data,
+            found.grid_cells == expected.grid_cells,
+            found.grid_cells.to_string(),
+            expected.grid_cells.to_string(),
+        ),
+    ];
+    for (field, kind, matches, checkpoint_value, run_value) in checks {
         if !matches {
-            return Err(CheckpointError::Incompatible { field });
+            return Err(CheckpointError::Incompatible {
+                field,
+                kind,
+                checkpoint_value,
+                run_value,
+            });
         }
     }
 
@@ -601,18 +694,31 @@ mod tests {
         let text = encode(&state, &fp);
         let mut other = fp.clone();
         other.k += 1;
-        assert_eq!(
-            decode(&text, &other).map(|_| ()).unwrap_err(),
-            CheckpointError::Incompatible { field: "k" }
-        );
+        let err = decode(&text, &other).map(|_| ()).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::Incompatible {
+                field: "k",
+                kind: FingerprintKind::Params,
+                ..
+            }
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("params"), "{msg}");
+        assert!(msg.contains(&fp.k.to_string()), "{msg}");
+        assert!(msg.contains(&other.k.to_string()), "{msg}");
         let mut other = fp.clone();
         other.grid_cells = 99;
-        assert_eq!(
-            decode(&text, &other).map(|_| ()).unwrap_err(),
+        let err = decode(&text, &other).map(|_| ()).unwrap_err();
+        assert!(matches!(
+            err,
             CheckpointError::Incompatible {
-                field: "grid cells"
+                field: "grid cells",
+                kind: FingerprintKind::Data,
+                ..
             }
-        );
+        ));
+        assert!(err.to_string().contains("data"), "{err}");
     }
 
     #[test]
@@ -685,7 +791,14 @@ mod tests {
         assert!(e.to_string().contains("line 7"));
         let v = CheckpointError::Version { found: "x".into() };
         assert!(v.to_string().contains("unsupported"));
-        let i = CheckpointError::Incompatible { field: "k" };
+        let i = CheckpointError::Incompatible {
+            field: "k",
+            kind: FingerprintKind::Params,
+            checkpoint_value: "3".into(),
+            run_value: "5".into(),
+        };
         assert!(i.to_string().contains("'k'"));
+        assert!(i.to_string().contains("params"));
+        assert!(i.to_string().contains('3') && i.to_string().contains('5'));
     }
 }

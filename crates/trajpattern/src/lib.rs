@@ -70,12 +70,14 @@ pub mod params;
 pub mod pattern;
 pub mod prune;
 pub mod scorer;
+pub mod seeded;
 pub mod topk;
 
-pub use algorithm::{mine, MiningOutcome, MiningStats};
-pub use checkpoint::CheckpointError;
+pub use algorithm::{effective_max_len_from, mine, MiningOutcome, MiningStats};
+pub use checkpoint::{CheckpointError, FingerprintKind};
 pub use groups::PatternGroup;
 pub use miner::{Error, Miner};
 pub use params::{MiningParams, ParamsError};
 pub use pattern::{MinedPattern, Pattern};
 pub use scorer::Scorer;
+pub use seeded::{certified_topk, mine_seeded, SeedCertifier, SeedError, SeededOutcome};

@@ -382,6 +382,70 @@ impl<'a> Scorer<'a> {
             .collect()
     }
 
+    /// [`Scorer::score_batch`] with a sparse prefilter, bit-identical to
+    /// it: per trajectory, only cells within `δ + 8σ` of some snapshot can
+    /// receive above-floor probability (the same corridor invariant
+    /// [`Scorer::nm_all_singulars`] is built on), so a pattern touching
+    /// none of them contributes a constant depending only on the pattern
+    /// and trajectory lengths — no probability rows are computed for it.
+    /// Runs sequentially; it exists for workloads where most of the batch
+    /// is far from most of the data, like the streaming layer's ledger
+    /// delta update against one arriving trajectory, where it turns an
+    /// `O(cells × ΣL)` pass into one over the corridor only.
+    pub fn score_batch_sparse(&self, batch: &[Pattern]) -> Vec<f64> {
+        self.evaluations
+            .set(self.evaluations.get() + batch.len() as u64);
+        let core = self.core;
+        let mut totals = vec![0.0; batch.len()];
+        // Per-trajectory probability rows for corridor cells only, built
+        // straight from the corridor scan (entries the scan does not reach
+        // are the floor exactly, by the invariant above). Cells with no
+        // above-floor entry share one all-floor row.
+        let mut rows: FxHashMap<CellId, Box<[f64]>> = FxHashMap::default();
+        let mut floor_row: Vec<f64> = Vec::new();
+        for traj in core.data.trajectories() {
+            let l = traj.len();
+            floor_row.clear();
+            floor_row.resize(l, core.floor_log);
+            rows.clear();
+            for (t, sp) in traj.points().iter().enumerate() {
+                let radius = core.delta + 8.0 * sp.sigma;
+                for cell in core.grid.cells_within(sp.mean, radius) {
+                    let lp = core.log_prob(sp, cell);
+                    if lp > core.floor_log {
+                        let row = rows
+                            .entry(cell)
+                            .or_insert_with(|| vec![core.floor_log; l].into_boxed_slice());
+                        row[t] = lp;
+                    }
+                }
+            }
+            // Fold order per pattern is still ascending trajectory, so the
+            // running totals match `score_batch`'s reduction.
+            let mut cell_rows: Vec<&[f64]> = Vec::new();
+            for (pattern, total) in batch.iter().zip(totals.iter_mut()) {
+                let m = pattern.len();
+                cell_rows.clear();
+                let mut near = false;
+                for c in pattern.cells() {
+                    match rows.get(c) {
+                        Some(r) => {
+                            near = true;
+                            cell_rows.push(r);
+                        }
+                        None => cell_rows.push(&floor_row),
+                    }
+                }
+                *total += if near {
+                    best_window_mean_rows(&cell_rows, m, core.floor_log)
+                } else {
+                    untouched_window_mean(m, l, core.floor_log)
+                };
+            }
+        }
+        totals
+    }
+
     /// `NM(P, T)` for a single trajectory (Eq. 4); the floor value if the
     /// trajectory is shorter than the pattern.
     pub fn nm_in_trajectory(&self, pattern: &Pattern, traj_index: usize) -> f64 {
@@ -406,6 +470,35 @@ impl<'a> Scorer<'a> {
             pattern.len(),
             self.core.floor_log,
         )
+    }
+
+    /// `NM(P, T_i)` for every trajectory, in ascending trajectory order —
+    /// the contribution-ledger hook used by the streaming layer
+    /// (`trajstream`). Folding the returned values in order with `total +=
+    /// c` reproduces [`Scorer::nm`] bit-for-bit (the reduction convention
+    /// of DESIGN.md §5), and each value equals
+    /// [`Scorer::nm_in_trajectory`] for that index.
+    pub fn nm_contributions(&self, pattern: &Pattern) -> Vec<f64> {
+        self.evaluations.set(self.evaluations.get() + 1);
+        let mut shards = self.shards.borrow_mut();
+        let mut out = Vec::with_capacity(self.core.data.len());
+        for shard in shards.iter_mut() {
+            self.core.ensure_cached(shard, pattern.cells());
+            let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
+                .cells()
+                .iter()
+                .map(|c| shard.rows.get(c).expect("ensured above"))
+                .collect();
+            for local in 0..shard.end - shard.start {
+                out.push(best_window_mean(
+                    &cell_rows,
+                    local,
+                    pattern.len(),
+                    self.core.floor_log,
+                ));
+            }
+        }
+        out
     }
 
     /// `NM` of a *gapped* pattern (§5): positions `cells` with
@@ -573,6 +666,42 @@ fn best_window_mean(
         }
     }
     best / m as f64
+}
+
+/// [`best_window_mean`] over one trajectory's row slices directly — the
+/// same arithmetic in the same order (window sums accumulate position by
+/// position, best window strictly improves), so results are bit-identical.
+fn best_window_mean_rows(rows: &[&[f64]], m: usize, floor_log: f64) -> f64 {
+    let l = rows[0].len();
+    if l < m {
+        return floor_log;
+    }
+    let mut best = f64::NEG_INFINITY;
+    for start in 0..=(l - m) {
+        let mut sum = 0.0;
+        for (j, row) in rows.iter().enumerate() {
+            sum += row[start + j];
+        }
+        if sum > best {
+            best = sum;
+        }
+    }
+    best / m as f64
+}
+
+/// What [`best_window_mean`] returns when every row entry is `floor_log`
+/// (the trajectory never comes near any pattern cell): all window sums are
+/// the same sequential fold of `m` floor terms, replicated here addition
+/// by addition so the result is bit-identical to the dense evaluation.
+fn untouched_window_mean(m: usize, l: usize, floor_log: f64) -> f64 {
+    if l < m {
+        return floor_log;
+    }
+    let mut sum = 0.0;
+    for _ in 0..m {
+        sum += floor_log;
+    }
+    sum / m as f64
 }
 
 /// `log M(P, segment)` (Eq. 2 in log space) for an arbitrary snapshot
@@ -766,6 +895,28 @@ mod tests {
     }
 
     #[test]
+    fn nm_contributions_fold_to_nm() {
+        let (data, grid) = setup(24, 0.06);
+        let s = Scorer::new(&data, &grid, 0.1, 1e-12);
+        let p = pat(&[8, 9, 10]);
+        let contribs = s.nm_contributions(&p);
+        assert_eq!(contribs.len(), data.len());
+        for (i, &c) in contribs.iter().enumerate() {
+            assert_eq!(c.to_bits(), s.nm_in_trajectory(&p, i).to_bits());
+        }
+        let mut total = 0.0;
+        for &c in &contribs {
+            total += c;
+        }
+        assert_eq!(total.to_bits(), s.nm(&p).to_bits());
+        // Same values from a sharded scorer.
+        let par = Scorer::with_threads(&data, &grid, 0.1, 1e-12, 3);
+        for (a, b) in contribs.iter().zip(par.nm_contributions(&p)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn score_batch_matches_one_at_a_time() {
         let (data, grid) = setup(7, 0.05);
         let s = Scorer::new(&data, &grid, 0.1, 1e-12);
@@ -777,6 +928,30 @@ mod tests {
         }
         // One evaluation is charged per pattern, duplicates included.
         assert_eq!(s.evaluations(), 4);
+    }
+
+    #[test]
+    fn sparse_batch_is_bit_identical_to_dense() {
+        // Mix of on-corridor, partially-near and far patterns, plus a
+        // trajectory shorter than some patterns; a larger σ widens the
+        // corridor so "near but low" cells are exercised too.
+        let (data5, grid) = setup(5, 0.07);
+        let mut all = data5.trajectories().to_vec();
+        all.push(Trajectory::from_exact([Point2::new(0.125, 0.625)]));
+        let data: Dataset = all.into_iter().collect();
+        let batch = [
+            pat(&[8, 9, 10, 11]),
+            pat(&[8, 9]),
+            pat(&[0, 1, 2]),
+            pat(&[3, 9]),
+            pat(&[15]),
+            pat(&[12, 13, 14, 15]),
+        ];
+        let dense = Scorer::new(&data, &grid, 0.1, 1e-12).score_batch(&batch);
+        let sparse = Scorer::new(&data, &grid, 0.1, 1e-12).score_batch_sparse(&batch);
+        for (p, (d, s)) in batch.iter().zip(dense.iter().zip(&sparse)) {
+            assert_eq!(d.to_bits(), s.to_bits(), "pattern {p:?}: {d} vs {s}");
+        }
     }
 
     #[test]

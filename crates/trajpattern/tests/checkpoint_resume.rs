@@ -117,7 +117,7 @@ fn resume_rejects_incompatible_parameters() {
     assert!(
         matches!(
             err,
-            Error::Checkpoint(CheckpointError::Incompatible { field: "k" })
+            Error::Checkpoint(CheckpointError::Incompatible { field: "k", .. })
         ),
         "unexpected error: {err:?}"
     );

@@ -1,0 +1,121 @@
+//! Pattern-group discovery (`trajpattern::groups`) under streaming churn:
+//! when `gamma` is set, the stream miner's groups after every event must
+//! equal the batch miner's groups over the window — same partition, same
+//! member order, same representatives, same NM bits — through arrivals,
+//! evictions, window emptying, and refills.
+
+use trajdata::{SnapshotPoint, Trajectory};
+use trajgeo::{BBox, Grid, Point2};
+use trajpattern::{Miner, MiningParams, PatternGroup};
+use trajstream::StreamMiner;
+
+fn corridor(y: f64, jitter: f64, sigma: f64) -> Trajectory {
+    Trajectory::new(
+        (0..5)
+            .map(|i| {
+                SnapshotPoint::new(Point2::new(0.1 + i as f64 * 0.2, y + jitter), sigma).unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn assert_groups_eq(streamed: &[PatternGroup], batch: &[PatternGroup], what: &str) {
+    assert_eq!(streamed.len(), batch.len(), "{what}: group count diverged");
+    for (gi, (a, b)) in streamed.iter().zip(batch).enumerate() {
+        assert_eq!(
+            a.patterns.len(),
+            b.patterns.len(),
+            "{what}: size of group #{gi} diverged"
+        );
+        for (x, y) in a.patterns.iter().zip(&b.patterns) {
+            assert_eq!(
+                x.pattern, y.pattern,
+                "{what}: member of group #{gi} diverged"
+            );
+            assert_eq!(
+                x.nm.to_bits(),
+                y.nm.to_bits(),
+                "{what}: member NM bits in group #{gi} diverged"
+            );
+        }
+        assert_eq!(
+            a.representative().pattern,
+            b.representative().pattern,
+            "{what}: representative of group #{gi} diverged"
+        );
+    }
+}
+
+#[test]
+fn streamed_groups_match_batch_under_churn() {
+    let grid = Grid::new(BBox::unit(), 5, 5).unwrap();
+    let params = MiningParams::new(8, 0.06)
+        .unwrap()
+        .with_max_len(4)
+        .unwrap()
+        .with_gamma(0.4)
+        .unwrap();
+    let mut stream = StreamMiner::new(grid.clone(), params.clone()).unwrap();
+
+    // Two parallel corridors (adjacent rows → groupable patterns) plus a
+    // drifting stray; trajectories arrive interleaved and the window
+    // slides, so group membership genuinely churns.
+    let mut events: Vec<Trajectory> = Vec::new();
+    for i in 0..9 {
+        events.push(corridor(0.3, 0.004 * i as f64, 0.02));
+        events.push(corridor(0.5, -0.003 * i as f64, 0.02));
+        if i % 3 == 0 {
+            events.push(corridor(0.7 + 0.02 * i as f64, 0.0, 0.05));
+        }
+    }
+
+    for traj in events {
+        let seq = stream.push(traj);
+        stream.evict_before(seq.saturating_sub(6));
+        let window = stream.window_dataset();
+        let batch = Miner::new(&window, &grid)
+            .params(params.clone())
+            .mine()
+            .unwrap();
+        assert_groups_eq(stream.groups(), &batch.groups, "churn step");
+        // Every group member must come from the current top-k.
+        for g in stream.groups() {
+            for m in &g.patterns {
+                assert!(stream.topk().iter().any(|t| t.pattern == m.pattern));
+            }
+        }
+    }
+}
+
+#[test]
+fn groups_survive_window_emptying_and_refill() {
+    let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+    let params = MiningParams::new(6, 0.08)
+        .unwrap()
+        .with_max_len(3)
+        .unwrap()
+        .with_gamma(0.5)
+        .unwrap();
+    let mut stream = StreamMiner::new(grid.clone(), params.clone()).unwrap();
+    for i in 0..4 {
+        stream.push(corridor(0.35, 0.002 * i as f64, 0.03));
+    }
+    assert!(!stream.groups().is_empty());
+
+    // Drain completely: no window, no groups.
+    stream.evict_before(stream.next_seq());
+    assert!(stream.groups().is_empty());
+    assert!(stream.topk().is_empty());
+
+    // Refill from the (retained) ledger; groups must match batch again.
+    for i in 0..3 {
+        stream.push(corridor(0.6, 0.002 * i as f64, 0.03));
+    }
+    let window = stream.window_dataset();
+    let batch = Miner::new(&window, &grid)
+        .params(params.clone())
+        .mine()
+        .unwrap();
+    assert_groups_eq(stream.groups(), &batch.groups, "after refill");
+}
