@@ -1,0 +1,108 @@
+//! Serving throughput experiment: request rate and tail latency of the
+//! `trajserve` HTTP server over a mined snapshot.
+//!
+//! Usage: `cargo run -p bench --release --bin exp_serve [--quick]`.
+//! Writes `results/serve_throughput.json` and
+//! `results/serve_throughput.dat`.
+
+use bench::report::{row, write_dat, write_json};
+use bench::serve::{run_serve, ServeBenchConfig, ServeThroughputResult};
+
+fn print_result(r: &ServeThroughputResult) {
+    println!(
+        "=== serving throughput: {} clients x {} requests, {} workers (host reports {} core(s)) ===",
+        r.config.clients,
+        r.config.requests_per_client,
+        r.config.workers,
+        r.available_parallelism
+    );
+    let widths = [8, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "endpoint".into(),
+                "requests".into(),
+                "req/s".into(),
+                "p50".into(),
+                "p99".into(),
+                "mean".into(),
+            ],
+            &widths
+        )
+    );
+    for p in &r.points {
+        println!(
+            "{}",
+            row(
+                &[
+                    p.endpoint.clone(),
+                    p.requests.to_string(),
+                    format!("{:.0}", p.req_per_sec),
+                    format!("{:.2}ms", p.p50_ms),
+                    format!("{:.2}ms", p.p99_ms),
+                    format!("{:.2}ms", p.mean_ms),
+                ],
+                &widths
+            )
+        );
+    }
+    let t = &r.totals;
+    println!(
+        "totals: {} requests in {:.2}s — {:.0} req/s over a {}-pattern snapshot",
+        t.requests, t.wall_secs, t.req_per_sec, t.snapshot_patterns
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        ServeBenchConfig {
+            s: 20,
+            l: 20,
+            grid_side: 8,
+            k: 6,
+            max_len: 4,
+            clients: 2,
+            requests_per_client: 50,
+            ..ServeBenchConfig::default()
+        }
+    } else {
+        ServeBenchConfig::default()
+    };
+
+    let r = run_serve(&cfg);
+    print_result(&r);
+
+    let json = write_json("serve_throughput", &r).expect("write results");
+    let rows: Vec<Vec<f64>> = r
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                i as f64,
+                p.requests as f64,
+                p.req_per_sec,
+                p.p50_ms,
+                p.p99_ms,
+                p.mean_ms,
+            ]
+        })
+        .collect();
+    let dat = write_dat(
+        "serve_throughput",
+        &[
+            "endpoint_index",
+            "requests",
+            "req_per_sec",
+            "p50_ms",
+            "p99_ms",
+            "mean_ms",
+        ],
+        &rows,
+    )
+    .expect("write results");
+    eprintln!("wrote {json} and {dat}");
+}

@@ -26,5 +26,6 @@ pub mod fig4;
 pub mod fig4e;
 pub mod lengths;
 pub mod report;
+pub mod serve;
 pub mod stream;
 pub mod workloads;

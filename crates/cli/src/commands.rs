@@ -1,12 +1,13 @@
 //! `trajmine` subcommand implementations.
 
 use crate::args::Args;
+use crate::input::{load, load_with_policy, parse_bbox};
 use datagen::{observe_directly, BusConfig, PostureConfig, UniformConfig, ZebraConfig};
 use std::error::Error;
 use std::io::BufRead;
 use trajdata::eventlog::{parse_event_line, EVENTS_VERSION_LINE};
-use trajdata::{Dataset, IngestPolicy, IngestReport};
-use trajgeo::{BBox, Grid, Point2};
+use trajdata::IngestPolicy;
+use trajgeo::{Grid, Point2};
 use trajpattern::{Miner, MiningParams};
 use trajstream::StreamMiner;
 
@@ -29,6 +30,10 @@ USAGE:
                     [--max-len N] [--gamma F] [--threads N] [--json FILE]
                     [--follow true] [--idle-ms N]
                     [--checkpoint FILE] [--resume FILE]
+  trajmine serve    --snapshot FILE [--addr HOST:PORT] [--workers N]
+                    [--queue N] [--threads N] [--confirm F] [--watch true]
+                    [--watch-interval-ms N] [--read-timeout-ms N]
+                    [--write-timeout-ms N]
 
 Dataset files ending in .csv use the CSV schema `traj_id,snapshot,x,y,sigma`;
 files ending in .events use the trajstream event-log format (one arriving
@@ -58,7 +63,21 @@ appended events every --idle-ms (default 50) until a `# eof` line arrives.
 --checkpoint FILE saves the stream state (window + contribution ledger)
 after every emission and at the end; --resume FILE (typically the same
 file) restores it and skips already-processed events, continuing
-bit-identically — if the file does not exist yet, the stream starts fresh.";
+bit-identically — if the file does not exist yet, the stream starts fresh.
+
+`serve` loads a pattern snapshot — `mine --json` output or a `stream`
+--checkpoint file — and answers HTTP/1.1 queries over it until SIGTERM or
+SIGINT: GET /topk (the snapshot), POST /score (NM of every snapshot
+pattern over a posted dataset, bit-identical to the library scorer),
+POST /match (best pattern + pattern-group for a partial trajectory),
+POST /predict (next-cell distribution; --confirm sets the confirmation
+threshold, default 0.9), GET /healthz, and GET /metrics (plain-text
+counters: requests, latency buckets, queue depth, scorer stats). The
+accept queue is bounded (--queue, default 64) and answers 503 when full;
+--workers (default 2) sets the handler pool; termination signals drain
+in-flight requests before exit. --watch true hot-reloads the snapshot
+whenever the file is rewritten (e.g. by a live `stream --checkpoint`
+run).";
 
 /// Runs the subcommand in `args`.
 pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -68,6 +87,7 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
         "validate" => validate(args),
         "mine" => mine_cmd(args),
         "stream" => stream_cmd(args),
+        "serve" => serve_cmd(args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -135,46 +155,6 @@ fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
         snapshots
     );
     Ok(())
-}
-
-fn load(args: &Args) -> Result<Dataset, Box<dyn Error>> {
-    Ok(load_with_policy(args, IngestPolicy::Strict)?.0)
-}
-
-/// Loads the dataset under an ingest policy. CSV inputs go through the
-/// fault-tolerant [`trajdata::ingest`] path and return a report; JSON
-/// inputs are all-or-nothing, but `Repair` still sanitizes the loaded
-/// dataset in place.
-fn load_with_policy(
-    args: &Args,
-    policy: IngestPolicy,
-) -> Result<(Dataset, Option<IngestReport>), Box<dyn Error>> {
-    let input = args.require("input")?;
-    let raw = std::fs::read_to_string(input)?;
-    if input.ends_with(".csv") {
-        let (data, report) = trajdata::ingest(&raw, policy).map_err(trajpattern::Error::from)?;
-        Ok((data, Some(report)))
-    } else if input.ends_with(".events") {
-        let mut data: Dataset = trajdata::eventlog::parse_event_log(&raw)?
-            .into_iter()
-            .collect();
-        if policy == IngestPolicy::Repair {
-            let fixed = trajdata::sanitize(&mut data);
-            if !fixed.is_clean() {
-                eprintln!("repair: {fixed}");
-            }
-        }
-        Ok((data, None))
-    } else {
-        let mut data = Dataset::from_json(&raw)?;
-        if policy == IngestPolicy::Repair {
-            let fixed = trajdata::sanitize(&mut data);
-            if !fixed.is_clean() {
-                eprintln!("repair: {fixed}");
-            }
-        }
-        Ok((data, None))
-    }
 }
 
 fn stats(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -306,7 +286,9 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
         params = params.with_gamma(gamma).map_err(trajpattern::Error::from)?;
     }
 
-    let mut miner = Miner::new(&data, &grid).params(params).threads(threads);
+    let mut miner = Miner::new(&data, &grid)
+        .params(params.clone())
+        .threads(threads);
     if let Some(path) = args.get("checkpoint") {
         miner = miner.checkpoint(path);
     }
@@ -357,28 +339,72 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
         }
     }
     if let Some(json_path) = args.get("json") {
-        let payload = crate::render::mining_json(&out);
+        let payload = crate::render::mining_json(&out, &grid, &params);
         std::fs::write(json_path, serde_json::to_string_pretty(&payload)?)?;
         eprintln!("wrote {json_path}");
     }
     Ok(())
 }
 
-/// Parses `--bbox minx,miny,maxx,maxy`.
-fn parse_bbox(s: &str) -> Result<BBox, Box<dyn Error>> {
-    let parts: Vec<f64> = s
-        .split(',')
-        .map(|p| p.trim().parse::<f64>())
-        .collect::<Result<_, _>>()
-        .map_err(|_| format!("invalid --bbox '{s}' (use minx,miny,maxx,maxy)"))?;
-    if parts.len() != 4 {
-        return Err(format!("invalid --bbox '{s}' (expected 4 comma-separated numbers)").into());
-    }
-    BBox::new(
-        Point2::new(parts[0], parts[1]),
-        Point2::new(parts[2], parts[3]),
-    )
-    .ok_or_else(|| format!("degenerate --bbox '{s}'").into())
+/// `trajmine serve`: load a snapshot (mine JSON or stream checkpoint)
+/// and answer pattern queries over HTTP until a termination signal.
+fn serve_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
+    use std::time::Duration;
+
+    let snapshot_path = std::path::PathBuf::from(args.require("snapshot")?);
+    let confirm: f64 = args.get_or("confirm", 0.9f64)?;
+    let cfg = trajserve::ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: args.get_or("workers", 2usize)?,
+        queue: args.get_or("queue", 64usize)?,
+        read_timeout: Duration::from_millis(args.get_or("read-timeout-ms", 5000u64)?),
+        write_timeout: Duration::from_millis(args.get_or("write-timeout-ms", 5000u64)?),
+        scorer_threads: args.get_or("threads", 1usize)?,
+        confirm_threshold: confirm,
+        watch: args.get_or("watch", false)?,
+        watch_interval: Duration::from_millis(args.get_or("watch-interval-ms", 500u64)?),
+        snapshot_path: Some(snapshot_path.clone()),
+        allow_panic_injection: args.get_or("allow-panic-injection", false)?,
+        ..trajserve::ServerConfig::default()
+    };
+
+    let snapshot = trajserve::Snapshot::load(&snapshot_path)?;
+    eprintln!(
+        "loaded {}: {} patterns, {} groups{}",
+        snapshot_path.display(),
+        snapshot.patterns.len(),
+        snapshot.groups.len(),
+        if snapshot.stream.is_some() {
+            " (stream checkpoint)"
+        } else {
+            ""
+        }
+    );
+    let server = trajserve::Server::bind(snapshot, cfg.clone())?;
+    let addr = server.local_addr()?;
+    eprintln!(
+        "trajserve listening on http://{addr} ({} workers, queue {}{})",
+        cfg.workers,
+        cfg.queue,
+        if cfg.watch { ", watching snapshot" } else { "" }
+    );
+
+    // Flip the server's shutdown switch when SIGTERM/SIGINT arrives, so
+    // in-flight requests drain and `run` returns for a clean exit 0.
+    trajserve::signal::install_termination_handler();
+    let flag = trajserve::signal::termination_flag();
+    let handle = server.handle();
+    std::thread::spawn(move || {
+        while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("termination signal received: draining in-flight requests");
+        handle.shutdown();
+    });
+
+    server.run()?;
+    eprintln!("trajserve stopped cleanly");
+    Ok(())
 }
 
 /// `trajmine stream`: replay or tail an append-only `.events` log through
@@ -879,6 +905,64 @@ mod tests {
         assert!(dispatch(&args(&["stream", "--input", "x.events", "--window", "0"])).is_err());
         assert!(dispatch(&args(&["stream", "--input", "x.events", "--bbox", "0,0,1"])).is_err());
         assert!(dispatch(&args(&["mine", "--input", "x.json", "--bbox", "bad"])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_missing_or_bad_snapshot() {
+        // --snapshot is required.
+        assert!(dispatch(&args(&["serve"])).is_err());
+        // A nonexistent snapshot fails before any socket is bound.
+        assert!(dispatch(&args(&["serve", "--snapshot", "/nonexistent/snap.json"])).is_err());
+        // Garbage snapshot content is rejected with a schema error.
+        let dir = std::env::temp_dir().join(format!("trajmine-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"patterns\": []}").unwrap();
+        assert!(dispatch(&args(&["serve", "--snapshot", bad.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_json_uses_snapshot_schema() {
+        let dir = std::env::temp_dir().join(format!("trajmine-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("d.json");
+        let data_str = data_path.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "uniform",
+            "--traces",
+            "4",
+            "--snapshots",
+            "15",
+            "--out",
+            data_str,
+        ]))
+        .unwrap();
+        let json_path = dir.join("p.json");
+        dispatch(&args(&[
+            "mine",
+            "--input",
+            data_str,
+            "--k",
+            "2",
+            "--grid",
+            "5",
+            "--max-len",
+            "2",
+            "--json",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The written file is a valid, loadable trajserve snapshot.
+        let snap = trajserve::Snapshot::load(&json_path).unwrap();
+        assert_eq!(snap.patterns.len(), 2);
+        assert!(snap.stream.is_none());
+        let raw: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(raw["schema"].as_str().unwrap(), trajserve::SCHEMA);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

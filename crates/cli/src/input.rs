@@ -1,0 +1,66 @@
+//! Dataset input shared by every subcommand: format sniffing
+//! (CSV / `.events` log / JSON), the fault-tolerant ingest path, and
+//! small argument parsers for spatial flags.
+
+use crate::args::Args;
+use std::error::Error;
+use trajdata::{Dataset, IngestPolicy, IngestReport};
+use trajgeo::{BBox, Point2};
+
+/// Loads `--input` strictly: the first defect aborts the command.
+pub fn load(args: &Args) -> Result<Dataset, Box<dyn Error>> {
+    Ok(load_with_policy(args, IngestPolicy::Strict)?.0)
+}
+
+/// Loads the dataset under an ingest policy. CSV inputs go through the
+/// fault-tolerant [`trajdata::ingest`] path and return a report; JSON
+/// inputs are all-or-nothing, but `Repair` still sanitizes the loaded
+/// dataset in place.
+pub fn load_with_policy(
+    args: &Args,
+    policy: IngestPolicy,
+) -> Result<(Dataset, Option<IngestReport>), Box<dyn Error>> {
+    let input = args.require("input")?;
+    let raw = std::fs::read_to_string(input)?;
+    if input.ends_with(".csv") {
+        let (data, report) = trajdata::ingest(&raw, policy).map_err(trajpattern::Error::from)?;
+        Ok((data, Some(report)))
+    } else if input.ends_with(".events") {
+        let mut data: Dataset = trajdata::eventlog::parse_event_log(&raw)?
+            .into_iter()
+            .collect();
+        if policy == IngestPolicy::Repair {
+            let fixed = trajdata::sanitize(&mut data);
+            if !fixed.is_clean() {
+                eprintln!("repair: {fixed}");
+            }
+        }
+        Ok((data, None))
+    } else {
+        let mut data = Dataset::from_json(&raw)?;
+        if policy == IngestPolicy::Repair {
+            let fixed = trajdata::sanitize(&mut data);
+            if !fixed.is_clean() {
+                eprintln!("repair: {fixed}");
+            }
+        }
+        Ok((data, None))
+    }
+}
+
+/// Parses `--bbox minx,miny,maxx,maxy`.
+pub fn parse_bbox(s: &str) -> Result<BBox, Box<dyn Error>> {
+    let parts: Vec<f64> = s
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("invalid --bbox '{s}' (use minx,miny,maxx,maxy)"))?;
+    if parts.len() != 4 {
+        return Err(format!("invalid --bbox '{s}' (expected 4 comma-separated numbers)").into());
+    }
+    BBox::new(
+        Point2::new(parts[0], parts[1]),
+        Point2::new(parts[2], parts[3]),
+    )
+    .ok_or_else(|| format!("degenerate --bbox '{s}'").into())
+}

@@ -10,6 +10,9 @@
 //! - `stream`: replay or tail an append-only `.events` log through the
 //!   incremental sliding-window miner ([`trajstream`]), emitting top-k
 //!   snapshots that are bit-identical to `mine` over the window.
+//! - `serve`: load a pattern snapshot (`mine --json` output or a
+//!   `stream` checkpoint) and answer concurrent HTTP pattern queries
+//!   over it ([`trajserve`]) until a termination signal drains it.
 //!
 //! Argument parsing is deliberately dependency-free: flags are
 //! `--name value` pairs validated into typed options.
@@ -19,6 +22,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod input;
 pub mod render;
 
 pub use args::{ArgError, Args};

@@ -6,7 +6,8 @@
 
 use trajdata::Dataset;
 use trajgeo::Grid;
-use trajpattern::{MiningOutcome, Pattern};
+use trajpattern::{MiningOutcome, MiningParams, Pattern};
+use trajserve::Snapshot;
 use trajstream::StreamMiner;
 
 /// Renders an error and its full `source` chain, one cause per indented
@@ -23,31 +24,24 @@ pub fn render_error(e: &(dyn std::error::Error + 'static)) -> String {
     out
 }
 
-/// The JSON payload `trajmine mine --json` writes: patterns, groups, and
-/// the full [`trajpattern::MiningStats`] counter block (including
+/// The JSON payload `trajmine mine --json` writes: a versioned
+/// [`trajserve::Snapshot`] — patterns, groups, the full
+/// [`trajpattern::MiningStats`] counter block (including
 /// `degraded_shard_rescores`, so degraded-but-exact runs are visible in
-/// machine-readable output, not only on stderr).
-pub fn mining_json(out: &MiningOutcome) -> serde_json::Value {
-    serde_json::json!({
-        "patterns": out.patterns,
-        "groups": out.groups,
-        "stats": out.stats,
-    })
+/// machine-readable output, not only on stderr), the scorer's engine
+/// counters, and the grid + params needed to re-score the patterns
+/// bit-identically. The same schema is what `trajmine serve` loads.
+pub fn mining_json(out: &MiningOutcome, grid: &Grid, params: &MiningParams) -> serde_json::Value {
+    Snapshot::from_outcome(out, grid, params).to_value()
 }
 
-/// One top-k snapshot of a stream miner, as JSON. The `patterns`,
-/// `groups`, and `stats` fields use the same schema as [`mining_json`]
-/// (they describe the last maintenance pass, bit-identical to batch
-/// mining the window), plus a `stream` block with the
-/// [`trajstream::StreamStats`] counters.
+/// One top-k snapshot of a stream miner, as JSON — the same versioned
+/// [`trajserve::Snapshot`] schema as [`mining_json`] (the `patterns`,
+/// `groups`, and `stats` fields describe the last maintenance pass,
+/// bit-identical to batch mining the window), plus the `stream` counter
+/// block and `next_seq`.
 pub fn stream_json(miner: &StreamMiner) -> serde_json::Value {
-    serde_json::json!({
-        "patterns": miner.topk(),
-        "groups": miner.groups(),
-        "stats": miner.last_mining_stats(),
-        "stream": miner.stats(),
-        "next_seq": miner.next_seq(),
-    })
+    Snapshot::from_stream(miner).to_value()
 }
 
 /// Density ramp from empty to dense.

@@ -123,6 +123,12 @@ impl PatternLibrary {
         self.patterns.is_empty()
     }
 
+    /// The usable patterns in matching order (longest first, then by NM) —
+    /// the order [`confirm_scores`](Self::confirm_scores) reports in.
+    pub fn patterns(&self) -> &[MinedPattern] {
+        &self.patterns
+    }
+
     /// Given the recent velocity estimates (oldest → newest), returns the
     /// pattern-predicted next velocity, or `None` when the patterns offer
     /// no unambiguous advice.

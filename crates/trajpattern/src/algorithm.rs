@@ -89,6 +89,11 @@ pub struct MiningOutcome {
     pub groups: Vec<PatternGroup>,
     /// Run counters.
     pub stats: MiningStats,
+    /// Counters of the [`Scorer`] that produced this outcome. Engine
+    /// telemetry, not part of the mining result proper: a resumed run
+    /// reports different numbers (its scorer rebuilt less cache) while
+    /// `patterns`/`groups`/`stats` stay bit-identical.
+    pub scorer: crate::ScorerStats,
 }
 
 /// Mines the top-k NM patterns from `data` over `grid`.
@@ -215,6 +220,7 @@ pub(crate) fn empty_outcome() -> MiningOutcome {
         patterns: Vec::new(),
         groups: Vec::new(),
         stats: MiningStats::default(),
+        scorer: crate::ScorerStats::default(),
     }
 }
 
@@ -533,6 +539,7 @@ pub(crate) fn finish(
         patterns: qualifying,
         groups,
         stats: state.stats,
+        scorer: scorer.stats(),
     }
 }
 

@@ -79,5 +79,5 @@ pub use groups::PatternGroup;
 pub use miner::{Error, Miner};
 pub use params::{MiningParams, ParamsError};
 pub use pattern::{MinedPattern, Pattern};
-pub use scorer::Scorer;
+pub use scorer::{Scorer, ScorerStats};
 pub use seeded::{certified_topk, mine_seeded, SeedCertifier, SeedError, SeededOutcome};

@@ -629,6 +629,35 @@ impl<'a> Scorer<'a> {
         }
         distinct.len()
     }
+
+    /// Snapshot of this scorer's counters, for surfacing in mining output
+    /// and server metrics.
+    pub fn stats(&self) -> ScorerStats {
+        ScorerStats {
+            scorings: self.evaluations(),
+            cached_cells: self.cached_cells() as u64,
+            degraded_rescores: self.degraded_rescores(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of a [`Scorer`]'s counters.
+///
+/// Unlike [`MiningStats`](crate::MiningStats) these are *engine* counters:
+/// they depend on how much of the cell-row cache a particular scorer
+/// instance happened to build, so a resumed run legitimately reports
+/// different numbers than an uninterrupted one. They are therefore carried
+/// on [`MiningOutcome`](crate::MiningOutcome) beside the stats, never
+/// inside them, and are excluded from checkpoint fingerprints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScorerStats {
+    /// Pattern scorings performed (NM or match evaluations).
+    pub scorings: u64,
+    /// Distinct cells whose per-trajectory probability rows are cached.
+    pub cached_cells: u64,
+    /// Worker-shard panics absorbed by sequential rescoring.
+    pub degraded_rescores: u64,
 }
 
 /// Resolves a requested thread count: `0` means one per available CPU.

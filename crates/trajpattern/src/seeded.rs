@@ -525,6 +525,7 @@ pub fn certified_topk(
         patterns: qualifying,
         groups,
         stats: MiningStats::default(),
+        scorer: crate::ScorerStats::default(),
     }
 }
 

@@ -1,0 +1,252 @@
+//! A deliberately small HTTP/1.1 implementation over [`std::net`] —
+//! just enough protocol for the query routes: request-line + headers +
+//! `Content-Length` bodies in, fixed-length responses out, keep-alive
+//! by HTTP/1.1 default. No chunked encoding, no TLS, no dependencies.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request line plus headers, defending the parser
+/// against unbounded garbage before a request is even admitted.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method token, e.g. `GET`.
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Raw query string after `?`, empty when absent.
+    pub query: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read off the wire.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive session.
+    Closed,
+    /// The read timed out mid-request.
+    Timeout,
+    /// The bytes were not a parseable HTTP/1.1 request.
+    Malformed(String),
+    /// The declared body exceeds the server's limit.
+    TooLarge {
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// Any other transport failure.
+    Io(std::io::Error),
+}
+
+fn map_io(e: std::io::Error) -> RequestError {
+    match e.kind() {
+        // Both surface for expired socket timeouts depending on platform.
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => RequestError::Timeout,
+        _ => RequestError::Io(e),
+    }
+}
+
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut usize,
+) -> Result<Option<String>, RequestError> {
+    let mut raw = Vec::new();
+    let mut take = reader.take(*budget as u64 + 1);
+    let n = take.read_until(b'\n', &mut raw).map_err(map_io)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > *budget {
+        return Err(RequestError::Malformed(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    *budget -= n;
+    while matches!(raw.last(), Some(b'\n') | Some(b'\r')) {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))
+}
+
+/// Reads one request from an established connection. `max_body` bounds
+/// the accepted `Content-Length`.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, RequestError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(reader, &mut budget)? {
+        None => return Err(RequestError::Closed),
+        Some(l) if l.is_empty() => {
+            // Tolerate a stray CRLF between pipelined requests.
+            match read_line(reader, &mut budget)? {
+                None => return Err(RequestError::Closed),
+                Some(l2) if l2.is_empty() => {
+                    return Err(RequestError::Malformed("empty request line".into()))
+                }
+                Some(l2) => l2,
+            }
+        }
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line '{request_line}'"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut budget)? {
+            None => return Err(RequestError::Malformed("connection closed mid-head".into())),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("bad header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| RequestError::Malformed(format!("bad Content-Length '{v}'")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(RequestError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(map_io)?;
+
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 defaults to close.
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// A response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from already-rendered text.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": <message>}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = serde_json::to_string(&serde_json::json!({ "error": message }))
+            .unwrap_or_else(|_| String::from("{\"error\":\"error\"}"));
+        Response::json(status, body)
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a response. `keep_alive` controls the `Connection` header —
+/// the caller decides based on the request and shutdown state.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}

@@ -1,0 +1,37 @@
+//! trajserve — a concurrent pattern-query server over mined TrajPattern
+//! snapshots.
+//!
+//! The server loads a [`snapshot::Snapshot`] — either `trajmine mine
+//! --json` output or a `trajstream` checkpoint — and answers HTTP/1.1
+//! queries over it:
+//!
+//! | Route            | Answer                                              |
+//! |------------------|-----------------------------------------------------|
+//! | `GET /topk`      | the loaded snapshot (patterns, NMs, groups)         |
+//! | `POST /score`    | NMs for posted trajectories, bit-identical to the   |
+//! |                  | library [`Scorer`](trajpattern::Scorer) path        |
+//! | `POST /match`    | best-NM pattern + group for a partial trajectory    |
+//! | `POST /predict`  | next-cell distribution via the `prediction` crate   |
+//! | `GET /healthz`   | liveness                                            |
+//! | `GET /metrics`   | plain-text counters (requests, latency, queue, …)   |
+//!
+//! Everything is `std`-only: a [`std::net::TcpListener`] accept loop
+//! feeds a bounded queue drained by a small worker pool, in the same
+//! spirit as the scoped-thread scorer. The queue applies backpressure
+//! (503 when full), each worker isolates request panics (a poisoned
+//! request gets a 500 and the server keeps serving), and shutdown
+//! drains in-flight work before the listener closes. With `--watch`
+//! the server hot-reloads the snapshot when the file is rewritten —
+//! e.g. a `trajmine stream` run refreshing its checkpoint.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use snapshot::{Snapshot, SnapshotError, SCHEMA};

@@ -1,0 +1,236 @@
+//! Lock-free server counters rendered as plain-text gauges on
+//! `GET /metrics`. All counters are relaxed atomics — metrics reads
+//! never contend with request handling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Routes tracked individually (everything else lands in `other`).
+pub const ENDPOINTS: [&str; 7] = [
+    "topk", "score", "match", "predict", "healthz", "metrics", "other",
+];
+
+/// Upper edges (seconds) of the latency histogram buckets; a final
+/// `+Inf` bucket is implicit.
+pub const LATENCY_BUCKETS: [f64; 8] = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0];
+
+/// The server's counter set. One instance per [`Server`](crate::Server),
+/// shared across workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests dispatched, per endpoint (indexed like [`ENDPOINTS`]).
+    pub requests: [AtomicU64; 7],
+    /// Responses by status class: 2xx, 4xx, 5xx.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses.
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses.
+    pub responses_5xx: AtomicU64,
+    /// Per-bucket observation counts (non-cumulative; rendered
+    /// cumulative). Index 8 is the `+Inf` bucket.
+    pub latency_buckets: [AtomicU64; 9],
+    /// Sum of observed request latencies in microseconds.
+    pub latency_sum_us: AtomicU64,
+    /// Number of latency observations.
+    pub latency_count: AtomicU64,
+    /// Connections currently queued for a worker.
+    pub queue_depth: AtomicU64,
+    /// Requests currently being handled.
+    pub inflight: AtomicU64,
+    /// Connections rejected with 503 because the queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Request handlers that panicked (each answered with a 500).
+    pub panics: AtomicU64,
+    /// Successful snapshot hot-reloads.
+    pub reloads: AtomicU64,
+    /// Failed snapshot hot-reload attempts.
+    pub reload_failures: AtomicU64,
+    /// Pattern scorings performed by request-serving scorers.
+    pub scorings: AtomicU64,
+    /// Trajectories scored via `/score` and `/match`.
+    pub scored_trajectories: AtomicU64,
+    /// Scorer shards that panicked and were rescored sequentially.
+    pub scorer_degraded: AtomicU64,
+}
+
+/// Maps a request path to its [`ENDPOINTS`] slot.
+pub fn endpoint_index(path: &str) -> usize {
+    match path {
+        "/topk" => 0,
+        "/score" => 1,
+        "/match" => 2,
+        "/predict" => 3,
+        "/healthz" => 4,
+        "/metrics" => 5,
+        _ => 6,
+    }
+}
+
+impl Metrics {
+    /// Records a finished request: endpoint, status class, and latency.
+    pub fn observe(&self, endpoint: usize, status: u16, seconds: f64) {
+        self.requests[endpoint].fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let bucket = LATENCY_BUCKETS
+            .iter()
+            .position(|&edge| seconds <= edge)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us
+            .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counter set plus snapshot gauges as plain text, one
+    /// `name{labels} value` line each (prometheus exposition style).
+    pub fn render(&self, snapshot: &crate::snapshot::Snapshot) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut line = |name: &str, labels: &str, value: u64| {
+            if labels.is_empty() {
+                out.push_str(&format!("{name} {value}\n"));
+            } else {
+                out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+            }
+        };
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            line(
+                "trajserve_requests_total",
+                &format!("endpoint=\"{name}\""),
+                get(&self.requests[i]),
+            );
+        }
+        line(
+            "trajserve_responses_total",
+            "class=\"2xx\"",
+            get(&self.responses_2xx),
+        );
+        line(
+            "trajserve_responses_total",
+            "class=\"4xx\"",
+            get(&self.responses_4xx),
+        );
+        line(
+            "trajserve_responses_total",
+            "class=\"5xx\"",
+            get(&self.responses_5xx),
+        );
+
+        let mut cumulative = 0;
+        for (i, edge) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += get(&self.latency_buckets[i]);
+            line(
+                "trajserve_request_seconds_bucket",
+                &format!("le=\"{edge}\""),
+                cumulative,
+            );
+        }
+        cumulative += get(&self.latency_buckets[LATENCY_BUCKETS.len()]);
+        line(
+            "trajserve_request_seconds_bucket",
+            "le=\"+Inf\"",
+            cumulative,
+        );
+        line(
+            "trajserve_request_seconds_sum_us",
+            "",
+            get(&self.latency_sum_us),
+        );
+        line(
+            "trajserve_request_seconds_count",
+            "",
+            get(&self.latency_count),
+        );
+
+        line("trajserve_queue_depth", "", get(&self.queue_depth));
+        line("trajserve_inflight_requests", "", get(&self.inflight));
+        line(
+            "trajserve_rejected_busy_total",
+            "",
+            get(&self.rejected_busy),
+        );
+        line("trajserve_request_panics_total", "", get(&self.panics));
+        line("trajserve_snapshot_reloads_total", "", get(&self.reloads));
+        line(
+            "trajserve_snapshot_reload_failures_total",
+            "",
+            get(&self.reload_failures),
+        );
+
+        line("trajserve_scorings_total", "", get(&self.scorings));
+        line(
+            "trajserve_scored_trajectories_total",
+            "",
+            get(&self.scored_trajectories),
+        );
+        line(
+            "trajserve_scorer_degraded_rescores_total",
+            "",
+            get(&self.scorer_degraded),
+        );
+
+        // Gauges describing the snapshot currently being served.
+        line(
+            "trajserve_snapshot_patterns",
+            "",
+            snapshot.patterns.len() as u64,
+        );
+        line(
+            "trajserve_snapshot_groups",
+            "",
+            snapshot.groups.len() as u64,
+        );
+        line(
+            "trajserve_snapshot_is_stream",
+            "",
+            u64::from(snapshot.stream.is_some()),
+        );
+        line(
+            "trajserve_snapshot_mining_scorings",
+            "",
+            snapshot.scorer.scorings,
+        );
+        line(
+            "trajserve_snapshot_mining_cached_cells",
+            "",
+            snapshot.scorer.cached_cells,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_render_cumulatively() {
+        let m = Metrics::default();
+        m.observe(0, 200, 0.0001); // bucket 0
+        m.observe(1, 200, 0.002); // bucket 2
+        m.observe(1, 404, 2.0); // +Inf
+        assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_4xx.load(Ordering::Relaxed), 1);
+        let total: u64 = m
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, 3);
+        assert_eq!(m.latency_buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(m.latency_buckets[8].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn endpoint_index_covers_routes() {
+        assert_eq!(endpoint_index("/topk"), 0);
+        assert_eq!(endpoint_index("/metrics"), 5);
+        assert_eq!(endpoint_index("/nope"), 6);
+        assert_eq!(ENDPOINTS[endpoint_index("/score")], "score");
+    }
+}

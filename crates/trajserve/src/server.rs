@@ -1,0 +1,638 @@
+//! The server proper: a bounded-queue worker pool over a non-blocking
+//! accept loop, in the same scoped-thread spirit as the batch scorer.
+//!
+//! Life of a connection:
+//!
+//! ```text
+//! accept ── try_send ──▶ bounded queue ──▶ worker: read → route → write
+//!              │ full                          │ panic in a route
+//!              ▼                               ▼
+//!          503 busy                    500, worker survives
+//! ```
+//!
+//! Shutdown (via [`ServerHandle::shutdown`] or a termination signal
+//! wired up by the CLI) stops the accept loop, closes the queue, and
+//! lets every worker drain the connections it already holds — in-flight
+//! requests finish and are answered with `Connection: close`.
+
+use std::io::{BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use prediction::PatternLibrary;
+use trajdata::Dataset;
+use trajpattern::{Pattern, Scorer};
+
+use crate::http::{read_request, write_response, Request, RequestError, Response};
+use crate::metrics::{endpoint_index, Metrics};
+use crate::snapshot::Snapshot;
+
+/// Everything tunable about a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded accept-queue capacity; a full queue answers 503.
+    pub queue: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Threads per request-serving [`Scorer`] (`1` = sequential; scores
+    /// are bit-identical for every value).
+    pub scorer_threads: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Confirmation probability threshold for `/predict` (paper §6.1
+    /// uses 0.9).
+    pub confirm_threshold: f64,
+    /// Hot-reload the snapshot when `snapshot_path` is rewritten.
+    pub watch: bool,
+    /// How often the watcher polls the snapshot file.
+    pub watch_interval: Duration,
+    /// The file the served snapshot came from (needed for `watch`).
+    pub snapshot_path: Option<PathBuf>,
+    /// Honor the `x-trajserve-inject-panic` header (tests/CI only):
+    /// the request handler panics, proving panic isolation end to end.
+    pub allow_panic_injection: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 2,
+            queue: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            scorer_threads: 1,
+            max_body: 16 * 1024 * 1024,
+            confirm_threshold: 0.9,
+            watch: false,
+            watch_interval: Duration::from_millis(500),
+            snapshot_path: None,
+            allow_panic_injection: false,
+        }
+    }
+}
+
+/// Why a server could not be brought up.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listen socket failed.
+    Io(std::io::Error),
+    /// The snapshot cannot back a pattern library (bad confirm
+    /// threshold — snapshot params are validated at load time).
+    Library(prediction::LibraryError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "cannot start server: {e}"),
+            ServeError::Library(e) => write!(f, "cannot build pattern library: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Library(e) => Some(e),
+        }
+    }
+}
+
+/// An immutable, fully-prepared snapshot the workers serve from. Hot
+/// reload swaps the whole `Arc<Loaded>` atomically, so a request sees
+/// either the old or the new snapshot, never a mix.
+#[derive(Debug)]
+pub struct Loaded {
+    /// The snapshot being served.
+    pub snapshot: Snapshot,
+    /// Prediction library over the snapshot's ≥2-cell patterns.
+    pub library: PatternLibrary,
+    /// Pre-rendered `/topk` response body (the snapshot's JSON).
+    pub topk_json: String,
+}
+
+impl Loaded {
+    /// Prepares a snapshot for serving.
+    pub fn build(snapshot: Snapshot, confirm_threshold: f64) -> Result<Loaded, ServeError> {
+        let library = PatternLibrary::new(
+            snapshot.patterns.clone(),
+            snapshot.grid.clone(),
+            snapshot.params.delta,
+            snapshot.params.min_prob,
+            confirm_threshold,
+        )
+        .map_err(ServeError::Library)?;
+        let topk_json = snapshot.to_json_pretty();
+        Ok(Loaded {
+            snapshot,
+            library,
+            topk_json,
+        })
+    }
+}
+
+/// State shared by the accept loop, the workers, and the watcher.
+#[derive(Debug)]
+pub struct ServeState {
+    loaded: RwLock<Arc<Loaded>>,
+    /// The server's counters (rendered by `GET /metrics`).
+    pub metrics: Metrics,
+}
+
+impl ServeState {
+    /// The currently-served snapshot bundle.
+    pub fn loaded(&self) -> Arc<Loaded> {
+        match self.loaded.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    fn swap(&self, next: Arc<Loaded>) {
+        match self.loaded.write() {
+            Ok(mut g) => *g = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+    }
+}
+
+/// A handle for stopping a running [`Server`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown: stop accepting, drain in-flight
+    /// requests, then return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The pattern-query server. Bind, grab a [`ServerHandle`], then
+/// [`run`](Server::run) (which blocks until shutdown).
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    cfg: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Prepares the snapshot and binds the listen socket. Nothing is
+    /// served until [`run`](Server::run).
+    pub fn bind(snapshot: Snapshot, cfg: ServerConfig) -> Result<Server, ServeError> {
+        let loaded = Loaded::build(snapshot, cfg.confirm_threshold)?;
+        let listener = TcpListener::bind(&cfg.addr).map_err(ServeError::Io)?;
+        listener.set_nonblocking(true).map_err(ServeError::Io)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServeState {
+                loaded: RwLock::new(Arc::new(loaded)),
+                metrics: Metrics::default(),
+            }),
+            cfg,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared state — exposed so embedders (benches, tests) can read
+    /// counters without going through `/metrics`.
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// A shutdown handle usable from any thread (and from the CLI's
+    /// signal watcher).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let queue = self.cfg.queue.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::new();
+        for i in 0..self.cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            let cfg = self.cfg.clone();
+            let shutdown = Arc::clone(&self.shutdown);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("trajserve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state, &cfg, &shutdown))?,
+            );
+        }
+
+        let watcher = match (&self.cfg.snapshot_path, self.cfg.watch) {
+            (Some(path), true) => {
+                let path = path.clone();
+                let state = Arc::clone(&self.state);
+                let cfg = self.cfg.clone();
+                let shutdown = Arc::clone(&self.shutdown);
+                Some(
+                    thread::Builder::new()
+                        .name("trajserve-watch".into())
+                        .spawn(move || watch_loop(&path, &state, &cfg, &shutdown))?,
+                )
+            }
+            _ => None,
+        };
+
+        let idle = Duration::from_millis(2);
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Count before enqueueing so a fast worker's decrement
+                    // can never underflow the gauge.
+                    self.state
+                        .metrics
+                        .queue_depth
+                        .fetch_add(1, Ordering::Relaxed);
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            self.state
+                                .metrics
+                                .queue_depth
+                                .fetch_sub(1, Ordering::Relaxed);
+                            self.state
+                                .metrics
+                                .rejected_busy
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                            let busy = Response::error(503, "server busy: request queue is full");
+                            let _ = write_response(&mut stream, &busy, false);
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.state
+                                .metrics
+                                .queue_depth
+                                .fetch_sub(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(idle),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => thread::sleep(idle),
+            }
+        }
+
+        // Drain: close the queue, let workers finish what they hold.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        if let Some(w) = watcher {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    state: &ServeState,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        // Hold the lock only for the dequeue, never while handling.
+        let next = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        let Ok(stream) = next else {
+            return; // queue closed: accept loop is shutting down
+        };
+        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // Outer isolation: a panic that escapes connection handling
+        // kills this connection, not the worker.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(stream, state, cfg, shutdown);
+        }));
+        if outcome.is_err() {
+            state.metrics.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServeState,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader, cfg.max_body) {
+            Ok(req) => req,
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
+            Err(RequestError::Timeout) => {
+                let _ = write_response(
+                    &mut write_half,
+                    &Response::error(408, "request read timed out"),
+                    false,
+                );
+                return;
+            }
+            Err(RequestError::Malformed(msg)) => {
+                let _ = write_response(&mut write_half, &Response::error(400, &msg), false);
+                return;
+            }
+            Err(RequestError::TooLarge { limit }) => {
+                let msg = format!("request body exceeds {limit} bytes");
+                let _ = write_response(&mut write_half, &Response::error(413, &msg), false);
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        state.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+        // Inner isolation: a panicking route handler poisons only its
+        // own request — the connection answers 500 and keeps serving.
+        let response =
+            catch_unwind(AssertUnwindSafe(|| route(state, cfg, &req))).unwrap_or_else(|_| {
+                state.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                Response::error(500, "internal error: request handler panicked")
+            });
+        state.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+        state.metrics.observe(
+            endpoint_index(&req.path),
+            response.status,
+            started.elapsed().as_secs_f64(),
+        );
+
+        let keep = req.keep_alive && !shutdown.load(Ordering::SeqCst);
+        if write_response(&mut write_half, &response, keep).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+fn route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    if cfg.allow_panic_injection && req.header("x-trajserve-inject-panic").is_some() {
+        panic!("injected request panic (x-trajserve-inject-panic)");
+    }
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => {
+            let loaded = state.loaded();
+            Response::text(200, state.metrics.render(&loaded.snapshot))
+        }
+        ("GET", "/topk") => Response::json(200, state.loaded().topk_json.clone()),
+        ("POST", "/score") => score_route(state, cfg, req),
+        ("POST", "/match") => match_route(state, cfg, req),
+        ("POST", "/predict") => predict_route(state, cfg, req),
+        (_, "/healthz" | "/metrics" | "/topk" | "/score" | "/match" | "/predict") => {
+            Response::error(405, "method not allowed for this route")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn parse_dataset(req: &Request) -> Result<Dataset, Response> {
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    Dataset::from_json(body).map_err(|e| Response::error(400, &format!("bad dataset: {e}")))
+}
+
+/// `POST /score`: NM of every snapshot pattern over the posted dataset,
+/// via the same parallel batch [`Scorer`] the miner uses — the returned
+/// NMs are bit-identical to the library path for any thread count.
+fn score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let data = match parse_dataset(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let loaded = state.loaded();
+    let snap = &loaded.snapshot;
+    let patterns: Vec<Pattern> = snap.patterns.iter().map(|m| m.pattern.clone()).collect();
+    let scorer = Scorer::with_threads(
+        &data,
+        &snap.grid,
+        snap.params.delta,
+        snap.params.min_prob,
+        cfg.scorer_threads,
+    );
+    let nms = scorer.score_batch(&patterns);
+    accumulate_scorer(state, &scorer, data.len());
+    Response::json(
+        200,
+        serde_json::to_string_pretty(&serde_json::json!({
+            "schema": "trajserve-score/v1",
+            "trajectories": data.len(),
+            "patterns": patterns.len(),
+            "nms": nms,
+        }))
+        .expect("score response serializes"),
+    )
+}
+
+/// `POST /match`: best-NM snapshot pattern for the first posted
+/// (possibly partial) trajectory, plus its pattern-group assignment.
+fn match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let data = match parse_dataset(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Some(traj) = data.trajectories().first() else {
+        return Response::error(400, "dataset holds no trajectory to match");
+    };
+    let single: Dataset = std::iter::once(traj.clone()).collect();
+    let loaded = state.loaded();
+    let snap = &loaded.snapshot;
+    let patterns: Vec<Pattern> = snap.patterns.iter().map(|m| m.pattern.clone()).collect();
+    let scorer = Scorer::with_threads(
+        &single,
+        &snap.grid,
+        snap.params.delta,
+        snap.params.min_prob,
+        cfg.scorer_threads,
+    );
+    let nms = scorer.score_batch(&patterns);
+    accumulate_scorer(state, &scorer, 1);
+    // Snapshot order is best-NM-first, so the first strict maximum is
+    // the canonical winner on ties.
+    let mut best: Option<usize> = None;
+    for (i, nm) in nms.iter().enumerate() {
+        if nm.is_finite() && best.is_none_or(|b| *nm > nms[b]) {
+            best = Some(i);
+        }
+    }
+    let best_value = match best {
+        Some(i) => {
+            let group = snap.groups.iter().position(|g| {
+                g.patterns
+                    .iter()
+                    .any(|m| m.pattern == snap.patterns[i].pattern)
+            });
+            serde_json::json!({
+                "index": i,
+                "cells": snap.patterns[i].pattern.cells(),
+                "nm": nms[i],
+                "group": match group {
+                    Some(g) => serde_json::to_value(&g).expect("group index serializes"),
+                    None => serde_json::Value::Null,
+                },
+            })
+        }
+        None => serde_json::Value::Null,
+    };
+    Response::json(
+        200,
+        serde_json::to_string_pretty(&serde_json::json!({
+            "schema": "trajserve-match/v1",
+            "patterns": patterns.len(),
+            "nms": nms,
+            "best": best_value,
+        }))
+        .expect("match response serializes"),
+    )
+}
+
+/// `POST /predict`: next-cell distribution for the first posted
+/// trajectory's recent window, via the prediction crate's confirmation
+/// machinery.
+fn predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let data = match parse_dataset(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Some(traj) = data.trajectories().first() else {
+        return Response::error(400, "dataset holds no trajectory to predict from");
+    };
+    let loaded = state.loaded();
+    let lib = &loaded.library;
+    let recent = traj.points();
+    let velocity = lib.predict_next_velocity(recent);
+    let scores = lib.confirm_scores(recent);
+    // Aggregate exp(log-match) weight per continuation cell over the
+    // confirming patterns; BTreeMap keeps the output deterministic.
+    let threshold_log = cfg.confirm_threshold.ln();
+    let mut weights: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+    let mut confirming = 0usize;
+    for (m, score) in lib.patterns().iter().zip(&scores) {
+        let Some(lm) = score else { continue };
+        if *lm < threshold_log {
+            continue;
+        }
+        confirming += 1;
+        let cells = m.pattern.cells();
+        let next = cells[cells.len() - 1];
+        *weights.entry(next.0).or_insert(0.0) += lm.exp();
+    }
+    let total: f64 = weights.values().sum();
+    let distribution: Vec<serde_json::Value> = weights
+        .iter()
+        .map(|(cell, w)| {
+            serde_json::json!({
+                "cell": cell,
+                "p": if total > 0.0 { w / total } else { 0.0 },
+            })
+        })
+        .collect();
+    let velocity_value = match velocity {
+        Some(v) => serde_json::json!({ "x": v.x, "y": v.y }),
+        None => serde_json::Value::Null,
+    };
+    Response::json(
+        200,
+        serde_json::to_string_pretty(&serde_json::json!({
+            "schema": "trajserve-predict/v1",
+            "velocity": velocity_value,
+            "confirming": confirming,
+            "distribution": distribution,
+        }))
+        .expect("predict response serializes"),
+    )
+}
+
+fn accumulate_scorer(state: &ServeState, scorer: &Scorer<'_>, trajectories: usize) {
+    let stats = scorer.stats();
+    state
+        .metrics
+        .scorings
+        .fetch_add(stats.scorings, Ordering::Relaxed);
+    state
+        .metrics
+        .scored_trajectories
+        .fetch_add(trajectories as u64, Ordering::Relaxed);
+    state
+        .metrics
+        .scorer_degraded
+        .fetch_add(stats.degraded_rescores, Ordering::Relaxed);
+}
+
+fn watch_loop(path: &Path, state: &ServeState, cfg: &ServerConfig, shutdown: &AtomicBool) {
+    fn fingerprint(path: &Path) -> Option<(u64, Option<std::time::SystemTime>)> {
+        std::fs::metadata(path)
+            .ok()
+            .map(|m| (m.len(), m.modified().ok()))
+    }
+    let mut last = fingerprint(path);
+    let mut last_check = Instant::now();
+    while !shutdown.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(25));
+        if last_check.elapsed() < cfg.watch_interval {
+            continue;
+        }
+        last_check = Instant::now();
+        let now = fingerprint(path);
+        if now == last || now.is_none() {
+            continue; // unchanged, or mid-rename — try again next poll
+        }
+        match Snapshot::load(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| Loaded::build(s, cfg.confirm_threshold).map_err(|e| e.to_string()))
+        {
+            Ok(loaded) => {
+                state.swap(Arc::new(loaded));
+                state.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Likely a half-written file: keep serving the old
+                // snapshot. A completed rewrite changes the fingerprint
+                // again and triggers a fresh attempt.
+                state
+                    .metrics
+                    .reload_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        last = now;
+    }
+}

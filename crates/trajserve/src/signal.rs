@@ -1,0 +1,88 @@
+//! Minimal termination-signal plumbing: a process-wide flag the CLI
+//! flips on `SIGTERM`/`SIGINT` so the server can drain and exit 0.
+//!
+//! The workspace has no `libc` dependency, so on Unix this binds the
+//! C `signal(2)` entry point directly — the one place the crate allows
+//! unsafe code. Elsewhere the installer is a no-op and shutdown relies
+//! on [`ServerHandle::shutdown`](crate::ServerHandle).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+static TERMINATE: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+fn flag() -> &'static Arc<AtomicBool> {
+    TERMINATE.get_or_init(|| Arc::new(AtomicBool::new(false)))
+}
+
+/// The shared flag that becomes `true` once a termination signal
+/// arrives (or [`request_termination`] is called).
+pub fn termination_flag() -> Arc<AtomicBool> {
+    Arc::clone(flag())
+}
+
+/// Flips the termination flag by hand — used by tests and by callers
+/// that have their own signal story.
+pub fn request_termination() {
+    flag().store(true, Ordering::SeqCst);
+}
+
+/// Installs `SIGTERM` and `SIGINT` handlers that flip the termination
+/// flag. Safe to call more than once. No-op on non-Unix targets.
+pub fn install_termination_handler() {
+    flag(); // ensure the flag exists before any signal can arrive
+    sys::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use super::*;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> isize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: a relaxed atomic store.
+        if let Some(f) = TERMINATE.get() {
+            f.store(true, Ordering::Relaxed);
+        }
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that performs only an
+        // atomic store is async-signal-safe; the handler type matches
+        // the C prototype `void (*)(int)`.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_request_flips_shared_flag() {
+        let f = termination_flag();
+        install_termination_handler();
+        request_termination();
+        assert!(f.load(Ordering::SeqCst));
+        // Reset so other tests in this process see a clean flag.
+        f.store(false, Ordering::SeqCst);
+    }
+}

@@ -69,6 +69,15 @@ impl StreamMiner {
     }
 }
 
+/// Parses a complete v2 checkpoint from text into a ready
+/// [`StreamMiner`] — the public read API used by snapshot consumers
+/// (the `trajserve` server loads checkpoints through this). Equivalent
+/// to the decoding half of [`StreamMiner::resume`] without touching the
+/// filesystem; the same validation applies.
+pub fn parse_checkpoint(text: &str) -> Result<StreamMiner, CheckpointError> {
+    decode(text)
+}
+
 fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
@@ -498,6 +507,7 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
             patterns: topk,
             groups,
             stats: mstats,
+            scorer: trajpattern::ScorerStats::default(),
         },
         stats,
     })

@@ -54,7 +54,7 @@ use trajpattern::{
     Pattern, PatternGroup, Scorer, SeedCertifier,
 };
 
-pub use checkpoint::STREAM_VERSION_LINE;
+pub use checkpoint::{parse_checkpoint, STREAM_VERSION_LINE};
 pub use trajpattern::CheckpointError;
 
 /// Counters describing a stream miner's life so far.
@@ -193,6 +193,7 @@ impl StreamMiner {
                 patterns: Vec::new(),
                 groups: Vec::new(),
                 stats: MiningStats::default(),
+                scorer: trajpattern::ScorerStats::default(),
             },
             stats: StreamStats::default(),
         })
@@ -304,6 +305,13 @@ impl StreamMiner {
         &self.last.stats
     }
 
+    /// Scorer counters of the most recent pass that touched the data
+    /// (zeroed when the current state came from a checkpoint — engine
+    /// telemetry is not persisted; see [`trajpattern::ScorerStats`]).
+    pub fn last_scorer_stats(&self) -> trajpattern::ScorerStats {
+        self.last.scorer
+    }
+
     /// Sequence numbers and trajectories currently in the window, oldest
     /// first.
     pub fn window(&self) -> impl Iterator<Item = (u64, &Trajectory)> {
@@ -335,6 +343,7 @@ impl StreamMiner {
                 patterns: Vec::new(),
                 groups: Vec::new(),
                 stats: MiningStats::default(),
+                scorer: trajpattern::ScorerStats::default(),
             };
             self.stats.ledger_patterns = self.ledger.patterns.len();
             return;
@@ -357,6 +366,7 @@ impl StreamMiner {
                 // Mining counters describe the last pass that touched the
                 // data; a certified pass performs no mining work.
                 out.stats = self.last.stats.clone();
+                out.scorer = self.last.scorer;
                 self.last = out;
                 self.stats.certified += 1;
                 self.stats.ledger_patterns = self.ledger.patterns.len();
@@ -405,6 +415,8 @@ impl StreamMiner {
         self.certifier = Some(SeedCertifier::new(&self.ledger.patterns));
         self.stats.ledger_patterns = self.ledger.patterns.len();
         self.last = out.outcome;
+        // Absorption scored more patterns; report the scorer's final tally.
+        self.last.scorer = scorer.stats();
     }
 }
 
