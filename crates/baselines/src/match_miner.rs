@@ -15,7 +15,7 @@
 
 use trajdata::Dataset;
 use trajgeo::Grid;
-use trajpattern::algorithm::seed_patterns;
+use trajpattern::engine::seed_patterns;
 use trajpattern::pattern::Pattern;
 use trajpattern::{MiningParams, ParamsError, Scorer};
 

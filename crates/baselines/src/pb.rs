@@ -26,7 +26,7 @@
 use trajdata::Dataset;
 use trajgeo::fxhash::FxHashSet;
 use trajgeo::Grid;
-use trajpattern::algorithm::seed_patterns;
+use trajpattern::engine::seed_patterns;
 use trajpattern::pattern::{MinedPattern, Pattern};
 use trajpattern::topk::ThresholdTracker;
 use trajpattern::{MiningParams, ParamsError, Scorer};

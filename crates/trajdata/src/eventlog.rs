@@ -105,31 +105,29 @@ pub fn append_event(out: &mut String, traj: &Trajectory) {
 /// Parses a complete event log (version line first) into arrival events in
 /// order.
 pub fn parse_event_log(text: &str) -> Result<Vec<Trajectory>, EventLogError> {
+    match trajio::first_content_line(text, true) {
+        Some(EVENTS_VERSION_LINE) => {}
+        other => {
+            return Err(EventLogError::Version {
+                found: other.unwrap_or("").to_string(),
+            })
+        }
+    }
     let mut events = Vec::new();
     let mut version_seen = false;
     for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         if !version_seen {
-            if line != EVENTS_VERSION_LINE {
-                return Err(EventLogError::Version {
-                    found: line.to_string(),
-                });
-            }
+            // The sniffed version line itself.
             version_seen = true;
             continue;
         }
-        if let Some(traj) = parse_event_line(line, line_no)? {
+        if let Some(traj) = parse_event_line(line, idx + 1)? {
             events.push(traj);
         }
-    }
-    if !version_seen {
-        return Err(EventLogError::Version {
-            found: String::new(),
-        });
     }
     Ok(events)
 }

@@ -42,41 +42,22 @@
 //! set (ω rose past it) can never return. Pruned-then-needed patterns are
 //! regenerated through `(singular × fresh high)` pairs, which is exactly
 //! the shape Lemma 1 requires.
+//!
+//! The loop itself — level initialization, pair enumeration, pruning,
+//! convergence — lives in [`crate::engine`], shared with the seeded
+//! re-growth and the streaming repair path; this module is the batch
+//! entry point plus the outcome/stat types.
 
-use crate::groups::{discover_groups, PatternGroup};
-use crate::minmax::weighted_mean_bound;
+use crate::engine::{empty_outcome, finish, init_state, run_growth};
+use crate::groups::PatternGroup;
 use crate::params::{MiningParams, ParamsError};
-use crate::pattern::{MinedPattern, Pattern};
-use crate::prune::is_one_extension;
+use crate::pattern::MinedPattern;
 use crate::scorer::Scorer;
-use crate::topk::ThresholdTracker;
 use trajdata::Dataset;
-use trajgeo::fxhash::{FxHashMap, FxHashSet};
 use trajgeo::Grid;
 
-/// Counters describing one mining run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct MiningStats {
-    /// Growing iterations executed.
-    pub iterations: usize,
-    /// Candidate concatenations considered (distinct ordered pairs).
-    pub candidates_generated: u64,
-    /// Candidates whose NM was actually computed against the data.
-    pub candidates_scored: u64,
-    /// Candidates skipped by the weighted-mean bound.
-    pub candidates_bound_pruned: u64,
-    /// Size of the active set `Q` when mining stopped.
-    pub final_queue_size: usize,
-    /// Total pattern scorings performed by the scorer (including the
-    /// singular initialization pass counted as one batch of `G`).
-    pub nm_evaluations: u64,
-    /// Worker-shard panics absorbed by rescoring the failed shard
-    /// sequentially. `0` in a healthy run; a non-zero value means the run
-    /// degraded gracefully — results are still bit-identical to a healthy
-    /// run, only wall-clock time was lost.
-    pub degraded_shard_rescores: u64,
-}
+pub use crate::engine::{effective_max_len_from, seed_patterns};
+pub use crate::stats::MiningStats;
 
 /// The result of a mining run.
 #[derive(Debug, Clone)]
@@ -111,90 +92,6 @@ pub fn mine(
     mine_with_scorer(&scorer, params)
 }
 
-/// Pattern interner: dense u32 ids for cheap pair bookkeeping.
-#[derive(Default)]
-pub(crate) struct Store {
-    patterns: Vec<Pattern>,
-    ids: FxHashMap<Pattern, u32>,
-    nms: Vec<f64>,
-    lens: Vec<u32>,
-}
-
-impl Store {
-    pub(crate) fn add(&mut self, p: Pattern, nm: f64) -> u32 {
-        debug_assert!(!self.ids.contains_key(&p));
-        let id = self.patterns.len() as u32;
-        self.lens.push(p.len() as u32);
-        self.nms.push(nm);
-        self.ids.insert(p.clone(), id);
-        self.patterns.push(p);
-        id
-    }
-
-    #[inline]
-    pub(crate) fn id_of(&self, p: &Pattern) -> Option<u32> {
-        self.ids.get(p).copied()
-    }
-
-    #[inline]
-    pub(crate) fn get(&self, id: u32) -> &Pattern {
-        &self.patterns[id as usize]
-    }
-
-    #[inline]
-    pub(crate) fn nm(&self, id: u32) -> f64 {
-        self.nms[id as usize]
-    }
-
-    #[inline]
-    pub(crate) fn len(&self, id: u32) -> u32 {
-        self.lens[id as usize]
-    }
-
-    /// Number of interned patterns (ids are `0..count`).
-    #[inline]
-    pub(crate) fn count(&self) -> usize {
-        self.patterns.len()
-    }
-
-    /// Patterns in id order — the checkpoint codec serializes (and
-    /// re-adds) them in exactly this order so ids survive a round-trip.
-    #[inline]
-    pub(crate) fn patterns(&self) -> &[Pattern] {
-        &self.patterns
-    }
-}
-
-/// Everything the growing process carries between levels. A checkpoint is
-/// a serialization of this struct; [`run_growth`] advances it one level at
-/// a time so mining can stop and resume at any level boundary with
-/// bit-identical results.
-pub(crate) struct GrowthState {
-    /// Every pattern ever scored (dense ids, with NM and length).
-    pub(crate) store: Store,
-    /// The active candidate set Q (ids into the store).
-    pub(crate) q: FxHashSet<u32>,
-    /// Ordered pairs already attempted: `(a << 32) | b`.
-    pub(crate) tried: FxHashSet<u64>,
-    /// ω over qualifying patterns (length ≥ min_len).
-    pub(crate) qual_tracker: ThresholdTracker,
-    /// Cached `qual_tracker.omega()` as of the last level boundary.
-    pub(crate) omega: f64,
-    /// Current high set `H` (NM ≥ ω).
-    pub(crate) high: FxHashSet<u32>,
-    /// Highs whose (h × Q) pairs have been fully enumerated.
-    pub(crate) enumerated_high: FxHashSet<u32>,
-    /// Q members not yet enumerated as the "any" side of a pair, in
-    /// insertion order.
-    pub(crate) fresh: Vec<u32>,
-    /// Best NM overall (attained by a singular, by min-max).
-    pub(crate) nm_best: f64,
-    /// Counters so far (`stats.iterations` is the level number).
-    pub(crate) stats: MiningStats,
-    /// Whether the high set reached a fixpoint.
-    pub(crate) converged: bool,
-}
-
 /// Like [`mine`], but reuses an existing [`Scorer`] (and its probability
 /// cache) — useful when several mining configurations run over the same
 /// data, as in the benchmark sweeps.
@@ -206,392 +103,20 @@ pub fn mine_with_scorer(
     if scorer.data().is_empty() || scorer.grid().num_cells() == 0 {
         return Ok(empty_outcome());
     }
-    let mut state = init_state(scorer, params);
-    match run_growth::<std::convert::Infallible>(scorer, params, &mut state, |_| Ok(())) {
+    let mut state = init_state(scorer, params, &[]).expect("an empty seed is always valid");
+    match run_growth::<_, std::convert::Infallible>(scorer, params, &mut state, |_| Ok(())) {
         Ok(()) => {}
         Err(e) => match e {},
     }
     Ok(finish(scorer, params, state))
 }
 
-/// The outcome of mining nothing (empty dataset or empty grid).
-pub(crate) fn empty_outcome() -> MiningOutcome {
-    MiningOutcome {
-        patterns: Vec::new(),
-        groups: Vec::new(),
-        stats: MiningStats::default(),
-        scorer: crate::ScorerStats::default(),
-    }
-}
-
-/// The effective maximum pattern length: patterns longer than the longest
-/// trajectory only ever score the floor, so growing past it is wasted.
-pub(crate) fn effective_max_len(scorer: &Scorer<'_>, params: &MiningParams) -> usize {
-    let data_max_len = scorer.data().iter().map(|t| t.len()).max().unwrap_or(0);
-    effective_max_len_from(params, data_max_len)
-}
-
-/// [`effective_max_len`] for callers that already know the longest
-/// trajectory length (e.g. a streaming window) and don't want to build a
-/// scorer just to ask: `min(params.max_len, longest.max(1))`.
-pub fn effective_max_len_from(params: &MiningParams, longest: usize) -> usize {
-    params.max_len.min(longest.max(1))
-}
-
-/// Level 0 of the growing process: score every singular pattern, seed ω
-/// (with genuine length-`min_len` windows when `min_len > 1`), and mark
-/// the initial high set.
-pub(crate) fn init_state(scorer: &Scorer<'_>, params: &MiningParams) -> GrowthState {
-    let grid = scorer.grid();
-    let mut stats = MiningStats::default();
-    let degraded_base = scorer.degraded_rescores();
-
-    let mut store = Store::default();
-    let mut q: FxHashSet<u32> = FxHashSet::default();
-
-    // ω over *qualifying* patterns (length ≥ min_len). §5: "The NM
-    // threshold ω is set to the minimum NM of the set of k patterns with
-    // the most NM of length at least d."
-    let mut qual_tracker = ThresholdTracker::new(params.k);
-
-    // Initialization: all singular patterns.
-    let singular_nms = scorer.nm_all_singulars();
-    stats.nm_evaluations += grid.num_cells() as u64;
-    let mut nm_best = f64::NEG_INFINITY;
-    for cell in grid.cells() {
-        let nm = singular_nms[cell.index()];
-        let id = store.add(Pattern::singular(cell), nm);
-        q.insert(id);
-        if params.min_len <= 1 {
-            qual_tracker.offer(nm);
-        }
-        nm_best = nm_best.max(nm);
-    }
-
-    // min_len > 1 bootstrap: until k qualifying patterns exist, ω is -∞
-    // and nothing can be pruned, which explodes on large grids. Seed the
-    // tracker with genuine length-min_len patterns read directly off the
-    // data (most frequent discretized windows) — their true NMs are valid
-    // lower-bound evidence for ω, so pruning stays exact.
-    if params.min_len > 1 {
-        let seeds: Vec<Pattern> = seed_patterns(scorer, params.min_len, params.k)
-            .into_iter()
-            .filter(|p| store.id_of(p).is_none())
-            .collect();
-        let nms = scorer.score_batch(&seeds);
-        stats.candidates_scored += seeds.len() as u64;
-        stats.nm_evaluations += seeds.len() as u64;
-        for (p, nm) in seeds.into_iter().zip(nms) {
-            let id = store.add(p, nm);
-            q.insert(id);
-            qual_tracker.offer(nm);
-        }
-    }
-    stats.degraded_shard_rescores += scorer.degraded_rescores() - degraded_base;
-
-    let omega = qual_tracker.omega();
-    let high: FxHashSet<u32> = q
-        .iter()
-        .copied()
-        .filter(|&id| store.nm(id) >= omega)
-        .collect();
-    let fresh: Vec<u32> = {
-        let mut v: Vec<u32> = q.iter().copied().collect();
-        v.sort_unstable();
-        v
-    };
-
-    GrowthState {
-        store,
-        q,
-        tried: FxHashSet::default(),
-        qual_tracker,
-        omega,
-        high,
-        enumerated_high: FxHashSet::default(),
-        fresh,
-        nm_best,
-        stats,
-        converged: false,
-    }
-}
-
-/// Runs growth levels until the high set converges or `max_iters` is
-/// reached, calling `on_level` after every completed level (this is the
-/// checkpoint hook). `state.stats.iterations` counts completed levels, so
-/// resuming a restored state continues exactly where it stopped.
-pub(crate) fn run_growth<E>(
-    scorer: &Scorer<'_>,
-    params: &MiningParams,
-    state: &mut GrowthState,
-    mut on_level: impl FnMut(&GrowthState) -> Result<(), E>,
-) -> Result<(), E> {
-    while !state.converged && state.stats.iterations < params.max_iters {
-        grow_level(scorer, params, state);
-        on_level(state)?;
-    }
-    Ok(())
-}
-
-/// One growing level: enumerate new pairs, bound-prune, batch-score,
-/// re-threshold, re-mark, and prune Q.
-pub(crate) fn grow_level(scorer: &Scorer<'_>, params: &MiningParams, state: &mut GrowthState) {
-    let max_len = effective_max_len(scorer, params);
-    let degraded_base = scorer.degraded_rescores();
-    state.stats.iterations += 1;
-
-    let fresh_vec: Vec<u32> = {
-        let mut v: Vec<u32> = state
-            .fresh
-            .iter()
-            .copied()
-            .filter(|id| state.q.contains(id))
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    };
-    let mut fresh_high_vec: Vec<u32> = state
-        .high
-        .iter()
-        .copied()
-        .filter(|id| !state.enumerated_high.contains(id))
-        .collect();
-    fresh_high_vec.sort_unstable();
-    let mut high_vec: Vec<u32> = state.high.iter().copied().collect();
-    high_vec.sort_unstable();
-    let mut q_vec: Vec<u32> = state.q.iter().copied().collect();
-    q_vec.sort_unstable();
-
-    let mut next_fresh: Vec<u32> = Vec::new();
-
-    // Candidates surviving the bound check are *collected* here and
-    // scored in one batch after pair enumeration. This is exact: ω and
-    // τ are deliberately read once per iteration (the seed code also
-    // refreshed them only after enumeration), so no pruning decision
-    // inside the loop can depend on a score produced within it.
-    let mut pending: Vec<Pattern> = Vec::new();
-    let mut pending_ids: FxHashMap<Pattern, usize> = FxHashMap::default();
-
-    // One candidate pair (ordered): bound-check, dedupe, enqueue.
-    macro_rules! try_pair {
-        ($a:expr, $b:expr) => {{
-            let a: u32 = $a;
-            let b: u32 = $b;
-            let la = state.store.len(a);
-            let lb = state.store.len(b);
-            let total_len = (la + lb) as usize;
-            if total_len <= max_len {
-                let key = ((a as u64) << 32) | b as u64;
-                if state.tried.insert(key) {
-                    state.stats.candidates_generated += 1;
-                    // Candidate shapes high·singular / singular·high
-                    // are the Lemma-1 building blocks: prune them
-                    // against the composability threshold τ, others
-                    // against ω.
-                    let one_ext_shape = (lb == 1 && state.high.contains(&a))
-                        || (la == 1 && state.high.contains(&b));
-                    let mut pruned = false;
-                    if params.use_bound_prune {
-                        let bound = weighted_mean_bound(
-                            state.store.nm(a),
-                            la as usize,
-                            state.store.nm(b),
-                            lb as usize,
-                        );
-                        let threshold = if one_ext_shape {
-                            tau(total_len, state.omega, state.nm_best, max_len)
-                        } else {
-                            state.omega
-                        };
-                        if bound < threshold {
-                            state.stats.candidates_bound_pruned += 1;
-                            pruned = true;
-                        }
-                    }
-                    if !pruned {
-                        let cand = state.store.get(a).concat(state.store.get(b));
-                        match state.store.id_of(&cand) {
-                            Some(id) => {
-                                if state.q.insert(id) {
-                                    next_fresh.push(id);
-                                }
-                            }
-                            None => {
-                                // Defer scoring to the per-iteration
-                                // batch; dedupe within the batch so a
-                                // candidate reachable through several
-                                // pairs is scored once.
-                                if !pending_ids.contains_key(&cand) {
-                                    pending_ids.insert(cand.clone(), pending.len());
-                                    pending.push(cand);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }};
-    }
-
-    // New Q members × current highs, both orders.
-    for &h in &high_vec {
-        for &x in &fresh_vec {
-            try_pair!(h, x);
-            try_pair!(x, h);
-        }
-    }
-    // Newly promoted highs × all of Q, both orders.
-    for &h in &fresh_high_vec {
-        for &x in &q_vec {
-            try_pair!(h, x);
-            try_pair!(x, h);
-        }
-    }
-    state.enumerated_high.extend(fresh_high_vec);
-
-    // Batch-score everything enqueued this iteration (in enumeration
-    // order, so store ids — and therefore the whole run — are
-    // identical to one-at-a-time scoring).
-    let nms = scorer.score_batch(&pending);
-    state.stats.candidates_scored += pending.len() as u64;
-    state.stats.nm_evaluations += pending.len() as u64;
-    for (cand, nm) in pending.into_iter().zip(nms) {
-        let total_len = cand.len();
-        let id = state.store.add(cand, nm);
-        if total_len >= params.min_len {
-            state.qual_tracker.offer(nm);
-        }
-        state.q.insert(id);
-        next_fresh.push(id);
-    }
-
-    // Re-threshold and re-mark.
-    state.omega = state.qual_tracker.omega();
-    let high_new: FxHashSet<u32> = state
-        .q
-        .iter()
-        .copied()
-        .filter(|&id| state.store.nm(id) >= state.omega)
-        .collect();
-
-    // Prune low patterns: keep only 1-extension lows above τ.
-    if params.use_one_extension_prune {
-        let high_patterns: FxHashSet<Pattern> = high_new
-            .iter()
-            .map(|&id| state.store.get(id).clone())
-            .collect();
-        let omega_snapshot = state.omega;
-        let nm_best = state.nm_best;
-        let store = &state.store;
-        state.q.retain(|&id| {
-            if high_new.contains(&id) {
-                return true;
-            }
-            if !is_one_extension(store.get(id), &high_patterns) {
-                return false;
-            }
-            !params.use_bound_prune
-                || store.nm(id) >= tau(store.len(id) as usize, omega_snapshot, nm_best, max_len)
-        });
-    }
-
-    state.converged = high_new == state.high;
-    state.high = high_new;
-    state.fresh = next_fresh;
-    state.stats.degraded_shard_rescores += scorer.degraded_rescores() - degraded_base;
-}
-
-/// Extracts the final top-k answer (and groups) from a finished — or
-/// deliberately interrupted — growth state.
-pub(crate) fn finish(
-    scorer: &Scorer<'_>,
-    params: &MiningParams,
-    mut state: GrowthState,
-) -> MiningOutcome {
-    state.stats.final_queue_size = state.q.len();
-    state.stats.nm_evaluations = scorer.evaluations().max(state.stats.nm_evaluations);
-    let store = &state.store;
-
-    // Final answer: best k qualifying patterns over everything scored.
-    let mut order: Vec<u32> = (0..store.count() as u32)
-        .filter(|&id| store.len(id) as usize >= params.min_len)
-        .collect();
-    order.sort_unstable_by(|&a, &b| {
-        store
-            .nm(b)
-            .partial_cmp(&store.nm(a))
-            .expect("NM values are finite")
-            .then_with(|| store.get(a).cmp(store.get(b)))
-    });
-    order.truncate(params.k);
-    let qualifying: Vec<MinedPattern> = order
-        .into_iter()
-        .map(|id| MinedPattern::new(store.get(id).clone(), store.nm(id)))
-        .collect();
-
-    let groups = match params.gamma {
-        Some(gamma) => discover_groups(&qualifying, scorer.grid(), gamma),
-        None => Vec::new(),
-    };
-
-    MiningOutcome {
-        patterns: qualifying,
-        groups,
-        stats: state.stats,
-        scorer: scorer.stats(),
-    }
-}
-
-/// Harvests up to `k` seed patterns of exactly `min_len` positions from
-/// the data itself: each trajectory's snapshot means are discretized to
-/// cells and every contiguous window becomes a candidate; the most
-/// frequent distinct windows are returned (deterministic order).
-///
-/// Used to bootstrap the qualifying threshold ω when mining with a
-/// minimum-length constraint (§5) — the seeds are genuine patterns, so the
-/// ω they establish is a valid (exact) pruning threshold. The baseline
-/// miners share this bootstrap for a fair comparison.
-pub fn seed_patterns(scorer: &Scorer<'_>, min_len: usize, k: usize) -> Vec<Pattern> {
-    let grid = scorer.grid();
-    let mut counts: FxHashMap<Vec<trajgeo::CellId>, u32> = FxHashMap::default();
-    for traj in scorer.data().iter() {
-        if traj.len() < min_len {
-            continue;
-        }
-        let cells: Vec<trajgeo::CellId> = traj
-            .points()
-            .iter()
-            .map(|sp| grid.locate(sp.mean))
-            .collect();
-        for w in cells.windows(min_len) {
-            *counts.entry(w.to_vec()).or_insert(0) += 1;
-        }
-    }
-    let mut ranked: Vec<(Vec<trajgeo::CellId>, u32)> = counts.into_iter().collect();
-    ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    ranked
-        .into_iter()
-        .take(k)
-        .map(|(cells, _)| Pattern::new(cells).expect("windows are non-empty"))
-        .collect()
-}
-
-/// The composability threshold τ for a (potential) low building block of
-/// length `len`: a pattern below τ cannot participate in any high pattern
-/// of length ≤ `max_len` (see the module docs). `-∞` while ω is unset.
-pub(crate) fn tau(len: usize, omega: f64, nm_best: f64, max_len: usize) -> f64 {
-    if !omega.is_finite() {
-        return f64::NEG_INFINITY;
-    }
-    let slack = max_len.saturating_sub(len) as f64;
-    omega + slack * (omega - nm_best) / len as f64
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pattern::Pattern;
     use trajdata::{SnapshotPoint, Trajectory};
+    use trajgeo::fxhash::FxHashSet;
     use trajgeo::{BBox, CellId, Point2};
 
     fn pat(ids: &[u32]) -> Pattern {
@@ -726,18 +251,6 @@ mod tests {
         for m in &out.patterns {
             assert!(m.pattern.len() >= 3, "pattern {} too short", m.pattern);
         }
-    }
-
-    #[test]
-    fn tau_is_no_higher_than_omega() {
-        let omega = -2.0;
-        let best = -0.5;
-        for len in 1..8 {
-            let t = tau(len, omega, best, 8);
-            assert!(t <= omega + 1e-12, "tau({len}) = {t} > omega");
-        }
-        // Unset omega disables the threshold.
-        assert_eq!(tau(3, f64::NEG_INFINITY, best, 8), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -37,7 +37,8 @@
 //! tracker) so a corrupted file yields a typed [`CheckpointError::Format`]
 //! instead of a panic deep in the mining loop.
 
-use crate::algorithm::{GrowthState, MiningStats, Store};
+use crate::algorithm::MiningStats;
+use crate::engine::{GrowthState, Store};
 use crate::params::MiningParams;
 use crate::pattern::Pattern;
 use crate::topk::ThresholdTracker;
@@ -176,9 +177,7 @@ impl Fingerprint {
     }
 }
 
-fn hex(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
-}
+use trajio::f64_hex as hex;
 
 fn err(line: usize, message: impl Into<String>) -> CheckpointError {
     CheckpointError::Format {
@@ -193,10 +192,10 @@ pub(crate) fn encode(state: &GrowthState, fp: &Fingerprint) -> String {
     out.push_str(VERSION_LINE);
     out.push('\n');
     out.push_str(&format!(
-        "fingerprint {} {:016x} {:016x} {} {} {} {} {} {} {}\n",
+        "fingerprint {} {} {} {} {} {} {} {} {} {}\n",
         fp.k,
-        fp.delta_bits,
-        fp.min_prob_bits,
+        trajio::bits_hex(fp.delta_bits),
+        trajio::bits_hex(fp.min_prob_bits),
         fp.min_len,
         fp.max_len,
         fp.bound_prune as u8,
@@ -208,17 +207,11 @@ pub(crate) fn encode(state: &GrowthState, fp: &Fingerprint) -> String {
     out.push_str(&format!("omega {}\n", hex(state.omega)));
     out.push_str(&format!("nm_best {}\n", hex(state.nm_best)));
     out.push_str(&format!("converged {}\n", state.converged as u8));
-    let s = &state.stats;
-    out.push_str(&format!(
-        "stats {} {} {} {} {} {} {}\n",
-        s.iterations,
-        s.candidates_generated,
-        s.candidates_scored,
-        s.candidates_bound_pruned,
-        s.final_queue_size,
-        s.nm_evaluations,
-        s.degraded_shard_rescores,
-    ));
+    out.push_str("stats");
+    for v in state.stats.persisted_values() {
+        out.push_str(&format!(" {v}"));
+    }
+    out.push('\n');
     let tracker_values = state.qual_tracker.values();
     out.push_str(&format!("tracker {}", tracker_values.len()));
     for v in &tracker_values {
@@ -269,72 +262,33 @@ fn push_id_section(out: &mut String, name: &str, ids: impl Iterator<Item = u32>)
     out.push('\n');
 }
 
-/// Cursor over checkpoint lines, tracking 1-based positions for errors.
-struct Cursor<'a> {
-    lines: std::str::Lines<'a>,
-    line: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn next(&mut self) -> Result<&'a str, CheckpointError> {
-        self.line += 1;
-        self.lines
-            .next()
-            .ok_or_else(|| err(self.line, "unexpected end of file"))
-    }
+/// Advances the strict cursor, mapping end-of-input to a positional
+/// format error (v1 treats blank lines as content, so every line counts).
+fn next_line<'a>(cur: &mut trajio::LineCursor<'a>) -> Result<&'a str, CheckpointError> {
+    cur.next_line()
+        .ok_or_else(|| err(cur.line(), "unexpected end of file"))
 }
 
 fn parse_hex_f64(s: &str, line: usize) -> Result<f64, CheckpointError> {
-    if s.len() != 16 {
-        return Err(err(line, format!("expected 16 hex digits, got '{s}'")));
-    }
-    u64::from_str_radix(s, 16)
-        .map(f64::from_bits)
-        .map_err(|_| err(line, format!("bad f64 bit pattern '{s}'")))
+    trajio::f64_from_hex(s).map_err(|e| err(line, e.message()))
 }
 
 fn parse_int<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, CheckpointError> {
-    s.parse()
-        .map_err(|_| err(line, format!("bad {what}: '{s}'")))
+    trajio::parse_int(s, what).map_err(|e| err(line, e.message()))
 }
 
 /// Splits a `name n v1 … vn` section line, verifying the tag and count.
 fn section<'a>(text: &'a str, tag: &str, line: usize) -> Result<Vec<&'a str>, CheckpointError> {
-    let mut fields = text.split_whitespace();
-    match fields.next() {
-        Some(t) if t == tag => {}
-        other => {
-            return Err(err(
-                line,
-                format!("expected '{tag}' section, found '{}'", other.unwrap_or("")),
-            ))
-        }
-    }
-    let n: usize = parse_int(
-        fields.next().ok_or_else(|| err(line, "missing count"))?,
-        line,
-        "count",
-    )?;
-    let values: Vec<&str> = fields.collect();
-    if values.len() != n {
-        return Err(err(
-            line,
-            format!("'{tag}' declares {n} values but has {}", values.len()),
-        ));
-    }
-    Ok(values)
+    trajio::section(text, tag).map_err(|e| err(line, e.message()))
 }
 
 /// Parses and fully validates a v1 checkpoint, rebuilding the growth
 /// state. `expected` is the fingerprint of the *current* run; any mismatch
 /// is rejected before state is rebuilt.
 pub(crate) fn decode(text: &str, expected: &Fingerprint) -> Result<GrowthState, CheckpointError> {
-    let mut cur = Cursor {
-        lines: text.lines(),
-        line: 0,
-    };
+    let mut cur = trajio::LineCursor::strict(text);
 
-    let version = cur.next().map_err(|_| CheckpointError::Version {
+    let version = cur.next_line().ok_or(CheckpointError::Version {
         found: String::new(),
     })?;
     if version.trim() != VERSION_LINE {
@@ -344,8 +298,8 @@ pub(crate) fn decode(text: &str, expected: &Fingerprint) -> Result<GrowthState, 
     }
 
     // Fingerprint compatibility, field by field for a precise error.
-    let fp_line = cur.next()?;
-    let fline = cur.line;
+    let fp_line = next_line(&mut cur)?;
+    let fline = cur.line();
     let f: Vec<&str> = fp_line.split_whitespace().collect();
     if f.len() != 11 || f[0] != "fingerprint" {
         return Err(err(fline, "malformed fingerprint line"));
@@ -448,46 +402,43 @@ pub(crate) fn decode(text: &str, expected: &Fingerprint) -> Result<GrowthState, 
         }
     }
 
-    let omega_line = cur.next()?;
+    let omega_line = next_line(&mut cur)?;
     let omega = match omega_line.split_whitespace().collect::<Vec<_>>()[..] {
-        ["omega", bits] => parse_hex_f64(bits, cur.line)?,
-        _ => return Err(err(cur.line, "expected 'omega <hex>'")),
+        ["omega", bits] => parse_hex_f64(bits, cur.line())?,
+        _ => return Err(err(cur.line(), "expected 'omega <hex>'")),
     };
-    let nm_best_line = cur.next()?;
+    let nm_best_line = next_line(&mut cur)?;
     let nm_best = match nm_best_line.split_whitespace().collect::<Vec<_>>()[..] {
-        ["nm_best", bits] => parse_hex_f64(bits, cur.line)?,
-        _ => return Err(err(cur.line, "expected 'nm_best <hex>'")),
+        ["nm_best", bits] => parse_hex_f64(bits, cur.line())?,
+        _ => return Err(err(cur.line(), "expected 'nm_best <hex>'")),
     };
     if nm_best.is_nan() {
-        return Err(err(cur.line, "nm_best is NaN"));
+        return Err(err(cur.line(), "nm_best is NaN"));
     }
-    let converged_line = cur.next()?;
+    let converged_line = next_line(&mut cur)?;
     let converged = match converged_line.split_whitespace().collect::<Vec<_>>()[..] {
         ["converged", "0"] => false,
         ["converged", "1"] => true,
-        _ => return Err(err(cur.line, "expected 'converged 0|1'")),
+        _ => return Err(err(cur.line(), "expected 'converged 0|1'")),
     };
 
-    let stats_line = cur.next()?;
-    let sline = cur.line;
+    let stats_line = next_line(&mut cur)?;
+    let sline = cur.line();
     let s: Vec<&str> = stats_line.split_whitespace().collect();
-    if s.len() != 8 || s[0] != "stats" {
+    let names = MiningStats::persisted_names();
+    if s.len() != names.len() + 1 || s[0] != "stats" {
         return Err(err(sline, "malformed stats line"));
     }
-    let stats = MiningStats {
-        iterations: parse_int(s[1], sline, "iterations")?,
-        candidates_generated: parse_int(s[2], sline, "candidates_generated")?,
-        candidates_scored: parse_int(s[3], sline, "candidates_scored")?,
-        candidates_bound_pruned: parse_int(s[4], sline, "candidates_bound_pruned")?,
-        final_queue_size: parse_int(s[5], sline, "final_queue_size")?,
-        nm_evaluations: parse_int(s[6], sline, "nm_evaluations")?,
-        degraded_shard_rescores: parse_int(s[7], sline, "degraded_shard_rescores")?,
-    };
+    let mut values = Vec::with_capacity(names.len());
+    for (tok, name) in s[1..].iter().zip(&names) {
+        values.push(parse_int::<u64>(tok, sline, name)?);
+    }
+    let stats = MiningStats::from_persisted(&values).expect("length checked above");
 
     // Threshold tracker: rebuild from the retained values. Each must be
     // finite — `offer` (correctly) panics on NaN, so we reject first.
-    let tracker_values = section(cur.next()?, "tracker", cur.line)?;
-    let tline = cur.line;
+    let tracker_values = section(next_line(&mut cur)?, "tracker", cur.line())?;
+    let tline = cur.line();
     if tracker_values.len() > expected.k {
         return Err(err(tline, "tracker holds more than k values"));
     }
@@ -506,15 +457,15 @@ pub(crate) fn decode(text: &str, expected: &Fingerprint) -> Result<GrowthState, 
     }
 
     // Pattern store, in id order.
-    let patterns_header = cur.next()?;
+    let patterns_header = next_line(&mut cur)?;
     let count: usize = match patterns_header.split_whitespace().collect::<Vec<_>>()[..] {
-        ["patterns", n] => parse_int(n, cur.line, "pattern count")?,
-        _ => return Err(err(cur.line, "expected 'patterns <n>'")),
+        ["patterns", n] => parse_int(n, cur.line(), "pattern count")?,
+        _ => return Err(err(cur.line(), "expected 'patterns <n>'")),
     };
     let mut store = Store::default();
     for _ in 0..count {
-        let row = cur.next()?;
-        let rline = cur.line;
+        let row = next_line(&mut cur)?;
+        let rline = cur.line();
         let mut fields = row.split_whitespace();
         match fields.next() {
             Some("p") => {}
@@ -558,13 +509,22 @@ pub(crate) fn decode(text: &str, expected: &Fingerprint) -> Result<GrowthState, 
             .collect()
     };
 
-    let q_ids = parse_ids(section(cur.next()?, "q", cur.line)?, cur.line)?;
-    let high_ids = parse_ids(section(cur.next()?, "high", cur.line)?, cur.line)?;
-    let enum_ids = parse_ids(section(cur.next()?, "enumerated", cur.line)?, cur.line)?;
-    let fresh = parse_ids(section(cur.next()?, "fresh", cur.line)?, cur.line)?;
+    let q_ids = parse_ids(section(next_line(&mut cur)?, "q", cur.line())?, cur.line())?;
+    let high_ids = parse_ids(
+        section(next_line(&mut cur)?, "high", cur.line())?,
+        cur.line(),
+    )?;
+    let enum_ids = parse_ids(
+        section(next_line(&mut cur)?, "enumerated", cur.line())?,
+        cur.line(),
+    )?;
+    let fresh = parse_ids(
+        section(next_line(&mut cur)?, "fresh", cur.line())?,
+        cur.line(),
+    )?;
 
-    let tried_values = section(cur.next()?, "tried", cur.line)?;
-    let kline = cur.line;
+    let tried_values = section(next_line(&mut cur)?, "tried", cur.line())?;
+    let kline = cur.line();
     let mut tried: FxHashSet<u64> = FxHashSet::default();
     for v in tried_values {
         let key: u64 = parse_int(v, kline, "pair key")?;
@@ -575,9 +535,9 @@ pub(crate) fn decode(text: &str, expected: &Fingerprint) -> Result<GrowthState, 
         tried.insert(key);
     }
 
-    match cur.next()? {
+    match next_line(&mut cur)? {
         l if l.trim() == "end" => {}
-        _ => return Err(err(cur.line, "expected 'end'")),
+        _ => return Err(err(cur.line(), "expected 'end'")),
     }
 
     Ok(GrowthState {
@@ -603,15 +563,10 @@ pub(crate) fn save(
     fp: &Fingerprint,
 ) -> Result<(), CheckpointError> {
     let text = encode(state, fp);
-    let mut tmp_name = path.as_os_str().to_owned();
-    tmp_name.push(".tmp");
-    let tmp = PathBuf::from(tmp_name);
-    let io_err = |p: &Path, e: std::io::Error| CheckpointError::Io {
-        path: p.to_path_buf(),
-        message: e.to_string(),
-    };
-    std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    trajio::write_atomic(path, &text).map_err(|e| CheckpointError::Io {
+        path: e.path,
+        message: e.message,
+    })
 }
 
 /// Reads, validates, and rebuilds a growth state from `path`.
@@ -626,7 +581,7 @@ pub(crate) fn load(path: &Path, expected: &Fingerprint) -> Result<GrowthState, C
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithm::init_state;
+    use crate::engine::init_state;
     use crate::scorer::Scorer;
     use trajdata::Trajectory;
     use trajgeo::{BBox, Point2};
@@ -647,8 +602,8 @@ mod tests {
     fn state_and_fp() -> (GrowthState, Fingerprint) {
         let (data, grid, params) = setup();
         let scorer = Scorer::new(&data, &grid, params.delta, params.min_prob);
-        let mut state = init_state(&scorer, &params);
-        crate::algorithm::grow_level(&scorer, &params, &mut state);
+        let mut state = init_state(&scorer, &params, &[]).unwrap();
+        crate::engine::grow_level(&scorer, &params, &mut state);
         (state, Fingerprint::new(&params, &data, &grid))
     }
 
@@ -738,7 +693,7 @@ mod tests {
         let (state, fp) = state_and_fp();
         let text = encode(&state, &fp);
         // Swap one pattern NM for NaN bits.
-        let nan_bits = format!("{:016x}", f64::NAN.to_bits());
+        let nan_bits = trajio::f64_hex(f64::NAN);
         let poisoned: String = text
             .lines()
             .map(|l| {

@@ -273,6 +273,30 @@ pub fn mine_gapped(
     pool
 }
 
+/// End-to-end §5 wildcard mining: runs the shared growing engine
+/// ([`crate::algorithm::mine_with_scorer`]) for the contiguous top-k base,
+/// then grows wildcards with [`mine_gapped`].
+///
+/// With `max_gap == 0` the result is exactly the engine's contiguous top-k
+/// wrapped as [`GappedPattern::contiguous`], bit-for-bit — the gapped
+/// miner is a strict extension of the batch miner, not a parallel
+/// implementation (see the `engine_parity` test).
+pub fn mine_gapped_topk(
+    scorer: &Scorer<'_>,
+    params: &crate::params::MiningParams,
+    max_gap: u8,
+    max_iters: usize,
+) -> Result<Vec<MinedGappedPattern>, crate::params::ParamsError> {
+    let base = crate::algorithm::mine_with_scorer(scorer, params)?;
+    Ok(mine_gapped(
+        scorer,
+        &base.patterns,
+        max_gap,
+        params.k,
+        max_iters,
+    ))
+}
+
 /// Joins two gapped patterns with a fixed run of `g` wildcards between
 /// them.
 fn join_gapped(a: &GappedPattern, b: &GappedPattern, g: u8) -> GappedPattern {
@@ -374,6 +398,48 @@ mod tests {
             })
             .collect();
         (data, grid)
+    }
+
+    #[test]
+    fn engine_parity_with_zero_gap() {
+        // mine_gapped_topk with max_gap = 0 is the shared growing engine's
+        // contiguous top-k, bit-for-bit — the gapped miner rides on
+        // mine_with_scorer, it does not re-implement the loop.
+        let (data, grid) = detour_data();
+        let params = crate::params::MiningParams::new(6, 0.4)
+            .unwrap()
+            .with_max_len(4)
+            .unwrap();
+        let scorer = crate::scorer::Scorer::new(&data, &grid, params.delta, params.min_prob);
+        let base = crate::algorithm::mine_with_scorer(&scorer, &params).unwrap();
+        let gapped = mine_gapped_topk(&scorer, &params, 0, 8).unwrap();
+        assert_eq!(gapped.len(), base.patterns.len());
+        for (g, m) in gapped.iter().zip(&base.patterns) {
+            assert_eq!(g.pattern, GappedPattern::contiguous(&m.pattern));
+            assert_eq!(g.nm.to_bits(), m.nm.to_bits());
+        }
+    }
+
+    #[test]
+    fn gapped_topk_grows_wildcards_over_the_engine_base() {
+        // End-to-end: the one-call entry finds the detour-bridging pattern
+        // that the contiguous engine base cannot express.
+        let (data, grid) = detour_data();
+        let params = crate::params::MiningParams::new(4, 0.4)
+            .unwrap()
+            .with_max_len(4)
+            .unwrap();
+        let scorer = crate::scorer::Scorer::new(&data, &grid, params.delta, params.min_prob);
+        let out = mine_gapped_topk(&scorer, &params, 1, 8).unwrap();
+        assert!(!out.is_empty());
+        assert!(
+            out.iter()
+                .any(|m| !m.pattern.gaps().iter().all(|&(lo, hi)| lo == 0 && hi == 0)),
+            "expected at least one genuinely gapped pattern in the top-k"
+        );
+        for w in out.windows(2) {
+            assert!(w[0].nm >= w[1].nm);
+        }
     }
 
     #[test]

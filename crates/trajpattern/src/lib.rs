@@ -31,6 +31,11 @@
 //! (Lemma 1). §5's extensions — minimum pattern length and wildcard
 //! positions — are available through [`MiningParams`] and [`gapped`].
 //!
+//! Batch mining, ledger-seeded re-growth ([`mine_seeded`]) and the
+//! streaming arrival-delta path all drive the *same* growing loop, housed
+//! in [`engine`] and parameterized over an NM oracle ([`NmSource`]) — so
+//! pruning-decision parity across the stack holds by construction.
+//!
 //! # Quick example
 //!
 //! ```
@@ -62,6 +67,7 @@
 pub mod algorithm;
 pub mod bruteforce;
 pub mod checkpoint;
+pub mod engine;
 pub mod gapped;
 pub mod groups;
 pub mod miner;
@@ -71,10 +77,12 @@ pub mod pattern;
 pub mod prune;
 pub mod scorer;
 pub mod seeded;
+pub mod stats;
 pub mod topk;
 
 pub use algorithm::{effective_max_len_from, mine, MiningOutcome, MiningStats};
 pub use checkpoint::{CheckpointError, FingerprintKind};
+pub use engine::{NmSource, SeededSource, SparseSource};
 pub use groups::PatternGroup;
 pub use miner::{Error, Miner};
 pub use params::{MiningParams, ParamsError};

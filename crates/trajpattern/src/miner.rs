@@ -24,8 +24,9 @@
 //! # Ok::<(), trajpattern::Error>(())
 //! ```
 
-use crate::algorithm::{empty_outcome, finish, init_state, run_growth, MiningOutcome};
+use crate::algorithm::MiningOutcome;
 use crate::checkpoint::{self, CheckpointError, Fingerprint};
+use crate::engine::{empty_outcome, finish, init_state, run_growth};
 use crate::params::{MiningParams, ParamsError};
 use crate::scorer::Scorer;
 use std::fmt;
@@ -208,7 +209,7 @@ impl<'a> Miner<'a> {
         let fingerprint = Fingerprint::new(&params, self.data, self.grid);
         let mut state = match &self.resume {
             Some(path) => checkpoint::load(path, &fingerprint)?,
-            None => init_state(&scorer, &params),
+            None => init_state(&scorer, &params, &[]).expect("an empty seed is always valid"),
         };
         run_growth(&scorer, &params, &mut state, |s| -> Result<(), Error> {
             if let Some(path) = &self.checkpoint {

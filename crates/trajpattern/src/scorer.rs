@@ -641,24 +641,7 @@ impl<'a> Scorer<'a> {
     }
 }
 
-/// Point-in-time snapshot of a [`Scorer`]'s counters.
-///
-/// Unlike [`MiningStats`](crate::MiningStats) these are *engine* counters:
-/// they depend on how much of the cell-row cache a particular scorer
-/// instance happened to build, so a resumed run legitimately reports
-/// different numbers than an uninterrupted one. They are therefore carried
-/// on [`MiningOutcome`](crate::MiningOutcome) beside the stats, never
-/// inside them, and are excluded from checkpoint fingerprints.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct ScorerStats {
-    /// Pattern scorings performed (NM or match evaluations).
-    pub scorings: u64,
-    /// Distinct cells whose per-trajectory probability rows are cached.
-    pub cached_cells: u64,
-    /// Worker-shard panics absorbed by sequential rescoring.
-    pub degraded_rescores: u64,
-}
+pub use crate::stats::ScorerStats;
 
 /// Resolves a requested thread count: `0` means one per available CPU.
 fn effective_threads(threads: usize) -> usize {

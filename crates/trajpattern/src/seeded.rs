@@ -4,8 +4,10 @@
 //! This is the repair/certification primitive behind the `trajstream`
 //! sliding-window miner. The streaming layer maintains a per-pattern
 //! contribution ledger whose folded sums are exact NM values for the
-//! current window; [`mine_seeded`] rebuilds a [`GrowthState`] from those
-//! values and re-runs the growing process with an *empty* pair memo:
+//! current window; [`mine_seeded`] rebuilds a growth state from those
+//! values (via [`crate::engine::init_state`], the same level-0 code the
+//! batch miner runs) and re-runs the shared growing process with an
+//! *empty* pair memo:
 //!
 //! - every candidate pair is re-enumerated against the current thresholds,
 //!   so no pruning decision from a previous window is trusted;
@@ -32,27 +34,31 @@
 //!   reachability induction applies unchanged.
 //!
 //! Both batch and seeded growth therefore score every pattern whose NM
-//! reaches the final ω, and [`finish`](crate::algorithm) selects the top-k
+//! reaches the final ω, and [`finish`](crate::engine) selects the top-k
 //! by `(NM desc, pattern content)` — so the two produce *bit-identical*
 //! pattern lists even though their candidate stores differ. The one
 //! alignment rule: seed patterns longer than the effective maximum length
 //! (`min(max_len, longest trajectory)`) are dropped before growth, because
 //! the batch miner never generates them (they only ever score the floor
 //! and could otherwise steal tie-broken top-k slots).
+//!
+//! Since the refactor onto [`crate::engine`], batch and seeded growth are
+//! not merely *provably* aligned — they are the same code: one
+//! `init_state`, one `grow_level`, one `finish`. The seeded entry differs
+//! only in passing a non-empty seed and wrapping the scorer in a
+//! [`SeededSource`].
 
-use crate::algorithm::{
-    effective_max_len, empty_outcome, finish, init_state, run_growth, seed_patterns, tau,
-    GrowthState, MiningOutcome, MiningStats, Store,
-};
+use crate::engine::{empty_outcome, finish, init_state, run_growth, tau, SeededSource};
 use crate::groups::discover_groups;
 use crate::minmax::weighted_mean_bound;
-use crate::params::{MiningParams, ParamsError};
+use crate::params::MiningParams;
 use crate::pattern::{MinedPattern, Pattern};
 use crate::scorer::Scorer;
-use crate::topk::ThresholdTracker;
-use std::fmt;
+use crate::MiningOutcome;
 use trajgeo::fxhash::FxHashSet;
 use trajgeo::{CellId, Grid};
+
+pub use crate::engine::{NmSource, SeedError};
 
 /// The result of a seeded re-growth run.
 #[derive(Debug, Clone)]
@@ -74,60 +80,6 @@ pub struct SeededOutcome {
     /// Patterns scored against the data by this call. `0` means the seed
     /// certified the top-k by itself — a pure delta update.
     pub newly_scored: u64,
-}
-
-/// Why a seed set was rejected by [`mine_seeded`].
-#[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum SeedError {
-    /// The mining parameters were invalid.
-    Params(ParamsError),
-    /// The seed does not contain every singular pattern of the grid —
-    /// without them neither `nm_best` nor Lemma-1 reachability holds.
-    MissingSingulars {
-        /// Singular seeds provided.
-        have: usize,
-        /// Grid cells (singulars required).
-        need: usize,
-    },
-    /// The same pattern appears twice in the seed.
-    Duplicate(String),
-    /// A seed NM is NaN or infinite.
-    NonFinite(String),
-    /// A seed pattern references a cell outside the grid.
-    CellOutOfRange(String),
-}
-
-impl fmt::Display for SeedError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SeedError::Params(e) => write!(f, "invalid mining parameters: {e}"),
-            SeedError::MissingSingulars { have, need } => write!(
-                f,
-                "seed must contain every singular pattern: have {have}, grid has {need} cells"
-            ),
-            SeedError::Duplicate(p) => write!(f, "duplicate seed pattern {p}"),
-            SeedError::NonFinite(p) => write!(f, "seed pattern {p} has a non-finite NM"),
-            SeedError::CellOutOfRange(p) => {
-                write!(f, "seed pattern {p} references a cell outside the grid")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SeedError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            SeedError::Params(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<ParamsError> for SeedError {
-    fn from(e: ParamsError) -> Self {
-        SeedError::Params(e)
-    }
 }
 
 /// Mines the top-k patterns over `scorer`'s data, seeded with patterns
@@ -158,19 +110,16 @@ pub fn mine_seeded(
         });
     }
 
-    let evals_before = scorer.evaluations();
-    let mut state = if seed.is_empty() {
-        init_state(scorer, params)
-    } else {
-        seeded_state(scorer, params, seed)?
-    };
+    let source = SeededSource::new(scorer, seed);
+    let evals_before = NmSource::evaluations(&source);
+    let mut state = init_state(&source, params, seed)?;
     let levels_before = state.stats.iterations;
-    match run_growth::<std::convert::Infallible>(scorer, params, &mut state, |_| Ok(())) {
+    match run_growth::<_, std::convert::Infallible>(&source, params, &mut state, |_| Ok(())) {
         Ok(()) => {}
         Err(e) => match e {},
     }
     let levels = state.stats.iterations - levels_before;
-    let newly_scored = scorer.evaluations() - evals_before;
+    let newly_scored = NmSource::evaluations(&source) - evals_before;
 
     let store: Vec<MinedPattern> = (0..state.store.count() as u32)
         .map(|id| MinedPattern::new(state.store.get(id).clone(), state.store.nm(id)))
@@ -182,109 +131,13 @@ pub fn mine_seeded(
         .map(|id| MinedPattern::new(state.store.get(id).clone(), state.store.nm(id)))
         .collect();
 
-    let outcome = finish(scorer, params, state);
+    let outcome = finish(&source, params, state);
     Ok(SeededOutcome {
         outcome,
         store,
         survivors,
         levels,
         newly_scored,
-    })
-}
-
-/// Builds a [`GrowthState`] from exact seed scores: the seed becomes the
-/// store and the whole of `Q`, ω is the k-th best qualifying seed NM, and
-/// everything is fresh with an empty pair memo — so growth re-enumerates
-/// every pair against current thresholds.
-fn seeded_state(
-    scorer: &Scorer<'_>,
-    params: &MiningParams,
-    seed: &[MinedPattern],
-) -> Result<GrowthState, SeedError> {
-    let grid = scorer.grid();
-    let num_cells = grid.num_cells() as usize;
-    let max_len = effective_max_len(scorer, params);
-    let mut stats = MiningStats::default();
-    let degraded_base = scorer.degraded_rescores();
-
-    let mut store = Store::default();
-    let mut qual_tracker = ThresholdTracker::new(params.k);
-    let mut nm_best = f64::NEG_INFINITY;
-    let mut singulars_seen = 0usize;
-    for m in seed {
-        if !m.nm.is_finite() {
-            return Err(SeedError::NonFinite(m.pattern.to_string()));
-        }
-        if m.pattern.cells().iter().any(|c| c.index() >= num_cells) {
-            return Err(SeedError::CellOutOfRange(m.pattern.to_string()));
-        }
-        if m.pattern.is_singular() {
-            singulars_seen += 1;
-            nm_best = nm_best.max(m.nm);
-        } else if m.pattern.len() > max_len {
-            // The batch miner never generates patterns longer than the
-            // longest trajectory; keeping them would perturb tie-breaking.
-            continue;
-        }
-        if store.id_of(&m.pattern).is_some() {
-            return Err(SeedError::Duplicate(m.pattern.to_string()));
-        }
-        store.add(m.pattern.clone(), m.nm);
-        if m.pattern.len() >= params.min_len {
-            qual_tracker.offer(m.nm);
-        }
-    }
-    if singulars_seen != num_cells {
-        return Err(SeedError::MissingSingulars {
-            have: singulars_seen,
-            need: num_cells,
-        });
-    }
-
-    let mut q: FxHashSet<u32> = (0..store.count() as u32).collect();
-
-    // Same min_len > 1 bootstrap as a from-scratch mine: without it ω can
-    // stay -∞ and pruning never engages (see `init_state`).
-    if params.min_len > 1 {
-        let boots: Vec<_> = seed_patterns(scorer, params.min_len, params.k)
-            .into_iter()
-            .filter(|p| store.id_of(p).is_none())
-            .collect();
-        let nms = scorer.score_batch(&boots);
-        stats.candidates_scored += boots.len() as u64;
-        stats.nm_evaluations += boots.len() as u64;
-        for (p, nm) in boots.into_iter().zip(nms) {
-            let id = store.add(p, nm);
-            q.insert(id);
-            qual_tracker.offer(nm);
-        }
-    }
-    stats.degraded_shard_rescores += scorer.degraded_rescores() - degraded_base;
-
-    let omega = qual_tracker.omega();
-    let high: FxHashSet<u32> = q
-        .iter()
-        .copied()
-        .filter(|&id| store.nm(id) >= omega)
-        .collect();
-    let fresh: Vec<u32> = {
-        let mut v: Vec<u32> = q.iter().copied().collect();
-        v.sort_unstable();
-        v
-    };
-
-    Ok(GrowthState {
-        store,
-        q,
-        tried: FxHashSet::default(),
-        qual_tracker,
-        omega,
-        high,
-        enumerated_high: FxHashSet::default(),
-        fresh,
-        nm_best,
-        stats,
-        converged: false,
     })
 }
 
@@ -367,9 +220,10 @@ impl SeedCertifier {
             return false;
         }
         let m = eff_max_len;
-        // ω exactly as `seeded_state` computes it: k-th best qualifying
-        // NM (min_len ≤ 1, so every seed of effective length qualifies;
-        // over-long seeds are dropped before growth and never offered).
+        // ω exactly as the engine's seeded `init_state` computes it: k-th
+        // best qualifying NM (min_len ≤ 1, so every seed of effective
+        // length qualifies; over-long seeds are dropped before growth and
+        // never offered).
         let mut qual: Vec<f64> = self
             .cells
             .iter()
@@ -524,7 +378,7 @@ pub fn certified_topk(
     MiningOutcome {
         patterns: qualifying,
         groups,
-        stats: MiningStats::default(),
+        stats: crate::MiningStats::default(),
         scorer: crate::ScorerStats::default(),
     }
 }
@@ -532,6 +386,7 @@ pub fn certified_topk(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::effective_max_len;
     use crate::pattern::Pattern;
     use trajdata::{Dataset, SnapshotPoint, Trajectory};
     use trajgeo::{BBox, CellId, Grid, Point2};

@@ -3,6 +3,7 @@
 //! never contend with request handling.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use trajpattern::stats::prometheus_counters;
 
 /// Routes tracked individually (everything else lands in `other`).
 pub const ENDPOINTS: [&str; 7] = [
@@ -190,16 +191,23 @@ impl Metrics {
             "",
             u64::from(snapshot.stream.is_some()),
         );
-        line(
-            "trajserve_snapshot_mining_scorings",
-            "",
-            snapshot.scorer.scorings,
+        // Counter blocks of the snapshot's producing run, rendered
+        // through the one shared stats rendering — gauge names derive
+        // from the same field lists as the JSON schema and the
+        // checkpoint formats.
+        prometheus_counters(
+            &mut out,
+            "trajserve_snapshot_mining",
+            &snapshot.stats.counters(),
         );
-        line(
-            "trajserve_snapshot_mining_cached_cells",
-            "",
-            snapshot.scorer.cached_cells,
+        prometheus_counters(
+            &mut out,
+            "trajserve_snapshot_scorer",
+            &snapshot.scorer.counters(),
         );
+        if let Some(stream) = &snapshot.stream {
+            prometheus_counters(&mut out, "trajserve_snapshot_stream", &stream.counters());
+        }
         out
     }
 }

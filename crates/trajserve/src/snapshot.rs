@@ -265,8 +265,8 @@ impl Snapshot {
     /// [`Snapshot::load`] on already-read text: sniffs the format and
     /// dispatches to the checkpoint or JSON parser.
     pub fn parse_any(text: &str) -> Result<Snapshot, SnapshotError> {
-        let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
-        if first.trim() == trajstream::STREAM_VERSION_LINE {
+        let first = trajio::first_content_line(text, false).unwrap_or("");
+        if first == trajstream::STREAM_VERSION_LINE {
             let miner = trajstream::parse_checkpoint(text)?;
             Ok(Snapshot::from_stream(&miner))
         } else {

@@ -31,7 +31,7 @@
 
 use crate::{Ledger, StreamMiner, StreamStats};
 use std::collections::VecDeque;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use trajdata::{SnapshotPoint, Trajectory};
 use trajgeo::{BBox, CellId, Grid, Point2};
 use trajpattern::groups::discover_groups;
@@ -46,15 +46,10 @@ impl StreamMiner {
     /// Atomically writes the complete stream state to `path`.
     pub fn checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
         let text = encode(self);
-        let mut tmp_name = path.as_os_str().to_owned();
-        tmp_name.push(".tmp");
-        let tmp = PathBuf::from(tmp_name);
-        let io_err = |p: &Path, e: std::io::Error| CheckpointError::Io {
-            path: p.to_path_buf(),
-            message: e.to_string(),
-        };
-        std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, e))?;
-        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+        trajio::write_atomic(path, &text).map_err(|e| CheckpointError::Io {
+            path: e.path,
+            message: e.message,
+        })
     }
 
     /// Restores a stream miner from a checkpoint written by
@@ -78,9 +73,7 @@ pub fn parse_checkpoint(text: &str) -> Result<StreamMiner, CheckpointError> {
     decode(text)
 }
 
-fn hex(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
-}
+use trajio::f64_hex as hex;
 
 fn err(line: usize, message: impl Into<String>) -> CheckpointError {
     CheckpointError::Format {
@@ -126,20 +119,11 @@ pub(crate) fn encode(m: &StreamMiner) -> String {
     )
     .expect("writing to a String cannot fail");
     writeln!(out, "next_seq {}", m.next_seq).expect("writing to a String cannot fail");
-    let s = &m.stats;
-    writeln!(
-        out,
-        "stats {} {} {} {} {} {} {} {}",
-        s.arrivals,
-        s.evictions,
-        s.deltas_applied,
-        s.certified,
-        s.repairs,
-        s.repair_scored,
-        s.max_repair_depth,
-        s.degraded_shard_rescores,
-    )
-    .expect("writing to a String cannot fail");
+    out.push_str("stats");
+    for v in m.stats.persisted_values() {
+        write!(out, " {v}").expect("writing to a String cannot fail");
+    }
+    out.push('\n');
     writeln!(out, "window {}", m.window.len()).expect("writing to a String cannot fail");
     for (seq, traj) in m.window.iter() {
         write!(out, "w {seq} {}", traj.len()).expect("writing to a String cannot fail");
@@ -166,19 +150,11 @@ pub(crate) fn encode(m: &StreamMiner) -> String {
         }
         out.push('\n');
     }
-    let ms = &m.last.stats;
-    writeln!(
-        out,
-        "mstats {} {} {} {} {} {} {}",
-        ms.iterations,
-        ms.candidates_generated,
-        ms.candidates_scored,
-        ms.candidates_bound_pruned,
-        ms.final_queue_size,
-        ms.nm_evaluations,
-        ms.degraded_shard_rescores,
-    )
-    .expect("writing to a String cannot fail");
+    out.push_str("mstats");
+    for v in m.last.stats.persisted_values() {
+        write!(out, " {v}").expect("writing to a String cannot fail");
+    }
+    out.push('\n');
     writeln!(out, "topk {}", m.last.patterns.len()).expect("writing to a String cannot fail");
     for mp in &m.last.patterns {
         write!(out, "p {}", mp.pattern.len()).expect("writing to a String cannot fail");
@@ -191,48 +167,28 @@ pub(crate) fn encode(m: &StreamMiner) -> String {
     out
 }
 
-struct Cursor<'a> {
-    lines: std::str::Lines<'a>,
-    line: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn next(&mut self) -> Result<&'a str, CheckpointError> {
-        loop {
-            self.line += 1;
-            match self.lines.next() {
-                Some(l) if l.trim().is_empty() => continue,
-                Some(l) => return Ok(l.trim()),
-                None => return Err(err(self.line, "unexpected end of checkpoint")),
-            }
-        }
-    }
+/// Advances the lenient cursor (v2 skips blank lines and trims), mapping
+/// end-of-input to a positional format error.
+fn next_line<'a>(cur: &mut trajio::LineCursor<'a>) -> Result<&'a str, CheckpointError> {
+    cur.next_line()
+        .ok_or_else(|| err(cur.line(), "unexpected end of checkpoint"))
 }
 
 fn parse_hex_f64(s: &str, line: usize) -> Result<f64, CheckpointError> {
-    if s.len() != 16 {
-        return Err(err(line, format!("expected 16 hex digits, got '{s}'")));
-    }
-    u64::from_str_radix(s, 16)
-        .map(f64::from_bits)
-        .map_err(|_| err(line, format!("bad f64 bit pattern '{s}'")))
+    trajio::f64_from_hex(s).map_err(|e| err(line, e.message()))
 }
 
 fn parse_int<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, CheckpointError> {
-    s.parse()
-        .map_err(|_| err(line, format!("bad {what}: '{s}'")))
+    trajio::parse_int(s, what).map_err(|e| err(line, e.message()))
 }
 
 /// Parses and fully validates a v2 checkpoint, rebuilding the miner
 /// (the cached top-k is stored verbatim; groups and the certifier index
 /// are derived).
 pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
-    let mut cur = Cursor {
-        lines: text.lines(),
-        line: 0,
-    };
+    let mut cur = trajio::LineCursor::lenient(text);
 
-    let version = cur.next().map_err(|_| CheckpointError::Version {
+    let version = cur.next_line().ok_or(CheckpointError::Version {
         found: String::new(),
     })?;
     if version != STREAM_VERSION_LINE {
@@ -242,8 +198,8 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
     }
 
     // params
-    let pline = cur.next()?;
-    let pl = cur.line;
+    let pline = next_line(&mut cur)?;
+    let pl = cur.line();
     let f: Vec<&str> = pline.split_whitespace().collect();
     if f.len() != 11 || f[0] != "params" {
         return Err(err(pl, "malformed params line"));
@@ -269,8 +225,8 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
         .map_err(|e| err(pl, format!("invalid checkpointed parameters: {e}")))?;
 
     // grid
-    let gline = cur.next()?;
-    let gl = cur.line;
+    let gline = next_line(&mut cur)?;
+    let gl = cur.line();
     let g: Vec<&str> = gline.split_whitespace().collect();
     if g.len() != 7 || g[0] != "grid" {
         return Err(err(gl, "malformed grid line"));
@@ -284,37 +240,31 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
     let num_cells = grid.num_cells() as usize;
 
     // next_seq
-    let nline = cur.next()?;
-    let nl = cur.line;
+    let nline = next_line(&mut cur)?;
+    let nl = cur.line();
     let next_seq: u64 = match nline.split_whitespace().collect::<Vec<_>>()[..] {
         ["next_seq", v] => parse_int(v, nl, "next_seq")?,
         _ => return Err(err(nl, "expected 'next_seq <n>'")),
     };
 
-    // stats
-    let sline = cur.next()?;
-    let sl = cur.line;
+    // stats — persisted fields only; `window_len` and `ledger_patterns`
+    // are recomputed below once window and ledger are rebuilt.
+    let sline = next_line(&mut cur)?;
+    let sl = cur.line();
     let s: Vec<&str> = sline.split_whitespace().collect();
-    if s.len() != 9 || s[0] != "stats" {
+    let snames = StreamStats::persisted_names();
+    if s.len() != snames.len() + 1 || s[0] != "stats" {
         return Err(err(sl, "malformed stats line"));
     }
-    let stats = StreamStats {
-        arrivals: parse_int(s[1], sl, "arrivals")?,
-        evictions: parse_int(s[2], sl, "evictions")?,
-        deltas_applied: parse_int(s[3], sl, "deltas_applied")?,
-        certified: parse_int(s[4], sl, "certified")?,
-        repairs: parse_int(s[5], sl, "repairs")?,
-        repair_scored: parse_int(s[6], sl, "repair_scored")?,
-        max_repair_depth: parse_int(s[7], sl, "max_repair_depth")?,
-        degraded_shard_rescores: parse_int(s[8], sl, "degraded_shard_rescores")?,
-        // Recomputed below once window and ledger are rebuilt.
-        window_len: 0,
-        ledger_patterns: 0,
-    };
+    let mut svalues = Vec::with_capacity(snames.len());
+    for (tok, name) in s[1..].iter().zip(&snames) {
+        svalues.push(parse_int::<u64>(tok, sl, name)?);
+    }
+    let stats = StreamStats::from_persisted(&svalues).expect("length checked above");
 
     // window
-    let wline = cur.next()?;
-    let wl = cur.line;
+    let wline = next_line(&mut cur)?;
+    let wl = cur.line();
     let window_count: usize = match wline.split_whitespace().collect::<Vec<_>>()[..] {
         ["window", v] => parse_int(v, wl, "window count")?,
         _ => return Err(err(wl, "expected 'window <count>'")),
@@ -322,8 +272,8 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
     let mut window: VecDeque<(u64, Trajectory)> = VecDeque::with_capacity(window_count);
     let mut prev_seq: Option<u64> = None;
     for _ in 0..window_count {
-        let line = cur.next()?;
-        let ln = cur.line;
+        let line = next_line(&mut cur)?;
+        let ln = cur.line();
         let f: Vec<&str> = line.split_whitespace().collect();
         if f.len() < 3 || f[0] != "w" {
             return Err(err(ln, "malformed window entry"));
@@ -361,8 +311,8 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
     }
 
     // ledger
-    let lline = cur.next()?;
-    let ll = cur.line;
+    let lline = next_line(&mut cur)?;
+    let ll = cur.line();
     let ledger_count: usize = match lline.split_whitespace().collect::<Vec<_>>()[..] {
         ["ledger", v] => parse_int(v, ll, "ledger count")?,
         _ => return Err(err(ll, "expected 'ledger <count>'")),
@@ -370,8 +320,8 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
     let mut ledger = Ledger::default();
     let mut singulars = vec![false; num_cells];
     for _ in 0..ledger_count {
-        let line = cur.next()?;
-        let ln = cur.line;
+        let line = next_line(&mut cur)?;
+        let ln = cur.line();
         let f: Vec<&str> = line.split_whitespace().collect();
         if f.len() < 2 || f[0] != "l" {
             return Err(err(ln, "malformed ledger entry"));
@@ -417,31 +367,28 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
     }
     if ledger_count > 0 && !singulars.iter().all(|&s| s) {
         return Err(err(
-            cur.line,
+            cur.line(),
             "ledger is missing singular patterns for some grid cells",
         ));
     }
 
     // mstats
-    let mline = cur.next()?;
-    let ml = cur.line;
+    let mline = next_line(&mut cur)?;
+    let ml = cur.line();
     let ms: Vec<&str> = mline.split_whitespace().collect();
-    if ms.len() != 8 || ms[0] != "mstats" {
+    let mnames = MiningStats::persisted_names();
+    if ms.len() != mnames.len() + 1 || ms[0] != "mstats" {
         return Err(err(ml, "malformed mstats line"));
     }
-    let mstats = MiningStats {
-        iterations: parse_int(ms[1], ml, "iterations")?,
-        candidates_generated: parse_int(ms[2], ml, "candidates_generated")?,
-        candidates_scored: parse_int(ms[3], ml, "candidates_scored")?,
-        candidates_bound_pruned: parse_int(ms[4], ml, "candidates_bound_pruned")?,
-        final_queue_size: parse_int(ms[5], ml, "final_queue_size")?,
-        nm_evaluations: parse_int(ms[6], ml, "nm_evaluations")?,
-        degraded_shard_rescores: parse_int(ms[7], ml, "degraded_shard_rescores")?,
-    };
+    let mut mvalues = Vec::with_capacity(mnames.len());
+    for (tok, name) in ms[1..].iter().zip(&mnames) {
+        mvalues.push(parse_int::<u64>(tok, ml, name)?);
+    }
+    let mstats = MiningStats::from_persisted(&mvalues).expect("length checked above");
 
     // topk
-    let tline = cur.next()?;
-    let tl = cur.line;
+    let tline = next_line(&mut cur)?;
+    let tl = cur.line();
     let topk_count: usize = match tline.split_whitespace().collect::<Vec<_>>()[..] {
         ["topk", v] => parse_int(v, tl, "topk count")?,
         _ => return Err(err(tl, "expected 'topk <count>'")),
@@ -451,8 +398,8 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
     }
     let mut topk: Vec<MinedPattern> = Vec::with_capacity(topk_count);
     for _ in 0..topk_count {
-        let line = cur.next()?;
-        let ln = cur.line;
+        let line = next_line(&mut cur)?;
+        let ln = cur.line();
         let f: Vec<&str> = line.split_whitespace().collect();
         if f.len() < 3 || f[0] != "p" {
             return Err(err(ln, "malformed top-k entry"));
@@ -479,9 +426,9 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
         topk.push(MinedPattern::new(pattern, nm));
     }
 
-    let end = cur.next()?;
+    let end = next_line(&mut cur)?;
     if end != "end" {
-        return Err(err(cur.line, "expected 'end'"));
+        return Err(err(cur.line(), "expected 'end'"));
     }
 
     // Groups are a deterministic function of the top-k (see `finish` in

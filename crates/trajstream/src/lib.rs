@@ -47,46 +47,50 @@ use std::collections::VecDeque;
 use trajdata::{Dataset, Trajectory};
 use trajgeo::fxhash::FxHashMap;
 use trajgeo::Grid;
-use trajpattern::algorithm::MiningOutcome;
-use trajpattern::params::ParamsError;
 use trajpattern::{
-    certified_topk, effective_max_len_from, mine_seeded, MinedPattern, MiningParams, MiningStats,
-    Pattern, PatternGroup, Scorer, SeedCertifier,
+    certified_topk, effective_max_len_from, mine_seeded, MinedPattern, MiningParams, NmSource,
+    ParamsError, Pattern, Scorer, SeedCertifier, SparseSource,
 };
 
 pub use checkpoint::{parse_checkpoint, STREAM_VERSION_LINE};
-pub use trajpattern::CheckpointError;
+pub use trajpattern::{CheckpointError, MiningOutcome, MiningStats, PatternGroup, ScorerStats};
 
-/// Counters describing a stream miner's life so far.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct StreamStats {
-    /// Trajectories pushed.
-    pub arrivals: u64,
-    /// Trajectories evicted.
-    pub evictions: u64,
-    /// Per-pattern ledger delta updates applied (one per ledger pattern
-    /// per arrival).
-    pub deltas_applied: u64,
-    /// Maintenance passes answered by the pure-delta certificate alone:
-    /// the ledger's folded NMs proved no candidate needs scoring, so the
-    /// top-k was selected straight from the ledger — no window dataset,
-    /// no scorer, no pair enumeration.
-    pub certified: u64,
-    /// Maintenance passes that had to score at least one candidate
-    /// against the window — the ledger could no longer certify the top-k.
-    pub repairs: u64,
-    /// Candidates scored across all repairs.
-    pub repair_scored: u64,
-    /// Deepest repair re-growth (levels of the growing process).
-    pub max_repair_depth: usize,
-    /// Current window occupancy.
-    pub window_len: usize,
-    /// Patterns currently tracked by the contribution ledger.
-    pub ledger_patterns: usize,
-    /// Worker-shard panics absorbed by sequential rescoring (see
-    /// [`trajpattern::MiningStats::degraded_shard_rescores`]).
-    pub degraded_shard_rescores: u64,
+trajpattern::counter_stats! {
+    /// Counters describing a stream miner's life so far.
+    ///
+    /// Defined through [`trajpattern::counter_stats!`], so the serde
+    /// field names, the checkpoint `stats` line order (persisted fields
+    /// only — `window_len` and `ledger_patterns` are recomputed from the
+    /// window and ledger sections on load), and the Prometheus gauge
+    /// names all derive from this one field list.
+    pub struct StreamStats {
+        /// Trajectories pushed.
+        persisted arrivals: u64,
+        /// Trajectories evicted.
+        persisted evictions: u64,
+        /// Per-pattern ledger delta updates applied (one per ledger pattern
+        /// per arrival).
+        persisted deltas_applied: u64,
+        /// Maintenance passes answered by the pure-delta certificate alone:
+        /// the ledger's folded NMs proved no candidate needs scoring, so the
+        /// top-k was selected straight from the ledger — no window dataset,
+        /// no scorer, no pair enumeration.
+        persisted certified: u64,
+        /// Maintenance passes that had to score at least one candidate
+        /// against the window — the ledger could no longer certify the top-k.
+        persisted repairs: u64,
+        /// Candidates scored across all repairs.
+        persisted repair_scored: u64,
+        /// Deepest repair re-growth (levels of the growing process).
+        persisted max_repair_depth: usize,
+        /// Current window occupancy.
+        derived window_len: usize,
+        /// Patterns currently tracked by the contribution ledger.
+        derived ledger_patterns: usize,
+        /// Worker-shard panics absorbed by sequential rescoring (see
+        /// [`trajpattern::MiningStats::degraded_shard_rescores`]).
+        persisted degraded_shard_rescores: u64,
+    }
 }
 
 /// Per-pattern contribution ledger: `contribs[i][j]` is `NM(patterns[i],
@@ -248,16 +252,16 @@ impl StreamMiner {
         self.next_seq += 1;
 
         // Delta-update the ledger: score every tracked pattern against the
-        // newcomer alone, via the sparse path (patterns the trajectory
-        // never comes near contribute the floor constant without any
-        // probability rows being built). A single-trajectory fold equals
+        // newcomer alone, via the engine's sparse NM source (patterns the
+        // trajectory never comes near contribute the floor constant without
+        // any probability rows being built). A single-trajectory fold equals
         // the raw per-trajectory contribution, so appending these keeps
         // every ledger row bit-identical to what full-window scoring would
         // produce for that trajectory index.
         if !self.ledger.patterns.is_empty() {
             let single: Dataset = std::iter::once(traj.clone()).collect();
             let scorer = Scorer::new(&single, &self.grid, self.params.delta, self.params.min_prob);
-            let nms = scorer.score_batch_sparse(&self.ledger.patterns);
+            let nms = SparseSource::new(&scorer).score_batch(&self.ledger.patterns);
             for (row, nm) in self.ledger.contribs.iter_mut().zip(nms) {
                 row.push_back(nm);
             }

@@ -1,0 +1,268 @@
+//! Golden-file tests pinning the on-disk formats byte-for-byte.
+//!
+//! The fixtures under `tests/golden/` were written by the pre-refactor
+//! codecs (before the shared `trajio` primitives existed). Every test here
+//! asserts two directions:
+//!
+//! 1. **Writer stability** — today's writers reproduce the committed
+//!    fixture byte-for-byte from the same deterministic inputs.
+//! 2. **Reader compatibility** — today's readers load the committed
+//!    (pre-refactor) files and reconstruct bit-identical state.
+//!
+//! Regenerate deliberately with `TRAJ_GOLDEN_REGEN=1 cargo test --test
+//! golden_files` — a byte diff without a format-version bump is a bug, not
+//! a reason to regenerate.
+
+use std::path::{Path, PathBuf};
+use trajdata::eventlog::{parse_event_log, write_event_log};
+use trajdata::{Dataset, SnapshotPoint, Trajectory};
+use trajgeo::{BBox, Grid, Point2};
+use trajpattern::{Miner, MiningParams};
+use trajserve::Snapshot;
+use trajstream::StreamMiner;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compares `produced` against the named fixture, or rewrites the fixture
+/// when `TRAJ_GOLDEN_REGEN=1` is set.
+fn check_golden(name: &str, produced: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("TRAJ_GOLDEN_REGEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, produced).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()));
+    if produced != expected {
+        let diff_at = produced
+            .bytes()
+            .zip(expected.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(produced.len().min(expected.len()));
+        let ctx = |s: &str| {
+            let start = diff_at.saturating_sub(60);
+            s.get(start..(diff_at + 60).min(s.len())).map(String::from)
+        };
+        panic!(
+            "writer output diverged from fixture {name} at byte {diff_at}\n\
+             produced …{:?}…\nexpected …{:?}…",
+            ctx(produced),
+            ctx(&expected)
+        );
+    }
+}
+
+fn read_golden(name: &str) -> String {
+    let path = golden_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()))
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("trajgolden-{}-{name}", std::process::id()))
+}
+
+/// The deterministic batch-mining configuration every fixture derives
+/// from: no RNG, fixed analytic trajectories, fixed parameters.
+fn batch_fixture() -> (Dataset, Grid, MiningParams) {
+    let data: Dataset = (0..6)
+        .map(|j| {
+            Trajectory::new(
+                (0..4)
+                    .map(|i| {
+                        SnapshotPoint::new(
+                            Point2::new(
+                                0.125 + i as f64 * 0.25,
+                                0.375 + (j % 2) as f64 * 0.25 + i as f64 * 0.003,
+                            ),
+                            0.02 + 0.005 * j as f64,
+                        )
+                        .unwrap()
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+    let params = MiningParams::new(4, 0.1)
+        .unwrap()
+        .with_max_len(3)
+        .unwrap()
+        .with_gamma(0.25)
+        .unwrap();
+    (data, grid, params)
+}
+
+/// The deterministic stream the v2 fixture derives from: sliding window of
+/// 4 over 8 arrivals with slowly drifting rows (forces both certified
+/// passes and repairs).
+fn stream_fixture() -> StreamMiner {
+    let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+    let params = MiningParams::new(3, 0.1)
+        .unwrap()
+        .with_max_len(3)
+        .unwrap()
+        .with_gamma(0.25)
+        .unwrap();
+    let mut m = StreamMiner::new(grid, params).unwrap();
+    for j in 0..8 {
+        m.slide(
+            Trajectory::new(
+                (0..4)
+                    .map(|i| {
+                        SnapshotPoint::new(
+                            Point2::new(0.125 + i as f64 * 0.25, 0.3 + j as f64 * 0.04),
+                            0.03,
+                        )
+                        .unwrap()
+                    })
+                    .collect(),
+            )
+            .unwrap(),
+            4,
+        );
+    }
+    m
+}
+
+/// Dataset with deliberately awkward floats for the `.events` fixture
+/// (shortest-round-trip formatting must stay stable).
+fn events_fixture() -> Dataset {
+    vec![
+        Trajectory::new(vec![
+            SnapshotPoint::new(Point2::new(1.0 / 3.0, 2.0f64.sqrt() / 2.0), 0.1 + 0.2).unwrap(),
+            SnapshotPoint::new(Point2::new(f64::MIN_POSITIVE, 0.625), 1e-300).unwrap(),
+        ])
+        .unwrap(),
+        Trajectory::new(vec![
+            SnapshotPoint::new(Point2::new(0.1, 0.2), 0.0).unwrap(),
+            SnapshotPoint::new(Point2::new(0.30000000000000004, 1e300), 3.0).unwrap(),
+        ])
+        .unwrap(),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn checkpoint_v1_writer_matches_golden() {
+    let (data, grid, params) = batch_fixture();
+    let path = tmp_path("v1.ckpt");
+    Miner::new(&data, &grid)
+        .params(params)
+        .checkpoint(&path)
+        .mine()
+        .unwrap();
+    let produced = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    check_golden("checkpoint_v1.txt", &produced);
+}
+
+#[test]
+fn checkpoint_v1_reader_loads_prerefactor_file() {
+    let (data, grid, params) = batch_fixture();
+    let path = tmp_path("v1-resume.ckpt");
+    std::fs::write(&path, read_golden("checkpoint_v1.txt")).unwrap();
+    let resumed = Miner::new(&data, &grid)
+        .params(params.clone())
+        .resume(&path)
+        .mine()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    let fresh = Miner::new(&data, &grid).params(params).mine().unwrap();
+    assert_eq!(resumed.patterns.len(), fresh.patterns.len());
+    for (a, b) in resumed.patterns.iter().zip(&fresh.patterns) {
+        assert_eq!(a.pattern, b.pattern);
+        assert_eq!(a.nm.to_bits(), b.nm.to_bits());
+    }
+    assert_eq!(resumed.groups, fresh.groups);
+}
+
+#[test]
+fn checkpoint_v2_writer_matches_golden() {
+    let m = stream_fixture();
+    let path = tmp_path("v2.ckpt");
+    m.checkpoint(&path).unwrap();
+    let produced = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    check_golden("checkpoint_v2.txt", &produced);
+}
+
+#[test]
+fn checkpoint_v2_reader_loads_prerefactor_file() {
+    let m = stream_fixture();
+    let path = tmp_path("v2-resume.ckpt");
+    std::fs::write(&path, read_golden("checkpoint_v2.txt")).unwrap();
+    let restored = StreamMiner::resume(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored.next_seq(), m.next_seq());
+    assert_eq!(restored.stats(), m.stats());
+    assert_eq!(restored.topk().len(), m.topk().len());
+    for (a, b) in restored.topk().iter().zip(m.topk()) {
+        assert_eq!(a.pattern, b.pattern);
+        assert_eq!(a.nm.to_bits(), b.nm.to_bits());
+    }
+    assert_eq!(restored.groups(), m.groups());
+    // And a restored miner re-checkpoints byte-identically.
+    let path2 = tmp_path("v2-rewrite.ckpt");
+    restored.checkpoint(&path2).unwrap();
+    let rewritten = std::fs::read_to_string(&path2).unwrap();
+    std::fs::remove_file(&path2).ok();
+    assert_eq!(rewritten, read_golden("checkpoint_v2.txt"));
+}
+
+#[test]
+fn snapshot_v1_writer_matches_golden() {
+    let (data, grid, params) = batch_fixture();
+    let out = Miner::new(&data, &grid)
+        .params(params.clone())
+        .mine()
+        .unwrap();
+    let produced = Snapshot::from_outcome(&out, &grid, &params).to_json_pretty();
+    check_golden("snapshot_v1.json", &produced);
+}
+
+#[test]
+fn snapshot_v1_reader_loads_prerefactor_file() {
+    let (data, grid, params) = batch_fixture();
+    let out = Miner::new(&data, &grid)
+        .params(params.clone())
+        .mine()
+        .unwrap();
+    let snap = Snapshot::parse(&read_golden("snapshot_v1.json")).unwrap();
+    assert_eq!(snap.patterns.len(), out.patterns.len());
+    for (a, b) in snap.patterns.iter().zip(&out.patterns) {
+        assert_eq!(a.pattern, b.pattern);
+        assert_eq!(a.nm.to_bits(), b.nm.to_bits());
+    }
+    assert_eq!(snap.params.delta.to_bits(), params.delta.to_bits());
+    assert_eq!(snap.stats, out.stats);
+    assert_eq!(snap.scorer, out.scorer);
+    // The sniffing loader also accepts a v2 checkpoint fixture.
+    let via_sniff = Snapshot::parse_any(&read_golden("checkpoint_v2.txt")).unwrap();
+    assert!(via_sniff.stream.is_some());
+}
+
+#[test]
+fn events_writer_matches_golden() {
+    let produced = write_event_log(&events_fixture());
+    check_golden("stream.events", &produced);
+}
+
+#[test]
+fn events_reader_loads_prerefactor_file() {
+    let data = events_fixture();
+    let events = parse_event_log(&read_golden("stream.events")).unwrap();
+    assert_eq!(events.len(), data.len());
+    for (orig, parsed) in data.iter().zip(&events) {
+        for (a, b) in orig.points().iter().zip(parsed.points()) {
+            assert_eq!(a.mean.x.to_bits(), b.mean.x.to_bits());
+            assert_eq!(a.mean.y.to_bits(), b.mean.y.to_bits());
+            assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+        }
+    }
+}
