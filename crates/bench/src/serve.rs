@@ -3,9 +3,9 @@
 //!
 //! Mines the ZebraNet-style workload once, loads the snapshot into an
 //! in-process [`trajserve::Server`] bound to an ephemeral port, and
-//! drives it with keep-alive client threads alternating `GET /topk`
+//! drives it with keep-alive client threads alternating `GET /v1/topk`
 //! (cached JSON, measures the connection/framing floor) and
-//! `POST /score` (runs the batch scorer per request, measures the
+//! `POST /v1/score` (runs the batch scorer per request, measures the
 //! compute path). Every request's wall time is recorded; the report
 //! gives per-endpoint request rate and p50/p99 latency plus whole-run
 //! totals, in the same `axis`/`config`/`points` envelope as the other
@@ -191,9 +191,9 @@ pub fn run_serve(cfg: &ServeBenchConfig) -> ServeThroughputResult {
         .collect::<trajdata::Dataset>()
         .to_json()
         .into_bytes();
-    let topk_head = "GET /topk HTTP/1.1\r\nHost: bench\r\n\r\n".to_string();
+    let topk_head = "GET /v1/topk HTTP/1.1\r\nHost: bench\r\n\r\n".to_string();
     let score_head = format!(
-        "POST /score HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        "POST /v1/score HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
         score_body.len()
     );
 
@@ -205,6 +205,10 @@ pub fn run_serve(cfg: &ServeBenchConfig) -> ServeThroughputResult {
             let n = cfg.requests_per_client;
             std::thread::spawn(move || {
                 let stream = TcpStream::connect(addr).expect("client connects");
+                // Without nodelay, Nagle on the two-write request path
+                // interacts with delayed ACKs and inflates every POST
+                // by ~40ms of pure socket stall.
+                stream.set_nodelay(true).expect("nodelay");
                 let mut writer = stream.try_clone().expect("client write half");
                 let mut reader = BufReader::new(stream);
                 let mut lat: [Vec<f64>; 2] = [Vec::new(), Vec::new()];

@@ -67,12 +67,17 @@ bit-identically — if the file does not exist yet, the stream starts fresh.
 
 `serve` loads a pattern snapshot — `mine --json` output or a `stream`
 --checkpoint file — and answers HTTP/1.1 queries over it until SIGTERM or
-SIGINT: GET /topk (the snapshot), POST /score (NM of every snapshot
+SIGINT: GET /v1/topk (the snapshot), POST /v1/score (NM of every snapshot
 pattern over a posted dataset, bit-identical to the library scorer),
-POST /match (best pattern + pattern-group for a partial trajectory),
-POST /predict (next-cell distribution; --confirm sets the confirmation
+POST /v1/match (best pattern + pattern-group for a partial trajectory),
+POST /v1/predict (next-cell distribution; --confirm sets the confirmation
 threshold, default 0.9), GET /healthz, and GET /metrics (plain-text
 counters: requests, latency buckets, queue depth, scorer stats). The
+POST routes share one query schema: `{\"trajectories\": [...],
+\"options\": {\"measure\", \"use_index\", \"patterns\"}}` — a plain
+dataset JSON works as-is; errors come back as
+`{\"error\": {\"code\", \"message\"}}`. The pre-/v1 routes (/topk,
+/score, /match, /predict) remain as deprecated aliases. The
 accept queue is bounded (--queue, default 64) and answers 503 when full;
 --workers (default 2) sets the handler pool; termination signals drain
 in-flight requests before exit. --watch true hot-reloads the snapshot

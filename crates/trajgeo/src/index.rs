@@ -1,0 +1,439 @@
+//! Spatial indexing over axis-aligned rectangles: a bulk-loaded STR
+//! R-tree ([`RTree`]) plus a geohash-bucket layer, combined in
+//! [`HybridIndex`].
+//!
+//! The higher layers index *pattern bounding boxes* (the rectangle
+//! enclosing a pattern's cell centers) and query with *trajectory
+//! corridors* (the rectangle enclosing a trajectory's snapshot means,
+//! expanded by the `δ + 8σ` probability-corridor radius). A pattern whose
+//! rectangle misses the corridor rectangle provably scores the
+//! probability floor at every position, so index misses can be resolved
+//! analytically — which is why the query results here only ever need to
+//! be a *conservative superset* of the truly-near entries, and both
+//! structures return exactly the set of stored rectangles intersecting
+//! the query (sorted, deduplicated — deterministic for any build order).
+//!
+//! Small rectangles (at most one bucket wide) live in a flat geohash
+//! bucket grid — O(1) insertion locality, cheap point-ish queries, and
+//! the common case for patterns, which span a handful of adjacent cells.
+//! Rectangles wider than a bucket go to the R-tree, which handles the
+//! long-and-thin minority without smearing them across many buckets.
+
+use crate::fxhash::FxHashMap;
+use crate::Point2;
+
+/// Fan-out of R-tree nodes (leaves and inner nodes alike).
+const NODE_CAPACITY: usize = 8;
+
+/// An axis-aligned rectangle. Unlike [`crate::BBox`], degenerate extents
+/// (points, segments) are first-class: a singular pattern's bounding box
+/// is a point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point2,
+    /// Upper-right corner (componentwise ≥ `min`).
+    pub max: Point2,
+}
+
+impl Rect {
+    /// A rectangle from its corners (`min` must be componentwise ≤ `max`;
+    /// debug-asserted).
+    pub fn new(min: Point2, max: Point2) -> Rect {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "inverted rect");
+        Rect { min, max }
+    }
+
+    /// The degenerate rectangle holding exactly `p`.
+    pub fn point(p: Point2) -> Rect {
+        Rect { min: p, max: p }
+    }
+
+    /// The smallest rectangle containing both operands.
+    pub fn union(self, other: Rect) -> Rect {
+        Rect {
+            min: Point2::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point2::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// This rectangle grown by `r` on every side (the Minkowski sum with
+    /// an L∞ ball — exactly the shape of a probability corridor around a
+    /// bounding box of snapshot means).
+    pub fn expanded(self, r: f64) -> Rect {
+        debug_assert!(r >= 0.0);
+        Rect {
+            min: Point2::new(self.min.x - r, self.min.y - r),
+            max: Point2::new(self.max.x + r, self.max.y + r),
+        }
+    }
+
+    /// Whether the closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Extent along x (0 for degenerate rectangles).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Extent along y.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Point2 {
+        Point2::new(
+            0.5 * (self.min.x + self.max.x),
+            0.5 * (self.min.y + self.max.y),
+        )
+    }
+}
+
+/// A static, bulk-loaded R-tree over `(Rect, id)` entries, packed with
+/// the Sort-Tile-Recursive (STR) heuristic: entries are sorted into
+/// vertical slabs by center x, each slab sorted by center y, and chunked
+/// into leaves of [`NODE_CAPACITY`]; upper levels pack consecutive nodes
+/// the same way. Queries return every stored id whose rectangle
+/// intersects the probe, in ascending id order.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    /// Leaf entries in STR order.
+    entries: Vec<(Rect, u32)>,
+    /// Bottom-up node levels: `(bbox, start, end)` ranges index the level
+    /// below (level 0 indexes `entries`). The last level is the root row.
+    levels: Vec<Vec<(Rect, u32, u32)>>,
+}
+
+impl RTree {
+    /// Bulk-loads the tree. Entry ids need not be unique or dense; the
+    /// build is deterministic for any input order.
+    pub fn build(mut entries: Vec<(Rect, u32)>) -> RTree {
+        if entries.is_empty() {
+            return RTree {
+                entries,
+                levels: Vec::new(),
+            };
+        }
+        // Total order even with coincident centers: id breaks ties.
+        let key_x = |e: &(Rect, u32)| (e.0.center().x, e.1);
+        let key_y = |e: &(Rect, u32)| (e.0.center().y, e.1);
+        let cmp = |a: (f64, u32), b: (f64, u32)| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite rect coordinates")
+                .then(a.1.cmp(&b.1))
+        };
+        entries.sort_unstable_by(|a, b| cmp(key_x(a), key_x(b)));
+        let n = entries.len();
+        let leaves = n.div_ceil(NODE_CAPACITY);
+        let slabs = (leaves as f64).sqrt().ceil() as usize;
+        let per_slab = n.div_ceil(slabs.max(1));
+        for slab in entries.chunks_mut(per_slab) {
+            slab.sort_unstable_by(|a, b| cmp(key_y(a), key_y(b)));
+        }
+
+        let enclose = |rects: &mut dyn Iterator<Item = Rect>| -> Rect {
+            let first = rects.next().expect("non-empty node");
+            rects.fold(first, Rect::union)
+        };
+        let mut levels: Vec<Vec<(Rect, u32, u32)>> = Vec::new();
+        let mut start = 0usize;
+        let mut level: Vec<(Rect, u32, u32)> = Vec::with_capacity(leaves);
+        while start < n {
+            let end = (start + NODE_CAPACITY).min(n);
+            let rect = enclose(&mut entries[start..end].iter().map(|e| e.0));
+            level.push((rect, start as u32, end as u32));
+            start = end;
+        }
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            let mut start = 0usize;
+            while start < level.len() {
+                let end = (start + NODE_CAPACITY).min(level.len());
+                let rect = enclose(&mut level[start..end].iter().map(|e| e.0));
+                next.push((rect, start as u32, end as u32));
+                start = end;
+            }
+            levels.push(level);
+            level = next;
+        }
+        levels.push(level);
+        RTree { entries, levels }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids of every entry intersecting `rect`, ascending and deduplicated.
+    pub fn query(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_into(rect, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// [`RTree::query`] into a caller-owned buffer, without the final
+    /// sort/dedup — the hybrid index merges several sources first.
+    fn query_into(&self, rect: &Rect, out: &mut Vec<u32>) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let top = self.levels.len() - 1;
+        let mut stack: Vec<(usize, usize)> = self.levels[top]
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| rect.intersects(&node.0))
+            .map(|(i, _)| (top, i))
+            .collect();
+        while let Some((lvl, i)) = stack.pop() {
+            let (_, s, e) = self.levels[lvl][i];
+            if lvl == 0 {
+                for (r, id) in &self.entries[s as usize..e as usize] {
+                    if rect.intersects(r) {
+                        out.push(*id);
+                    }
+                }
+            } else {
+                for (j, node) in self.levels[lvl - 1][s as usize..e as usize]
+                    .iter()
+                    .enumerate()
+                {
+                    if rect.intersects(&node.0) {
+                        stack.push((lvl - 1, s as usize + j));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interleaves the low 32 bits of `v` with zeros (Morton/geohash spread).
+fn spread(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// The geohash (Morton) key of bucket `(ix, iy)` — x bits even, y odd.
+fn geohash(ix: u32, iy: u32) -> u64 {
+    spread(ix) | (spread(iy) << 1)
+}
+
+/// The R-tree / geohash-bucket hybrid: a flat bucket grid (keyed by
+/// geohash code) over the entries' joint bounding box for rectangles at
+/// most one bucket wide, and an [`RTree`] for the rest. See the module
+/// docs for why this split fits pattern bounding boxes.
+#[derive(Debug, Clone)]
+pub struct HybridIndex {
+    buckets: FxHashMap<u64, Vec<(Rect, u32)>>,
+    origin: Point2,
+    /// Bucket side length (> 0).
+    size: f64,
+    /// Buckets per axis.
+    axis: u32,
+    tree: RTree,
+    len: usize,
+}
+
+impl HybridIndex {
+    /// Builds the hybrid index. Deterministic for any input order; entry
+    /// ids need not be unique or dense.
+    pub fn build(entries: Vec<(Rect, u32)>) -> HybridIndex {
+        let len = entries.len();
+        let bounds = entries
+            .iter()
+            .map(|e| e.0)
+            .reduce(Rect::union)
+            .unwrap_or(Rect::point(Point2::new(0.0, 0.0)));
+        // ~1 entry per bucket on a square grid, within sane limits.
+        let axis = ((len as f64).sqrt().ceil() as u32).clamp(4, 64);
+        let raw = (bounds.width().max(bounds.height())) / axis as f64;
+        let size = if raw.is_finite() && raw > 0.0 {
+            raw
+        } else {
+            1.0
+        };
+
+        let mut buckets: FxHashMap<u64, Vec<(Rect, u32)>> = FxHashMap::default();
+        let mut oversized = Vec::new();
+        let clamp = |v: f64| (v.max(0.0).min((axis - 1) as f64)) as u32;
+        for (rect, id) in entries {
+            if rect.width() <= size && rect.height() <= size {
+                let ix0 = clamp((rect.min.x - bounds.min.x) / size);
+                let ix1 = clamp((rect.max.x - bounds.min.x) / size);
+                let iy0 = clamp((rect.min.y - bounds.min.y) / size);
+                let iy1 = clamp((rect.max.y - bounds.min.y) / size);
+                for iy in iy0..=iy1 {
+                    for ix in ix0..=ix1 {
+                        buckets.entry(geohash(ix, iy)).or_default().push((rect, id));
+                    }
+                }
+            } else {
+                oversized.push((rect, id));
+            }
+        }
+        HybridIndex {
+            buckets,
+            origin: bounds.min,
+            size,
+            axis,
+            tree: RTree::build(oversized),
+            len,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ids of every entry intersecting `rect`, ascending and
+    /// deduplicated — identical to what a plain [`RTree`] over the same
+    /// entries returns.
+    pub fn query(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.tree.query_into(rect, &mut out);
+        if !self.buckets.is_empty() {
+            let clamp = |v: f64| (v.max(0.0).min((self.axis - 1) as f64)) as u32;
+            let ix0 = clamp((rect.min.x - self.origin.x) / self.size);
+            let ix1 = clamp((rect.max.x - self.origin.x) / self.size);
+            let iy0 = clamp((rect.min.y - self.origin.y) / self.size);
+            let iy1 = clamp((rect.max.y - self.origin.y) / self.size);
+            for iy in iy0..=iy1 {
+                for ix in ix0..=ix1 {
+                    if let Some(bucket) = self.buckets.get(&geohash(ix, iy)) {
+                        for (r, id) in bucket {
+                            if rect.intersects(r) {
+                                out.push(*id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    fn brute(entries: &[(Rect, u32)], probe: &Rect) -> Vec<u32> {
+        let mut out: Vec<u32> = entries
+            .iter()
+            .filter(|(r, _)| probe.intersects(r))
+            .map(|(_, id)| *id)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn rect_intersections_are_closed() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        assert!(a.intersects(&rect(1.0, 1.0, 2.0, 2.0)), "corner touch");
+        assert!(a.intersects(&Rect::point(Point2::new(0.5, 0.5))));
+        assert!(!a.intersects(&rect(1.1, 0.0, 2.0, 1.0)));
+        let degenerate = Rect::point(Point2::new(3.0, 3.0));
+        assert!(degenerate.intersects(&degenerate));
+    }
+
+    #[test]
+    fn empty_indexes_answer_empty() {
+        assert!(RTree::build(Vec::new())
+            .query(&rect(0.0, 0.0, 9.0, 9.0))
+            .is_empty());
+        let h = HybridIndex::build(Vec::new());
+        assert!(h.is_empty());
+        assert!(h.query(&rect(0.0, 0.0, 9.0, 9.0)).is_empty());
+    }
+
+    #[test]
+    fn finds_entries_across_node_boundaries() {
+        // More entries than one node so every level of the tree is real.
+        let entries: Vec<(Rect, u32)> = (0..100)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (rect(x, y, x + 0.5, y + 0.5), i)
+            })
+            .collect();
+        let tree = RTree::build(entries.clone());
+        let hybrid = HybridIndex::build(entries.clone());
+        assert_eq!(tree.len(), 100);
+        assert_eq!(hybrid.len(), 100);
+        for probe in [
+            rect(2.2, 3.2, 4.1, 5.1),
+            rect(-5.0, -5.0, -1.0, -1.0),
+            rect(0.0, 0.0, 9.5, 9.5),
+            Rect::point(Point2::new(5.25, 5.25)),
+        ] {
+            let want = brute(&entries, &probe);
+            assert_eq!(tree.query(&probe), want);
+            assert_eq!(hybrid.query(&probe), want);
+        }
+    }
+
+    #[test]
+    fn oversized_rects_go_through_the_tree_side() {
+        let mut entries: Vec<(Rect, u32)> = (0..30)
+            .map(|i| (Rect::point(Point2::new(i as f64, i as f64)), i))
+            .collect();
+        // A long thin rectangle spanning the whole domain.
+        entries.push((rect(0.0, 10.0, 29.0, 10.1), 99));
+        let hybrid = HybridIndex::build(entries.clone());
+        let probe = rect(14.0, 9.0, 15.0, 11.0);
+        assert_eq!(hybrid.query(&probe), brute(&entries, &probe));
+    }
+
+    proptest! {
+        #[test]
+        fn hybrid_and_rtree_agree_with_brute_force(
+            raw in prop::collection::vec(
+                (0.0f64..8.0, 0.0f64..8.0, 0.0f64..3.0, 0.0f64..3.0), 0..80),
+            probe in (-2.0f64..10.0, -2.0f64..10.0, 0.0f64..6.0, 0.0f64..6.0),
+        ) {
+            let entries: Vec<(Rect, u32)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, w, h))| (rect(x, y, x + w, y + h), i as u32))
+                .collect();
+            let probe = rect(probe.0, probe.1, probe.0 + probe.2, probe.1 + probe.3);
+            let want = brute(&entries, &probe);
+            prop_assert_eq!(RTree::build(entries.clone()).query(&probe), want.clone());
+            prop_assert_eq!(HybridIndex::build(entries).query(&probe), want);
+        }
+    }
+}

@@ -25,6 +25,7 @@
 pub mod bbox;
 pub mod fxhash;
 pub mod grid;
+pub mod index;
 pub mod point;
 pub mod stats;
 

@@ -20,9 +20,15 @@
 //!   seed starts *in* the store, so a correctly seeded run never consults
 //!   it — but if it did, the exact ledger value would come back instead
 //!   of a recomputation;
-//! - [`SparseSource`] — routes scoring through
-//!   [`Scorer::score_batch_sparse`], the arrival-delta path the streaming
-//!   ledger uses to score its patterns against a single new trajectory.
+//! - [`SparseSource`] — the arrival-delta source the streaming ledger
+//!   uses to score its patterns against a single new trajectory (kept as
+//!   a named wrapper for clarity; scoring itself is the same unified
+//!   corridor path).
+//!
+//! Every source funnels batches through [`indexed_score`]: large batches
+//! get a [`PatternIndex`](crate::index::PatternIndex) over their bounding
+//! boxes so patterns far from every trajectory resolve analytically —
+//! bit-identical either way, so exactness arguments are untouched.
 //!
 //! Because every caller shares [`grow_level`] *and* [`init_state`], a
 //! pruning decision (bound, τ, 1-extension) can never differ between the
@@ -43,6 +49,24 @@ use trajgeo::fxhash::{FxHashMap, FxHashSet};
 use trajgeo::Grid;
 
 pub use crate::algorithm::{MiningOutcome, MiningStats};
+
+/// Below this many patterns, building a spatial index costs more than the
+/// window scans it could skip; such batches score unindexed (the scores
+/// are bit-identical either way, so the cutoff is pure tuning).
+const INDEX_BATCH_THRESHOLD: usize = 32;
+
+/// Scores `batch` through [`Scorer::query`], attaching a
+/// [`crate::index::PatternIndex`] over the batch when it is large enough
+/// to pay for one. This is the one batch-scoring funnel every engine
+/// source uses, so index-pruning behavior cannot diverge between the
+/// batch, seeded, and streaming paths.
+pub fn indexed_score(scorer: &Scorer<'_>, batch: &[Pattern]) -> Vec<f64> {
+    if batch.len() < INDEX_BATCH_THRESHOLD {
+        return scorer.query(batch).run();
+    }
+    let index = crate::index::PatternIndex::build(batch, scorer.grid());
+    scorer.query(batch).with_index(&index).run()
+}
 
 /// What the growth engine needs from a scoring backend: exact NM values
 /// plus enough shape information (grid, longest trajectory) for the
@@ -94,7 +118,7 @@ impl NmSource for Scorer<'_> {
     }
 
     fn score_batch(&self, batch: &[Pattern]) -> Vec<f64> {
-        Scorer::score_batch(self, batch)
+        indexed_score(self, batch)
     }
 
     fn seed_patterns(&self, min_len: usize, k: usize) -> Vec<Pattern> {
@@ -158,16 +182,16 @@ impl NmSource for SeededSource<'_, '_> {
 
     fn score_batch(&self, batch: &[Pattern]) -> Vec<f64> {
         if batch.iter().all(|p| !self.memo.contains_key(p)) {
-            // The growth loop's case: nothing memoized, one dense batch —
+            // The growth loop's case: nothing memoized, one batch —
             // bit-identical to scoring through the plain scorer.
-            return self.scorer.score_batch(batch);
+            return indexed_score(self.scorer, batch);
         }
         let misses: Vec<Pattern> = batch
             .iter()
             .filter(|p| !self.memo.contains_key(*p))
             .cloned()
             .collect();
-        let mut scored = self.scorer.score_batch(&misses).into_iter();
+        let mut scored = indexed_score(self.scorer, &misses).into_iter();
         batch
             .iter()
             .map(|p| match self.memo.get(p) {
@@ -194,15 +218,17 @@ impl NmSource for SeededSource<'_, '_> {
     }
 }
 
-/// A [`Scorer`] whose batch scoring goes through the sparse path
-/// ([`Scorer::score_batch_sparse`]) — the arrival-delta source: the
-/// streaming ledger scores every tracked pattern against a one-trajectory
-/// dataset, where most patterns never come near the newcomer and resolve
-/// to the floor constant without any probability rows being built.
+/// The arrival-delta source: the streaming ledger scores every tracked
+/// pattern against a one-trajectory dataset, where most patterns never
+/// come near the newcomer and resolve to the floor constant. Corridor
+/// skipping (once this wrapper's private superpower, as
+/// `score_batch_sparse`) is now how every batch scores, so this is a thin
+/// alias over the shared [`indexed_score`] funnel, kept for the streaming
+/// call sites' readability.
 pub struct SparseSource<'s, 'a>(&'s Scorer<'a>);
 
 impl<'s, 'a> SparseSource<'s, 'a> {
-    /// Wraps `scorer` so batch scoring takes the sparse path.
+    /// Wraps `scorer`.
     pub fn new(scorer: &'s Scorer<'a>) -> SparseSource<'s, 'a> {
         SparseSource(scorer)
     }
@@ -222,7 +248,7 @@ impl NmSource for SparseSource<'_, '_> {
     }
 
     fn score_batch(&self, batch: &[Pattern]) -> Vec<f64> {
-        self.0.score_batch_sparse(batch)
+        indexed_score(self.0, batch)
     }
 
     fn seed_patterns(&self, min_len: usize, k: usize) -> Vec<Pattern> {

@@ -70,6 +70,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod gapped;
 pub mod groups;
+pub mod index;
 pub mod miner;
 pub mod minmax;
 pub mod params;
@@ -84,8 +85,9 @@ pub use algorithm::{effective_max_len_from, mine, MiningOutcome, MiningStats};
 pub use checkpoint::{CheckpointError, FingerprintKind};
 pub use engine::{NmSource, SeededSource, SparseSource};
 pub use groups::PatternGroup;
+pub use index::PatternIndex;
 pub use miner::{Error, Miner};
 pub use params::{MiningParams, ParamsError};
 pub use pattern::{MinedPattern, Pattern};
-pub use scorer::{Scorer, ScorerStats};
+pub use scorer::{Measure, ScoreRequest, Scorer, ScorerStats};
 pub use seeded::{certified_topk, mine_seeded, SeedCertifier, SeedError, SeededOutcome};

@@ -4,14 +4,22 @@
 //! (the paper's complexity analysis charges `O(MN)` per pattern). The
 //! [`Scorer`] therefore:
 //!
-//! - lazily caches, per grid cell, the table of per-snapshot log
-//!   probabilities `ln Prob(l, σ, center(cell), δ)` the first time a cell
-//!   appears in a scored pattern (patterns reuse few distinct cells, so the
-//!   cache stays small);
-//! - computes all `G` singular-pattern NMs in one *sparse* streaming pass
+//! - builds, once per trajectory shard, a *corridor table*: for each
+//!   trajectory, the per-snapshot log probabilities
+//!   `ln Prob(l, σ, center(cell), δ)` of exactly the cells that can
+//!   receive above-floor probability. A snapshot only gives non-floor
+//!   probability to cells within `δ + 8σ` of its mean, so one corridor
+//!   pass per trajectory replaces the per-pattern dense row fills older
+//!   revisions did — every probability evaluated once per (cell,
+//!   snapshot), never per pattern;
+//! - skips negligible-mass work while scoring: a pattern touching no
+//!   corridor cell of a trajectory contributes a constant depending only
+//!   on the pattern and trajectory lengths, replicated addition by
+//!   addition ([`untouched_window_mean`]) so the result is bit-identical
+//!   to the dense fold;
+//! - computes all `G` singular-pattern NMs in one sparse streaming pass
 //!   ([`Scorer::nm_all_singulars`]) without materializing the `G × ΣL`
-//!   table: a snapshot only gives non-floor probability to cells within
-//!   `δ + 8σ` of its mean;
+//!   table;
 //! - scores whole candidate *batches* ([`Scorer::score_batch`]) by
 //!   partitioning trajectories into contiguous shards, evaluating shards on
 //!   scoped worker threads, and reducing the per-trajectory `NM(P, T)`
@@ -19,10 +27,19 @@
 //!   bit-identical to the sequential fold for every thread count (the
 //!   determinism convention in DESIGN.md §5).
 //!
+//! The one front door for scoring work is [`Scorer::query`], which
+//! returns a [`ScoreRequest`] builder: pick the [`Measure`], optionally
+//! attach a [`PatternIndex`](crate::index::PatternIndex) so patterns
+//! provably far from every trajectory resolve analytically without
+//! touching the tables, then [`ScoreRequest::run`]. The classic entry
+//! points ([`Scorer::score_batch`] and friends) remain as thin wrappers;
+//! CLI, bench, the stream repair path and the server all construct
+//! scoring work through the same builder.
+//!
 //! Internally the scorer is split into a `Send + Sync` read-only core
 //! ([`ScorerCore`]: dataset/grid/δ) shared by all workers, and per-shard
-//! mutable state (the shard's slice of every cell-row cache), so the
-//! parallel path needs no locks and no `unsafe`.
+//! mutable state (the shard's corridor tables), so the parallel path
+//! needs no locks and no `unsafe`.
 //!
 //! Per-position probabilities are clamped below by `min_prob` so `log M`
 //! stays finite; DESIGN.md §5 explains why this preserves the min-max
@@ -60,53 +77,96 @@ impl<'a> ScorerCore<'a> {
             .ln()
     }
 
-    /// Fills `shard`'s row cache for every cell of `cells` (rows cover only
-    /// the shard's trajectory range, indexed locally).
-    fn ensure_cached(&self, shard: &mut Shard, cells: &[CellId]) {
-        for &cell in cells {
-            if shard.rows.contains_key(&cell) {
-                continue;
+    /// Builds `shard`'s corridor tables if they are not built yet: per
+    /// local trajectory, a probability row for every cell some snapshot
+    /// reaches within `δ + 8σ`. Row entries the corridor scan does not
+    /// touch are the floor *exactly* (the invariant
+    /// [`Scorer::nm_all_singulars`] is built on), so these sparse rows
+    /// carry bit-identical values to a dense fill.
+    fn build_shard(&self, shard: &mut Shard) {
+        if shard.built {
+            return;
+        }
+        let trajs = &self.data.trajectories()[shard.start..shard.end];
+        let max_l = trajs.iter().map(|t| t.len()).max().unwrap_or(0);
+        shard.floor = vec![self.floor_log; max_l].into_boxed_slice();
+        shard.rows = trajs
+            .iter()
+            .map(|traj| {
+                let l = traj.len();
+                let mut rows: FxHashMap<CellId, Box<[f64]>> = FxHashMap::default();
+                for (t, sp) in traj.points().iter().enumerate() {
+                    let radius = self.delta + 8.0 * sp.sigma;
+                    for cell in self.grid.cells_within(sp.mean, radius) {
+                        let lp = self.log_prob(sp, cell);
+                        if lp > self.floor_log {
+                            let row = rows
+                                .entry(cell)
+                                .or_insert_with(|| vec![self.floor_log; l].into_boxed_slice());
+                            row[t] = lp;
+                        }
+                    }
+                }
+                rows
+            })
+            .collect();
+        shard.built = true;
+    }
+
+    /// Best-window mean of `cells` over one shard-local trajectory, read
+    /// from the corridor tables. `buf` is caller-owned scratch reused
+    /// across calls.
+    fn window_mean<'s>(
+        &self,
+        shard: &'s Shard,
+        local: usize,
+        cells: &[CellId],
+        buf: &mut Vec<&'s [f64]>,
+    ) -> f64 {
+        let l = self.data.trajectories()[shard.start + local].len();
+        let m = cells.len();
+        let rows = &shard.rows[local];
+        buf.clear();
+        let mut near = false;
+        for c in cells {
+            match rows.get(c) {
+                Some(r) => {
+                    near = true;
+                    buf.push(r);
+                }
+                None => buf.push(&shard.floor[..l]),
             }
-            let per_traj: Vec<Box<[f64]>> = self.data.trajectories()[shard.start..shard.end]
-                .iter()
-                .map(|t| {
-                    t.points()
-                        .iter()
-                        .map(|sp| self.log_prob(sp, cell))
-                        .collect::<Vec<f64>>()
-                        .into_boxed_slice()
-                })
-                .collect();
-            shard.rows.insert(cell, per_traj);
+        }
+        if near {
+            best_window_mean_rows(buf, m, self.floor_log)
+        } else {
+            untouched_window_mean(m, l, self.floor_log)
         }
     }
 
     /// Per-trajectory contributions of every pattern in `batch` over one
     /// shard, in (pattern, ascending local trajectory) order.
     fn score_shard(&self, shard: &mut Shard, batch: &[Pattern], kind: BatchKind) -> Vec<Vec<f64>> {
-        batch
-            .iter()
-            .map(|pattern| {
-                self.ensure_cached(shard, pattern.cells());
-                let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
-                    .cells()
-                    .iter()
-                    .map(|c| shard.rows.get(c).expect("ensured above"))
-                    .collect();
-                let m = pattern.len();
-                (0..shard.end - shard.start)
-                    .map(|local| {
-                        let mean = best_window_mean(&cell_rows, local, m, self.floor_log);
-                        match kind {
-                            BatchKind::Nm => mean,
-                            // best window *sum* (not mean); the match
-                            // contribution is its exp.
-                            BatchKind::Match => (mean * m as f64).exp(),
-                        }
-                    })
-                    .collect()
-            })
-            .collect()
+        self.build_shard(shard);
+        let shard: &Shard = shard;
+        let locals = shard.end - shard.start;
+        let mut buf: Vec<&[f64]> = Vec::new();
+        let mut out = Vec::with_capacity(batch.len());
+        for pattern in batch {
+            let m = pattern.len();
+            let mut contributions = Vec::with_capacity(locals);
+            for local in 0..locals {
+                let mean = self.window_mean(shard, local, pattern.cells(), &mut buf);
+                contributions.push(match kind {
+                    BatchKind::Nm => mean,
+                    // best window *sum* (not mean); the match contribution
+                    // is its exp.
+                    BatchKind::Match => (mean * m as f64).exp(),
+                });
+            }
+            out.push(contributions);
+        }
+        out
     }
 
     /// The sparse singular-NM pass over one shard: for each trajectory (in
@@ -147,25 +207,54 @@ enum BatchKind {
     Match,
 }
 
-/// One worker's mutable state: a contiguous trajectory range and the
-/// shard-local slice of every cell-row cache (rows indexed by
-/// `trajectory_index - start`).
+/// Which measure a [`ScoreRequest`] computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    /// Normalized match (Eq. 3+4 summed over the dataset) — the mining
+    /// measure; what [`Scorer::score_batch`] computes.
+    Nm,
+    /// The match measure of Yang et al. \[14\]: expected best-window
+    /// occurrence count; what [`Scorer::score_batch_match`] computes.
+    Match,
+}
+
+/// One worker's mutable state: a contiguous trajectory range and its
+/// corridor tables — per local trajectory, a map from cell to the full
+/// log-probability row, plus one shared all-floor row (sliced to each
+/// trajectory's length) standing in for every absent cell.
 #[derive(Debug)]
 struct Shard {
     start: usize,
     end: usize,
-    rows: FxHashMap<CellId, Vec<Box<[f64]>>>,
+    built: bool,
+    rows: Vec<FxHashMap<CellId, Box<[f64]>>>,
+    floor: Box<[f64]>,
+}
+
+impl Shard {
+    /// Drops the (possibly half-built) tables so the next use rebuilds
+    /// them from scratch — the degradation path after a worker panic.
+    fn reset(&mut self) {
+        self.built = false;
+        self.rows = Vec::new();
+        self.floor = Box::default();
+    }
 }
 
 /// Pattern scoring engine over one dataset/grid/δ configuration.
 ///
 /// Construct with [`Scorer::new`] for the sequential engine or
 /// [`Scorer::with_threads`] for the deterministic parallel one; both
-/// produce bit-identical scores (see the module docs).
+/// produce bit-identical scores (see the module docs). Scoring work is
+/// described by a [`ScoreRequest`] from [`Scorer::query`].
 pub struct Scorer<'a> {
     core: ScorerCore<'a>,
     threads: usize,
     shards: RefCell<Vec<Shard>>,
+    /// Distinct cells referenced by scored patterns — the demand-driven
+    /// "cache size" figure surfaced by [`Scorer::cached_cells`], kept
+    /// stable across the corridor-table refactor.
+    touched: RefCell<FxHashSet<CellId>>,
     evaluations: Cell<u64>,
     degraded: Cell<u64>,
     panic_injection: Cell<Option<usize>>,
@@ -214,7 +303,9 @@ impl<'a> Scorer<'a> {
             .map(|s| Shard {
                 start: n * s / shard_count,
                 end: n * (s + 1) / shard_count,
-                rows: FxHashMap::default(),
+                built: false,
+                rows: Vec::new(),
+                floor: Box::default(),
             })
             .collect();
         Scorer {
@@ -227,6 +318,7 @@ impl<'a> Scorer<'a> {
             },
             threads,
             shards: RefCell::new(shards),
+            touched: RefCell::new(FxHashSet::default()),
             evaluations: Cell::new(0),
             degraded: Cell::new(0),
             panic_injection: Cell::new(None),
@@ -294,14 +386,26 @@ impl<'a> Scorer<'a> {
         self.panic_injection.set(Some(shard));
     }
 
+    /// Starts a [`ScoreRequest`] over `batch` — the single front door for
+    /// scoring work, mirrored by the server's `/v1` `QueryRequest` schema.
+    /// Defaults to the NM measure with no index; see [`ScoreRequest`].
+    pub fn query<'q>(&'q self, batch: &'q [Pattern]) -> ScoreRequest<'q, 'a> {
+        ScoreRequest {
+            scorer: self,
+            batch,
+            measure: Measure::Nm,
+            index: None,
+        }
+    }
+
     /// `NM(P)` over the whole dataset (Eq. 3 + 4 summed over `D`).
     pub fn nm(&self, pattern: &Pattern) -> f64 {
         self.score_batch(std::slice::from_ref(pattern))[0]
     }
 
-    /// `NM(P)` for every pattern of `batch`, in order. One cache-fill pass
-    /// per shard; shards are scored on scoped worker threads when the
-    /// scorer was built with more than one.
+    /// `NM(P)` for every pattern of `batch`, in order. One corridor-table
+    /// build per shard (amortized across batches); shards are scored on
+    /// scoped worker threads when the scorer was built with more than one.
     pub fn score_batch(&self, batch: &[Pattern]) -> Vec<f64> {
         self.run_batch(batch, BatchKind::Nm)
     }
@@ -323,6 +427,12 @@ impl<'a> Scorer<'a> {
             .set(self.evaluations.get() + batch.len() as u64);
         if batch.is_empty() {
             return Vec::new();
+        }
+        {
+            let mut touched = self.touched.borrow_mut();
+            for pattern in batch {
+                touched.extend(pattern.cells().iter().copied());
+            }
         }
         let mut shards = self.shards.borrow_mut();
         let core = self.core;
@@ -347,10 +457,10 @@ impl<'a> Scorer<'a> {
                 handles.into_iter().map(|h| h.join()).collect()
             });
             // Graceful degradation: a worker panic must not poison the
-            // batch. Drop the failed shard's (possibly half-built) row
-            // cache and rescore that shard on this thread. The reduction
-            // below is unchanged, so the result stays bit-identical to a
-            // healthy run.
+            // batch. Drop the failed shard's (possibly half-built)
+            // corridor tables and rescore that shard on this thread. The
+            // rebuild and the reduction below are deterministic, so the
+            // result stays bit-identical to a healthy run.
             joined
                 .into_iter()
                 .enumerate()
@@ -358,7 +468,7 @@ impl<'a> Scorer<'a> {
                     Ok(contributions) => contributions,
                     Err(_) => {
                         self.degraded.set(self.degraded.get() + 1);
-                        shards[i].rows.clear();
+                        shards[i].reset();
                         core.score_shard(&mut shards[i], batch, kind)
                     }
                 })
@@ -382,68 +492,70 @@ impl<'a> Scorer<'a> {
             .collect()
     }
 
-    /// [`Scorer::score_batch`] with a sparse prefilter, bit-identical to
-    /// it: per trajectory, only cells within `δ + 8σ` of some snapshot can
-    /// receive above-floor probability (the same corridor invariant
-    /// [`Scorer::nm_all_singulars`] is built on), so a pattern touching
-    /// none of them contributes a constant depending only on the pattern
-    /// and trajectory lengths — no probability rows are computed for it.
-    /// Runs sequentially; it exists for workloads where most of the batch
-    /// is far from most of the data, like the streaming layer's ledger
-    /// delta update against one arriving trajectory, where it turns an
-    /// `O(cells × ΣL)` pass into one over the corridor only.
-    pub fn score_batch_sparse(&self, batch: &[Pattern]) -> Vec<f64> {
-        self.evaluations
-            .set(self.evaluations.get() + batch.len() as u64);
-        let core = self.core;
-        let mut totals = vec![0.0; batch.len()];
-        // Per-trajectory probability rows for corridor cells only, built
-        // straight from the corridor scan (entries the scan does not reach
-        // are the floor exactly, by the invariant above). Cells with no
-        // above-floor entry share one all-floor row.
-        let mut rows: FxHashMap<CellId, Box<[f64]>> = FxHashMap::default();
-        let mut floor_row: Vec<f64> = Vec::new();
-        for traj in core.data.trajectories() {
-            let l = traj.len();
-            floor_row.clear();
-            floor_row.resize(l, core.floor_log);
-            rows.clear();
-            for (t, sp) in traj.points().iter().enumerate() {
-                let radius = core.delta + 8.0 * sp.sigma;
-                for cell in core.grid.cells_within(sp.mean, radius) {
-                    let lp = core.log_prob(sp, cell);
-                    if lp > core.floor_log {
-                        let row = rows
-                            .entry(cell)
-                            .or_insert_with(|| vec![core.floor_log; l].into_boxed_slice());
-                        row[t] = lp;
-                    }
+    /// The index-pruned batch path behind [`ScoreRequest::run`]: patterns
+    /// whose bounding box provably misses every trajectory's probability
+    /// corridor are resolved analytically (every position at the floor),
+    /// with the same per-trajectory fold order as the dense path — so the
+    /// returned scores are bit-identical to an unindexed run.
+    fn run_indexed(
+        &self,
+        batch: &[Pattern],
+        kind: BatchKind,
+        index: &crate::index::PatternIndex,
+    ) -> Vec<f64> {
+        let near_mask = index.candidates(self.core.data, self.core.delta);
+        if near_mask.iter().all(|&n| n) {
+            return self.run_batch(batch, kind);
+        }
+        let near: Vec<Pattern> = batch
+            .iter()
+            .zip(&near_mask)
+            .filter(|(_, &n)| n)
+            .map(|(p, _)| p.clone())
+            .collect();
+        let far = (batch.len() - near.len()) as u64;
+        let near_scores = self.run_batch(&near, kind);
+        // Far patterns were still evaluated (analytically): charge them,
+        // and record their cells like any scored pattern.
+        self.evaluations.set(self.evaluations.get() + far);
+        {
+            let mut touched = self.touched.borrow_mut();
+            for (pattern, &n) in batch.iter().zip(&near_mask) {
+                if !n {
+                    touched.extend(pattern.cells().iter().copied());
                 }
-            }
-            // Fold order per pattern is still ascending trajectory, so the
-            // running totals match `score_batch`'s reduction.
-            let mut cell_rows: Vec<&[f64]> = Vec::new();
-            for (pattern, total) in batch.iter().zip(totals.iter_mut()) {
-                let m = pattern.len();
-                cell_rows.clear();
-                let mut near = false;
-                for c in pattern.cells() {
-                    match rows.get(c) {
-                        Some(r) => {
-                            near = true;
-                            cell_rows.push(r);
-                        }
-                        None => cell_rows.push(&floor_row),
-                    }
-                }
-                *total += if near {
-                    best_window_mean_rows(&cell_rows, m, core.floor_log)
-                } else {
-                    untouched_window_mean(m, l, core.floor_log)
-                };
             }
         }
-        totals
+        let lens: Vec<usize> = self
+            .core
+            .data
+            .trajectories()
+            .iter()
+            .map(|t| t.len())
+            .collect();
+        let mut near_iter = near_scores.into_iter();
+        batch
+            .iter()
+            .zip(&near_mask)
+            .map(|(pattern, &n)| {
+                if n {
+                    near_iter.next().expect("one score per near pattern")
+                } else {
+                    far_fold(pattern.len(), &lens, kind, self.core.floor_log)
+                }
+            })
+            .collect()
+    }
+
+    /// [`Scorer::score_batch`] with a sparse prefilter, bit-identical to
+    /// it. The corridor scan this entry point pioneered is now how *every*
+    /// batch is scored, so it no longer earns its keep as a separate path.
+    #[deprecated(
+        since = "0.6.0",
+        note = "corridor skipping is the default for every batch; use `Scorer::query` (or `score_batch`)"
+    )]
+    pub fn score_batch_sparse(&self, batch: &[Pattern]) -> Vec<f64> {
+        self.query(batch).run()
     }
 
     /// `NM(P, T)` for a single trajectory (Eq. 4); the floor value if the
@@ -453,23 +565,19 @@ impl<'a> Scorer<'a> {
             traj_index < self.core.data.len(),
             "trajectory index out of range"
         );
+        self.touched
+            .borrow_mut()
+            .extend(pattern.cells().iter().copied());
         let mut shards = self.shards.borrow_mut();
         let shard = shards
             .iter_mut()
             .find(|s| s.start <= traj_index && traj_index < s.end)
             .expect("shards cover every trajectory");
-        self.core.ensure_cached(shard, pattern.cells());
-        let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
-            .cells()
-            .iter()
-            .map(|c| shard.rows.get(c).expect("ensured above"))
-            .collect();
-        best_window_mean(
-            &cell_rows,
-            traj_index - shard.start,
-            pattern.len(),
-            self.core.floor_log,
-        )
+        self.core.build_shard(shard);
+        let shard: &Shard = shard;
+        let mut buf: Vec<&[f64]> = Vec::new();
+        self.core
+            .window_mean(shard, traj_index - shard.start, pattern.cells(), &mut buf)
     }
 
     /// `NM(P, T_i)` for every trajectory, in ascending trajectory order —
@@ -480,22 +588,20 @@ impl<'a> Scorer<'a> {
     /// [`Scorer::nm_in_trajectory`] for that index.
     pub fn nm_contributions(&self, pattern: &Pattern) -> Vec<f64> {
         self.evaluations.set(self.evaluations.get() + 1);
+        self.touched
+            .borrow_mut()
+            .extend(pattern.cells().iter().copied());
         let mut shards = self.shards.borrow_mut();
         let mut out = Vec::with_capacity(self.core.data.len());
+        let mut buf: Vec<&[f64]> = Vec::new();
         for shard in shards.iter_mut() {
-            self.core.ensure_cached(shard, pattern.cells());
-            let cell_rows: Vec<&Vec<Box<[f64]>>> = pattern
-                .cells()
-                .iter()
-                .map(|c| shard.rows.get(c).expect("ensured above"))
-                .collect();
+            self.core.build_shard(shard);
+            let shard: &Shard = shard;
             for local in 0..shard.end - shard.start {
-                out.push(best_window_mean(
-                    &cell_rows,
-                    local,
-                    pattern.len(),
-                    self.core.floor_log,
-                ));
+                out.push(
+                    self.core
+                        .window_mean(shard, local, pattern.cells(), &mut buf),
+                );
             }
         }
         out
@@ -504,37 +610,42 @@ impl<'a> Scorer<'a> {
     /// `NM` of a *gapped* pattern (§5): positions `cells` with
     /// `gaps[i] = (min, max)` wildcard snapshots allowed between positions
     /// `i` and `i+1`. Dynamic programming over each trajectory reusing the
-    /// per-cell probability row cache; normalization is by the number of
-    /// specified positions (wildcards contribute probability 1 and no
-    /// normalization mass). Callers must pass `gaps.len() == cells.len()-1`
-    /// with `min <= max` everywhere (debug-asserted).
+    /// corridor tables; normalization is by the number of specified
+    /// positions (wildcards contribute probability 1 and no normalization
+    /// mass). Callers must pass `gaps.len() == cells.len()-1` with
+    /// `min <= max` everywhere (debug-asserted).
     pub fn nm_gapped(&self, cells: &[CellId], gaps: &[(u8, u8)]) -> f64 {
         debug_assert_eq!(gaps.len() + 1, cells.len());
         debug_assert!(gaps.iter().all(|&(lo, hi)| lo <= hi));
         self.evaluations.set(self.evaluations.get() + 1);
+        self.touched.borrow_mut().extend(cells.iter().copied());
         let m = cells.len();
         let min_span: usize = m + gaps.iter().map(|&(lo, _)| lo as usize).sum::<usize>();
         let mut total = 0.0;
         let mut shards = self.shards.borrow_mut();
+        let mut buf: Vec<&[f64]> = Vec::new();
         for shard in shards.iter_mut() {
-            self.core.ensure_cached(shard, cells);
-            let cell_rows: Vec<&Vec<Box<[f64]>>> = cells
-                .iter()
-                .map(|c| shard.rows.get(c).expect("ensured above"))
-                .collect();
-            // `local` indexes every row in `cell_rows`, not just the first.
-            #[allow(clippy::needless_range_loop)]
+            self.core.build_shard(shard);
+            let shard: &Shard = shard;
             for local in 0..shard.end - shard.start {
-                let l = cell_rows[0][local].len();
+                let l = self.core.data.trajectories()[shard.start + local].len();
                 if l < min_span {
                     total += self.core.floor_log;
                     continue;
                 }
+                let rows = &shard.rows[local];
+                buf.clear();
+                for c in cells {
+                    match rows.get(c) {
+                        Some(r) => buf.push(r),
+                        None => buf.push(&shard.floor[..l]),
+                    }
+                }
                 // dp[j]: best sum with the current position at snapshot j.
-                let mut dp: Vec<f64> = cell_rows[0][local].to_vec();
+                let mut dp: Vec<f64> = buf[0].to_vec();
                 for i in 1..m {
                     let (lo, hi) = gaps[i - 1];
-                    let row = &cell_rows[i][local];
+                    let row = buf[i];
                     let mut next = vec![f64::NEG_INFINITY; l];
                     for (j, slot) in next.iter_mut().enumerate() {
                         let mut best_prev = f64::NEG_INFINITY;
@@ -562,10 +673,10 @@ impl<'a> Scorer<'a> {
     }
 
     /// NM of every singular pattern, indexed by `CellId`. One sparse pass:
-    /// memory `O(G + touched cells per trajectory)`, no row caching. Runs
-    /// sharded on the scorer's worker threads; the per-cell accumulations
-    /// are applied in the exact order of the sequential pass, so results
-    /// are bit-identical for every thread count.
+    /// memory `O(G + touched cells per trajectory)`, no table building.
+    /// Runs sharded on the scorer's worker threads; the per-cell
+    /// accumulations are applied in the exact order of the sequential
+    /// pass, so results are bit-identical for every thread count.
     pub fn nm_all_singulars(&self) -> Vec<f64> {
         let g = self.core.grid.num_cells() as usize;
         let n = self.core.data.len() as f64;
@@ -616,18 +727,12 @@ impl<'a> Scorer<'a> {
         totals
     }
 
-    /// Number of distinct cells whose probability rows are cached (across
-    /// all shards).
+    /// Number of distinct cells referenced by pattern scorings so far —
+    /// the demand-driven cache-size figure surfaced in [`ScorerStats`]
+    /// (semantics unchanged from the per-cell row-cache era, so persisted
+    /// snapshots stay byte-identical).
     pub fn cached_cells(&self) -> usize {
-        let shards = self.shards.borrow();
-        if shards.len() == 1 {
-            return shards[0].rows.len();
-        }
-        let mut distinct: FxHashSet<CellId> = FxHashSet::default();
-        for shard in shards.iter() {
-            distinct.extend(shard.rows.keys().copied());
-        }
-        distinct.len()
+        self.touched.borrow().len()
     }
 
     /// Snapshot of this scorer's counters, for surfacing in mining output
@@ -637,6 +742,56 @@ impl<'a> Scorer<'a> {
             scorings: self.evaluations(),
             cached_cells: self.cached_cells() as u64,
             degraded_rescores: self.degraded_rescores(),
+        }
+    }
+}
+
+/// A batch scoring request under construction — the library-side mirror of
+/// the server's `/v1` `QueryRequest`. Built by [`Scorer::query`];
+/// configure with [`ScoreRequest::measure`] / [`ScoreRequest::with_index`]
+/// and execute with [`ScoreRequest::run`]. Every configuration returns
+/// scores bit-identical to the corresponding direct entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreRequest<'q, 'a> {
+    scorer: &'q Scorer<'a>,
+    batch: &'q [Pattern],
+    measure: Measure,
+    index: Option<&'q crate::index::PatternIndex>,
+}
+
+impl<'q, 'a> ScoreRequest<'q, 'a> {
+    /// Selects the measure to compute (default: [`Measure::Nm`]).
+    pub fn measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Attaches a [`PatternIndex`](crate::index::PatternIndex) built over
+    /// *exactly this batch* (entry `i` ↔ `batch[i]`; debug-asserted).
+    /// Patterns the index proves far from every trajectory resolve
+    /// analytically; results are bit-identical with or without the index.
+    pub fn with_index(mut self, index: &'q crate::index::PatternIndex) -> Self {
+        debug_assert_eq!(
+            index.len(),
+            self.batch.len(),
+            "index must be built over the scored batch"
+        );
+        self.index = Some(index);
+        self
+    }
+
+    /// Executes the request, returning one score per batch pattern.
+    pub fn run(self) -> Vec<f64> {
+        let kind = match self.measure {
+            Measure::Nm => BatchKind::Nm,
+            Measure::Match => BatchKind::Match,
+        };
+        match self.index {
+            // A misaligned index cannot be trusted; score unindexed.
+            Some(index) if index.len() == self.batch.len() && !self.batch.is_empty() => {
+                self.scorer.run_indexed(self.batch, kind, index)
+            }
+            _ => self.scorer.run_batch(self.batch, kind),
         }
     }
 }
@@ -655,34 +810,10 @@ fn effective_threads(threads: usize) -> usize {
 }
 
 /// Maximum over windows of the mean log probability (Eq. 3+4 for one
-/// trajectory), given per-cell row tables. Returns `floor_log` if the
+/// trajectory) over row slices — window sums accumulate position by
+/// position and the best window strictly improves, the canonical fold
+/// order every scoring path replicates. Returns `floor_log` if the
 /// trajectory is shorter than the pattern.
-fn best_window_mean(
-    cell_rows: &[&Vec<Box<[f64]>>],
-    traj_index: usize,
-    m: usize,
-    floor_log: f64,
-) -> f64 {
-    let l = cell_rows[0][traj_index].len();
-    if l < m {
-        return floor_log;
-    }
-    let mut best = f64::NEG_INFINITY;
-    for start in 0..=(l - m) {
-        let mut sum = 0.0;
-        for (j, rows) in cell_rows.iter().enumerate() {
-            sum += rows[traj_index][start + j];
-        }
-        if sum > best {
-            best = sum;
-        }
-    }
-    best / m as f64
-}
-
-/// [`best_window_mean`] over one trajectory's row slices directly — the
-/// same arithmetic in the same order (window sums accumulate position by
-/// position, best window strictly improves), so results are bit-identical.
 fn best_window_mean_rows(rows: &[&[f64]], m: usize, floor_log: f64) -> f64 {
     let l = rows[0].len();
     if l < m {
@@ -701,10 +832,11 @@ fn best_window_mean_rows(rows: &[&[f64]], m: usize, floor_log: f64) -> f64 {
     best / m as f64
 }
 
-/// What [`best_window_mean`] returns when every row entry is `floor_log`
-/// (the trajectory never comes near any pattern cell): all window sums are
-/// the same sequential fold of `m` floor terms, replicated here addition
-/// by addition so the result is bit-identical to the dense evaluation.
+/// What [`best_window_mean_rows`] returns when every row entry is
+/// `floor_log` (the trajectory never comes near any pattern cell): all
+/// window sums are the same sequential fold of `m` floor terms, replicated
+/// here addition by addition so the result is bit-identical to the dense
+/// evaluation.
 fn untouched_window_mean(m: usize, l: usize, floor_log: f64) -> f64 {
     if l < m {
         return floor_log;
@@ -714,6 +846,22 @@ fn untouched_window_mean(m: usize, l: usize, floor_log: f64) -> f64 {
         sum += floor_log;
     }
     sum / m as f64
+}
+
+/// The whole-dataset fold for a pattern no trajectory comes near: per
+/// trajectory the untouched window value, reduced in ascending trajectory
+/// order — addition for addition what the dense path computes, so the
+/// index-pruned path stays bit-identical.
+fn far_fold(m: usize, lens: &[usize], kind: BatchKind, floor_log: f64) -> f64 {
+    let mut total = 0.0;
+    for &l in lens {
+        let mean = untouched_window_mean(m, l, floor_log);
+        total += match kind {
+            BatchKind::Nm => mean,
+            BatchKind::Match => (mean * m as f64).exp(),
+        };
+    }
+    total
 }
 
 /// `log M(P, segment)` (Eq. 2 in log space) for an arbitrary snapshot
@@ -743,6 +891,7 @@ pub fn log_match_segment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::PatternIndex;
     use trajdata::Trajectory;
     use trajgeo::{BBox, Point2};
 
@@ -943,6 +1092,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn sparse_batch_is_bit_identical_to_dense() {
         // Mix of on-corridor, partially-near and far patterns, plus a
         // trajectory shorter than some patterns; a larger σ widens the
@@ -963,6 +1113,57 @@ mod tests {
         let sparse = Scorer::new(&data, &grid, 0.1, 1e-12).score_batch_sparse(&batch);
         for (p, (d, s)) in batch.iter().zip(dense.iter().zip(&sparse)) {
             assert_eq!(d.to_bits(), s.to_bits(), "pattern {p:?}: {d} vs {s}");
+        }
+    }
+
+    #[test]
+    fn query_builder_matches_direct_entry_points() {
+        let (data, grid) = setup(9, 0.05);
+        let batch = [pat(&[8, 9]), pat(&[0, 1, 2]), pat(&[15]), pat(&[9, 10])];
+        let s = Scorer::new(&data, &grid, 0.1, 1e-12);
+        let via_builder = s.query(&batch).run();
+        let direct = Scorer::new(&data, &grid, 0.1, 1e-12).score_batch(&batch);
+        for (a, b) in via_builder.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let via_builder = s.query(&batch).measure(Measure::Match).run();
+        let direct = Scorer::new(&data, &grid, 0.1, 1e-12).score_batch_match(&batch);
+        for (a, b) in via_builder.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn indexed_query_is_bit_identical_and_charges_every_pattern() {
+        // Far patterns (bottom row 12..16 vs data on row 8..12) take the
+        // analytic path; scores and evaluation counts must not change.
+        let (data, grid) = setup(10, 0.04);
+        let batch = [
+            pat(&[8, 9, 10]),
+            pat(&[12, 13]),
+            pat(&[15]),
+            pat(&[8, 9]),
+            pat(&[0, 1, 2, 3]),
+        ];
+        let index = PatternIndex::build(&batch, &grid);
+        let plain = Scorer::new(&data, &grid, 0.1, 1e-12);
+        let want = plain.score_batch(&batch);
+        let indexed = Scorer::new(&data, &grid, 0.1, 1e-12);
+        let got = indexed.query(&batch).with_index(&index).run();
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+        assert_eq!(indexed.evaluations(), plain.evaluations());
+        assert_eq!(indexed.cached_cells(), plain.cached_cells());
+        // Match measure through the same indexed path.
+        let want = plain.score_batch_match(&batch);
+        let got = indexed
+            .query(&batch)
+            .measure(Measure::Match)
+            .with_index(&index)
+            .run();
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
         }
     }
 

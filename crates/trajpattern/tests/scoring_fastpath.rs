@@ -1,0 +1,195 @@
+//! Bit-identity of the scoring fast path against a from-scratch dense
+//! reference scorer.
+//!
+//! The fast path layers two optimizations over the seed implementation:
+//! per-(cell, snapshot) corridor log-prob tables built once per shard,
+//! and index-pruned batches that skip patterns whose cells every
+//! trajectory provably stays far from. Both rest on one invariant — a
+//! snapshot contributes above-floor probability only to cells within
+//! L∞ distance `δ + 8σ` of its mean — and both replicate the seed's
+//! fold order addition by addition. This suite pins that claim with a
+//! dense reference that never skips anything: every pattern cell's
+//! log-prob row is computed in full for every trajectory, windows are
+//! scanned directly, and trajectory contributions fold in dataset
+//! order. Random grids, datasets, batches, and σ ranges (including the
+//! extremes where the corridor covers the whole grid or almost nothing)
+//! must agree bit for bit, with and without the pattern spatial index.
+
+use proptest::prelude::*;
+use trajdata::{Dataset, SnapshotPoint, Trajectory};
+use trajgeo::stats::prob_within_delta;
+use trajgeo::{BBox, CellId, Grid, Point2};
+use trajpattern::pattern::Pattern;
+use trajpattern::{Measure, PatternIndex, Scorer};
+
+const MIN_PROB: f64 = 1e-12;
+
+/// The seed scorer, reimplemented densely: no corridor tables, no
+/// floor-row sharing, no index — just Eq. 2–4 evaluated directly in the
+/// canonical fold order (windows scanned position by position, per-
+/// trajectory contributions reduced ascending).
+fn reference_scores(
+    data: &Dataset,
+    grid: &Grid,
+    delta: f64,
+    min_prob: f64,
+    batch: &[Pattern],
+    measure: Measure,
+) -> Vec<f64> {
+    let floor_log = min_prob.ln();
+    batch
+        .iter()
+        .map(|pattern| {
+            let cells = pattern.cells();
+            let m = cells.len();
+            let mut total = 0.0;
+            for traj in data.trajectories() {
+                let l = traj.len();
+                // Dense per-cell log-prob rows over every snapshot.
+                let rows: Vec<Vec<f64>> = cells
+                    .iter()
+                    .map(|&cell| {
+                        traj.points()
+                            .iter()
+                            .map(|sp| {
+                                prob_within_delta(sp.mean, sp.sigma, grid.center(cell), delta)
+                                    .max(min_prob)
+                                    .ln()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mean = if l < m {
+                    floor_log
+                } else {
+                    let mut best = f64::NEG_INFINITY;
+                    for start in 0..=(l - m) {
+                        let mut sum = 0.0;
+                        for (j, row) in rows.iter().enumerate() {
+                            sum += row[start + j];
+                        }
+                        if sum > best {
+                            best = sum;
+                        }
+                    }
+                    best / m as f64
+                };
+                total += match measure {
+                    Measure::Nm => mean,
+                    Measure::Match => (mean * m as f64).exp(),
+                };
+            }
+            total
+        })
+        .collect()
+}
+
+fn dataset_from(points: Vec<Vec<(f64, f64, f64)>>) -> Dataset {
+    points
+        .into_iter()
+        .map(|pts| {
+            Trajectory::new(
+                pts.into_iter()
+                    .map(|(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn patterns_from(cells: Vec<Vec<u32>>, num_cells: u32) -> Vec<Pattern> {
+    cells
+        .into_iter()
+        .map(|c| Pattern::new(c.into_iter().map(|i| CellId(i % num_cells)).collect()).unwrap())
+        .collect()
+}
+
+fn assert_all_paths_match(data: &Dataset, grid: &Grid, delta: f64, batch: &[Pattern]) {
+    for measure in [Measure::Nm, Measure::Match] {
+        let want = reference_scores(data, grid, delta, MIN_PROB, batch, measure);
+
+        // Corridor-table path (the default for every batch).
+        let scorer = Scorer::new(data, grid, delta, MIN_PROB);
+        let got = scorer.query(batch).measure(measure).run();
+        assert_eq!(want.len(), got.len());
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(
+                w.to_bits(),
+                g.to_bits(),
+                "corridor path: pattern {i}: reference {w} != fast {g}"
+            );
+        }
+
+        // Index-pruned path over the same batch.
+        let index = PatternIndex::build(batch, grid);
+        let indexed = Scorer::new(data, grid, delta, MIN_PROB);
+        let got_indexed = indexed
+            .query(batch)
+            .measure(measure)
+            .with_index(&index)
+            .run();
+        for (i, (w, g)) in want.iter().zip(&got_indexed).enumerate() {
+            assert_eq!(
+                w.to_bits(),
+                g.to_bits(),
+                "indexed path: pattern {i}: reference {w} != indexed {g}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random grids/datasets/batches over the whole σ range, from
+    /// pinpoint (corridor of a cell or two) to diffuse (corridor spans
+    /// the grid): table-driven and index-pruned scoring both equal the
+    /// dense reference, bit for bit.
+    #[test]
+    fn fast_paths_equal_dense_reference(
+        points in prop::collection::vec(
+            prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.002f64..0.6), 2..8),
+            1..10,
+        ),
+        cells in prop::collection::vec(prop::collection::vec(0u32..64, 1..5), 1..7),
+        nx in 2u32..7,
+        ny in 2u32..7,
+        delta in 0.01f64..0.25,
+    ) {
+        let data = dataset_from(points);
+        let grid = Grid::new(BBox::unit(), nx, ny).unwrap();
+        let batch = patterns_from(cells, grid.num_cells());
+        assert_all_paths_match(&data, &grid, delta, &batch);
+    }
+}
+
+/// σ extremes, deterministically: a near-zero σ makes the corridor
+/// degenerate (nearly every cell is floor), a huge σ makes it cover the
+/// grid many times over (no cell is skippable). Both ends must still
+/// be bit-identical to the dense reference.
+#[test]
+fn sigma_extremes_stay_bit_identical() {
+    let grid = Grid::new(BBox::unit(), 6, 6).unwrap();
+    for sigma in [1e-6, 0.01, 0.49, 5.0] {
+        let data = dataset_from(vec![
+            (0..5).map(|i| (0.1 + 0.2 * i as f64, 0.3, sigma)).collect(),
+            (0..4).map(|i| (0.9 - 0.2 * i as f64, 0.7, sigma)).collect(),
+        ]);
+        let batch = patterns_from(
+            vec![vec![0, 1, 2], vec![35], vec![7, 8], vec![30, 31, 32, 33]],
+            grid.num_cells(),
+        );
+        assert_all_paths_match(&data, &grid, 0.05, &batch);
+    }
+}
+
+/// Patterns longer than every trajectory take the `l < m` floor path in
+/// both implementations.
+#[test]
+fn too_long_patterns_agree_on_the_floor() {
+    let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+    let data = dataset_from(vec![vec![(0.2, 0.2, 0.05), (0.4, 0.4, 0.05)]]);
+    let batch = patterns_from(vec![vec![0, 1, 2, 3], vec![5, 6, 7]], grid.num_cells());
+    assert_all_paths_match(&data, &grid, 0.1, &batch);
+}

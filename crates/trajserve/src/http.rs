@@ -209,11 +209,33 @@ impl Response {
         }
     }
 
-    /// A JSON error envelope: `{"error": <message>}`.
+    /// A structured JSON error envelope matching the `/v1` schema:
+    /// `{"error":{"code":<code>,"message":<message>}}`, with the code
+    /// derived from the status ([`error_code`]).
     pub fn error(status: u16, message: &str) -> Response {
-        let body = serde_json::to_string(&serde_json::json!({ "error": message }))
-            .unwrap_or_else(|_| String::from("{\"error\":\"error\"}"));
+        let detail = serde_json::json!({
+            "code": error_code(status),
+            "message": message,
+        });
+        let body =
+            serde_json::to_string(&serde_json::json!({ "error": detail })).unwrap_or_else(|_| {
+                String::from("{\"error\":{\"code\":\"internal\",\"message\":\"error\"}}")
+            });
         Response::json(status, body)
+    }
+}
+
+/// The stable machine-readable code for an error status — what `/v1`
+/// clients switch on instead of parsing messages.
+pub fn error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "timeout",
+        413 => "payload_too_large",
+        503 => "busy",
+        _ => "internal",
     }
 }
 

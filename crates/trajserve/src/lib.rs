@@ -5,15 +5,26 @@
 //! --json` output or a `trajstream` checkpoint — and answers HTTP/1.1
 //! queries over it:
 //!
-//! | Route            | Answer                                              |
-//! |------------------|-----------------------------------------------------|
-//! | `GET /topk`      | the loaded snapshot (patterns, NMs, groups)         |
-//! | `POST /score`    | NMs for posted trajectories, bit-identical to the   |
-//! |                  | library [`Scorer`](trajpattern::Scorer) path        |
-//! | `POST /match`    | best-NM pattern + group for a partial trajectory    |
-//! | `POST /predict`  | next-cell distribution via the `prediction` crate   |
-//! | `GET /healthz`   | liveness                                            |
-//! | `GET /metrics`   | plain-text counters (requests, latency, queue, …)   |
+//! | Route               | Answer                                            |
+//! |---------------------|---------------------------------------------------|
+//! | `GET /v1/topk`      | the loaded snapshot (patterns, NMs, groups)       |
+//! | `POST /v1/score`    | NMs for posted trajectories, bit-identical to the |
+//! |                     | library [`Scorer`](trajpattern::Scorer) path      |
+//! | `POST /v1/match`    | best-NM pattern + group for a partial trajectory  |
+//! | `POST /v1/predict`  | next-cell distribution via `prediction`           |
+//! | `GET /healthz`      | liveness                                          |
+//! | `GET /metrics`      | plain-text counters (requests, latency, queue, …) |
+//!
+//! Every `/v1` POST route shares one request/response schema (see
+//! [`query`]): a dataset plus optional `options` (measure, index
+//! pruning, pattern filter) in; a `trajserve-query/v1` envelope out.
+//! Scoring runs through the [`Scorer::query`](trajpattern::Scorer::query)
+//! builder against a pattern spatial index prebuilt at snapshot load, so
+//! queries skip patterns whose cells lie outside the posted
+//! trajectories' probability-mass corridor — bit-identical to the
+//! unindexed path, but without touching far patterns' log-prob rows.
+//! The unversioned `/topk`, `/score`, `/match`, and `/predict` routes
+//! remain as deprecated aliases with their original response bodies.
 //!
 //! Everything is `std`-only: a [`std::net::TcpListener`] accept loop
 //! feeds a bounded queue drained by a small worker pool, in the same
@@ -29,9 +40,11 @@
 
 pub mod http;
 pub mod metrics;
+pub mod query;
 pub mod server;
 pub mod signal;
 pub mod snapshot;
 
+pub use query::{QueryOptions, QueryRequest, QueryResponse, QUERY_SCHEMA};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotError, SCHEMA};

@@ -6,9 +6,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use trajpattern::stats::prometheus_counters;
 
 /// Routes tracked individually (everything else lands in `other`).
-pub const ENDPOINTS: [&str; 7] = [
-    "topk", "score", "match", "predict", "healthz", "metrics", "other",
+pub const ENDPOINTS: [&str; 11] = [
+    "topk",
+    "score",
+    "match",
+    "predict",
+    "healthz",
+    "metrics",
+    "v1_topk",
+    "v1_score",
+    "v1_match",
+    "v1_predict",
+    "other",
 ];
+
+/// [`ENDPOINTS`] slot of `/v1/score` — the route with its own dedicated
+/// latency histogram (the fast-path acceptance metric).
+pub const V1_SCORE_ENDPOINT: usize = 7;
 
 /// Upper edges (seconds) of the latency histogram buckets; a final
 /// `+Inf` bucket is implicit.
@@ -19,7 +33,7 @@ pub const LATENCY_BUCKETS: [f64; 8] = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests dispatched, per endpoint (indexed like [`ENDPOINTS`]).
-    pub requests: [AtomicU64; 7],
+    pub requests: [AtomicU64; 11],
     /// Responses by status class: 2xx, 4xx, 5xx.
     pub responses_2xx: AtomicU64,
     /// 4xx responses.
@@ -33,6 +47,15 @@ pub struct Metrics {
     pub latency_sum_us: AtomicU64,
     /// Number of latency observations.
     pub latency_count: AtomicU64,
+    /// Per-bucket observation counts for `/v1/score` alone — the
+    /// fast-path acceptance metric, rendered as
+    /// `trajserve_v1_score_seconds_bucket` so CI can read its p50
+    /// straight off `/metrics`. Index 8 is the `+Inf` bucket.
+    pub v1_score_buckets: [AtomicU64; 9],
+    /// Sum of `/v1/score` latencies in microseconds.
+    pub v1_score_sum_us: AtomicU64,
+    /// Number of `/v1/score` observations.
+    pub v1_score_count: AtomicU64,
     /// Connections currently queued for a worker.
     pub queue_depth: AtomicU64,
     /// Requests currently being handled.
@@ -62,7 +85,11 @@ pub fn endpoint_index(path: &str) -> usize {
         "/predict" => 3,
         "/healthz" => 4,
         "/metrics" => 5,
-        _ => 6,
+        "/v1/topk" => 6,
+        "/v1/score" => 7,
+        "/v1/match" => 8,
+        "/v1/predict" => 9,
+        _ => 10,
     }
 }
 
@@ -84,6 +111,12 @@ impl Metrics {
         self.latency_sum_us
             .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
+        if endpoint == V1_SCORE_ENDPOINT {
+            self.v1_score_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            self.v1_score_sum_us
+                .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
+            self.v1_score_count.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Renders the counter set plus snapshot gauges as plain text, one
@@ -146,6 +179,32 @@ impl Metrics {
             "trajserve_request_seconds_count",
             "",
             get(&self.latency_count),
+        );
+
+        let mut cumulative = 0;
+        for (i, edge) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += get(&self.v1_score_buckets[i]);
+            line(
+                "trajserve_v1_score_seconds_bucket",
+                &format!("le=\"{edge}\""),
+                cumulative,
+            );
+        }
+        cumulative += get(&self.v1_score_buckets[LATENCY_BUCKETS.len()]);
+        line(
+            "trajserve_v1_score_seconds_bucket",
+            "le=\"+Inf\"",
+            cumulative,
+        );
+        line(
+            "trajserve_v1_score_seconds_sum_us",
+            "",
+            get(&self.v1_score_sum_us),
+        );
+        line(
+            "trajserve_v1_score_seconds_count",
+            "",
+            get(&self.v1_score_count),
         );
 
         line("trajserve_queue_depth", "", get(&self.queue_depth));
@@ -238,7 +297,22 @@ mod tests {
     fn endpoint_index_covers_routes() {
         assert_eq!(endpoint_index("/topk"), 0);
         assert_eq!(endpoint_index("/metrics"), 5);
-        assert_eq!(endpoint_index("/nope"), 6);
+        assert_eq!(endpoint_index("/nope"), ENDPOINTS.len() - 1);
         assert_eq!(ENDPOINTS[endpoint_index("/score")], "score");
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/topk")], "v1_topk");
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/score")], "v1_score");
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/match")], "v1_match");
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/predict")], "v1_predict");
+        assert_eq!(endpoint_index("/v1/score"), V1_SCORE_ENDPOINT);
+    }
+
+    #[test]
+    fn v1_score_histogram_tracks_only_its_route() {
+        let m = Metrics::default();
+        m.observe(V1_SCORE_ENDPOINT, 200, 0.0001);
+        m.observe(1, 200, 0.0001); // legacy /score: main histogram only
+        assert_eq!(m.v1_score_count.load(Ordering::Relaxed), 1);
+        assert_eq!(m.latency_count.load(Ordering::Relaxed), 2);
+        assert_eq!(m.v1_score_buckets[0].load(Ordering::Relaxed), 1);
     }
 }

@@ -26,11 +26,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use prediction::PatternLibrary;
-use trajdata::Dataset;
-use trajpattern::{Pattern, Scorer};
+use trajdata::{Dataset, Trajectory};
+use trajpattern::{Pattern, PatternIndex, Scorer};
 
 use crate::http::{read_request, write_response, Request, RequestError, Response};
 use crate::metrics::{endpoint_index, Metrics};
+use crate::query::{QueryRequest, QueryResponse};
 use crate::snapshot::Snapshot;
 
 /// Everything tunable about a [`Server`].
@@ -123,6 +124,13 @@ pub struct Loaded {
     pub library: PatternLibrary,
     /// Pre-rendered `/topk` response body (the snapshot's JSON).
     pub topk_json: String,
+    /// The snapshot's pattern list, extracted once — request handlers
+    /// borrow this instead of re-cloning per request.
+    pub patterns: Vec<Pattern>,
+    /// Spatial index over the patterns' cell bounding boxes, built once
+    /// per snapshot; `/v1` scoring consults it to skip patterns whose
+    /// cells lie outside the query's probability-mass corridor.
+    pub index: PatternIndex,
 }
 
 impl Loaded {
@@ -137,10 +145,18 @@ impl Loaded {
         )
         .map_err(ServeError::Library)?;
         let topk_json = snapshot.to_json_pretty();
+        let patterns: Vec<Pattern> = snapshot
+            .patterns
+            .iter()
+            .map(|m| m.pattern.clone())
+            .collect();
+        let index = PatternIndex::build(&patterns, &snapshot.grid);
         Ok(Loaded {
             snapshot,
             library,
             topk_json,
+            patterns,
+            index,
         })
     }
 }
@@ -413,13 +429,21 @@ fn route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
             let loaded = state.loaded();
             Response::text(200, state.metrics.render(&loaded.snapshot))
         }
-        ("GET", "/topk") => Response::json(200, state.loaded().topk_json.clone()),
+        // `/topk` is a deprecated alias for `/v1/topk` (same body).
+        ("GET", "/topk" | "/v1/topk") => Response::json(200, state.loaded().topk_json.clone()),
+        ("POST", "/v1/score") => v1_score_route(state, cfg, req),
+        ("POST", "/v1/match") => v1_match_route(state, cfg, req),
+        ("POST", "/v1/predict") => v1_predict_route(state, cfg, req),
+        // Deprecated pre-`/v1` aliases; original response bodies kept
+        // verbatim so existing clients keep working.
         ("POST", "/score") => score_route(state, cfg, req),
         ("POST", "/match") => match_route(state, cfg, req),
         ("POST", "/predict") => predict_route(state, cfg, req),
-        (_, "/healthz" | "/metrics" | "/topk" | "/score" | "/match" | "/predict") => {
-            Response::error(405, "method not allowed for this route")
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/topk" | "/score" | "/match" | "/predict" | "/v1/topk"
+            | "/v1/score" | "/v1/match" | "/v1/predict",
+        ) => Response::error(405, "method not allowed for this route"),
         _ => Response::error(404, "no such route"),
     }
 }
@@ -430,79 +454,90 @@ fn parse_dataset(req: &Request) -> Result<Dataset, Response> {
     Dataset::from_json(body).map_err(|e| Response::error(400, &format!("bad dataset: {e}")))
 }
 
-/// `POST /score`: NM of every snapshot pattern over the posted dataset,
-/// via the same parallel batch [`Scorer`] the miner uses — the returned
-/// NMs are bit-identical to the library path for any thread count.
-fn score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
-    let data = match parse_dataset(req) {
-        Ok(d) => d,
-        Err(resp) => return resp,
-    };
-    let loaded = state.loaded();
+/// Scores `batch` over `data` through the [`Scorer::query`] builder —
+/// the one scoring entry point shared by every route. `index` enables
+/// spatial pruning of far patterns; NMs are bit-identical either way.
+fn score_with(
+    state: &ServeState,
+    cfg: &ServerConfig,
+    loaded: &Loaded,
+    data: &Dataset,
+    batch: &[Pattern],
+    measure: trajpattern::Measure,
+    index: Option<&PatternIndex>,
+) -> Vec<f64> {
     let snap = &loaded.snapshot;
-    let patterns: Vec<Pattern> = snap.patterns.iter().map(|m| m.pattern.clone()).collect();
     let scorer = Scorer::with_threads(
-        &data,
+        data,
         &snap.grid,
         snap.params.delta,
         snap.params.min_prob,
         cfg.scorer_threads,
     );
-    let nms = scorer.score_batch(&patterns);
+    let request = scorer.query(batch).measure(measure);
+    let nms = match index {
+        Some(ix) => request.with_index(ix).run(),
+        None => request.run(),
+    };
     accumulate_scorer(state, &scorer, data.len());
-    Response::json(
-        200,
-        serde_json::to_string_pretty(&serde_json::json!({
-            "schema": "trajserve-score/v1",
-            "trajectories": data.len(),
-            "patterns": patterns.len(),
-            "nms": nms,
-        }))
-        .expect("score response serializes"),
-    )
+    nms
 }
 
-/// `POST /match`: best-NM snapshot pattern for the first posted
-/// (possibly partial) trajectory, plus its pattern-group assignment.
-fn match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
-    let data = match parse_dataset(req) {
-        Ok(d) => d,
-        Err(resp) => return resp,
-    };
-    let Some(traj) = data.trajectories().first() else {
-        return Response::error(400, "dataset holds no trajectory to match");
-    };
-    let single: Dataset = std::iter::once(traj.clone()).collect();
-    let loaded = state.loaded();
-    let snap = &loaded.snapshot;
-    let patterns: Vec<Pattern> = snap.patterns.iter().map(|m| m.pattern.clone()).collect();
-    let scorer = Scorer::with_threads(
-        &single,
-        &snap.grid,
-        snap.params.delta,
-        snap.params.min_prob,
-        cfg.scorer_threads,
-    );
-    let nms = scorer.score_batch(&patterns);
-    accumulate_scorer(state, &scorer, 1);
-    // Snapshot order is best-NM-first, so the first strict maximum is
-    // the canonical winner on ties.
+/// Resolves a `/v1` pattern filter into `(snapshot indices, batch)`.
+/// No filter selects the whole snapshot.
+fn select_patterns(
+    loaded: &Loaded,
+    filter: Option<&[usize]>,
+) -> Result<(Vec<usize>, Vec<Pattern>), Response> {
+    match filter {
+        None => Ok((
+            (0..loaded.patterns.len()).collect(),
+            loaded.patterns.clone(),
+        )),
+        Some(wanted) => {
+            let mut batch = Vec::with_capacity(wanted.len());
+            for &i in wanted {
+                let Some(p) = loaded.patterns.get(i) else {
+                    return Err(Response::error(
+                        400,
+                        &format!(
+                            "pattern filter index {i} out of range (snapshot holds {} patterns)",
+                            loaded.patterns.len()
+                        ),
+                    ));
+                };
+                batch.push(p.clone());
+            }
+            Ok((wanted.to_vec(), batch))
+        }
+    }
+}
+
+/// The `best` object shared by `/match` and `/v1/match`: the first
+/// strict maximum among finite scores (snapshot order is best-NM-first,
+/// so ties resolve to the canonical winner), reported with its snapshot
+/// index, cells, score, and pattern-group assignment.
+fn best_match_value(
+    snap: &Snapshot,
+    indices: &[usize],
+    batch: &[Pattern],
+    nms: &[f64],
+) -> serde_json::Value {
     let mut best: Option<usize> = None;
     for (i, nm) in nms.iter().enumerate() {
         if nm.is_finite() && best.is_none_or(|b| *nm > nms[b]) {
             best = Some(i);
         }
     }
-    let best_value = match best {
+    match best {
         Some(i) => {
-            let group = snap.groups.iter().position(|g| {
-                g.patterns
-                    .iter()
-                    .any(|m| m.pattern == snap.patterns[i].pattern)
-            });
+            let group = snap
+                .groups
+                .iter()
+                .position(|g| g.patterns.iter().any(|m| m.pattern == batch[i]));
             serde_json::json!({
-                "index": i,
-                "cells": snap.patterns[i].pattern.cells(),
+                "index": indices[i],
+                "cells": batch[i].cells(),
                 "nm": nms[i],
                 "group": match group {
                     Some(g) => serde_json::to_value(&g).expect("group index serializes"),
@@ -511,31 +546,16 @@ fn match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Respons
             })
         }
         None => serde_json::Value::Null,
-    };
-    Response::json(
-        200,
-        serde_json::to_string_pretty(&serde_json::json!({
-            "schema": "trajserve-match/v1",
-            "patterns": patterns.len(),
-            "nms": nms,
-            "best": best_value,
-        }))
-        .expect("match response serializes"),
-    )
+    }
 }
 
-/// `POST /predict`: next-cell distribution for the first posted
-/// trajectory's recent window, via the prediction crate's confirmation
-/// machinery.
-fn predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
-    let data = match parse_dataset(req) {
-        Ok(d) => d,
-        Err(resp) => return resp,
-    };
-    let Some(traj) = data.trajectories().first() else {
-        return Response::error(400, "dataset holds no trajectory to predict from");
-    };
-    let loaded = state.loaded();
+/// The prediction payload shared by `/predict` and `/v1/predict`:
+/// `(velocity, confirming count, next-cell distribution)`.
+fn predict_value(
+    loaded: &Loaded,
+    cfg: &ServerConfig,
+    traj: &Trajectory,
+) -> (serde_json::Value, usize, Vec<serde_json::Value>) {
     let lib = &loaded.library;
     let recent = traj.points();
     let velocity = lib.predict_next_velocity(recent);
@@ -569,6 +589,186 @@ fn predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Respo
         Some(v) => serde_json::json!({ "x": v.x, "y": v.y }),
         None => serde_json::Value::Null,
     };
+    (velocity_value, confirming, distribution)
+}
+
+/// `POST /v1/score`: scores over the posted trajectories under the
+/// shared query schema — measure, index pruning, and pattern filter all
+/// come from `options`. NMs are bit-identical to the library scorer.
+fn v1_score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let query = match QueryRequest::parse(&req.body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    let data = query.dataset();
+    let opts = query.options();
+    let measure = match opts.measure() {
+        Ok(m) => m,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let loaded = state.loaded();
+    let (indices, batch) = match select_patterns(&loaded, opts.patterns.as_deref()) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let subset_index;
+    let index = match (opts.use_index(), opts.patterns.is_some()) {
+        (false, _) => None,
+        (true, false) => Some(&loaded.index),
+        (true, true) => {
+            subset_index = PatternIndex::build(&batch, &loaded.snapshot.grid);
+            Some(&subset_index)
+        }
+    };
+    let nms = score_with(state, cfg, &loaded, &data, &batch, measure, index);
+    QueryResponse::new("score")
+        .field("trajectories", serde_json::json!(data.len()))
+        .field("patterns", serde_json::json!(indices))
+        .field("nms", serde_json::json!(nms))
+        .into_response()
+}
+
+/// `POST /v1/match`: best-scoring pattern for the first posted
+/// trajectory under the shared query schema.
+fn v1_match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let query = match QueryRequest::parse(&req.body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    let data = query.dataset();
+    let opts = query.options();
+    let measure = match opts.measure() {
+        Ok(m) => m,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let Some(traj) = data.trajectories().first() else {
+        return Response::error(400, "dataset holds no trajectory to match");
+    };
+    let single: Dataset = std::iter::once(traj.clone()).collect();
+    let loaded = state.loaded();
+    let (indices, batch) = match select_patterns(&loaded, opts.patterns.as_deref()) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let subset_index;
+    let index = match (opts.use_index(), opts.patterns.is_some()) {
+        (false, _) => None,
+        (true, false) => Some(&loaded.index),
+        (true, true) => {
+            subset_index = PatternIndex::build(&batch, &loaded.snapshot.grid);
+            Some(&subset_index)
+        }
+    };
+    let nms = score_with(state, cfg, &loaded, &single, &batch, measure, index);
+    let best = best_match_value(&loaded.snapshot, &indices, &batch, &nms);
+    QueryResponse::new("match")
+        .field("trajectories", serde_json::json!(1usize))
+        .field("patterns", serde_json::json!(indices))
+        .field("nms", serde_json::json!(nms))
+        .field("best", best)
+        .into_response()
+}
+
+/// `POST /v1/predict`: next-cell distribution for the first posted
+/// trajectory under the shared query schema.
+fn v1_predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let query = match QueryRequest::parse(&req.body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    let data = query.dataset();
+    let Some(traj) = data.trajectories().first() else {
+        return Response::error(400, "dataset holds no trajectory to predict from");
+    };
+    let loaded = state.loaded();
+    let (velocity, confirming, distribution) = predict_value(&loaded, cfg, traj);
+    QueryResponse::new("predict")
+        .field("trajectories", serde_json::json!(1usize))
+        .field("velocity", velocity)
+        .field("confirming", serde_json::json!(confirming))
+        .field("distribution", serde_json::Value::Array(distribution))
+        .into_response()
+}
+
+/// `POST /score` (deprecated alias of `/v1/score`): NM of every
+/// snapshot pattern over the posted dataset. Same scoring path as `/v1`
+/// — bit-identical NMs — with the original response body.
+fn score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let data = match parse_dataset(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let loaded = state.loaded();
+    let nms = score_with(
+        state,
+        cfg,
+        &loaded,
+        &data,
+        &loaded.patterns,
+        trajpattern::Measure::Nm,
+        Some(&loaded.index),
+    );
+    Response::json(
+        200,
+        serde_json::to_string_pretty(&serde_json::json!({
+            "schema": "trajserve-score/v1",
+            "trajectories": data.len(),
+            "patterns": loaded.patterns.len(),
+            "nms": nms,
+        }))
+        .expect("score response serializes"),
+    )
+}
+
+/// `POST /match` (deprecated alias of `/v1/match`): best-NM snapshot
+/// pattern for the first posted (possibly partial) trajectory, plus its
+/// pattern-group assignment. Original response body.
+fn match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let data = match parse_dataset(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Some(traj) = data.trajectories().first() else {
+        return Response::error(400, "dataset holds no trajectory to match");
+    };
+    let single: Dataset = std::iter::once(traj.clone()).collect();
+    let loaded = state.loaded();
+    let nms = score_with(
+        state,
+        cfg,
+        &loaded,
+        &single,
+        &loaded.patterns,
+        trajpattern::Measure::Nm,
+        Some(&loaded.index),
+    );
+    let indices: Vec<usize> = (0..loaded.patterns.len()).collect();
+    let best_value = best_match_value(&loaded.snapshot, &indices, &loaded.patterns, &nms);
+    Response::json(
+        200,
+        serde_json::to_string_pretty(&serde_json::json!({
+            "schema": "trajserve-match/v1",
+            "patterns": loaded.patterns.len(),
+            "nms": nms,
+            "best": best_value,
+        }))
+        .expect("match response serializes"),
+    )
+}
+
+/// `POST /predict` (deprecated alias of `/v1/predict`): next-cell
+/// distribution for the first posted trajectory's recent window, via
+/// the prediction crate's confirmation machinery. Original body.
+fn predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let data = match parse_dataset(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Some(traj) = data.trajectories().first() else {
+        return Response::error(400, "dataset holds no trajectory to predict from");
+    };
+    let loaded = state.loaded();
+    let (velocity_value, confirming, distribution) = predict_value(&loaded, cfg, traj);
     Response::json(
         200,
         serde_json::to_string_pretty(&serde_json::json!({

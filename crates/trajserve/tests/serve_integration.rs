@@ -163,15 +163,157 @@ fn routes_answer_and_score_is_bit_identical() {
     assert!(predicted.get("velocity").is_some());
     assert!(predicted["distribution"].as_array().is_some());
 
-    // Error envelope: bad JSON, unknown route, wrong method, no body.
-    let (status, _) = request(addr, "POST", "/score", Some("not json"), &[]);
+    // Error envelope: every failure is structured JSON with a machine
+    // code and a human message, matching the `/v1` schema.
+    let assert_error = |status: u16, body: &str, want_status: u16, want_code: &str| {
+        assert_eq!(status, want_status, "body: {body}");
+        let v: serde_json::Value = serde_json::from_str(body).expect("error body is JSON");
+        assert_eq!(v["error"]["code"].as_str().unwrap(), want_code, "{body}");
+        assert!(
+            !v["error"]["message"].as_str().unwrap().is_empty(),
+            "{body}"
+        );
+    };
+    let (status, body) = request(addr, "POST", "/score", Some("not json"), &[]);
+    assert_error(status, &body, 400, "bad_request");
+    let (status, body) = request(addr, "GET", "/nope", None, &[]);
+    assert_error(status, &body, 404, "not_found");
+    let (status, body) = request(addr, "GET", "/score", None, &[]);
+    assert_error(status, &body, 405, "method_not_allowed");
+    let (status, body) = request(addr, "POST", "/match", Some("{\"trajectories\": []}"), &[]);
+    assert_error(status, &body, 400, "bad_request");
+    let (status, body) = request(addr, "POST", "/v1/score", Some("not json"), &[]);
+    assert_error(status, &body, 400, "bad_request");
+
+    stop(&handle, join);
+}
+
+#[test]
+fn v1_routes_share_schema_and_agree_with_deprecated_aliases() {
+    let (snapshot, data) = mined();
+    let reference_patterns: Vec<Pattern> = snapshot
+        .patterns
+        .iter()
+        .map(|m| m.pattern.clone())
+        .collect();
+    let reference_grid = snapshot.grid.clone();
+    let (delta, min_prob) = (snapshot.params.delta, snapshot.params.min_prob);
+    let k = snapshot.patterns.len();
+    let (addr, handle, join) = start(snapshot, ServerConfig::default());
+    let query: Dataset = data.iter().take(4).cloned().collect();
+
+    // /v1/topk serves the same snapshot body as the deprecated /topk.
+    let (status, v1_topk) = request(addr, "GET", "/v1/topk", None, &[]);
+    assert_eq!(status, 200);
+    let (_, old_topk) = request(addr, "GET", "/topk", None, &[]);
+    assert_eq!(v1_topk, old_topk, "alias must serve the identical body");
+
+    // /v1/score: shared envelope, NMs bit-identical to the library
+    // scorer — and to the deprecated /score alias.
+    let (status, body) = request(addr, "POST", "/v1/score", Some(&query.to_json()), &[]);
+    assert_eq!(status, 200, "v1 score failed: {body}");
+    let scored: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(scored["schema"].as_str().unwrap(), trajserve::QUERY_SCHEMA);
+    assert_eq!(scored["query"].as_str().unwrap(), "score");
+    assert_eq!(scored["trajectories"].as_u64().unwrap(), 4);
+    assert_eq!(scored["patterns"].as_array().unwrap().len(), k);
+    let served: Vec<f64> = scored["nms"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    let direct = Scorer::with_threads(&query, &reference_grid, delta, min_prob, 1)
+        .score_batch(&reference_patterns);
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!(s.to_bits(), d.to_bits());
+    }
+    let (_, old_body) = request(addr, "POST", "/score", Some(&query.to_json()), &[]);
+    let old: serde_json::Value = serde_json::from_str(&old_body).unwrap();
+    for (s, o) in served.iter().zip(old["nms"].as_array().unwrap()) {
+        assert_eq!(s.to_bits(), o.as_f64().unwrap().to_bits());
+    }
+
+    // Index correctness: disabling index pruning must return the
+    // byte-identical response body.
+    let with_options = |options: &str| {
+        let v: serde_json::Value = serde_json::from_str(&query.to_json()).unwrap();
+        let trajs = serde_json::to_string(&v["trajectories"]).unwrap();
+        format!("{{\"trajectories\": {trajs}, \"options\": {options}}}")
+    };
+    let (status, unindexed) = request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(&with_options("{\"use_index\": false}")),
+        &[],
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, unindexed, "indexed and unindexed bodies must agree");
+    let (status, matched) = request(addr, "POST", "/v1/match", Some(&query.to_json()), &[]);
+    assert_eq!(status, 200);
+    let (status, matched_unindexed) = request(
+        addr,
+        "POST",
+        "/v1/match",
+        Some(&with_options("{\"use_index\": false}")),
+        &[],
+    );
+    assert_eq!(status, 200);
+    assert_eq!(matched, matched_unindexed);
+    let m: serde_json::Value = serde_json::from_str(&matched).unwrap();
+    assert_eq!(m["query"].as_str().unwrap(), "match");
+    assert!(m["best"]["nm"].as_f64().unwrap().is_finite());
+    // The deprecated /match alias agrees on the winner.
+    let (_, old_match) = request(addr, "POST", "/match", Some(&query.to_json()), &[]);
+    let om: serde_json::Value = serde_json::from_str(&old_match).unwrap();
+    assert_eq!(
+        m["best"]["index"].as_u64().unwrap(),
+        om["best"]["index"].as_u64().unwrap()
+    );
+
+    // A pattern filter restricts scoring to the named snapshot indices.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(&with_options("{\"patterns\": [0]}")),
+        &[],
+    );
+    assert_eq!(status, 200);
+    let filtered: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(filtered["patterns"].as_array().unwrap().len(), 1);
+    assert_eq!(
+        filtered["nms"].as_array().unwrap()[0]
+            .as_f64()
+            .unwrap()
+            .to_bits(),
+        served[0].to_bits()
+    );
+    // An out-of-range filter is a structured client error.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/score",
+        Some(&with_options("{\"patterns\": [999]}")),
+        &[],
+    );
     assert_eq!(status, 400);
-    let (status, _) = request(addr, "GET", "/nope", None, &[]);
-    assert_eq!(status, 404);
-    let (status, _) = request(addr, "GET", "/score", None, &[]);
-    assert_eq!(status, 405);
-    let (status, _) = request(addr, "POST", "/match", Some("{\"trajectories\": []}"), &[]);
-    assert_eq!(status, 400);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["error"]["code"].as_str().unwrap(), "bad_request");
+
+    // /v1/predict shares the envelope too.
+    let (status, body) = request(addr, "POST", "/v1/predict", Some(&query.to_json()), &[]);
+    assert_eq!(status, 200);
+    let p: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(p["schema"].as_str().unwrap(), trajserve::QUERY_SCHEMA);
+    assert_eq!(p["query"].as_str().unwrap(), "predict");
+    assert!(p["distribution"].as_array().is_some());
+
+    // /metrics tracks the v1 routes and the /v1/score histogram.
+    let (_, metrics) = request(addr, "GET", "/metrics", None, &[]);
+    assert!(metrics.contains("trajserve_requests_total{endpoint=\"v1_score\"}"));
+    assert!(metrics.contains("trajserve_v1_score_seconds_count"));
 
     stop(&handle, join);
 }
