@@ -14,7 +14,8 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<String
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("experiment results serialize");
-    std::fs::write(&path, json)?;
+    trajio::write_atomic(&path, &json)
+        .map_err(|e| std::io::Error::other(format!("{}: {}", e.path.display(), e.message)))?;
     Ok(path.display().to_string())
 }
 
@@ -37,7 +38,8 @@ pub fn write_dat(name: &str, columns: &[&str], rows: &[Vec<f64>]) -> std::io::Re
         out.push_str(&cells.join(" "));
         out.push('\n');
     }
-    std::fs::write(&path, out)?;
+    trajio::write_atomic(&path, &out)
+        .map_err(|e| std::io::Error::other(format!("{}: {}", e.path.display(), e.message)))?;
     Ok(path.display().to_string())
 }
 

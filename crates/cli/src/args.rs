@@ -54,9 +54,17 @@ impl Args {
     /// Parses `argv` (without the program name).
     pub fn parse(argv: Vec<String>) -> Result<Args, ArgError> {
         let mut it = argv.into_iter();
-        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut command = it.next().ok_or(ArgError::MissingCommand)?;
         if command.starts_with('-') {
             return Err(ArgError::Malformed { token: command });
+        }
+        // `db` takes a second command word (`trajmine db ingest …`);
+        // every other command treats a bare token as malformed.
+        if command == "db" {
+            match it.next() {
+                Some(sub) if !sub.starts_with('-') => command = format!("db {sub}"),
+                _ => return Err(ArgError::MissingCommand),
+            }
         }
         let mut options = BTreeMap::new();
         while let Some(token) = it.next() {
@@ -136,6 +144,21 @@ mod tests {
         assert!(matches!(
             Args::parse(v(&["mine", "k", "5"])),
             Err(ArgError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn db_takes_a_second_command_word() {
+        let a = Args::parse(v(&["db", "ingest", "--db", "store", "--input", "d.json"])).unwrap();
+        assert_eq!(a.command, "db ingest");
+        assert_eq!(a.require("db").unwrap(), "store");
+        assert!(matches!(
+            Args::parse(v(&["db"])),
+            Err(ArgError::MissingCommand)
+        ));
+        assert!(matches!(
+            Args::parse(v(&["db", "--db", "store"])),
+            Err(ArgError::MissingCommand)
         ));
     }
 

@@ -20,20 +20,31 @@ USAGE:
                     [--seed N] [--sigma F] [--traces N] [--snapshots N]
   trajmine stats    --input FILE
   trajmine validate --input FILE [--max-sigma F] [--min-len N]
-  trajmine mine     --input FILE --k N [--delta F] [--grid N] [--min-len N]
+  trajmine mine     --input FILE | --db DIR [--from-id N] [--to-id N]
+                    [--from-t N] [--to-t N] [--save-snapshot NAME]
+                    --k N [--delta F] [--grid N] [--min-len N]
                     [--max-len N] [--gamma F] [--threads N] [--velocity true]
                     [--bbox X0,Y0,X1,Y1] [--map true] [--json FILE]
                     [--on-error strict|skip|repair]
                     [--checkpoint FILE] [--resume FILE]
-  trajmine stream   --input FILE.events --window N [--emit-every M] [--k N]
+  trajmine stream   --input FILE.events | --db DIR [--from-id N] [--to-id N]
+                    [--from-t N] [--to-t N]
+                    --window N [--emit-every M] [--k N]
                     [--delta F] [--grid N] [--bbox X0,Y0,X1,Y1] [--min-len N]
                     [--max-len N] [--gamma F] [--threads N] [--json FILE]
                     [--follow true] [--idle-ms N]
                     [--checkpoint FILE] [--resume FILE]
-  trajmine serve    --snapshot FILE [--addr HOST:PORT] [--workers N]
+  trajmine serve    --snapshot FILE | --db DIR --name NAME
+                    [--addr HOST:PORT] [--workers N]
                     [--queue N] [--threads N] [--confirm F] [--watch true]
                     [--watch-interval-ms N] [--read-timeout-ms N]
                     [--write-timeout-ms N]
+  trajmine db ingest  --db DIR --input FILE [--batch N] [--t N]
+                      [--fsync always|every:N|never] [--segment-max-bytes N]
+  trajmine db stat    --db DIR [--verify true]
+  trajmine db compact --db DIR
+  trajmine db export  --db DIR --out FILE [--from-id N] [--to-id N]
+                      [--from-t N] [--to-t N]
 
 Dataset files ending in .csv use the CSV schema `traj_id,snapshot,x,y,sigma`;
 files ending in .events use the trajstream event-log format (one arriving
@@ -51,6 +62,22 @@ recoverable values; skip and repair print an ingest report to stderr.
 --checkpoint FILE saves resumable state after every growth level;
 --resume FILE continues an interrupted run (the data and parameters must
 match the checkpointed run) with bit-identical results.
+
+`db` manages an embedded crash-safe trajectory store: an append-only
+directory of CRC-checksummed segment files plus an atomically-replaced
+manifest. `db ingest` appends a dataset as batches of --batch (default
+64) trajectories; --fsync picks the durability/throughput trade
+(always = no acknowledged batch is ever lost; every:N = at most the
+last N-1 batches; never = the OS decides; default every:8). Opening a
+store recovers it: torn or garbage tail bytes in the active segment are
+truncated back to the last valid checksum, and files stranded by an
+interrupted compaction are swept — `db stat` reports what recovery
+found, and --verify true re-checksums every sealed segment. `db export`
+writes records back out (format by extension, like generate --out),
+optionally sliced by record id and batch timestamp. `mine --db DIR`,
+`stream --db DIR`, and `serve --db DIR --name NAME` read from a store
+instead of a file; `mine --save-snapshot NAME` persists the mining
+output durably into the store, where serve picks it up.
 
 `stream` replays (or, with --follow true, tails) an append-only .events log
 through the incremental sliding-window miner: the last --window arrivals
@@ -93,6 +120,10 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
         "mine" => mine_cmd(args),
         "stream" => stream_cmd(args),
         "serve" => serve_cmd(args),
+        "db ingest" => crate::db::ingest(args),
+        "db stat" => crate::db::stat(args),
+        "db compact" => crate::db::compact(args),
+        "db export" => crate::db::export(args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -147,13 +178,14 @@ fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
         other => return Err(format!("unknown workload '{other}'").into()),
     };
     let data = observe_directly(&paths, sigma, seed ^ 0x0b5e);
-    if out.ends_with(".csv") {
-        std::fs::write(&out, trajdata::csv::to_csv(&data))?;
+    let text = if out.ends_with(".csv") {
+        trajdata::csv::to_csv(&data)
     } else if out.ends_with(".events") {
-        std::fs::write(&out, datagen::event_log(&data))?;
+        datagen::event_log(&data)
     } else {
-        std::fs::write(&out, data.to_json())?;
-    }
+        data.to_json()
+    };
+    trajio::write_atomic(std::path::Path::new(&out), &text)?;
     eprintln!(
         "wrote {} trajectories ({} snapshots each) to {out}",
         data.len(),
@@ -163,7 +195,17 @@ fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn stats(args: &Args) -> Result<(), Box<dyn Error>> {
-    let data = load(args)?;
+    // `.events` logs go through the tail-recovering parser so a torn or
+    // garbage tail is reported instead of aborting the whole summary.
+    let input = args.require("input")?;
+    let data = if input.ends_with(".events") {
+        let raw = std::fs::read_to_string(input)?;
+        let rec = trajdata::eventlog::recover_event_log(&raw)?;
+        println!("log tail      : {}", rec.scan.verdict);
+        rec.events.into_iter().collect()
+    } else {
+        load(args)?
+    };
     match data.stats() {
         None => println!("empty dataset"),
         Some(s) => {
@@ -254,7 +296,14 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
             .map_err(|_| format!("invalid --on-error value '{s}' (use strict|skip|repair)"))?,
         None => IngestPolicy::Strict,
     };
-    let (mut data, report) = load_with_policy(args, policy)?;
+    let store = match args.get("db") {
+        Some(_) => Some(crate::db::open_store(args)?),
+        None => None,
+    };
+    let (mut data, report) = match &store {
+        Some(store) => (store.read_dataset(&crate::db::read_filter(args)?)?, None),
+        None => load_with_policy(args, policy)?,
+    };
     if let Some(r) = &report {
         if !r.is_clean() {
             eprintln!("ingest: {r}");
@@ -343,10 +392,18 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
             );
         }
     }
-    if let Some(json_path) = args.get("json") {
+    if args.get("json").is_some() || args.get("save-snapshot").is_some() {
         let payload = crate::render::mining_json(&out, &grid, &params);
-        std::fs::write(json_path, serde_json::to_string_pretty(&payload)?)?;
-        eprintln!("wrote {json_path}");
+        let text = serde_json::to_string_pretty(&payload)?;
+        if let Some(json_path) = args.get("json") {
+            trajio::write_atomic(std::path::Path::new(json_path), &text)?;
+            eprintln!("wrote {json_path}");
+        }
+        if let Some(name) = args.get("save-snapshot") {
+            let store = store.as_ref().ok_or("--save-snapshot requires --db")?;
+            let path = store.put_snapshot(name, &text)?;
+            eprintln!("saved snapshot '{name}' to {}", path.display());
+        }
     }
     Ok(())
 }
@@ -356,7 +413,15 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
 fn serve_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     use std::time::Duration;
 
-    let snapshot_path = std::path::PathBuf::from(args.require("snapshot")?);
+    let snapshot_path = match (args.get("snapshot"), args.get("db")) {
+        (Some(path), None) => std::path::PathBuf::from(path),
+        (None, Some(dir)) => {
+            let name = args.require("name")?;
+            trajdb::Store::snapshot_path_in(std::path::Path::new(dir), name)?
+        }
+        (Some(_), Some(_)) => return Err("pass either --snapshot or --db, not both".into()),
+        (None, None) => return Err("serve needs --snapshot FILE or --db DIR --name NAME".into()),
+    };
     let confirm: f64 = args.get_or("confirm", 0.9f64)?;
     let cfg = trajserve::ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
@@ -415,13 +480,19 @@ fn serve_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
 /// `trajmine stream`: replay or tail an append-only `.events` log through
 /// the incremental sliding-window miner.
 fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
-    let input = args.require("input")?;
+    let use_db = args.get("db").is_some();
+    if use_db && args.get("input").is_some() {
+        return Err("pass either --input or --db, not both".into());
+    }
     let window: u64 = args.get_or("window", 64u64)?;
     if window == 0 {
         return Err("--window must be at least 1".into());
     }
     let emit_every: u64 = args.get_or("emit-every", 0u64)?;
     let follow: bool = args.get_or("follow", false)?;
+    if use_db && follow {
+        return Err("--follow tails an .events file; it cannot be combined with --db".into());
+    }
     let idle_ms: u64 = args.get_or("idle-ms", 50u64)?;
 
     let k: usize = args.get_or("k", 10usize)?;
@@ -461,6 +532,32 @@ fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     let skip = miner.next_seq();
     let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
 
+    if use_db {
+        // Replay committed store records (id order) through the miner;
+        // `--resume` skips already-processed arrivals exactly as it does
+        // for a log file.
+        let store = crate::db::open_store(args)?;
+        let mut event_no = 0u64;
+        for record in store.read(&crate::db::read_filter(args)?)? {
+            event_no += 1;
+            if event_no <= skip {
+                continue;
+            }
+            miner.slide(record.trajectory, window);
+            if emit_every > 0 && miner.stats().arrivals % emit_every == 0 {
+                println!(
+                    "{}",
+                    serde_json::to_string(&crate::render::stream_json(&miner))?
+                );
+                if let Some(path) = &checkpoint_path {
+                    miner.checkpoint(path)?;
+                }
+            }
+        }
+        return finish_stream(args, &mut miner, checkpoint_path.as_deref());
+    }
+
+    let input = args.require("input")?;
     let file = std::fs::File::open(input)?;
     let mut reader = std::io::BufReader::new(file);
     let mut line = String::new();
@@ -528,6 +625,16 @@ fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
         }
     }
 
+    finish_stream(args, &mut miner, checkpoint_path.as_deref())
+}
+
+/// Shared tail of `trajmine stream`: print the run summary and top-k,
+/// write `--json`, and take the final checkpoint.
+fn finish_stream(
+    args: &Args,
+    miner: &mut StreamMiner,
+    checkpoint_path: Option<&std::path::Path>,
+) -> Result<(), Box<dyn Error>> {
     let s = miner.stats();
     eprintln!(
         "stream done: {} arrivals, {} evictions, window {}, {} ledger patterns, \
@@ -544,11 +651,14 @@ fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
         println!("#{:<3} nm {:>10.2}  len {}", i + 1, m.nm, m.pattern.len());
     }
     if let Some(json_path) = args.get("json") {
-        let payload = crate::render::stream_json(&miner);
-        std::fs::write(json_path, serde_json::to_string_pretty(&payload)?)?;
+        let payload = crate::render::stream_json(miner);
+        trajio::write_atomic(
+            std::path::Path::new(json_path),
+            &serde_json::to_string_pretty(&payload)?,
+        )?;
         eprintln!("wrote {json_path}");
     }
-    if let Some(path) = &checkpoint_path {
+    if let Some(path) = checkpoint_path {
         miner.checkpoint(path)?;
         eprintln!("checkpointed stream state to {}", path.display());
     }
@@ -973,6 +1083,265 @@ mod tests {
     #[test]
     fn unknown_subcommand_errors() {
         assert!(dispatch(&args(&["frobnicate"])).is_err());
+        assert!(dispatch(&args(&["db frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn db_ingest_stat_export_compact_round_trip() {
+        let dir = std::env::temp_dir().join(format!("trajmine-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("d.json");
+        let data_str = data_path.to_str().unwrap();
+        let store = dir.join("store");
+        let store_str = store.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "uniform",
+            "--traces",
+            "6",
+            "--snapshots",
+            "12",
+            "--out",
+            data_str,
+        ]))
+        .unwrap();
+
+        dispatch(&args(&[
+            "db", "ingest", "--db", store_str, "--input", data_str, "--batch", "2", "--fsync",
+            "always",
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "db", "stat", "--db", store_str, "--verify", "true",
+        ]))
+        .unwrap();
+        dispatch(&args(&["db", "compact", "--db", store_str])).unwrap();
+
+        // Export must round-trip the ingested dataset byte-identically
+        // (JSON serialisation is deterministic and bit-exact).
+        let out = dir.join("export.json");
+        dispatch(&args(&[
+            "db",
+            "export",
+            "--db",
+            store_str,
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let original = std::fs::read_to_string(&data_path).unwrap();
+        let exported = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(original, exported);
+
+        // An id-range export slices by record id.
+        let sliced = dir.join("slice.json");
+        dispatch(&args(&[
+            "db",
+            "export",
+            "--db",
+            store_str,
+            "--out",
+            sliced.to_str().unwrap(),
+            "--from-id",
+            "2",
+            "--to-id",
+            "4",
+        ]))
+        .unwrap();
+        let d = trajdata::Dataset::from_json(&std::fs::read_to_string(&sliced).unwrap()).unwrap();
+        assert_eq!(d.len(), 3);
+
+        // Bad flags are rejected.
+        assert!(dispatch(&args(&[
+            "db",
+            "ingest",
+            "--db",
+            store_str,
+            "--input",
+            data_str,
+            "--fsync",
+            "sometimes",
+        ]))
+        .is_err());
+        assert!(dispatch(&args(&[
+            "db", "ingest", "--db", store_str, "--input", data_str, "--batch", "0",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mine_from_db_matches_mine_from_file() {
+        let dir = std::env::temp_dir().join(format!("trajmine-dbmine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("d.json");
+        let data_str = data_path.to_str().unwrap();
+        let store = dir.join("store");
+        let store_str = store.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "bus",
+            "--traces",
+            "6",
+            "--snapshots",
+            "12",
+            "--out",
+            data_str,
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "db", "ingest", "--db", store_str, "--input", data_str,
+        ]))
+        .unwrap();
+
+        let from_file = dir.join("file.json");
+        let from_db = dir.join("db.json");
+        let tail = [
+            "--k",
+            "3",
+            "--grid",
+            "6",
+            "--max-len",
+            "3",
+            "--bbox",
+            "0,0,1,1",
+        ];
+        let mut a = vec![
+            "mine",
+            "--input",
+            data_str,
+            "--json",
+            from_file.to_str().unwrap(),
+        ];
+        a.extend(tail);
+        dispatch(&args(&a)).unwrap();
+        let mut b = vec![
+            "mine",
+            "--db",
+            store_str,
+            "--json",
+            from_db.to_str().unwrap(),
+            "--save-snapshot",
+            "nightly",
+        ];
+        b.extend(tail);
+        dispatch(&args(&b)).unwrap();
+        let fa: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&from_file).unwrap()).unwrap();
+        let fb: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&from_db).unwrap()).unwrap();
+        assert_eq!(fa["patterns"], fb["patterns"]);
+
+        // --save-snapshot persisted a loadable trajserve snapshot in the
+        // store, exactly where serve --db would look for it.
+        let snap_path = trajdb::Store::snapshot_path_in(&store, "nightly").unwrap();
+        let snap = trajserve::Snapshot::load(&snap_path).unwrap();
+        assert_eq!(snap.patterns.len(), 3);
+        // --save-snapshot without --db is rejected.
+        let mut c = vec!["mine", "--input", data_str, "--save-snapshot", "x"];
+        c.extend(tail);
+        assert!(dispatch(&args(&c)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_from_db_matches_stream_from_events() {
+        let dir = std::env::temp_dir().join(format!("trajmine-dbstream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("d.events");
+        let events_str = events.to_str().unwrap();
+        let store = dir.join("store");
+        let store_str = store.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "zebranet",
+            "--traces",
+            "8",
+            "--snapshots",
+            "10",
+            "--out",
+            events_str,
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "db", "ingest", "--db", store_str, "--input", events_str, "--batch", "3",
+        ]))
+        .unwrap();
+
+        let tail = ["--window", "4", "--k", "3", "--grid", "5", "--max-len", "3"];
+        let from_events = dir.join("events.json");
+        let from_db = dir.join("db.json");
+        let mut a = vec![
+            "stream",
+            "--input",
+            events_str,
+            "--json",
+            from_events.to_str().unwrap(),
+        ];
+        a.extend(tail);
+        dispatch(&args(&a)).unwrap();
+        let mut b = vec![
+            "stream",
+            "--db",
+            store_str,
+            "--json",
+            from_db.to_str().unwrap(),
+        ];
+        b.extend(tail);
+        dispatch(&args(&b)).unwrap();
+        let fa: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&from_events).unwrap()).unwrap();
+        let fb: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&from_db).unwrap()).unwrap();
+        assert_eq!(fa["patterns"], fb["patterns"]);
+        assert_eq!(fa["stream"], fb["stream"]);
+
+        // Conflicting and unsupported flag combinations are rejected.
+        assert!(dispatch(&args(&[
+            "stream", "--db", store_str, "--input", events_str, "--window", "4",
+        ]))
+        .is_err());
+        assert!(dispatch(&args(&[
+            "stream", "--db", store_str, "--window", "4", "--follow", "true",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_resolves_snapshots_from_a_store() {
+        // Without --snapshot or --db, and with both, serve refuses.
+        assert!(dispatch(&args(&["serve"])).is_err());
+        assert!(dispatch(&args(&[
+            "serve",
+            "--snapshot",
+            "x.json",
+            "--db",
+            "store",
+            "--name",
+            "n",
+        ]))
+        .is_err());
+        // --db without --name is missing a required flag.
+        assert!(dispatch(&args(&["serve", "--db", "store"])).is_err());
+        // A store without the named snapshot fails at load, proving the
+        // path was resolved into the store's snapshots directory.
+        let dir = std::env::temp_dir().join(format!("trajmine-dbserve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = dispatch(&args(&[
+            "serve",
+            "--db",
+            dir.to_str().unwrap(),
+            "--name",
+            "missing",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("missing"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! `trajmine db` subcommands: the embedded crash-safe trajectory store.
+
+use crate::args::Args;
+use crate::input::load;
+use std::error::Error;
+use trajdb::store::ReadFilter;
+use trajdb::{FsyncPolicy, Store, StoreOptions};
+
+/// Opens the store named by `--db`, honouring `--fsync` and
+/// `--segment-max-bytes`.
+pub fn open_store(args: &Args) -> Result<Store, Box<dyn Error>> {
+    let dir = args.require("db")?;
+    let mut opts = StoreOptions::default();
+    if let Some(s) = args.get("fsync") {
+        opts.fsync = FsyncPolicy::parse(s)?;
+    }
+    opts.segment_max_bytes = args.get_or("segment-max-bytes", opts.segment_max_bytes)?;
+    Ok(Store::open(dir, opts)?)
+}
+
+/// Builds the id/time filter from `--from-id/--to-id/--from-t/--to-t`.
+pub fn read_filter(args: &Args) -> Result<ReadFilter, Box<dyn Error>> {
+    let opt = |key: &str| -> Result<Option<u64>, Box<dyn Error>> {
+        Ok(match args.get(key) {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|_| format!("invalid --{key} value '{raw}'"))?,
+            ),
+        })
+    };
+    Ok(ReadFilter {
+        min_id: opt("from-id")?,
+        max_id: opt("to-id")?,
+        min_t: opt("from-t")?,
+        max_t: opt("to-t")?,
+    })
+}
+
+/// `trajmine db ingest`: append a dataset file to the store as batches.
+pub fn ingest(args: &Args) -> Result<(), Box<dyn Error>> {
+    let data = load(args)?;
+    if data.is_empty() {
+        return Err("refusing to ingest an empty dataset".into());
+    }
+    let batch: usize = args.get_or("batch", 64usize)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let mut store = open_store(args)?;
+    // Timestamps continue from wherever the store left off unless the
+    // caller pins a (non-regressing) start with --t.
+    let t0: u64 = args.get_or("t", store.last_t())?;
+    let mut t = t0;
+    let mut first = None;
+    let mut last = 0;
+    for chunk in data.trajectories().chunks(batch) {
+        let ids = store.append_batch(t, chunk)?;
+        first.get_or_insert(ids.start);
+        last = ids.end;
+        t += 1;
+    }
+    store.sync()?;
+    let stats = store.stats();
+    eprintln!(
+        "ingested {} trajectories as ids {}..{} at t {}..{} ({} total records, {} segments)",
+        data.len(),
+        first.unwrap_or(0),
+        last,
+        t0,
+        t,
+        stats.total_records(),
+        stats.sealed_segments + 1
+    );
+    Ok(())
+}
+
+/// `trajmine db stat`: print store statistics and the recovery verdict;
+/// `--verify true` additionally re-checksums every sealed segment.
+pub fn stat(args: &Args) -> Result<(), Box<dyn Error>> {
+    let store = open_store(args)?;
+    let s = store.stats();
+    println!("records        : {} total", s.total_records());
+    println!(
+        "sealed         : {} segments, {} batches, {} records, {} bytes",
+        s.sealed_segments, s.sealed_batches, s.sealed_records, s.sealed_bytes
+    );
+    println!(
+        "active         : {} batches, {} records, {} bytes",
+        s.active_batches, s.active_records, s.active_bytes
+    );
+    println!("next id / seq  : {} / {}", s.next_id, s.next_seq);
+    println!("last t         : {}", store.last_t());
+    println!("recovery tail  : {}", s.recovery.verdict);
+    if s.recovery.orphans_removed > 0 || s.recovery.tmp_removed > 0 {
+        println!(
+            "recovery sweep : {} orphan segment(s), {} tmp file(s) removed",
+            s.recovery.orphans_removed, s.recovery.tmp_removed
+        );
+    }
+    let snapshots = store.list_snapshots()?;
+    if !snapshots.is_empty() {
+        println!("snapshots      : {}", snapshots.join(", "));
+    }
+    if args.get_or("verify", false)? {
+        store.verify()?;
+        println!("verify         : all sealed checksums ok");
+    }
+    Ok(())
+}
+
+/// `trajmine db compact`: fold all sealed segments (plus the active one)
+/// into a single sealed segment.
+pub fn compact(args: &Args) -> Result<(), Box<dyn Error>> {
+    let mut store = open_store(args)?;
+    let before = store.stats();
+    store.compact()?;
+    let after = store.stats();
+    eprintln!(
+        "compacted {} segments ({} bytes) into {} ({} bytes), {} records",
+        before.sealed_segments + usize::from(before.active_bytes > 0),
+        before.total_bytes(),
+        after.sealed_segments,
+        after.total_bytes(),
+        after.total_records()
+    );
+    Ok(())
+}
+
+/// `trajmine db export`: write stored records (optionally id/time
+/// filtered) to a dataset file; the format follows the extension, like
+/// `generate --out`.
+pub fn export(args: &Args) -> Result<(), Box<dyn Error>> {
+    let out = args.require("out")?.to_string();
+    let store = open_store(args)?;
+    let data = store.read_dataset(&read_filter(args)?)?;
+    let text = if out.ends_with(".csv") {
+        trajdata::csv::to_csv(&data)
+    } else if out.ends_with(".events") {
+        datagen::event_log(&data)
+    } else {
+        data.to_json()
+    };
+    trajio::write_atomic(std::path::Path::new(&out), &text)?;
+    eprintln!("exported {} trajectories to {out}", data.len());
+    Ok(())
+}

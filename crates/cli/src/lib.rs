@@ -13,6 +13,9 @@
 //! - `serve`: load a pattern snapshot (`mine --json` output or a
 //!   `stream` checkpoint) and answer concurrent HTTP pattern queries
 //!   over it ([`trajserve`]) until a termination signal drains it.
+//! - `db ingest` / `db stat` / `db compact` / `db export`: manage the
+//!   embedded crash-safe trajectory store ([`trajdb`]); `mine`,
+//!   `stream`, and `serve` can all read from a store via `--db`.
 //!
 //! Argument parsing is deliberately dependency-free: flags are
 //! `--name value` pairs validated into typed options.
@@ -22,6 +25,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod db;
 pub mod input;
 pub mod render;
 

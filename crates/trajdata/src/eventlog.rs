@@ -24,6 +24,9 @@ use crate::snapshot::SnapshotPoint;
 use crate::trajectory::{Trajectory, TrajectoryError};
 use std::fmt;
 use trajgeo::Point2;
+#[allow(unused_imports)] // referenced by intra-doc links on `recover_event_log`
+use trajio::tail::TailVerdict;
+use trajio::tail::{RecordStep, TailScan};
 
 /// First line of every event log.
 pub const EVENTS_VERSION_LINE: &str = "trajstream-events v1";
@@ -182,6 +185,88 @@ pub fn parse_event_line(raw: &str, line_no: usize) -> Result<Option<Trajectory>,
         source,
     })?;
     Ok(Some(traj))
+}
+
+/// The crash-recovery view of an event log: the committed events plus
+/// the tail diagnosis from the shared [`trajio::tail`] scanner.
+#[derive(Debug, Clone)]
+pub struct EventLogRecovery {
+    /// Every event in the committed (pre-tear) prefix, in log order.
+    pub events: Vec<Trajectory>,
+    /// Committed length, record count, and tail verdict. Record counts
+    /// include comment/blank lines; `events.len()` is the event count.
+    pub scan: TailScan,
+}
+
+/// Recovers the committed prefix of a possibly crash-torn event log.
+///
+/// Where [`parse_event_log`] treats a torn or garbage tail as a fatal
+/// parse error, this scanner — built on [`trajio::tail::recover`], the
+/// same primitive trajdb segments use — keeps every complete, valid
+/// event before the damage and reports a typed [`TailVerdict`]:
+///
+/// * a final line with no terminating newline is a torn append
+///   ([`TailVerdict::TornTruncated`]);
+/// * a complete line that does not parse is foreign bytes
+///   ([`TailVerdict::Garbage`]);
+/// * otherwise the log is [`TailVerdict::Clean`].
+///
+/// Only a missing or torn *version line* remains a hard error: such a
+/// file has no committed prefix to recover.
+pub fn recover_event_log(text: &str) -> Result<EventLogRecovery, EventLogError> {
+    match trajio::first_content_line(text, true) {
+        Some(EVENTS_VERSION_LINE) => {}
+        other => {
+            return Err(EventLogError::Version {
+                found: other.unwrap_or("").to_string(),
+            })
+        }
+    }
+    // Scan starts after the version line; everything before it (blanks,
+    // comments) was validated by the sniff above. Walk lines with byte
+    // offsets rather than `str::find`, so a comment quoting the version
+    // string cannot confuse the split.
+    let mut body_start = text.len();
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        let content = line.trim();
+        if !(content.is_empty() || content.starts_with('#')) {
+            // The sniff guarantees this is the version line. If it has
+            // no trailing newline the body is empty (clean tail) —
+            // `parse_event_log` accepts this shape too.
+            body_start = if line.ends_with('\n') {
+                offset + line.len()
+            } else {
+                text.len()
+            };
+            break;
+        }
+        offset += line.len();
+    }
+    let body = &text[body_start..];
+
+    let mut events = Vec::new();
+    let step = |rest: &[u8]| -> RecordStep {
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            // No terminating newline: a torn append, even if the prefix
+            // happens to parse (framing is the newline).
+            return RecordStep::Incomplete;
+        };
+        let Ok(line) = std::str::from_utf8(&rest[..nl]) else {
+            return RecordStep::Corrupt;
+        };
+        match parse_event_line(line.trim_end_matches('\r'), 0) {
+            Ok(Some(traj)) => {
+                events.push(traj);
+                RecordStep::Complete(nl + 1)
+            }
+            Ok(None) => RecordStep::Complete(nl + 1),
+            Err(_) => RecordStep::Corrupt,
+        }
+    };
+    let mut scan = trajio::tail::recover(body.as_bytes(), step);
+    scan.committed_len += body_start;
+    Ok(EventLogRecovery { events, scan })
 }
 
 #[cfg(test)]

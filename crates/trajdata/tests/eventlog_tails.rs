@@ -4,10 +4,12 @@
 //! tailing consumer must be able to keep every event before the tear.
 
 use trajdata::eventlog::{
-    parse_event_line, parse_event_log, write_event_log, EventLogError, EVENTS_VERSION_LINE,
+    parse_event_line, parse_event_log, recover_event_log, write_event_log, EventLogError,
+    EVENTS_VERSION_LINE,
 };
 use trajdata::{Dataset, Trajectory};
 use trajgeo::Point2;
+use trajio::tail::TailVerdict;
 
 fn sample_log(events: usize) -> String {
     let data: Dataset = (0..events)
@@ -126,4 +128,74 @@ fn whitespace_and_comment_tails_are_harmless() {
 fn version_only_log_is_an_empty_stream() {
     let events = parse_event_log(&format!("{EVENTS_VERSION_LINE}\n")).unwrap();
     assert!(events.is_empty());
+}
+
+#[test]
+fn recover_keeps_the_prefix_and_diagnoses_a_torn_tail() {
+    let mut text = sample_log(3);
+    text.push_str("t 0.9 0.9 0.0 0.8"); // torn mid-write, no newline
+    let rec = recover_event_log(&text).unwrap();
+    assert_eq!(rec.events.len(), 3, "all complete events survive");
+    assert_eq!(rec.scan.verdict, TailVerdict::TornTruncated(17));
+    // The committed prefix re-parses cleanly and yields the same events.
+    let reparsed = parse_event_log(&text[..rec.scan.committed_len]).unwrap();
+    assert_eq!(reparsed.len(), 3);
+}
+
+#[test]
+fn recover_diagnoses_binary_garbage_as_garbage() {
+    let mut text = sample_log(2);
+    text.push_str("\u{0}\u{1}\u{2} binary junk \u{7f}\n");
+    let rec = recover_event_log(&text).unwrap();
+    assert_eq!(rec.events.len(), 2);
+    assert!(matches!(rec.scan.verdict, TailVerdict::Garbage(_)));
+}
+
+#[test]
+fn recover_reports_clean_for_untorn_logs() {
+    let text = sample_log(4);
+    let rec = recover_event_log(&text).unwrap();
+    assert_eq!(rec.events.len(), 4);
+    assert_eq!(rec.scan.verdict, TailVerdict::Clean);
+    assert_eq!(rec.scan.committed_len, text.len());
+}
+
+#[test]
+fn recover_still_rejects_a_torn_version_line() {
+    let torn = &EVENTS_VERSION_LINE[..EVENTS_VERSION_LINE.len() - 4];
+    assert!(matches!(
+        recover_event_log(torn),
+        Err(EventLogError::Version { .. })
+    ));
+}
+
+#[test]
+fn recover_matches_parse_on_every_truncation_offset() {
+    // The crash-matrix property in miniature: for every byte-level cut of
+    // the log, recovery keeps exactly the events whose full line
+    // (including newline) fits in the prefix — the committed prefix.
+    let text = sample_log(3);
+    let header_len = EVENTS_VERSION_LINE.len() + 1;
+    let line_ends: Vec<usize> = text
+        .char_indices()
+        .filter(|&(_, c)| c == '\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    for cut in header_len..=text.len() {
+        let rec = recover_event_log(&text[..cut]).unwrap();
+        let committed_events = line_ends
+            .iter()
+            .filter(|&&e| e > header_len && e <= cut)
+            .count();
+        assert_eq!(rec.events.len(), committed_events, "cut at byte {cut}");
+        if line_ends.contains(&cut) || cut == header_len {
+            assert_eq!(rec.scan.verdict, TailVerdict::Clean, "cut at byte {cut}");
+        } else {
+            assert!(
+                matches!(rec.scan.verdict, TailVerdict::TornTruncated(_)),
+                "cut at byte {cut}: {:?}",
+                rec.scan.verdict
+            );
+        }
+    }
 }

@@ -1,0 +1,192 @@
+//! Deterministic power-cut fault injection for the store.
+//!
+//! The active segment only ever grows by appends, so the file's final
+//! content *is* the write stream: cutting it at byte `k` reproduces
+//! exactly the state a power cut after `k` durable bytes would leave.
+//! [`CrashFs`] records a store's active segment and materialises any
+//! such cut — optionally with a mutated tail (garbage bytes, a replayed
+//! batch) — into a fresh directory, which tests then recover with
+//! [`crate::Store::open`] and compare against the committed-batch
+//! prefix.
+//!
+//! This gives an exhaustive crash matrix without interposing on the
+//! filesystem: every byte offset of the write stream is a test case,
+//! and the expected recovery result is computable from the recorded
+//! commit boundaries alone.
+
+use crate::manifest::Manifest;
+use crate::segment::scan_segment;
+use crate::store::{segment_file_name, MANIFEST_FILE};
+use crate::StoreError;
+use std::path::Path;
+use trajio::durable;
+use trajio::tail::TailVerdict;
+
+/// What to append after the truncated prefix when materialising a cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailMutation {
+    /// Plain truncation: the classic torn write.
+    None,
+    /// Arbitrary junk after the cut — bit rot, a foreign writer, or a
+    /// disk returning stale sectors.
+    Garbage(Vec<u8>),
+    /// Replay the last committed batch's bytes after the cut — an
+    /// at-least-once writer re-appending after a lost acknowledgement.
+    /// Recovery must reject the duplicate via its sequence number.
+    DoubleLastBatch,
+}
+
+/// A recorded write stream: the active segment's bytes plus the byte
+/// offsets at which each batch became committed.
+#[derive(Debug, Clone)]
+pub struct CrashFs {
+    active_no: u64,
+    bytes: Vec<u8>,
+    /// Absolute offsets (into `bytes`) after each committed batch; the
+    /// first entry is the version-line boundary (zero committed
+    /// batches).
+    commits: Vec<usize>,
+    /// `(offset, len)` of each committed batch within `bytes`.
+    batch_spans: Vec<(usize, usize)>,
+}
+
+impl CrashFs {
+    /// Records the current write stream of the store at `dir`. The
+    /// active segment must scan clean — record before crashing, not
+    /// after.
+    pub fn record(dir: &Path) -> Result<CrashFs, StoreError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path).map_err(|e| StoreError::Io {
+            path: manifest_path.clone(),
+            message: e.to_string(),
+        })?;
+        let manifest = Manifest::decode(&text, &manifest_path)?;
+        let active_path = dir.join(segment_file_name(manifest.active));
+        let bytes = if active_path.exists() {
+            std::fs::read(&active_path).map_err(|e| StoreError::Io {
+                path: active_path.clone(),
+                message: e.to_string(),
+            })?
+        } else {
+            Vec::new()
+        };
+        let first_seq = manifest.sealed.last().map(|s| s.last_seq + 1).unwrap_or(0);
+        let result = scan_segment(&bytes, Some(first_seq), |_, _, _| {});
+        if result.scan.verdict != TailVerdict::Clean {
+            return Err(StoreError::Corrupt {
+                path: active_path,
+                message: format!(
+                    "cannot record a write stream with a dirty tail: {}",
+                    result.scan.verdict
+                ),
+            });
+        }
+        let body_start = if bytes.is_empty() {
+            0
+        } else {
+            crate::SEGMENT_VERSION_LINE.len() + 1
+        };
+        let mut commits = vec![body_start];
+        let mut batch_spans = Vec::with_capacity(result.batches.len());
+        for b in &result.batches {
+            commits.push(b.offset + b.len);
+            batch_spans.push((b.offset, b.len));
+        }
+        Ok(CrashFs {
+            active_no: manifest.active,
+            bytes,
+            commits,
+            batch_spans,
+        })
+    }
+
+    /// Total length of the recorded write stream; cuts range over
+    /// `0..=len`.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the recorded stream is empty (no active segment file).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Offsets at which the stream is batch-commit-consistent (version
+    /// line boundary first, then after each batch).
+    pub fn commit_offsets(&self) -> &[usize] {
+        &self.commits
+    }
+
+    /// How many whole batches a cut at `cut` preserves.
+    pub fn committed_batches(&self, cut: usize) -> usize {
+        self.commits.iter().skip(1).filter(|&&c| c <= cut).count()
+    }
+
+    /// Whether a cut at `cut` lands exactly on a commit boundary (so
+    /// recovery should report a clean tail). A cut of 0 is also clean:
+    /// the file simply does not exist yet.
+    pub fn is_commit_boundary(&self, cut: usize) -> bool {
+        cut == 0 || self.commits.contains(&cut)
+    }
+
+    /// Materialises the crash state "power lost after `cut` bytes of
+    /// the active segment reached disk" into `dst`: the manifest and
+    /// sealed segments are copied from `src` intact (they were durable
+    /// before the recorded stream began), and the active segment is the
+    /// cut prefix plus the `mutation` tail. A cut of 0 with no mutation
+    /// writes no active file at all.
+    pub fn materialize(
+        &self,
+        src: &Path,
+        dst: &Path,
+        cut: usize,
+        mutation: &TailMutation,
+    ) -> Result<(), StoreError> {
+        assert!(cut <= self.bytes.len(), "cut {cut} beyond recorded stream");
+        std::fs::create_dir_all(dst).map_err(|e| StoreError::Io {
+            path: dst.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let copy = |name: &str| -> Result<(), StoreError> {
+            let from = src.join(name);
+            let bytes = std::fs::read(&from).map_err(|e| StoreError::Io {
+                path: from,
+                message: e.to_string(),
+            })?;
+            let to = dst.join(name);
+            std::fs::write(&to, &bytes).map_err(|e| StoreError::Io {
+                path: to,
+                message: e.to_string(),
+            })
+        };
+        copy(MANIFEST_FILE)?;
+        let manifest_path = src.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path).map_err(|e| StoreError::Io {
+            path: manifest_path.clone(),
+            message: e.to_string(),
+        })?;
+        let manifest = Manifest::decode(&text, &manifest_path)?;
+        for meta in &manifest.sealed {
+            copy(&segment_file_name(meta.file_no))?;
+        }
+        let mut tail = self.bytes[..cut].to_vec();
+        match mutation {
+            TailMutation::None => {}
+            TailMutation::Garbage(junk) => tail.extend_from_slice(junk),
+            TailMutation::DoubleLastBatch => {
+                let &(offset, len) = self
+                    .batch_spans
+                    .iter()
+                    .rev()
+                    .find(|&&(o, l)| o + l <= cut)
+                    .expect("DoubleLastBatch needs at least one committed batch before the cut");
+                tail.extend_from_slice(&self.bytes[offset..offset + len]);
+            }
+        }
+        if !tail.is_empty() {
+            let path = dst.join(segment_file_name(self.active_no));
+            durable::append(&path, &tail)?;
+        }
+        Ok(())
+    }
+}

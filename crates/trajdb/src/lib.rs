@@ -1,0 +1,201 @@
+//! trajdb — an embedded, crash-safe, append-only-segment trajectory
+//! store for the TrajPattern reproduction.
+//!
+//! Mining runs in this workspace previously read whole datasets from
+//! loose CSV/JSON/`.events` files; nothing owned durability. trajdb is
+//! that owner: a directory of numbered segment files plus a manifest,
+//! with exactly one mutable file at any moment (the *active* segment,
+//! which only ever grows by whole checksummed batches).
+//!
+//! - **Writes** append length-prefixed, CRC-32-checksummed batches to
+//!   the active segment ([`Store::append_batch`]); the fsync cadence is
+//!   a policy knob ([`FsyncPolicy`]).
+//! - **Sealing** fsyncs the active segment and records it — byte
+//!   length, whole-file CRC, id/seq/time ranges — in the manifest,
+//!   which is replaced atomically ([`Store::seal_active`]).
+//! - **Recovery** ([`Store::open`]) trusts sealed segments via the
+//!   manifest, scans only the active segment's tail with the shared
+//!   [`trajio::tail`] scanner, truncates torn or garbage bytes back to
+//!   the last valid checksum, and sweeps orphan files left by an
+//!   interrupted compaction.
+//! - **Reads** ([`Store::read`]) skip sealed segments by manifest
+//!   ranges and re-verify checksums on every batch they do decode.
+//! - **Compaction** ([`Store::compact`]) folds sealed segments into one
+//!   by byte concatenation — committed batch bytes are immutable, so
+//!   compaction preserves them bit-exactly and cannot invent data.
+//!
+//! The fault-injection side lives in [`crashfs`]: a recorder that
+//! replays every byte-level prefix of the store's write stream so tests
+//! can assert recovery is exact after *any* power-cut point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crashfs;
+pub mod manifest;
+pub mod segment;
+pub mod store;
+
+pub use crashfs::{CrashFs, TailMutation};
+pub use manifest::{Manifest, SegmentMeta, MANIFEST_VERSION_LINE};
+pub use segment::{BatchMeta, SEGMENT_VERSION_LINE};
+pub use store::{RecoveryReport, Store, StoreStats};
+
+use std::path::PathBuf;
+use trajdata::Trajectory;
+
+/// How often [`Store::append_batch`] flushes the active segment to
+/// stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every batch: no committed batch is ever lost, at the
+    /// cost of one disk flush per append.
+    Always,
+    /// fsync after every `n` batches: a crash can lose at most the last
+    /// `n - 1` acknowledged batches (recovery still yields an exact
+    /// committed-batch prefix, never torn data).
+    EveryN(u32),
+    /// Never fsync on append (the OS flushes at its leisure); sealing
+    /// and explicit [`Store::sync`] still flush. Fastest, weakest.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, or `every:<n>` (n ≥ 1).
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => {
+                let n = other
+                    .strip_prefix("every:")
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!("bad fsync policy '{other}': expected always, never, or every:<n>")
+                    })?;
+                Ok(FsyncPolicy::EveryN(n))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every:{n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Tunables for [`Store::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Flush cadence for appends.
+    pub fsync: FsyncPolicy,
+    /// Seal the active segment once it exceeds this many bytes.
+    pub segment_max_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            fsync: FsyncPolicy::EveryN(8),
+            segment_max_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// One stored trajectory with its store-assigned identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Monotonic record id, assigned at append.
+    pub id: u64,
+    /// Logical timestamp of the batch the record arrived in.
+    pub t: u64,
+    /// The trajectory itself, bit-exact as appended.
+    pub trajectory: Trajectory,
+}
+
+/// Errors surfaced by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The filesystem refused an operation.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// OS error description.
+        message: String,
+    },
+    /// Sealed data failed validation — this is data loss and is never
+    /// silently repaired.
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// What failed to validate.
+        message: String,
+    },
+    /// The manifest failed to parse.
+    Manifest {
+        /// The manifest file.
+        path: PathBuf,
+        /// 1-based line of the violation.
+        line: usize,
+        /// What was malformed.
+        message: String,
+    },
+    /// The caller passed something unusable (empty batch, timestamp
+    /// regression, bad snapshot name, …).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "trajdb io error at {}: {message}", path.display())
+            }
+            StoreError::Corrupt { path, message } => {
+                write!(f, "trajdb corruption in {}: {message}", path.display())
+            }
+            StoreError::Manifest {
+                path,
+                line,
+                message,
+            } => write!(
+                f,
+                "trajdb manifest {} line {line}: {message}",
+                path.display()
+            ),
+            StoreError::InvalidArgument(message) => write!(f, "trajdb: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<trajio::DurableError> for StoreError {
+    fn from(e: trajio::DurableError) -> StoreError {
+        StoreError::Io {
+            path: e.path,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        for s in ["always", "never", "every:1", "every:64"] {
+            assert_eq!(FsyncPolicy::parse(s).unwrap().to_string(), s);
+        }
+        for s in ["", "sometimes", "every:0", "every:", "every:x", "EVERY:2"] {
+            assert!(FsyncPolicy::parse(s).is_err(), "'{s}' should not parse");
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Store lifecycle tests: append → seal → compact → read round trips,
+//! recovery behaviour, and a property test that `ingest → compact →
+//! range-read` preserves every trajectory bit-exactly.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use trajdata::{Dataset, SnapshotPoint, Trajectory};
+use trajdb::store::ReadFilter;
+use trajdb::{FsyncPolicy, Store, StoreError, StoreOptions, TailMutation};
+use trajgeo::Point2;
+use trajio::tail::TailVerdict;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "trajdb-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn traj(seed: u64, points: usize) -> Trajectory {
+    // A cheap deterministic float generator that exercises non-trivial
+    // mantissas (divisions by primes do not terminate in binary).
+    Trajectory::new(
+        (0..points)
+            .map(|i| {
+                let k = seed.wrapping_mul(31).wrapping_add(i as u64);
+                SnapshotPoint {
+                    mean: Point2::new(k as f64 / 7.0, (k % 13) as f64 / 11.0),
+                    sigma: 0.01 + (k % 5) as f64 / 3.0,
+                }
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn small_opts() -> StoreOptions {
+    StoreOptions {
+        fsync: FsyncPolicy::EveryN(2),
+        // Tiny cap so multi-batch tests naturally roll segments.
+        segment_max_bytes: 600,
+    }
+}
+
+fn bits(t: &Trajectory) -> Vec<(u64, u64, u64)> {
+    t.points()
+        .iter()
+        .map(|p| (p.mean.x.to_bits(), p.mean.y.to_bits(), p.sigma.to_bits()))
+        .collect()
+}
+
+#[test]
+fn append_read_round_trips_across_reopen() {
+    let dir = tmp_dir("reopen");
+    let originals: Vec<Trajectory> = (0..6).map(|i| traj(i, 3 + (i % 3) as usize)).collect();
+    {
+        let mut store = Store::open(&dir, small_opts()).unwrap();
+        for (i, t) in originals.iter().enumerate() {
+            let ids = store
+                .append_batch(i as u64, std::slice::from_ref(t))
+                .unwrap();
+            assert_eq!(ids, i as u64..i as u64 + 1);
+        }
+    }
+    let store = Store::open(&dir, small_opts()).unwrap();
+    assert_eq!(store.stats().recovery.verdict, TailVerdict::Clean);
+    assert_eq!(store.stats().recovery.dropped_bytes, 0);
+    let records = store.read(&ReadFilter::all()).unwrap();
+    assert_eq!(records.len(), originals.len());
+    for (r, (i, want)) in records.iter().zip(originals.iter().enumerate()) {
+        assert_eq!(r.id, i as u64);
+        assert_eq!(r.t, i as u64);
+        assert_eq!(bits(&r.trajectory), bits(want));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn segments_roll_and_compact_into_one() {
+    let dir = tmp_dir("compact");
+    let mut store = Store::open(&dir, small_opts()).unwrap();
+    for i in 0..12u64 {
+        store
+            .append_batch(i, &[traj(i, 4), traj(100 + i, 4)])
+            .unwrap();
+    }
+    let before = store.read(&ReadFilter::all()).unwrap();
+    assert!(
+        store.stats().sealed_segments >= 2,
+        "the 600-byte cap must have rolled segments: {:?}",
+        store.stats()
+    );
+    store.compact().unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.sealed_segments, 1);
+    assert_eq!(stats.active_bytes, 0);
+    assert_eq!(stats.total_records(), 24);
+    store.verify().unwrap();
+    let after = store.read(&ReadFilter::all()).unwrap();
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.t, b.t);
+        assert_eq!(bits(&a.trajectory), bits(&b.trajectory));
+    }
+    // And the compacted store reopens cleanly with nothing swept.
+    drop(store);
+    let store = Store::open(&dir, small_opts()).unwrap();
+    assert_eq!(store.stats().recovery.orphans_removed, 0);
+    assert_eq!(store.read(&ReadFilter::all()).unwrap().len(), 24);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn range_reads_filter_by_id_and_time() {
+    let dir = tmp_dir("ranges");
+    let mut store = Store::open(&dir, small_opts()).unwrap();
+    for i in 0..10u64 {
+        store.append_batch(10 + i, &[traj(i, 3)]).unwrap();
+    }
+    store.seal_active().unwrap();
+    let ids = store
+        .read(&ReadFilter {
+            min_id: Some(3),
+            max_id: Some(6),
+            ..ReadFilter::default()
+        })
+        .unwrap();
+    assert_eq!(
+        ids.iter().map(|r| r.id).collect::<Vec<_>>(),
+        vec![3, 4, 5, 6]
+    );
+    let times = store
+        .read(&ReadFilter {
+            min_t: Some(12),
+            max_t: Some(14),
+            ..ReadFilter::default()
+        })
+        .unwrap();
+    assert_eq!(
+        times.iter().map(|r| r.t).collect::<Vec<_>>(),
+        vec![12, 13, 14]
+    );
+    let both = store
+        .read(&ReadFilter {
+            min_id: Some(4),
+            max_t: Some(15),
+            ..ReadFilter::default()
+        })
+        .unwrap();
+    assert_eq!(both.iter().map(|r| r.id).collect::<Vec<_>>(), vec![4, 5]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_batches_and_time_regressions_are_rejected() {
+    let dir = tmp_dir("invalid");
+    let mut store = Store::open(&dir, small_opts()).unwrap();
+    assert!(matches!(
+        store.append_batch(0, &[]),
+        Err(StoreError::InvalidArgument(_))
+    ));
+    store.append_batch(5, &[traj(1, 3)]).unwrap();
+    assert!(matches!(
+        store.append_batch(4, &[traj(2, 3)]),
+        Err(StoreError::InvalidArgument(_))
+    ));
+    store.append_batch(5, &[traj(3, 3)]).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_tail_is_truncated_on_open() {
+    let dir = tmp_dir("torn");
+    {
+        let mut store = Store::open(&dir, small_opts()).unwrap();
+        for i in 0..3u64 {
+            store.append_batch(i, &[traj(i, 3)]).unwrap();
+        }
+    }
+    // Tear the active segment mid-batch.
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "log"))
+        .unwrap();
+    let bytes = std::fs::read(&seg).unwrap();
+    let torn_len = bytes.len() - 7;
+    std::fs::write(&seg, &bytes[..torn_len]).unwrap();
+
+    let store = Store::open(&dir, small_opts()).unwrap();
+    let rec = &store.stats().recovery;
+    assert!(matches!(rec.verdict, TailVerdict::TornTruncated(_)));
+    let records = store.read(&ReadFilter::all()).unwrap();
+    assert_eq!(records.len(), 2, "the torn third batch is dropped whole");
+    assert_eq!(
+        std::fs::metadata(&seg).unwrap().len() as usize + rec.dropped_bytes as usize,
+        torn_len,
+        "the tail was physically truncated"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn orphan_segments_and_tmp_files_are_swept() {
+    let dir = tmp_dir("orphans");
+    {
+        let mut store = Store::open(&dir, small_opts()).unwrap();
+        store.append_batch(0, &[traj(0, 3)]).unwrap();
+    }
+    std::fs::write(
+        dir.join("seg-000099.log"),
+        b"stranded by a crashed compaction",
+    )
+    .unwrap();
+    std::fs::write(dir.join("MANIFEST.12345.tmp"), b"torn atomic write").unwrap();
+    let store = Store::open(&dir, small_opts()).unwrap();
+    assert_eq!(store.stats().recovery.orphans_removed, 1);
+    assert_eq!(store.stats().recovery.tmp_removed, 1);
+    assert!(!dir.join("seg-000099.log").exists());
+    assert!(!dir.join("MANIFEST.12345.tmp").exists());
+    assert_eq!(store.read(&ReadFilter::all()).unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resized_sealed_segment_is_a_loud_corruption_error() {
+    let dir = tmp_dir("sealed-resize");
+    {
+        let mut store = Store::open(&dir, small_opts()).unwrap();
+        for i in 0..4u64 {
+            store
+                .append_batch(i, &[traj(i, 4), traj(50 + i, 4)])
+                .unwrap();
+        }
+        store.seal_active().unwrap();
+    }
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+    let sealed_no: u64 = manifest
+        .lines()
+        .find(|l| l.starts_with("s "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let sealed = dir.join(format!("seg-{sealed_no:06}.log"));
+    let mut bytes = std::fs::read(&sealed).unwrap();
+    bytes.pop();
+    std::fs::write(&sealed, &bytes).unwrap();
+    assert!(matches!(
+        Store::open(&dir, small_opts()),
+        Err(StoreError::Corrupt { .. })
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flipped_bit_in_sealed_segment_fails_read_and_verify() {
+    let dir = tmp_dir("sealed-flip");
+    let mut store = Store::open(&dir, small_opts()).unwrap();
+    for i in 0..4u64 {
+        store
+            .append_batch(i, &[traj(i, 4), traj(50 + i, 4)])
+            .unwrap();
+    }
+    store.seal_active().unwrap();
+    let meta = store.manifest().sealed[0];
+    let sealed = dir.join(format!("seg-{:06}.log", meta.file_no));
+    let mut bytes = std::fs::read(&sealed).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&sealed, &bytes).unwrap();
+    assert!(matches!(store.verify(), Err(StoreError::Corrupt { .. })));
+    assert!(matches!(
+        store.read(&ReadFilter::all()),
+        Err(StoreError::Corrupt { .. })
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshots_persist_and_list() {
+    let dir = tmp_dir("snapshots");
+    let store = Store::open(&dir, small_opts()).unwrap();
+    store.put_snapshot("nightly", "{\"k\": 1}").unwrap();
+    store.put_snapshot("weekly", "{\"k\": 2}").unwrap();
+    store.put_snapshot("nightly", "{\"k\": 3}").unwrap();
+    assert_eq!(store.list_snapshots().unwrap(), vec!["nightly", "weekly"]);
+    let path = Store::snapshot_path_in(&dir, "nightly").unwrap();
+    assert_eq!(std::fs::read_to_string(path).unwrap(), "{\"k\": 3}");
+    assert!(store.put_snapshot("../escape", "{}").is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn double_last_batch_replay_is_rejected_on_recovery() {
+    let dir = tmp_dir("double");
+    {
+        let mut store = Store::open(&dir, small_opts()).unwrap();
+        for i in 0..3u64 {
+            store.append_batch(i, &[traj(i, 3)]).unwrap();
+        }
+    }
+    let fs = trajdb::CrashFs::record(&dir).unwrap();
+    let dst = tmp_dir("double-dst");
+    fs.materialize(&dir, &dst, fs.len(), &TailMutation::DoubleLastBatch)
+        .unwrap();
+    let store = Store::open(&dst, small_opts()).unwrap();
+    assert!(matches!(
+        store.stats().recovery.verdict,
+        TailVerdict::Garbage(_)
+    ));
+    assert_eq!(
+        store.read(&ReadFilter::all()).unwrap().len(),
+        3,
+        "the replayed duplicate is dropped, nothing else"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dst).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `ingest → compact → range-read` round-trips a `Dataset`
+    /// byte-identically: same trajectory count, same float bits, and the
+    /// JSON serialisation of the read-back dataset equals the original's.
+    #[test]
+    fn ingest_compact_read_round_trips_dataset(
+        trajs in prop::collection::vec(
+            prop::collection::vec((-1.0e3f64..1.0e3, -1.0e3f64..1.0e3, 1.0e-6f64..10.0), 1..6),
+            1..12,
+        ),
+        batch in 1usize..4,
+        seg_cap in 300u64..2000,
+    ) {
+        let dataset = Dataset::from_trajectories(
+            trajs
+                .iter()
+                .map(|points| {
+                    Trajectory::new(
+                        points
+                            .iter()
+                            .map(|&(x, y, s)| SnapshotPoint { mean: Point2::new(x, y), sigma: s })
+                            .collect(),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        );
+        let dir = tmp_dir("prop");
+        let mut store = Store::open(&dir, StoreOptions {
+            fsync: FsyncPolicy::Never,
+            segment_max_bytes: seg_cap,
+        }).unwrap();
+        for (i, chunk) in dataset.trajectories().chunks(batch).enumerate() {
+            store.append_batch(i as u64, chunk).unwrap();
+        }
+        store.compact().unwrap();
+        let back = store.read_dataset(&ReadFilter::all()).unwrap();
+        prop_assert_eq!(back.len(), dataset.len());
+        for (a, b) in back.iter().zip(dataset.iter()) {
+            prop_assert_eq!(bits(a), bits(b));
+        }
+        prop_assert_eq!(back.to_json(), dataset.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,96 @@
+//! CRC-32 (IEEE 802.3 / zlib polynomial) — the checksum guarding every
+//! trajdb record batch and sealed segment.
+//!
+//! The implementation is the classic reflected table-driven form with the
+//! table built at compile time, so the crate stays dependency-free. The
+//! on-disk token format is fixed-width 8-digit lowercase hex, mirroring
+//! the 16-digit f64 bit-hex convention of the text codecs.
+
+use crate::CodecError;
+
+/// The reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Computes the CRC-32 (IEEE) of `bytes`. Matches zlib's `crc32` for the
+/// same input, so fixtures can be cross-checked with standard tooling.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Encodes a CRC-32 as exactly 8 lowercase hex digits — the token format
+/// used in segment batch headers and the store manifest.
+pub fn crc32_hex(crc: u32) -> String {
+    format!("{crc:08x}")
+}
+
+/// Decodes an 8-digit hex token back to a CRC-32 value.
+pub fn crc32_from_hex(s: &str) -> Result<u32, CodecError> {
+    if s.len() != 8 {
+        return Err(CodecError::new(format!(
+            "expected 8 hex digits of CRC-32, got '{s}'"
+        )));
+    }
+    u32::from_str_radix(s, 16).map_err(|_| CodecError::new(format!("bad CRC-32 token '{s}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"t 0.125 0.25 0.01\n".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() * 8 {
+            let mut flipped = base.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), reference, "bit {i} flip went undetected");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_fixed_width() {
+        for crc in [0u32, 1, 0xCBF4_3926, u32::MAX] {
+            let s = crc32_hex(crc);
+            assert_eq!(s.len(), 8);
+            assert_eq!(crc32_from_hex(&s).unwrap(), crc);
+        }
+        assert!(crc32_from_hex("abc").is_err());
+        assert!(crc32_from_hex("00000000f").is_err());
+        assert!(crc32_from_hex("0000000g").is_err());
+    }
+}

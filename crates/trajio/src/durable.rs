@@ -1,0 +1,210 @@
+//! Durable file-write primitives — the only place in the workspace that
+//! touches `rename`, `fsync`, or raw appends (CI greps enforce this).
+//!
+//! The original `write_atomic` (tmp + rename) protected readers from
+//! *torn* artifacts but not from power loss: neither the tmp file's data
+//! nor the directory entry were fsynced, so a crash shortly after a
+//! "successful" save could surface an empty, partial, or missing file on
+//! reboot. Every helper here pairs its visible effect with the fsyncs
+//! that make it survive a power cut:
+//!
+//! * [`write_atomic`] / [`write_atomic_bytes`] — tmp file, `fsync(tmp)`,
+//!   rename over the destination, `fsync(parent dir)`. Readers see the
+//!   old or the new content, never a mixture, even across power loss.
+//! * [`append`] — append bytes to a log/segment (creating it if needed).
+//!   Durability of appends is governed by the caller's fsync policy via
+//!   [`sync_file`]; the append itself never reorders past a prior sync.
+//! * [`truncate`] — cut a file to a committed length and fsync it: the
+//!   recovery half of torn-tail handling.
+//! * [`sync_file`] / [`sync_dir`] — explicit barriers for policy-driven
+//!   callers (trajdb's `FsyncPolicy::EveryN`, segment sealing).
+//!
+//! Directory fsync is a no-op on platforms where directories cannot be
+//! opened for syncing; on Linux (the deployment target) it is real.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Why a durable write failed, and on which path (a sibling `.tmp`
+/// file, the final destination, or the parent directory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableError {
+    /// The path the failing operation touched.
+    pub path: PathBuf,
+    /// The operating-system error message.
+    pub message: String,
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot write {}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+fn fail(path: &Path, e: std::io::Error) -> DurableError {
+    DurableError {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+/// Fsyncs the directory containing `path`, making a rename or file
+/// creation inside it durable. Platforms that cannot open directories
+/// for syncing silently skip (the subsequent data fsyncs still hold).
+pub fn sync_parent_dir(path: &Path) -> Result<(), DurableError> {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    match File::open(parent) {
+        Ok(dir) => dir.sync_all().map_err(|e| fail(parent, e)),
+        // Not being able to open a directory read-only is a platform
+        // quirk, not a durability bug we can act on.
+        Err(_) => Ok(()),
+    }
+}
+
+/// Fsyncs `dir` itself (same contract as [`sync_parent_dir`], for
+/// callers that already hold the directory path).
+pub fn sync_dir(dir: &Path) -> Result<(), DurableError> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all().map_err(|e| fail(dir, e)),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Writes `bytes` to `path` durably and atomically: sibling `.tmp` file,
+/// `fsync` of its data, rename over the destination, `fsync` of the
+/// parent directory. An interrupted save — including a power cut — leaves
+/// either the complete old content or the complete new content.
+pub fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> Result<(), DurableError> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    {
+        let mut f = File::create(&tmp).map_err(|e| fail(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| fail(&tmp, e))?;
+        f.sync_all().map_err(|e| fail(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| fail(path, e))?;
+    sync_parent_dir(path)
+}
+
+/// [`write_atomic_bytes`] for text artifacts — the writer behind every
+/// checkpoint, snapshot, and manifest in the workspace.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), DurableError> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// Appends `bytes` to `path`, creating the file when absent. Returns the
+/// file length *before* the append, so callers can record the committed
+/// offset. Durability is the caller's fsync policy: follow with
+/// [`sync_file`] where the format requires the bytes to survive a crash.
+pub fn append(path: &Path, bytes: &[u8]) -> Result<u64, DurableError> {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| fail(path, e))?;
+    let offset = f.metadata().map_err(|e| fail(path, e))?.len();
+    f.write_all(bytes).map_err(|e| fail(path, e))?;
+    Ok(offset)
+}
+
+/// Fsyncs `path`'s data and metadata — the barrier behind
+/// `FsyncPolicy::Always`/`EveryN` and segment sealing.
+pub fn sync_file(path: &Path) -> Result<(), DurableError> {
+    let f = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| fail(path, e))?;
+    f.sync_all().map_err(|e| fail(path, e))
+}
+
+/// Truncates `path` to `len` bytes and fsyncs it — how recovery discards
+/// a torn or garbage tail after a crash, leaving exactly the committed
+/// prefix.
+pub fn truncate(path: &Path, len: u64) -> Result<(), DurableError> {
+    let f = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| fail(path, e))?;
+    f.set_len(len).map_err(|e| fail(path, e))?;
+    f.sync_all().map_err(|e| fail(path, e))
+}
+
+/// Removes `path` and fsyncs its parent directory, so the removal (of an
+/// orphaned segment or stray `.tmp` file) is itself durable.
+pub fn remove_file(path: &Path) -> Result<(), DurableError> {
+    std::fs::remove_file(path).map_err(|e| fail(path, e))?;
+    sync_parent_dir(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("trajio-durable-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_reports_paths() {
+        let dir = tmp_dir("aw");
+        let path = dir.join("artifact.txt");
+        write_atomic(&path, "one").unwrap();
+        write_atomic(&path, "two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        assert!(
+            !path.with_extension("txt.tmp").exists(),
+            "tmp sibling must not linger"
+        );
+        let bad = Path::new("/nonexistent-dir/trajio-aw");
+        let e = write_atomic(bad, "x").unwrap_err();
+        assert!(e.path.to_string_lossy().contains("trajio-aw"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_reports_prior_offset_and_creates() {
+        let dir = tmp_dir("append");
+        let path = dir.join("log");
+        assert_eq!(append(&path, b"abc").unwrap(), 0);
+        assert_eq!(append(&path, b"defg").unwrap(), 3);
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcdefg");
+        sync_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_cuts_to_committed_prefix() {
+        let dir = tmp_dir("trunc");
+        let path = dir.join("log");
+        append(&path, b"committed|torn tail").unwrap();
+        truncate(&path, 9).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"committed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_file_deletes_durably() {
+        let dir = tmp_dir("rm");
+        let path = dir.join("victim");
+        append(&path, b"x").unwrap();
+        remove_file(&path).unwrap();
+        assert!(!path.exists());
+        assert!(remove_file(&path).is_err(), "double remove is an error");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_sync_helpers_tolerate_roots() {
+        sync_parent_dir(Path::new("lone-file")).unwrap();
+        sync_dir(&std::env::temp_dir()).unwrap();
+    }
+}

@@ -16,8 +16,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc;
+pub mod durable;
+pub mod tail;
+
+pub use durable::{write_atomic, DurableError};
+
+/// Former name of [`DurableError`], kept so existing `write_atomic`
+/// callers keep compiling; the write itself is now fully fsynced.
+pub type AtomicWriteError = DurableError;
+
 use std::fmt;
-use std::path::{Path, PathBuf};
+// (Path-based helpers live in `durable`; the root keeps only the text
+// codec primitives.)
 
 /// A malformed token or section encountered by a codec primitive.
 ///
@@ -179,38 +190,6 @@ pub fn first_content_line(text: &str, skip_comments: bool) -> Option<&str> {
         .find(|l| !(l.is_empty() || skip_comments && l.starts_with('#')))
 }
 
-/// Why an atomic write failed, and on which path (the sibling `.tmp`
-/// file or the final destination).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AtomicWriteError {
-    /// The path the failing operation touched.
-    pub path: PathBuf,
-    /// The operating-system error message.
-    pub message: String,
-}
-
-impl fmt::Display for AtomicWriteError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot write {}: {}", self.path.display(), self.message)
-    }
-}
-
-impl std::error::Error for AtomicWriteError {}
-
-/// Writes `contents` to `path` via a sibling `.tmp` file and a rename,
-/// so an interrupted save never leaves a torn artifact behind.
-pub fn write_atomic(path: &Path, contents: &str) -> Result<(), AtomicWriteError> {
-    let mut tmp_name = path.as_os_str().to_owned();
-    tmp_name.push(".tmp");
-    let tmp = PathBuf::from(tmp_name);
-    let fail = |p: &Path, e: std::io::Error| AtomicWriteError {
-        path: p.to_path_buf(),
-        message: e.to_string(),
-    };
-    std::fs::write(&tmp, contents).map_err(|e| fail(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| fail(path, e))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,17 +265,5 @@ mod tests {
         assert_eq!(first_content_line("# c\n\nv1", true), Some("v1"));
         assert_eq!(first_content_line("\n \n", true), None);
         assert_eq!(first_content_line("", false), None);
-    }
-
-    #[test]
-    fn atomic_write_replaces_and_reports_paths() {
-        let path = std::env::temp_dir().join(format!("trajio-aw-{}", std::process::id()));
-        write_atomic(&path, "one").unwrap();
-        write_atomic(&path, "two").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
-        std::fs::remove_file(&path).ok();
-        let bad = Path::new("/nonexistent-dir/trajio-aw");
-        let e = write_atomic(bad, "x").unwrap_err();
-        assert!(e.path.to_string_lossy().contains("trajio-aw"), "{e}");
     }
 }

@@ -1,0 +1,224 @@
+//! Shared torn-tail recovery for append-only artifacts.
+//!
+//! Every append-only format in the workspace — the `.events` log and the
+//! trajdb segments — has the same failure mode: a crash mid-append leaves
+//! a valid committed prefix followed by a torn final record (or, after
+//! disk-level mischief, arbitrary garbage). Recovery is likewise the same
+//! shape everywhere: scan records from the front, stop at the first one
+//! that is incomplete or corrupt, and keep exactly the committed prefix.
+//! This module owns that scan; formats supply only a single-record step
+//! function, so the eventlog reader and the trajdb segment reader cannot
+//! diverge in how they diagnose a tail.
+
+/// What a format's step function found at the head of the remaining
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordStep {
+    /// A complete, valid record occupying this many bytes (> 0).
+    Complete(usize),
+    /// The bytes are a valid *prefix* of a record — more data was
+    /// expected. The classic torn tail of an interrupted append.
+    Incomplete,
+    /// The bytes cannot be (a prefix of) a valid record: framing or
+    /// checksum violation.
+    Corrupt,
+}
+
+/// The diagnosis of an append-only artifact's tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailVerdict {
+    /// Every byte belongs to a complete, valid record.
+    Clean,
+    /// The final record was torn mid-write; this many tail bytes must be
+    /// truncated to recover the committed prefix.
+    TornTruncated(usize),
+    /// The tail is not a record prefix at all (corruption, checksum
+    /// mismatch, or foreign bytes); this many tail bytes must be
+    /// truncated to recover the committed prefix.
+    Garbage(usize),
+}
+
+impl TailVerdict {
+    /// Bytes that recovery discards (0 for a clean tail).
+    pub fn dropped_bytes(&self) -> usize {
+        match self {
+            TailVerdict::Clean => 0,
+            TailVerdict::TornTruncated(n) | TailVerdict::Garbage(n) => *n,
+        }
+    }
+}
+
+impl std::fmt::Display for TailVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TailVerdict::Clean => write!(f, "clean"),
+            TailVerdict::TornTruncated(n) => write!(f, "torn ({n} bytes truncated)"),
+            TailVerdict::Garbage(n) => write!(f, "garbage ({n} bytes truncated)"),
+        }
+    }
+}
+
+/// The result of a tail scan: how much of the artifact is committed, how
+/// many records that prefix holds, and what the tail looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailScan {
+    /// Byte length of the valid committed prefix.
+    pub committed_len: usize,
+    /// Number of complete records in the committed prefix.
+    pub records: usize,
+    /// Diagnosis of everything past the committed prefix.
+    pub verdict: TailVerdict,
+}
+
+impl TailScan {
+    /// A scan of an empty artifact.
+    pub fn empty() -> TailScan {
+        TailScan {
+            committed_len: 0,
+            records: 0,
+            verdict: TailVerdict::Clean,
+        }
+    }
+}
+
+/// Scans `data` record by record with the format's `step` function and
+/// returns the committed-prefix diagnosis. `step` sees the remaining
+/// suffix and reports one record at a time; the scan stops at the first
+/// [`RecordStep::Incomplete`] (torn tail) or [`RecordStep::Corrupt`]
+/// (garbage tail). A `Complete(0)` is treated as corrupt — a step
+/// function that consumes nothing would loop forever.
+pub fn recover(data: &[u8], mut step: impl FnMut(&[u8]) -> RecordStep) -> TailScan {
+    let mut pos = 0usize;
+    let mut records = 0usize;
+    while pos < data.len() {
+        match step(&data[pos..]) {
+            RecordStep::Complete(n) if n > 0 && pos + n <= data.len() => {
+                pos += n;
+                records += 1;
+            }
+            RecordStep::Complete(_) => {
+                // A step that consumes nothing (or overruns) is a format
+                // bug; treat its output as garbage rather than looping.
+                return TailScan {
+                    committed_len: pos,
+                    records,
+                    verdict: TailVerdict::Garbage(data.len() - pos),
+                };
+            }
+            RecordStep::Incomplete => {
+                return TailScan {
+                    committed_len: pos,
+                    records,
+                    verdict: TailVerdict::TornTruncated(data.len() - pos),
+                };
+            }
+            RecordStep::Corrupt => {
+                return TailScan {
+                    committed_len: pos,
+                    records,
+                    verdict: TailVerdict::Garbage(data.len() - pos),
+                };
+            }
+        }
+    }
+    TailScan {
+        committed_len: pos,
+        records,
+        verdict: TailVerdict::Clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy format: records are `[len: 1 byte][payload: len bytes]` where
+    /// the payload must be ASCII letters.
+    fn step(rest: &[u8]) -> RecordStep {
+        let Some(&len) = rest.first() else {
+            return RecordStep::Incomplete;
+        };
+        let need = 1 + len as usize;
+        if rest.len() < need {
+            return RecordStep::Incomplete;
+        }
+        if rest[1..need].iter().all(|b| b.is_ascii_alphabetic()) {
+            RecordStep::Complete(need)
+        } else {
+            RecordStep::Corrupt
+        }
+    }
+
+    #[test]
+    fn clean_input_consumes_everything() {
+        let data = [2, b'a', b'b', 1, b'c'];
+        let scan = recover(&data, step);
+        assert_eq!(scan.committed_len, 5);
+        assert_eq!(scan.records, 2);
+        assert_eq!(scan.verdict, TailVerdict::Clean);
+        assert_eq!(scan.verdict.dropped_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_clean() {
+        assert_eq!(recover(&[], step), TailScan::empty());
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_committed_prefix() {
+        // Second record declares 3 payload bytes but only 1 arrived.
+        let data = [2, b'a', b'b', 3, b'c'];
+        let scan = recover(&data, step);
+        assert_eq!(scan.committed_len, 3);
+        assert_eq!(scan.records, 1);
+        assert_eq!(scan.verdict, TailVerdict::TornTruncated(2));
+    }
+
+    #[test]
+    fn garbage_tail_is_diagnosed_distinctly() {
+        let data = [1, b'a', 2, b'!', b'?'];
+        let scan = recover(&data, step);
+        assert_eq!(scan.committed_len, 2);
+        assert_eq!(scan.records, 1);
+        assert_eq!(scan.verdict, TailVerdict::Garbage(3));
+    }
+
+    #[test]
+    fn zero_length_step_is_caught_not_looped() {
+        let scan = recover(b"xy", |_| RecordStep::Complete(0));
+        assert!(matches!(scan.verdict, TailVerdict::Garbage(2)));
+    }
+
+    #[test]
+    fn every_truncation_recovers_a_record_prefix() {
+        let data = [2, b'a', b'b', 1, b'c', 3, b'd', b'e', b'f'];
+        let boundaries = [0usize, 3, 5, 9];
+        for cut in 0..=data.len() {
+            let scan = recover(&data[..cut], step);
+            let expected_records = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(scan.records, expected_records, "cut at {cut}");
+            assert!(boundaries.contains(&scan.committed_len));
+            if boundaries.contains(&cut) {
+                assert_eq!(scan.verdict, TailVerdict::Clean, "cut at {cut}");
+            } else {
+                assert_eq!(
+                    scan.verdict,
+                    TailVerdict::TornTruncated(cut - scan.committed_len)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_display_is_human_readable() {
+        assert_eq!(TailVerdict::Clean.to_string(), "clean");
+        assert_eq!(
+            TailVerdict::TornTruncated(7).to_string(),
+            "torn (7 bytes truncated)"
+        );
+        assert_eq!(
+            TailVerdict::Garbage(3).to_string(),
+            "garbage (3 bytes truncated)"
+        );
+    }
+}

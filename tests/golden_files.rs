@@ -247,6 +247,78 @@ fn snapshot_v1_reader_loads_prerefactor_file() {
     assert!(via_sniff.stream.is_some());
 }
 
+/// Builds the deterministic trajdb store the segment/manifest fixtures
+/// derive from: the awkward-float events dataset appended as three
+/// batches, then sealed — one sealed segment, one (empty) active.
+fn trajdb_fixture(dir: &std::path::Path) -> trajdb::Store {
+    let _ = std::fs::remove_dir_all(dir);
+    let data = events_fixture();
+    let trajs = data.trajectories();
+    let mut store = trajdb::Store::open(
+        dir,
+        trajdb::StoreOptions {
+            fsync: trajdb::FsyncPolicy::Never,
+            segment_max_bytes: u64::MAX,
+        },
+    )
+    .unwrap();
+    store.append_batch(0, trajs).unwrap();
+    store.append_batch(1, &trajs[..1]).unwrap();
+    store.append_batch(3, &trajs[1..]).unwrap();
+    store.seal_active().unwrap();
+    store
+}
+
+#[test]
+fn trajdb_segment_writer_matches_golden() {
+    let dir = tmp_path("trajdb-golden");
+    let store = trajdb_fixture(&dir);
+    let produced = std::fs::read_to_string(dir.join("seg-000001.log")).unwrap();
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    check_golden("trajdb_segment.log", &produced);
+    check_golden("trajdb_manifest.txt", &manifest);
+}
+
+#[test]
+fn trajdb_reader_loads_prerefactor_store() {
+    use trajdb::store::ReadFilter;
+    let dir = tmp_path("trajdb-golden-read");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("MANIFEST"), read_golden("trajdb_manifest.txt")).unwrap();
+    std::fs::write(
+        dir.join("seg-000001.log"),
+        read_golden("trajdb_segment.log"),
+    )
+    .unwrap();
+    let store = trajdb::Store::open(&dir, trajdb::StoreOptions::default()).unwrap();
+    let records = store.read(&ReadFilter::all()).unwrap();
+    // Batches were (both, first, second): ids 0..4 map back onto the
+    // fixture dataset in that order, bit-exactly.
+    let data = events_fixture();
+    let expected = [
+        data.trajectories()[0].clone(),
+        data.trajectories()[1].clone(),
+        data.trajectories()[0].clone(),
+        data.trajectories()[1].clone(),
+    ];
+    assert_eq!(records.len(), expected.len());
+    assert_eq!(
+        records.iter().map(|r| r.t).collect::<Vec<_>>(),
+        vec![0, 0, 1, 3]
+    );
+    for (r, want) in records.iter().zip(&expected) {
+        for (a, b) in r.trajectory.points().iter().zip(want.points()) {
+            assert_eq!(a.mean.x.to_bits(), b.mean.x.to_bits());
+            assert_eq!(a.mean.y.to_bits(), b.mean.y.to_bits());
+            assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn events_writer_matches_golden() {
     let produced = write_event_log(&events_fixture());
