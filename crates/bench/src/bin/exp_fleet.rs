@@ -1,0 +1,114 @@
+//! Sharded live serving experiment: shard-scoped and fan-out top-k read
+//! latency against a live `trajfleet` fleet vs the static server floor.
+//!
+//! Usage: `cargo run -p bench --release --bin exp_fleet [--quick]`.
+//! Writes `results/fleet_throughput.json` and
+//! `results/fleet_throughput.dat`.
+
+use bench::fleet::{run_fleet, FleetBenchConfig, FleetThroughputResult};
+use bench::report::{row, write_dat, write_json};
+
+fn print_result(r: &FleetThroughputResult) {
+    println!(
+        "=== sharded live serving: {} shards, {} clients x {} requests/phase, {} workers (host reports {} core(s)) ===",
+        r.config.shards,
+        r.config.clients,
+        r.config.requests_per_client,
+        r.config.workers,
+        r.available_parallelism
+    );
+    let widths = [12, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "endpoint".into(),
+                "requests".into(),
+                "req/s".into(),
+                "p50".into(),
+                "p99".into(),
+                "mean".into(),
+            ],
+            &widths
+        )
+    );
+    for p in &r.points {
+        println!(
+            "{}",
+            row(
+                &[
+                    p.endpoint.clone(),
+                    p.requests.to_string(),
+                    format!("{:.0}", p.req_per_sec),
+                    format!("{:.2}ms", p.p50_ms),
+                    format!("{:.2}ms", p.p99_ms),
+                    format!("{:.2}ms", p.mean_ms),
+                ],
+                &widths
+            )
+        );
+    }
+    let t = &r.totals;
+    println!(
+        "totals: {} requests ({:.2}s static + {:.2}s fleet) — shard p50 / static p50 = {:.2}x over a {}-pattern baseline snapshot",
+        t.requests,
+        t.static_wall_secs,
+        t.fleet_wall_secs,
+        t.shard_p50_over_static_p50,
+        t.static_snapshot_patterns
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        FleetBenchConfig {
+            s: 20,
+            l: 20,
+            grid_side: 8,
+            k: 6,
+            max_len: 4,
+            shards: 2,
+            clients: 2,
+            requests_per_client: 50,
+            ..FleetBenchConfig::default()
+        }
+    } else {
+        FleetBenchConfig::default()
+    };
+
+    let r = run_fleet(&cfg);
+    print_result(&r);
+
+    let json = write_json("fleet_throughput", &r).expect("write results");
+    let rows: Vec<Vec<f64>> = r
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                i as f64,
+                p.requests as f64,
+                p.req_per_sec,
+                p.p50_ms,
+                p.p99_ms,
+                p.mean_ms,
+            ]
+        })
+        .collect();
+    let dat = write_dat(
+        "fleet_throughput",
+        &[
+            "endpoint_index",
+            "requests",
+            "req_per_sec",
+            "p50_ms",
+            "p99_ms",
+            "mean_ms",
+        ],
+        &rows,
+    )
+    .expect("write results");
+    eprintln!("wrote {json} and {dat}");
+}

@@ -17,6 +17,8 @@
 //! | Fig. 4(e) (groups vs δ) | [`fig4e`] |
 //! | Pruning ablation (ours) | [`ablation`] |
 //! | Streaming throughput (ours) | [`stream`] |
+//! | Serving throughput (ours) | [`serve`] |
+//! | Sharded live serving (ours) | [`fleet`] |
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +26,7 @@ pub mod ablation;
 pub mod fig3;
 pub mod fig4;
 pub mod fig4e;
+pub mod fleet;
 pub mod lengths;
 pub mod report;
 pub mod serve;

@@ -4,9 +4,7 @@ use crate::args::Args;
 use crate::input::{load, load_with_policy, parse_bbox};
 use datagen::{observe_directly, BusConfig, PostureConfig, UniformConfig, ZebraConfig};
 use std::error::Error;
-use std::io::BufRead;
-use trajdata::eventlog::{parse_event_line, EVENTS_VERSION_LINE};
-use trajdata::IngestPolicy;
+use trajdata::{EventTailer, IngestPolicy};
 use trajgeo::{Grid, Point2};
 use trajpattern::{Miner, MiningParams};
 use trajstream::StreamMiner;
@@ -32,13 +30,19 @@ USAGE:
                     --window N [--emit-every M] [--k N]
                     [--delta F] [--grid N] [--bbox X0,Y0,X1,Y1] [--min-len N]
                     [--max-len N] [--gamma F] [--threads N] [--json FILE]
-                    [--follow true] [--idle-ms N]
+                    [--follow true] [--poll-ms N]
                     [--checkpoint FILE] [--resume FILE]
   trajmine serve    --snapshot FILE | --db DIR --name NAME
                     [--addr HOST:PORT] [--workers N]
                     [--queue N] [--threads N] [--confirm F] [--watch true]
                     [--watch-interval-ms N] [--read-timeout-ms N]
                     [--write-timeout-ms N]
+  trajmine serve    --live true --shards NAME=LOG.events,... | --db ROOT
+                    [--checkpoint-dir DIR] [--poll-ms N] [--window N]
+                    [--k N] [--delta F] [--grid N] [--bbox X0,Y0,X1,Y1]
+                    [--min-len N] [--max-len N] [--gamma F]
+                    [--addr HOST:PORT] [--workers N] [--queue N]
+                    [--threads N] [--confirm F]
   trajmine db ingest  --db DIR --input FILE [--batch N] [--t N]
                       [--fsync always|every:N|never] [--segment-max-bytes N]
   trajmine db stat    --db DIR [--verify true]
@@ -86,11 +90,14 @@ stay live, and after every event the maintained top-k is bit-identical to
 --bbox defaults to the unit square 0,0,1,1. Every --emit-every arrivals a
 top-k snapshot is printed to stdout as one JSON line; the final snapshot is
 also written to --json FILE. --follow true keeps polling the log for
-appended events every --idle-ms (default 50) until a `# eof` line arrives.
---checkpoint FILE saves the stream state (window + contribution ledger)
-after every emission and at the end; --resume FILE (typically the same
-file) restores it and skips already-processed events, continuing
-bit-identically — if the file does not exist yet, the stream starts fresh.
+appended events every --poll-ms (default 50; --idle-ms is the older
+spelling) until a `# eof` line arrives. SIGINT/SIGTERM drain cleanly:
+the loop stops at the next event boundary, flushes the final checkpoint,
+and exits 0. --checkpoint FILE saves the stream state (window +
+contribution ledger) after every emission and at the end; --resume FILE
+(typically the same file) restores it and skips already-processed
+events, continuing bit-identically — if the file does not exist yet, the
+stream starts fresh.
 
 `serve` loads a pattern snapshot — `mine --json` output or a `stream`
 --checkpoint file — and answers HTTP/1.1 queries over it until SIGTERM or
@@ -109,7 +116,21 @@ accept queue is bounded (--queue, default 64) and answers 503 when full;
 --workers (default 2) sets the handler pool; termination signals drain
 in-flight requests before exit. --watch true hot-reloads the snapshot
 whenever the file is rewritten (e.g. by a live `stream --checkpoint`
-run).";
+run).
+
+`serve --live true` serves a sharded live fleet instead of one static
+snapshot: each shard (from --shards name=log.events,... or every
+ROOT/shards/<name>/ store under --db ROOT) runs its own sliding-window
+stream miner — same --window/--k/--delta/... knobs as `stream` — and
+atomically swaps a pre-serialized snapshot into the router whenever its
+certified top-k changes, so GET /v1/topk?shard=NAME stays a pre-rendered
+read and is bit-identical to `mine` over that shard's window. GET
+/v1/topk with no shard (or shard=*) answers the deterministic cross-
+shard merge (NM desc, pattern asc, ties to the first shard in sorted
+name order); GET /v1/shards lists per-shard state; /metrics adds
+per-shard labeled counters. POST routes need ?shard=NAME in live mode.
+Each shard checkpoints (--checkpoint-dir, or the shard store itself) on
+every swap and at drain, so a relaunch resumes bit-identically.";
 
 /// Runs the subcommand in `args`.
 pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -413,6 +434,10 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
 fn serve_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     use std::time::Duration;
 
+    if args.get_or("live", false)? {
+        return crate::live::serve_live(args);
+    }
+
     let snapshot_path = match (args.get("snapshot"), args.get("db")) {
         (Some(path), None) => std::path::PathBuf::from(path),
         (None, Some(dir)) => {
@@ -493,8 +518,102 @@ fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     if use_db && follow {
         return Err("--follow tails an .events file; it cannot be combined with --db".into());
     }
-    let idle_ms: u64 = args.get_or("idle-ms", 50u64)?;
+    let poll = stream_poll_interval(args)?;
+    let (grid, params) = stream_mining_setup(args)?;
 
+    let mut miner = match args.get("resume") {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let m = StreamMiner::resume(std::path::Path::new(path))?;
+            eprintln!(
+                "resumed from {path}: {} arrivals processed, window {}",
+                m.stats().arrivals,
+                m.stats().window_len
+            );
+            m
+        }
+        _ => StreamMiner::new(grid, params).map_err(trajpattern::Error::from)?,
+    };
+    let skip = miner.next_seq();
+    let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
+
+    // A termination signal flips the shared flag instead of killing the
+    // process: the replay/tail loop notices, drains what it already
+    // absorbed, flushes the final checkpoint, and exits 0 — the same
+    // signal-flag pattern `serve` uses for in-flight requests.
+    trajserve::signal::install_termination_handler();
+    let stop = trajserve::signal::termination_flag();
+
+    let mut event_no = 0u64;
+    if use_db {
+        // Replay committed store records (id order) through the miner;
+        // `--resume` skips already-processed arrivals exactly as it does
+        // for a log file.
+        let store = crate::db::open_store(args)?;
+        for record in store.read(&crate::db::read_filter(args)?)? {
+            if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                break;
+            }
+            event_no += 1;
+            if event_no <= skip {
+                continue;
+            }
+            miner.slide(record.trajectory, window);
+            emit_snapshot(&miner, emit_every, checkpoint_path.as_deref())?;
+        }
+    } else {
+        let input = args.require("input")?;
+        let mut tailer = EventTailer::open(std::path::Path::new(input), follow, poll)?;
+        while let Some(traj) = tailer.next_event(&stop)? {
+            if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                break;
+            }
+            event_no += 1;
+            if event_no <= skip {
+                continue;
+            }
+            miner.slide(traj, window);
+            emit_snapshot(&miner, emit_every, checkpoint_path.as_deref())?;
+        }
+    }
+    if stop.load(std::sync::atomic::Ordering::SeqCst) {
+        eprintln!("termination signal received: draining stream state");
+    }
+
+    finish_stream(args, &mut miner, checkpoint_path.as_deref())
+}
+
+/// Prints the periodic top-k snapshot line (and refreshes the
+/// checkpoint) when the arrival count hits an `--emit-every` boundary.
+fn emit_snapshot(
+    miner: &StreamMiner,
+    emit_every: u64,
+    checkpoint_path: Option<&std::path::Path>,
+) -> Result<(), Box<dyn Error>> {
+    if emit_every > 0 && miner.stats().arrivals.is_multiple_of(emit_every) {
+        println!(
+            "{}",
+            serde_json::to_string(&crate::render::stream_json(miner))?
+        );
+        if let Some(path) = checkpoint_path {
+            miner.checkpoint(path)?;
+        }
+    }
+    Ok(())
+}
+
+/// The idle/poll interval shared by `stream --follow` and the live
+/// fleet ingesters: `--poll-ms`, with `--idle-ms` kept as the older
+/// spelling of the same knob.
+pub(crate) fn stream_poll_interval(args: &Args) -> Result<std::time::Duration, Box<dyn Error>> {
+    let idle_ms: u64 = args.get_or("idle-ms", 50u64)?;
+    let poll_ms: u64 = args.get_or("poll-ms", idle_ms)?;
+    Ok(std::time::Duration::from_millis(poll_ms))
+}
+
+/// Builds the fixed grid and mining parameters `stream` and
+/// `serve --live` share (`--bbox` defaults to the unit square — the
+/// grid must exist before any data arrives).
+pub(crate) fn stream_mining_setup(args: &Args) -> Result<(Grid, MiningParams), Box<dyn Error>> {
     let k: usize = args.get_or("k", 10usize)?;
     let grid_side: u32 = args.get_or("grid", 16u32)?;
     let bbox = parse_bbox(args.get("bbox").unwrap_or("0,0,1,1"))?;
@@ -516,116 +635,7 @@ fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
         params = params.with_gamma(gamma).map_err(trajpattern::Error::from)?;
     }
     params.threads = threads;
-
-    let mut miner = match args.get("resume") {
-        Some(path) if std::path::Path::new(path).exists() => {
-            let m = StreamMiner::resume(std::path::Path::new(path))?;
-            eprintln!(
-                "resumed from {path}: {} arrivals processed, window {}",
-                m.stats().arrivals,
-                m.stats().window_len
-            );
-            m
-        }
-        _ => StreamMiner::new(grid, params).map_err(trajpattern::Error::from)?,
-    };
-    let skip = miner.next_seq();
-    let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
-
-    if use_db {
-        // Replay committed store records (id order) through the miner;
-        // `--resume` skips already-processed arrivals exactly as it does
-        // for a log file.
-        let store = crate::db::open_store(args)?;
-        let mut event_no = 0u64;
-        for record in store.read(&crate::db::read_filter(args)?)? {
-            event_no += 1;
-            if event_no <= skip {
-                continue;
-            }
-            miner.slide(record.trajectory, window);
-            if emit_every > 0 && miner.stats().arrivals % emit_every == 0 {
-                println!(
-                    "{}",
-                    serde_json::to_string(&crate::render::stream_json(&miner))?
-                );
-                if let Some(path) = &checkpoint_path {
-                    miner.checkpoint(path)?;
-                }
-            }
-        }
-        return finish_stream(args, &mut miner, checkpoint_path.as_deref());
-    }
-
-    let input = args.require("input")?;
-    let file = std::fs::File::open(input)?;
-    let mut reader = std::io::BufReader::new(file);
-    let mut line = String::new();
-    let mut line_no = 0usize;
-    let mut seen_version = false;
-    let mut event_no = 0u64;
-
-    loop {
-        line.clear();
-        let n = reader.read_line(&mut line)?;
-        if n == 0 {
-            if !follow {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(idle_ms));
-            continue;
-        }
-        // In follow mode a partial line may arrive before its newline;
-        // wait for the rest rather than parsing half an event.
-        if follow && !line.ends_with('\n') {
-            std::thread::sleep(std::time::Duration::from_millis(idle_ms));
-            // Rewind is not possible on a BufReader line; accumulate by
-            // reading the remainder onto the same buffer.
-            loop {
-                let mut rest = String::new();
-                let m = reader.read_line(&mut rest)?;
-                line.push_str(&rest);
-                if m > 0 && line.ends_with('\n') {
-                    break;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(idle_ms));
-            }
-        }
-        line_no += 1;
-        let raw = line.trim_end_matches(['\n', '\r']);
-        if !seen_version {
-            if raw.trim() != EVENTS_VERSION_LINE {
-                return Err(format!(
-                    "{input}: expected '{EVENTS_VERSION_LINE}' on line 1, found '{raw}'"
-                )
-                .into());
-            }
-            seen_version = true;
-            continue;
-        }
-        if follow && raw.trim() == "# eof" {
-            break;
-        }
-        let Some(traj) = parse_event_line(raw, line_no)? else {
-            continue;
-        };
-        event_no += 1;
-        if event_no <= skip {
-            continue;
-        }
-        miner.slide(traj, window);
-        if emit_every > 0 && miner.stats().arrivals % emit_every == 0 {
-            println!(
-                "{}",
-                serde_json::to_string(&crate::render::stream_json(&miner))?
-            );
-            if let Some(path) = &checkpoint_path {
-                miner.checkpoint(path)?;
-            }
-        }
-    }
-
-    finish_stream(args, &mut miner, checkpoint_path.as_deref())
+    Ok((grid, params))
 }
 
 /// Shared tail of `trajmine stream`: print the run summary and top-k,
@@ -668,6 +678,7 @@ fn finish_stream(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trajdata::eventlog::EVENTS_VERSION_LINE;
 
     fn args(parts: &[&str]) -> Args {
         Args::parse(parts.iter().map(|s| s.to_string()).collect()).unwrap()

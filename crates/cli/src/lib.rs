@@ -12,7 +12,11 @@
 //!   snapshots that are bit-identical to `mine` over the window.
 //! - `serve`: load a pattern snapshot (`mine --json` output or a
 //!   `stream` checkpoint) and answer concurrent HTTP pattern queries
-//!   over it ([`trajserve`]) until a termination signal drains it.
+//!   over it ([`trajserve`]) until a termination signal drains it;
+//!   `serve --live true` instead runs a sharded live fleet
+//!   ([`trajfleet`]): one stream miner per shard, fed from per-shard
+//!   event logs or store directories, with atomic snapshot swaps and
+//!   deterministic cross-shard top-k fan-out.
 //! - `db ingest` / `db stat` / `db compact` / `db export`: manage the
 //!   embedded crash-safe trajectory store ([`trajdb`]); `mine`,
 //!   `stream`, and `serve` can all read from a store via `--db`.
@@ -27,6 +31,7 @@ pub mod args;
 pub mod commands;
 pub mod db;
 pub mod input;
+pub mod live;
 pub mod render;
 
 pub use args::{ArgError, Args};

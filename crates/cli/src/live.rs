@@ -1,0 +1,92 @@
+//! `trajmine serve --live`: the sharded live fleet.
+//!
+//! One [`trajserve`] server fronts a fixed shard set; each shard runs
+//! its own [`trajstream::StreamMiner`] fed from its own event source
+//! and atomically swaps a pre-serialized snapshot into the shard router
+//! whenever its certified top-k changes. Shards come from either
+//!
+//! * `--shards name=log.events,...` — one tailed event log per shard,
+//!   with per-shard checkpoints in `--checkpoint-dir` when given; or
+//! * `--db ROOT` — every `ROOT/shards/<name>/` store directory becomes
+//!   a shard, polled for newly committed records, checkpointing next to
+//!   its store (`stream.ckpt`).
+//!
+//! Mining knobs (`--window`, `--k`, `--grid`, `--bbox`, `--delta`, …)
+//! are exactly `trajmine stream`'s; server knobs (`--addr`,
+//! `--workers`, `--queue`, …) are exactly `trajmine serve`'s.
+
+use crate::args::Args;
+use std::error::Error;
+use std::time::Duration;
+
+/// Runs the live fleet until a termination signal drains it.
+pub fn serve_live(args: &Args) -> Result<(), Box<dyn Error>> {
+    let window: u64 = args.get_or("window", 64u64)?;
+    if window == 0 {
+        return Err("--window must be at least 1".into());
+    }
+    let (grid, params) = crate::commands::stream_mining_setup(args)?;
+    let poll = crate::commands::stream_poll_interval(args)?;
+
+    let specs = match (args.get("shards"), args.get("db")) {
+        (Some(raw), None) => {
+            trajfleet::parse_shard_specs(raw, args.get("checkpoint-dir").map(std::path::Path::new))?
+        }
+        (None, Some(root)) => trajfleet::discover_db_shards(std::path::Path::new(root))?,
+        (Some(_), Some(_)) => return Err("pass either --shards or --db, not both".into()),
+        (None, None) => {
+            return Err(
+                "serve --live needs --shards name=log.events,... or --db ROOT (with shards/ dirs)"
+                    .into(),
+            )
+        }
+    };
+
+    let server_cfg = trajserve::ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: args.get_or("workers", 2usize)?,
+        queue: args.get_or("queue", 64usize)?,
+        read_timeout: Duration::from_millis(args.get_or("read-timeout-ms", 5000u64)?),
+        write_timeout: Duration::from_millis(args.get_or("write-timeout-ms", 5000u64)?),
+        scorer_threads: args.get_or("threads", 1usize)?,
+        confirm_threshold: args.get_or("confirm", 0.9f64)?,
+        allow_panic_injection: args.get_or("allow-panic-injection", false)?,
+        ..trajserve::ServerConfig::default()
+    };
+
+    let fleet = trajfleet::Fleet::launch(
+        specs,
+        trajfleet::FleetConfig {
+            grid,
+            params,
+            window,
+            poll,
+        },
+        server_cfg.clone(),
+    )?;
+    let addr = fleet.local_addr()?;
+    eprintln!(
+        "trajserve live fleet on http://{addr}: shards [{}] ({} workers, queue {})",
+        fleet.shard_names().join(", "),
+        server_cfg.workers,
+        server_cfg.queue,
+    );
+
+    // Same drain story as plain `serve`: a termination signal stops the
+    // accept loop; `Fleet::run` then stops every ingester and each one
+    // flushes its final checkpoint before the process exits 0.
+    trajserve::signal::install_termination_handler();
+    let flag = trajserve::signal::termination_flag();
+    let handle = fleet.handle();
+    std::thread::spawn(move || {
+        while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("termination signal received: draining in-flight requests and shard ingesters");
+        handle.shutdown();
+    });
+
+    fleet.run()?;
+    eprintln!("trajserve stopped cleanly");
+    Ok(())
+}

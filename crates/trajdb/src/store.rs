@@ -16,6 +16,16 @@ pub const MANIFEST_FILE: &str = "MANIFEST";
 /// Snapshot subdirectory name inside a store directory.
 pub const SNAPSHOT_DIR: &str = "snapshots";
 
+/// Shard subdirectory name inside a fleet root directory: each child of
+/// `<root>/shards/` is itself a complete store owned by one shard of a
+/// `trajmine serve --live` deployment.
+pub const SHARD_DIR: &str = "shards";
+
+/// Per-shard stream checkpoint file name inside a shard's store
+/// directory (`trajpattern-checkpoint v2` format, written by the live
+/// ingester so `serve --live` resumes per shard after a restart).
+pub const SHARD_CHECKPOINT_FILE: &str = "stream.ckpt";
+
 /// What [`Store::open`] found and repaired while recovering.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -677,9 +687,57 @@ impl Store {
         names.sort();
         Ok(names)
     }
+
+    /// Where shard `name`'s store lives under a fleet root, without
+    /// opening anything. Shard names obey the same rules as snapshot
+    /// names (1-64 of `[A-Za-z0-9_-]`), so a name can never escape the
+    /// `shards/` subtree.
+    pub fn shard_dir(root: &Path, name: &str) -> Result<PathBuf, StoreError> {
+        validate_name("shard", name)?;
+        Ok(root.join(SHARD_DIR).join(name))
+    }
+
+    /// Where shard `name`'s stream checkpoint lives under a fleet root
+    /// ([`SHARD_CHECKPOINT_FILE`] inside the shard's store directory).
+    pub fn shard_checkpoint_path(root: &Path, name: &str) -> Result<PathBuf, StoreError> {
+        Ok(Store::shard_dir(root, name)?.join(SHARD_CHECKPOINT_FILE))
+    }
+
+    /// Names of the shards under a fleet root, sorted — the fixed fold
+    /// order the live server's cross-shard merge relies on. A missing
+    /// `shards/` directory is an empty fleet, not an error; entries that
+    /// are not directories or carry invalid names are ignored (they
+    /// cannot have been created through [`Store::shard_dir`]).
+    pub fn list_shards(root: &Path) -> Result<Vec<String>, StoreError> {
+        let dir = root.join(SHARD_DIR);
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let entries = std::fs::read_dir(&dir).map_err(|e| StoreError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::Io {
+                path: dir.clone(),
+                message: e.to_string(),
+            })?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                if validate_name("shard", name).is_ok() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
 }
 
-fn validate_snapshot_name(name: &str) -> Result<(), StoreError> {
+fn validate_name(kind: &str, name: &str) -> Result<(), StoreError> {
     let ok = !name.is_empty()
         && name.len() <= 64
         && name
@@ -689,9 +747,13 @@ fn validate_snapshot_name(name: &str) -> Result<(), StoreError> {
         Ok(())
     } else {
         Err(StoreError::InvalidArgument(format!(
-            "bad snapshot name '{name}': use 1-64 of [A-Za-z0-9_-]"
+            "bad {kind} name '{name}': use 1-64 of [A-Za-z0-9_-]"
         )))
     }
+}
+
+fn validate_snapshot_name(name: &str) -> Result<(), StoreError> {
+    validate_name("snapshot", name)
 }
 
 #[cfg(test)]
@@ -715,6 +777,34 @@ mod tests {
         for bad in ["", "../etc", "a b", "x/y", &"n".repeat(65)] {
             assert!(validate_snapshot_name(bad).is_err(), "'{bad}'");
         }
+    }
+
+    #[test]
+    fn shard_layout_lists_created_shards_sorted() {
+        let root = std::env::temp_dir().join(format!("trajdb-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Empty fleet: no `shards/` directory yet.
+        assert_eq!(Store::list_shards(&root).unwrap(), Vec::<String>::new());
+        for name in ["west", "east", "north"] {
+            let dir = Store::shard_dir(&root, name).unwrap();
+            assert!(dir.starts_with(root.join(SHARD_DIR)));
+            Store::open(&dir, StoreOptions::default()).unwrap();
+        }
+        // Stray files and invalid names are not shards.
+        std::fs::write(root.join(SHARD_DIR).join("README"), "not a shard").unwrap();
+        assert_eq!(
+            Store::list_shards(&root).unwrap(),
+            ["east", "north", "west"]
+        );
+        let ckpt = Store::shard_checkpoint_path(&root, "east").unwrap();
+        assert_eq!(
+            ckpt,
+            Store::shard_dir(&root, "east").unwrap().join("stream.ckpt")
+        );
+        for bad in ["", "a/b", "..", "a b"] {
+            assert!(Store::shard_dir(&root, bad).is_err(), "'{bad}'");
+        }
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! The fleet contract, both halves:
+//!
+//! * **merge identity** (property): the deterministic k-way fan-out
+//!   merge over per-shard certified top-k lists is bit-identical to
+//!   batch-mining each shard's window with [`trajpattern::Miner`] and
+//!   sorting the union under the same comparator (NM descending,
+//!   `Pattern` ascending, exact ties to the earlier shard in the fixed
+//!   fold order) — including when a shard checkpointed and resumed
+//!   mid-stream;
+//! * **live serving** (end-to-end): a [`trajfleet::Fleet`] tailing real
+//!   event logs answers `?shard=` and fan-out queries that match batch
+//!   mining, survives a SIGTERM-style drain, and resumes from its
+//!   per-shard checkpoints bit-identically.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use trajdata::{eventlog, Dataset, SnapshotPoint, Trajectory};
+use trajgeo::{BBox, Grid, Point2};
+use trajpattern::{MinedPattern, Miner, MiningParams};
+use trajserve::{merge_topk, ShardTopk};
+use trajstream::StreamMiner;
+
+fn arb_shards() -> impl Strategy<Value = Vec<Vec<Trajectory>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.02f64..0.2), 2..6),
+            2..8,
+        ),
+        2..4,
+    )
+    .prop_map(|shards| {
+        shards
+            .into_iter()
+            .map(|trajs| {
+                trajs
+                    .into_iter()
+                    .map(|pts| {
+                        Trajectory::new(
+                            pts.into_iter()
+                                .map(|(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
+                                .collect(),
+                        )
+                        .unwrap()
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn batch_mine(data: &Dataset, grid: &Grid, params: &MiningParams) -> Vec<MinedPattern> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    Miner::new(data, grid)
+        .params(params.clone())
+        .mine()
+        .expect("batch mining the window must succeed")
+        .patterns
+}
+
+/// The reference merge: the union of every shard's batch top-k, stably
+/// sorted under the exact `certified_topk` comparator. A stable sort
+/// over the fold-order concatenation keeps the earlier shard first on
+/// exact `(nm, pattern)` ties — the same rule `merge_topk` implements.
+fn reference_merge(
+    shard_lists: &[(String, Vec<MinedPattern>)],
+    k: usize,
+) -> Vec<(&str, &MinedPattern)> {
+    let mut union: Vec<(&str, &MinedPattern)> = shard_lists
+        .iter()
+        .flat_map(|(name, list)| list.iter().map(move |m| (name.as_str(), m)))
+        .collect();
+    union.sort_by(|(_, a), (_, b)| {
+        b.nm.partial_cmp(&a.nm)
+            .expect("NM values are finite")
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
+    union.truncate(k);
+    union
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fan-out merge over live per-shard miners == sort-the-union over
+    /// batch-mined shard windows, bit for bit — with one shard passing
+    /// through a checkpoint/resume cycle partway through its stream.
+    #[test]
+    fn fanout_merge_is_bit_identical_to_batch_per_shard_merge(
+        shards in arb_shards(),
+        k in 1usize..5,
+        window in 2u64..5,
+        delta in 0.04f64..0.12,
+        split in 1usize..4,
+    ) {
+        let grid = Grid::new(BBox::unit(), 3, 3).unwrap();
+        let params = MiningParams::new(k, delta).unwrap().with_max_len(3).unwrap();
+
+        // Stream every shard; shard 0 additionally checkpoints and
+        // resumes mid-stream (the fleet's restart path).
+        let mut miners: Vec<(String, StreamMiner)> = Vec::new();
+        for (s, trajs) in shards.iter().enumerate() {
+            let name = format!("shard{s}");
+            let mut miner = StreamMiner::new(grid.clone(), params.clone()).unwrap();
+            let split_at = if s == 0 { split.min(trajs.len()) } else { usize::MAX };
+            for (i, traj) in trajs.iter().enumerate() {
+                miner.slide(traj.clone(), window);
+                if i + 1 == split_at {
+                    let path = std::env::temp_dir().join(format!(
+                        "trajfleet-prop-{}-{s}-{k}-{split}",
+                        std::process::id()
+                    ));
+                    miner.checkpoint(&path).unwrap();
+                    miner = StreamMiner::resume(&path).unwrap();
+                    std::fs::remove_file(&path).ok();
+                }
+            }
+            miners.push((name, miner));
+        }
+        // Fold order is sorted shard names (here: already sorted).
+
+        // Per-shard identity: each live top-k == batch over its window.
+        let shard_lists: Vec<(String, Vec<MinedPattern>)> = miners
+            .iter()
+            .map(|(name, m)| {
+                let batch = batch_mine(&m.window_dataset(), &grid, &params);
+                prop_assert_eq!(m.topk().len(), batch.len());
+                for (a, b) in m.topk().iter().zip(&batch) {
+                    prop_assert_eq!(&a.pattern, &b.pattern);
+                    prop_assert_eq!(a.nm.to_bits(), b.nm.to_bits());
+                }
+                (name.clone(), batch)
+            })
+            .collect();
+
+        // Merge identity: k-way merge over the *live* lists == stable
+        // sort of the union of the *batch* lists.
+        let inputs: Vec<ShardTopk<'_>> = miners
+            .iter()
+            .map(|(name, m)| ShardTopk { shard: name.as_str(), patterns: m.topk() })
+            .collect();
+        let merged = merge_topk(&inputs, k);
+        let expected = reference_merge(&shard_lists, k);
+        prop_assert_eq!(merged.len(), expected.len());
+        for (got, (shard, want)) in merged.iter().zip(&expected) {
+            prop_assert_eq!(got.shard, *shard, "shard attribution diverged");
+            prop_assert_eq!(&got.entry.pattern, &want.pattern);
+            prop_assert_eq!(got.entry.nm.to_bits(), want.nm.to_bits());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end live serving over real sockets and real event logs.
+// ---------------------------------------------------------------------------
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut s, &mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `/v1/shards` until every shard's published `next_seq` reaches
+/// its expected event count (i.e. all appended events are live).
+fn wait_absorbed(addr: SocketAddr, expected: &[(&str, u64)]) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = get(addr, "/v1/shards");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let all =
+            expected.iter().all(|(name, want)| {
+                doc["shards"].as_array().unwrap().iter().any(|s| {
+                    s["name"].as_str() == Some(name) && s["next_seq"].as_u64() == Some(*want)
+                })
+            });
+        if all {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shards never absorbed their events; last /v1/shards: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn fleet_workload(seed: u64) -> Dataset {
+    let cfg = datagen::ZebraConfig {
+        num_groups: 2,
+        zebras_per_group: 8,
+        snapshots: 8,
+        ..datagen::ZebraConfig::default()
+    };
+    datagen::observe_directly(&cfg.paths(seed), 0.02, seed)
+}
+
+fn mining_setup() -> (Grid, MiningParams) {
+    let grid = Grid::new(BBox::unit(), 5, 5).unwrap();
+    let params = MiningParams::new(4, 0.06).unwrap().with_max_len(3).unwrap();
+    (grid, params)
+}
+
+/// Replays `trajs` through a fresh stream miner (the same slide the
+/// fleet ingester performs) and batch-mines the resulting window — the
+/// ground truth a shard's served top-k must match bit for bit.
+fn expected_topk(
+    trajs: &[Trajectory],
+    grid: &Grid,
+    params: &MiningParams,
+    window: u64,
+) -> Vec<MinedPattern> {
+    let mut miner = StreamMiner::new(grid.clone(), params.clone()).unwrap();
+    for t in trajs {
+        miner.slide(t.clone(), window);
+    }
+    batch_mine(&miner.window_dataset(), grid, params)
+}
+
+fn assert_served_matches(body: &str, expected: &[MinedPattern]) {
+    let doc: serde_json::Value = serde_json::from_str(body).unwrap();
+    let served = doc["patterns"].as_array().unwrap();
+    assert_eq!(served.len(), expected.len(), "top-k size diverged");
+    for (got, want) in served.iter().zip(expected) {
+        let cells: Vec<u64> = got["pattern"]["cells"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect();
+        let want_cells: Vec<u64> = want.pattern.cells().iter().map(|c| c.0 as u64).collect();
+        assert_eq!(cells, want_cells, "pattern cells diverged");
+        assert_eq!(
+            got["nm"].as_f64().unwrap().to_bits(),
+            want.nm.to_bits(),
+            "NM bits diverged"
+        );
+    }
+}
+
+fn append_log(path: &Path, header: bool, trajs: &[Trajectory], eof: bool) {
+    let mut text = String::new();
+    if header {
+        text.push_str(eventlog::EVENTS_VERSION_LINE);
+        text.push('\n');
+    }
+    for t in trajs {
+        eventlog::append_event(&mut text, t);
+    }
+    if eof {
+        text.push_str("# eof\n");
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap();
+    f.write_all(text.as_bytes()).unwrap();
+}
+
+#[test]
+fn live_fleet_serves_fanout_and_resumes_from_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("trajfleet-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (grid, params) = mining_setup();
+    let window = 6u64;
+
+    let data = fleet_workload(11);
+    let trajs = data.trajectories();
+    assert!(trajs.len() >= 12, "workload too small for the split");
+    let east: Vec<Trajectory> = trajs.iter().step_by(2).cloned().collect();
+    let west: Vec<Trajectory> = trajs.iter().skip(1).step_by(2).cloned().collect();
+    let (e1, w1) = (4usize, 3usize);
+
+    let east_log = dir.join("east.events");
+    let west_log = dir.join("west.events");
+    append_log(&east_log, true, &east[..e1], false);
+    append_log(&west_log, true, &west[..w1], false);
+
+    let launch = || {
+        trajfleet::Fleet::launch(
+            trajfleet::parse_shard_specs(
+                &format!("east={},west={}", east_log.display(), west_log.display()),
+                Some(&dir),
+            )
+            .unwrap(),
+            trajfleet::FleetConfig {
+                grid: grid.clone(),
+                params: params.clone(),
+                window,
+                poll: Duration::from_millis(5),
+            },
+            trajserve::ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                ..trajserve::ServerConfig::default()
+            },
+        )
+        .unwrap()
+    };
+
+    // ---- first life: partial logs, no eof ----
+    let fleet = launch();
+    let addr = fleet.local_addr().unwrap();
+    let handle = fleet.handle();
+    assert_eq!(fleet.shard_names(), vec!["east", "west"]);
+    let join = std::thread::spawn(move || fleet.run());
+
+    wait_absorbed(addr, &[("east", e1 as u64), ("west", w1 as u64)]);
+
+    // Shard-scoped top-k == batch mine over the shard's window.
+    let east_expect = expected_topk(&east[..e1], &grid, &params, window);
+    assert!(
+        !east_expect.is_empty(),
+        "workload must certify patterns for the test to bite"
+    );
+    let (status, body) = get(addr, "/v1/topk?shard=east");
+    assert_eq!(status, 200);
+    assert_served_matches(&body, &east_expect);
+
+    // Unknown shard is a 404; POST routes without ?shard= are a 400.
+    assert_eq!(get(addr, "/v1/topk?shard=nope").0, 404);
+
+    // Per-shard metric labels are exposed.
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("trajserve_shard_swaps_total{shard=\"east\"}"));
+    assert!(metrics.contains("trajserve_shard_stream_arrivals{shard=\"west\"}"));
+    assert!(metrics.contains("trajserve_fleet_shards 2"));
+
+    // Drain: stop the server; ingesters flush their checkpoints.
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    assert!(dir.join("east.ckpt").exists());
+    assert!(dir.join("west.ckpt").exists());
+
+    // ---- second life: append the rest (+ eof), relaunch, resume ----
+    append_log(&east_log, false, &east[e1..], true);
+    append_log(&west_log, false, &west[w1..], true);
+
+    let fleet = launch();
+    let addr = fleet.local_addr().unwrap();
+    let handle = fleet.handle();
+    let join = std::thread::spawn(move || fleet.run());
+
+    wait_absorbed(
+        addr,
+        &[("east", east.len() as u64), ("west", west.len() as u64)],
+    );
+
+    // Resumed shards serve exactly what batch mining over the full
+    // replay's window yields — the checkpoint skipped, not re-applied.
+    let east_expect = expected_topk(&east, &grid, &params, window);
+    let west_expect = expected_topk(&west, &grid, &params, window);
+    let (status, body) = get(addr, "/v1/topk?shard=east");
+    assert_eq!(status, 200);
+    assert_served_matches(&body, &east_expect);
+    let (status, body) = get(addr, "/v1/topk?shard=west");
+    assert_eq!(status, 200);
+    assert_served_matches(&body, &west_expect);
+
+    // Fan-out == deterministic merge of the two expected lists.
+    let shard_lists = vec![
+        ("east".to_string(), east_expect),
+        ("west".to_string(), west_expect),
+    ];
+    let expected_merge = reference_merge(&shard_lists, params.k);
+    let (status, body) = get(addr, "/v1/topk");
+    assert_eq!(status, 200);
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc["schema"].as_str(), Some("trajserve-fanout/v1"));
+    let merged = doc["patterns"].as_array().unwrap();
+    assert_eq!(merged.len(), expected_merge.len());
+    for (got, (shard, want)) in merged.iter().zip(&expected_merge) {
+        assert_eq!(got["shard"].as_str(), Some(*shard));
+        let cells: Vec<u64> = got["pattern"]["cells"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect();
+        let want_cells: Vec<u64> = want.pattern.cells().iter().map(|c| c.0 as u64).collect();
+        assert_eq!(cells, want_cells);
+        assert_eq!(got["nm"].as_f64().unwrap().to_bits(), want.nm.to_bits());
+    }
+    // `shard=*` is the same fan-out document.
+    let (_, star) = get(addr, "/v1/topk?shard=*");
+    assert_eq!(star, body);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

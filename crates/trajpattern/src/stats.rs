@@ -144,9 +144,27 @@ pub fn __field_kind_is_persisted(kind: &str) -> bool {
 /// `{prefix}_{name} {value}` gauge per counter — the single rendering
 /// behind every stats block on trajserve's `/metrics`.
 pub fn prometheus_counters(out: &mut String, prefix: &str, counters: &[(&'static str, u64)]) {
+    prometheus_labeled_counters(out, prefix, "", counters);
+}
+
+/// [`prometheus_counters`] with a fixed label set on every line —
+/// `{prefix}_{name}{labels} {value}` — used by trajserve's live mode to
+/// emit the same stats blocks once per shard (`labels` like
+/// `shard="west"`). Empty `labels` renders the unlabeled form.
+pub fn prometheus_labeled_counters(
+    out: &mut String,
+    prefix: &str,
+    labels: &str,
+    counters: &[(&'static str, u64)],
+) {
     use std::fmt::Write;
     for (name, value) in counters {
-        writeln!(out, "{prefix}_{name} {value}").expect("writing to a String cannot fail");
+        if labels.is_empty() {
+            writeln!(out, "{prefix}_{name} {value}").expect("writing to a String cannot fail");
+        } else {
+            writeln!(out, "{prefix}_{name}{{{labels}}} {value}")
+                .expect("writing to a String cannot fail");
+        }
     }
 }
 

@@ -1,0 +1,159 @@
+//! Deterministic cross-shard top-k fan-out merge.
+//!
+//! Each live shard maintains its own certified top-k (best NM first, the
+//! exact order `trajpattern::certified_topk` emits: NM descending, ties
+//! by `Pattern` ascending). A fan-out query merges those per-shard lists
+//! into one ranked list of `(shard, pattern, nm)` entries *without*
+//! rescoring anything — a k-way merge that repeatedly takes the best
+//! head among the shard lists under the same comparator, with the fixed
+//! shard fold order (sorted shard names) breaking exact `(nm, pattern)`
+//! ties. Every step is a pure comparison on already-computed values, so
+//! the merged ranking is bit-stable: the same shard states produce the
+//! same bytes, no matter how the shards' updates interleaved.
+//!
+//! The same pattern may appear in several shards with different NMs;
+//! those are distinct entries (each is that shard's exact score over its
+//! own window), which is what a per-fleet/region/tenant deployment
+//! wants — "where is this corridor hot, and how hot, per region".
+
+use std::cmp::Ordering;
+use trajpattern::MinedPattern;
+
+/// One shard's certified top-k, in certified order (best NM first).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardTopk<'a> {
+    /// The shard's name.
+    pub shard: &'a str,
+    /// The shard's certified top-k, best first.
+    pub patterns: &'a [MinedPattern],
+}
+
+/// One entry of the merged ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergedEntry<'a> {
+    /// Which shard contributed the entry.
+    pub shard: &'a str,
+    /// The shard's mined pattern (exact NM over that shard's window).
+    pub entry: &'a MinedPattern,
+}
+
+/// `true` when `a` strictly precedes `b` in the merged ranking: NM
+/// descending, then `Pattern` ascending — exactly the
+/// `certified_topk` comparator. Equal `(nm, pattern)` pairs are *not*
+/// strictly better, so the k-way loop below keeps the earlier shard in
+/// the fixed fold order.
+fn strictly_better(a: &MinedPattern, b: &MinedPattern) -> bool {
+    match b.nm.partial_cmp(&a.nm).expect("NM values are finite") {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a.pattern < b.pattern,
+    }
+}
+
+/// Merges per-shard certified top-k lists into the fleet-wide top `k`.
+///
+/// `shards` must be in the fixed fold order (sorted shard names — the
+/// order [`crate::fleet::FleetState`] maintains); each list must be in
+/// certified order. The result is deterministic down to the bits: ties
+/// on `(nm, pattern)` resolve to the earliest shard in fold order.
+pub fn merge_topk<'a>(shards: &[ShardTopk<'a>], k: usize) -> Vec<MergedEntry<'a>> {
+    let mut heads = vec![0usize; shards.len()];
+    let mut out = Vec::with_capacity(k.min(shards.iter().map(|s| s.patterns.len()).sum()));
+    while out.len() < k {
+        let mut best: Option<usize> = None;
+        for (s, shard) in shards.iter().enumerate() {
+            let Some(cand) = shard.patterns.get(heads[s]) else {
+                continue;
+            };
+            best = match best {
+                None => Some(s),
+                Some(b) if strictly_better(cand, &shards[b].patterns[heads[b]]) => Some(s),
+                Some(b) => Some(b),
+            };
+        }
+        let Some(s) = best else { break };
+        out.push(MergedEntry {
+            shard: shards[s].shard,
+            entry: &shards[s].patterns[heads[s]],
+        });
+        heads[s] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajgeo::CellId;
+    use trajpattern::Pattern;
+
+    fn mined(cells: &[u32], nm: f64) -> MinedPattern {
+        MinedPattern::new(
+            Pattern::new(cells.iter().map(|&c| CellId(c)).collect()).unwrap(),
+            nm,
+        )
+    }
+
+    #[test]
+    fn merges_by_nm_then_pattern_then_shard() {
+        let a = [mined(&[1], -1.0), mined(&[2], -3.0)];
+        let b = [mined(&[3], -2.0), mined(&[1], -3.0)];
+        let shards = [
+            ShardTopk {
+                shard: "a",
+                patterns: &a,
+            },
+            ShardTopk {
+                shard: "b",
+                patterns: &b,
+            },
+        ];
+        let merged = merge_topk(&shards, 10);
+        let order: Vec<(&str, f64)> = merged.iter().map(|m| (m.shard, m.entry.nm)).collect();
+        // -1.0 (a), -2.0 (b), then the -3.0 tie: pattern [1] < [2], so
+        // b's entry precedes a's.
+        assert_eq!(
+            order,
+            vec![("a", -1.0), ("b", -2.0), ("b", -3.0), ("a", -3.0)]
+        );
+    }
+
+    #[test]
+    fn exact_ties_resolve_to_fold_order() {
+        let same = [mined(&[7, 8], -5.5)];
+        let shards = [
+            ShardTopk {
+                shard: "east",
+                patterns: &same,
+            },
+            ShardTopk {
+                shard: "west",
+                patterns: &same,
+            },
+        ];
+        let merged = merge_topk(&shards, 2);
+        assert_eq!(merged[0].shard, "east");
+        assert_eq!(merged[1].shard, "west");
+    }
+
+    #[test]
+    fn truncates_to_k_and_handles_empty_shards() {
+        let a = [mined(&[1], -1.0), mined(&[2], -2.0), mined(&[3], -3.0)];
+        let shards = [
+            ShardTopk {
+                shard: "a",
+                patterns: &a,
+            },
+            ShardTopk {
+                shard: "empty",
+                patterns: &[],
+            },
+        ];
+        assert_eq!(merge_topk(&shards, 2).len(), 2);
+        assert_eq!(merge_topk(&[], 5).len(), 0);
+        // Merging equals sorting the union under the same comparator.
+        let merged = merge_topk(&shards, 10);
+        let nms: Vec<f64> = merged.iter().map(|m| m.entry.nm).collect();
+        assert_eq!(nms, vec![-1.0, -2.0, -3.0]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Live fleet state: one atomically-swappable [`Loaded`] per shard.
+//!
+//! `trajmine serve --live` runs one stream miner per shard (fleet,
+//! region, tenant — the router key is opaque here). Whenever a shard's
+//! certified top-k changes, its ingester builds a fresh pre-serialized
+//! [`Loaded`] and [`FleetState::swap`]s it in — the same
+//! `RwLock<Arc<Loaded>>` pattern the `--watch` hot reload uses, so a
+//! `GET /v1/topk?shard=` read is a clone of a pre-rendered string no
+//! matter how fast events arrive.
+//!
+//! The shard set is fixed at bind time and kept sorted by name — that
+//! sorted order *is* the fixed fold order the cross-shard
+//! [`merge`](crate::fanout::merge_topk) uses to break exact ties, which
+//! is what makes the fan-out response bit-stable. The merged document
+//! is cached per epoch (a counter bumped on every swap), so a fan-out
+//! burst between writes serves one rendered string.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use trajpattern::stats::prometheus_labeled_counters;
+
+use crate::fanout::{merge_topk, ShardTopk};
+use crate::server::{Loaded, ServeError};
+
+/// One shard's swappable serving state plus its counters.
+#[derive(Debug)]
+struct ShardSlot {
+    name: String,
+    loaded: RwLock<Arc<Loaded>>,
+    /// Snapshot swaps applied to this shard.
+    swaps: AtomicU64,
+    /// Requests answered from this shard (`?shard=` lookups).
+    requests: AtomicU64,
+}
+
+impl ShardSlot {
+    fn loaded(&self) -> Arc<Loaded> {
+        match self.loaded.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+}
+
+/// The shard router: a fixed, name-sorted set of [`ShardSlot`]s.
+#[derive(Debug)]
+pub struct FleetState {
+    /// Sorted by name; the index in this vec is the shard's position in
+    /// the fixed fold order.
+    shards: Vec<ShardSlot>,
+    /// Bumped on every swap; versions the merged fan-out cache.
+    epoch: AtomicU64,
+    /// `(epoch, rendered document)` of the last fan-out merge.
+    merged: Mutex<Option<(u64, String)>>,
+}
+
+impl FleetState {
+    /// Builds the router from `(name, prepared state)` pairs. Names must
+    /// be unique and the set non-empty; the set is fixed for the
+    /// server's lifetime.
+    pub fn new(initial: Vec<(String, Arc<Loaded>)>) -> Result<FleetState, ServeError> {
+        if initial.is_empty() {
+            return Err(ServeError::Fleet(
+                "a live fleet needs at least one shard".into(),
+            ));
+        }
+        let mut shards: Vec<ShardSlot> = initial
+            .into_iter()
+            .map(|(name, loaded)| ShardSlot {
+                name,
+                loaded: RwLock::new(loaded),
+                swaps: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+            })
+            .collect();
+        shards.sort_by(|a, b| a.name.cmp(&b.name));
+        if let Some(w) = shards.windows(2).find(|w| w[0].name == w[1].name) {
+            return Err(ServeError::Fleet(format!(
+                "duplicate shard name '{}'",
+                w[0].name
+            )));
+        }
+        Ok(FleetState {
+            shards,
+            epoch: AtomicU64::new(0),
+            merged: Mutex::new(None),
+        })
+    }
+
+    /// Shard names in the fixed fold order (sorted).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.shards.iter().map(|s| s.name.as_str())
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `false` — the constructor rejects empty fleets — but clippy wants
+    /// the pair.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The swap epoch: total swaps applied across shards since bind.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn slot(&self, name: &str) -> Option<&ShardSlot> {
+        self.shards
+            .binary_search_by(|s| s.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.shards[i])
+    }
+
+    /// The shard's current serving state, counting the lookup as a
+    /// shard-routed request. `None` for unknown names.
+    pub fn shard(&self, name: &str) -> Option<Arc<Loaded>> {
+        let slot = self.slot(name)?;
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        Some(slot.loaded())
+    }
+
+    /// Atomically replaces `name`'s serving state. Readers see the old
+    /// or the new state, never a mix; the fan-out cache is invalidated
+    /// by the epoch bump. Returns `false` for unknown names.
+    pub fn swap(&self, name: &str, next: Arc<Loaded>) -> bool {
+        let Some(slot) = self.slot(name) else {
+            return false;
+        };
+        match slot.loaded.write() {
+            Ok(mut g) => *g = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+        slot.swaps.fetch_add(1, Ordering::Relaxed);
+        // The epoch moves only after the slot holds the new state, so a
+        // merge that observed the old state cannot be cached as current.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+
+    /// The fan-out document: the deterministic k-way merge of every
+    /// shard's certified top-k, pre-rendered and cached until the next
+    /// swap.
+    pub fn merged_topk_json(&self) -> String {
+        // Read the epoch *before* collecting shard states: if a swap
+        // lands mid-merge, the stored epoch is stale and the next
+        // request re-merges — the cache can under-live, never over-live.
+        let epoch = self.epoch();
+        {
+            let cache = self.merged.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some((e, json)) = cache.as_ref() {
+                if *e == epoch {
+                    return json.clone();
+                }
+            }
+        }
+
+        let loaded: Vec<(usize, Arc<Loaded>)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.loaded()))
+            .collect();
+        let k = loaded
+            .iter()
+            .map(|(_, l)| l.snapshot.params.k)
+            .max()
+            .unwrap_or(0);
+        let inputs: Vec<ShardTopk<'_>> = loaded
+            .iter()
+            .map(|(i, l)| ShardTopk {
+                shard: self.shards[*i].name.as_str(),
+                patterns: &l.snapshot.patterns,
+            })
+            .collect();
+        let merged = merge_topk(&inputs, k);
+        let entries: Vec<serde_json::Value> = merged
+            .iter()
+            .map(|m| {
+                serde_json::json!({
+                    "shard": m.shard,
+                    "pattern": m.entry.pattern,
+                    "nm": m.entry.nm,
+                })
+            })
+            .collect();
+        let names: Vec<&str> = self.names().collect();
+        let json = serde_json::to_string_pretty(&serde_json::json!({
+            "schema": "trajserve-fanout/v1",
+            "k": k,
+            "shards": names,
+            "patterns": entries,
+        }))
+        .expect("fan-out document serializes");
+
+        let mut cache = self.merged.lock().unwrap_or_else(|p| p.into_inner());
+        *cache = Some((epoch, json.clone()));
+        json
+    }
+
+    /// The `/v1/shards` document: per-shard serving state at a glance.
+    pub fn shards_json(&self) -> String {
+        let shards: Vec<serde_json::Value> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let loaded = s.loaded();
+                let snap = &loaded.snapshot;
+                serde_json::json!({
+                    "name": s.name,
+                    "patterns": snap.patterns.len(),
+                    "groups": snap.groups.len(),
+                    "next_seq": snap.next_seq,
+                    "swaps": s.swaps.load(Ordering::Relaxed),
+                    "requests": s.requests.load(Ordering::Relaxed),
+                    "stream": snap.stream,
+                })
+            })
+            .collect();
+        serde_json::to_string_pretty(&serde_json::json!({
+            "schema": "trajserve-shards/v1",
+            "epoch": self.epoch(),
+            "shards": shards,
+        }))
+        .expect("shard listing serializes")
+    }
+
+    /// Appends the per-shard metric lines: swap/request counters, top-k
+    /// sizes, and each shard's stream-counter block rendered through the
+    /// shared `counter_stats!` machinery with a `shard` label.
+    pub fn render_metrics(&self, out: &mut String) {
+        use std::fmt::Write;
+        writeln!(out, "trajserve_fleet_shards {}", self.len())
+            .expect("writing to a String cannot fail");
+        writeln!(out, "trajserve_fleet_epoch {}", self.epoch())
+            .expect("writing to a String cannot fail");
+        for s in &self.shards {
+            let labels = format!("shard=\"{}\"", s.name);
+            let loaded = s.loaded();
+            writeln!(
+                out,
+                "trajserve_shard_swaps_total{{{labels}}} {}",
+                s.swaps.load(Ordering::Relaxed)
+            )
+            .expect("writing to a String cannot fail");
+            writeln!(
+                out,
+                "trajserve_shard_requests_total{{{labels}}} {}",
+                s.requests.load(Ordering::Relaxed)
+            )
+            .expect("writing to a String cannot fail");
+            writeln!(
+                out,
+                "trajserve_shard_patterns{{{labels}}} {}",
+                loaded.snapshot.patterns.len()
+            )
+            .expect("writing to a String cannot fail");
+            if let Some(stream) = &loaded.snapshot.stream {
+                prometheus_labeled_counters(
+                    out,
+                    "trajserve_shard_stream",
+                    &labels,
+                    &stream.counters(),
+                );
+            }
+        }
+    }
+}

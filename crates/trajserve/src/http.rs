@@ -35,6 +35,17 @@ impl Request {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Value of the first `name` query parameter (`?shard=west&k=5`).
+    /// No percent-decoding: every parameter the routes accept (shard
+    /// names, `*`) is plain `[A-Za-z0-9_*-]`, and an encoded value
+    /// simply fails the later lookup with a clean 404/400.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// Why a request could not be read off the wire.

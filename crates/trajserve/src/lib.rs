@@ -38,6 +38,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fanout;
+pub mod fleet;
 pub mod http;
 pub mod metrics;
 pub mod query;
@@ -45,6 +47,8 @@ pub mod server;
 pub mod signal;
 pub mod snapshot;
 
+pub use fanout::{merge_topk, MergedEntry, ShardTopk};
+pub use fleet::FleetState;
 pub use query::{QueryOptions, QueryRequest, QueryResponse, QUERY_SCHEMA};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Loaded, ServeError, Server, ServerConfig, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotError, SCHEMA};

@@ -1,12 +1,21 @@
 //! Lock-free server counters rendered as plain-text gauges on
 //! `GET /metrics`. All counters are relaxed atomics — metrics reads
 //! never contend with request handling.
+//!
+//! Latency is tracked as one [`Histogram`] **per route** (indexed like
+//! [`ENDPOINTS`]), rendered three ways from the same counters:
+//!
+//! * `trajserve_route_seconds_*{route="..."}` — the per-route split;
+//! * `trajserve_request_seconds_*` — the all-routes aggregate (the sum
+//!   of the per-route histograms, kept for existing dashboards);
+//! * `trajserve_v1_score_seconds_*` — the `/v1/score` histogram under
+//!   its historical name (CI reads its p50 straight off `/metrics`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use trajpattern::stats::prometheus_counters;
 
 /// Routes tracked individually (everything else lands in `other`).
-pub const ENDPOINTS: [&str; 11] = [
+pub const ENDPOINTS: [&str; 12] = [
     "topk",
     "score",
     "match",
@@ -17,45 +26,107 @@ pub const ENDPOINTS: [&str; 11] = [
     "v1_score",
     "v1_match",
     "v1_predict",
+    "v1_shards",
     "other",
 ];
 
-/// [`ENDPOINTS`] slot of `/v1/score` — the route with its own dedicated
-/// latency histogram (the fast-path acceptance metric).
+/// [`ENDPOINTS`] slot of `/v1/score` — the route whose histogram is
+/// additionally rendered under its historical dedicated name (the
+/// fast-path acceptance metric).
 pub const V1_SCORE_ENDPOINT: usize = 7;
 
 /// Upper edges (seconds) of the latency histogram buckets; a final
 /// `+Inf` bucket is implicit.
 pub const LATENCY_BUCKETS: [f64; 8] = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0];
 
+/// One latency histogram over [`LATENCY_BUCKETS`]: per-bucket counts
+/// (index 8 is the `+Inf` bucket, stored non-cumulative and rendered
+/// cumulative), the latency sum in microseconds, and the observation
+/// count.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub buckets: [AtomicU64; 9],
+    /// Sum of observed latencies in microseconds.
+    pub sum_us: AtomicU64,
+    /// Number of observations.
+    pub count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, seconds: f64) {
+        let bucket = LATENCY_BUCKETS
+            .iter()
+            .position(|&edge| seconds <= edge)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us
+            .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Renders `{name}_bucket` (cumulative), `{name}_sum_us`, and
+    /// `{name}_count` lines, with `labels` (e.g. `route="topk"`)
+    /// prepended to each line's label set.
+    fn render(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write;
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0;
+        for (i, edge) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{edge}\"}} {cumulative}"
+            )
+            .expect("writing to a String cannot fail");
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}"
+        )
+        .expect("writing to a String cannot fail");
+        let tail = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        writeln!(
+            out,
+            "{name}_sum_us{tail} {}",
+            self.sum_us.load(Ordering::Relaxed)
+        )
+        .expect("writing to a String cannot fail");
+        writeln!(
+            out,
+            "{name}_count{tail} {}",
+            self.count.load(Ordering::Relaxed)
+        )
+        .expect("writing to a String cannot fail");
+    }
+}
+
 /// The server's counter set. One instance per [`Server`](crate::Server),
 /// shared across workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests dispatched, per endpoint (indexed like [`ENDPOINTS`]).
-    pub requests: [AtomicU64; 11],
+    pub requests: [AtomicU64; 12],
     /// Responses by status class: 2xx, 4xx, 5xx.
     pub responses_2xx: AtomicU64,
     /// 4xx responses.
     pub responses_4xx: AtomicU64,
     /// 5xx responses.
     pub responses_5xx: AtomicU64,
-    /// Per-bucket observation counts (non-cumulative; rendered
-    /// cumulative). Index 8 is the `+Inf` bucket.
-    pub latency_buckets: [AtomicU64; 9],
-    /// Sum of observed request latencies in microseconds.
-    pub latency_sum_us: AtomicU64,
-    /// Number of latency observations.
-    pub latency_count: AtomicU64,
-    /// Per-bucket observation counts for `/v1/score` alone — the
-    /// fast-path acceptance metric, rendered as
-    /// `trajserve_v1_score_seconds_bucket` so CI can read its p50
-    /// straight off `/metrics`. Index 8 is the `+Inf` bucket.
-    pub v1_score_buckets: [AtomicU64; 9],
-    /// Sum of `/v1/score` latencies in microseconds.
-    pub v1_score_sum_us: AtomicU64,
-    /// Number of `/v1/score` observations.
-    pub v1_score_count: AtomicU64,
+    /// Per-route latency histograms (indexed like [`ENDPOINTS`]); the
+    /// all-routes aggregate is their sum, computed at render time.
+    pub route_seconds: [Histogram; 12],
     /// Connections currently queued for a worker.
     pub queue_depth: AtomicU64,
     /// Requests currently being handled.
@@ -64,7 +135,7 @@ pub struct Metrics {
     pub rejected_busy: AtomicU64,
     /// Request handlers that panicked (each answered with a 500).
     pub panics: AtomicU64,
-    /// Successful snapshot hot-reloads.
+    /// Successful snapshot hot-reloads and live per-shard swaps.
     pub reloads: AtomicU64,
     /// Failed snapshot hot-reload attempts.
     pub reload_failures: AtomicU64,
@@ -89,7 +160,8 @@ pub fn endpoint_index(path: &str) -> usize {
         "/v1/score" => 7,
         "/v1/match" => 8,
         "/v1/predict" => 9,
-        _ => 10,
+        "/v1/shards" => 10,
+        _ => 11,
     }
 }
 
@@ -103,132 +175,131 @@ impl Metrics {
             _ => &self.responses_5xx,
         };
         class.fetch_add(1, Ordering::Relaxed);
-        let bucket = LATENCY_BUCKETS
-            .iter()
-            .position(|&edge| seconds <= edge)
-            .unwrap_or(LATENCY_BUCKETS.len());
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us
-            .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
-        if endpoint == V1_SCORE_ENDPOINT {
-            self.v1_score_buckets[bucket].fetch_add(1, Ordering::Relaxed);
-            self.v1_score_sum_us
-                .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
-            self.v1_score_count.fetch_add(1, Ordering::Relaxed);
-        }
+        self.route_seconds[endpoint].observe(seconds);
     }
 
     /// Renders the counter set plus snapshot gauges as plain text, one
     /// `name{labels} value` line each (prometheus exposition style).
     pub fn render(&self, snapshot: &crate::snapshot::Snapshot) -> String {
-        let mut out = String::with_capacity(2048);
-        let mut line = |name: &str, labels: &str, value: u64| {
+        let mut out = String::with_capacity(4096);
+        fn line(out: &mut String, name: &str, labels: &str, value: u64) {
             if labels.is_empty() {
                 out.push_str(&format!("{name} {value}\n"));
             } else {
                 out.push_str(&format!("{name}{{{labels}}} {value}\n"));
             }
-        };
+        }
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
 
         for (i, name) in ENDPOINTS.iter().enumerate() {
             line(
+                &mut out,
                 "trajserve_requests_total",
                 &format!("endpoint=\"{name}\""),
                 get(&self.requests[i]),
             );
         }
         line(
+            &mut out,
             "trajserve_responses_total",
             "class=\"2xx\"",
             get(&self.responses_2xx),
         );
         line(
+            &mut out,
             "trajserve_responses_total",
             "class=\"4xx\"",
             get(&self.responses_4xx),
         );
         line(
+            &mut out,
             "trajserve_responses_total",
             "class=\"5xx\"",
             get(&self.responses_5xx),
         );
 
-        let mut cumulative = 0;
-        for (i, edge) in LATENCY_BUCKETS.iter().enumerate() {
-            cumulative += get(&self.latency_buckets[i]);
-            line(
-                "trajserve_request_seconds_bucket",
-                &format!("le=\"{edge}\""),
-                cumulative,
-            );
+        // All-routes aggregate: the bucket-wise sum of the per-route
+        // histograms, under the original unlabeled names.
+        let aggregate = Histogram::default();
+        for h in &self.route_seconds {
+            for (i, b) in h.buckets.iter().enumerate() {
+                aggregate.buckets[i].fetch_add(get(b), Ordering::Relaxed);
+            }
+            aggregate
+                .sum_us
+                .fetch_add(get(&h.sum_us), Ordering::Relaxed);
+            aggregate.count.fetch_add(get(&h.count), Ordering::Relaxed);
         }
-        cumulative += get(&self.latency_buckets[LATENCY_BUCKETS.len()]);
-        line(
-            "trajserve_request_seconds_bucket",
-            "le=\"+Inf\"",
-            cumulative,
-        );
-        line(
-            "trajserve_request_seconds_sum_us",
-            "",
-            get(&self.latency_sum_us),
-        );
-        line(
-            "trajserve_request_seconds_count",
-            "",
-            get(&self.latency_count),
-        );
+        aggregate.render(&mut out, "trajserve_request_seconds", "");
 
-        let mut cumulative = 0;
-        for (i, edge) in LATENCY_BUCKETS.iter().enumerate() {
-            cumulative += get(&self.v1_score_buckets[i]);
-            line(
-                "trajserve_v1_score_seconds_bucket",
-                &format!("le=\"{edge}\""),
-                cumulative,
-            );
+        // Per-route split; untouched routes are skipped to keep the
+        // exposition compact.
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            if self.route_seconds[i].count() > 0 {
+                self.route_seconds[i].render(
+                    &mut out,
+                    "trajserve_route_seconds",
+                    &format!("route=\"{name}\""),
+                );
+            }
         }
-        cumulative += get(&self.v1_score_buckets[LATENCY_BUCKETS.len()]);
-        line(
-            "trajserve_v1_score_seconds_bucket",
-            "le=\"+Inf\"",
-            cumulative,
-        );
-        line(
-            "trajserve_v1_score_seconds_sum_us",
-            "",
-            get(&self.v1_score_sum_us),
-        );
-        line(
-            "trajserve_v1_score_seconds_count",
-            "",
-            get(&self.v1_score_count),
-        );
 
-        line("trajserve_queue_depth", "", get(&self.queue_depth));
-        line("trajserve_inflight_requests", "", get(&self.inflight));
+        // `/v1/score` under its historical dedicated name — the
+        // fast-path acceptance metric CI reads the p50 from. Always
+        // rendered, even before the first observation.
+        self.route_seconds[V1_SCORE_ENDPOINT].render(&mut out, "trajserve_v1_score_seconds", "");
+
         line(
+            &mut out,
+            "trajserve_queue_depth",
+            "",
+            get(&self.queue_depth),
+        );
+        line(
+            &mut out,
+            "trajserve_inflight_requests",
+            "",
+            get(&self.inflight),
+        );
+        line(
+            &mut out,
             "trajserve_rejected_busy_total",
             "",
             get(&self.rejected_busy),
         );
-        line("trajserve_request_panics_total", "", get(&self.panics));
-        line("trajserve_snapshot_reloads_total", "", get(&self.reloads));
         line(
+            &mut out,
+            "trajserve_request_panics_total",
+            "",
+            get(&self.panics),
+        );
+        line(
+            &mut out,
+            "trajserve_snapshot_reloads_total",
+            "",
+            get(&self.reloads),
+        );
+        line(
+            &mut out,
             "trajserve_snapshot_reload_failures_total",
             "",
             get(&self.reload_failures),
         );
 
-        line("trajserve_scorings_total", "", get(&self.scorings));
         line(
+            &mut out,
+            "trajserve_scorings_total",
+            "",
+            get(&self.scorings),
+        );
+        line(
+            &mut out,
             "trajserve_scored_trajectories_total",
             "",
             get(&self.scored_trajectories),
         );
         line(
+            &mut out,
             "trajserve_scorer_degraded_rescores_total",
             "",
             get(&self.scorer_degraded),
@@ -236,16 +307,19 @@ impl Metrics {
 
         // Gauges describing the snapshot currently being served.
         line(
+            &mut out,
             "trajserve_snapshot_patterns",
             "",
             snapshot.patterns.len() as u64,
         );
         line(
+            &mut out,
             "trajserve_snapshot_groups",
             "",
             snapshot.groups.len() as u64,
         );
         line(
+            &mut out,
             "trajserve_snapshot_is_stream",
             "",
             u64::from(snapshot.stream.is_some()),
@@ -276,21 +350,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_render_cumulatively() {
+    fn buckets_record_per_route() {
         let m = Metrics::default();
         m.observe(0, 200, 0.0001); // bucket 0
         m.observe(1, 200, 0.002); // bucket 2
         m.observe(1, 404, 2.0); // +Inf
         assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
         assert_eq!(m.responses_4xx.load(Ordering::Relaxed), 1);
-        let total: u64 = m
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .sum();
-        assert_eq!(total, 3);
-        assert_eq!(m.latency_buckets[0].load(Ordering::Relaxed), 1);
-        assert_eq!(m.latency_buckets[8].load(Ordering::Relaxed), 1);
+        assert_eq!(m.route_seconds[0].count(), 1);
+        assert_eq!(m.route_seconds[1].count(), 2);
+        assert_eq!(m.route_seconds[0].buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(m.route_seconds[1].buckets[8].load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -303,6 +373,7 @@ mod tests {
         assert_eq!(ENDPOINTS[endpoint_index("/v1/score")], "v1_score");
         assert_eq!(ENDPOINTS[endpoint_index("/v1/match")], "v1_match");
         assert_eq!(ENDPOINTS[endpoint_index("/v1/predict")], "v1_predict");
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/shards")], "v1_shards");
         assert_eq!(endpoint_index("/v1/score"), V1_SCORE_ENDPOINT);
     }
 
@@ -310,9 +381,51 @@ mod tests {
     fn v1_score_histogram_tracks_only_its_route() {
         let m = Metrics::default();
         m.observe(V1_SCORE_ENDPOINT, 200, 0.0001);
-        m.observe(1, 200, 0.0001); // legacy /score: main histogram only
-        assert_eq!(m.v1_score_count.load(Ordering::Relaxed), 1);
-        assert_eq!(m.latency_count.load(Ordering::Relaxed), 2);
-        assert_eq!(m.v1_score_buckets[0].load(Ordering::Relaxed), 1);
+        m.observe(1, 200, 0.0001); // legacy /score: its own histogram
+        assert_eq!(m.route_seconds[V1_SCORE_ENDPOINT].count(), 1);
+        assert_eq!(m.route_seconds[1].count(), 1);
+        assert_eq!(
+            m.route_seconds[V1_SCORE_ENDPOINT].buckets[0].load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn render_keeps_historical_names_and_adds_route_split() {
+        let m = Metrics::default();
+        m.observe(endpoint_index("/v1/topk"), 200, 0.0001);
+        m.observe(V1_SCORE_ENDPOINT, 200, 0.002);
+        let snapshot = crate::snapshot::Snapshot {
+            params: trajpattern::MiningParams::new(3, 0.1).unwrap(),
+            grid: trajgeo::Grid::new(trajgeo::BBox::unit(), 4, 4).unwrap(),
+            patterns: Vec::new(),
+            groups: Vec::new(),
+            stats: Default::default(),
+            scorer: Default::default(),
+            stream: None,
+            next_seq: None,
+        };
+        let text = m.render(&snapshot);
+        // Aggregate histogram counts both observations.
+        assert!(text.contains("trajserve_request_seconds_count 2"), "{text}");
+        // Per-route split is labeled; untouched routes are absent.
+        assert!(
+            text.contains("trajserve_route_seconds_count{route=\"v1_topk\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("trajserve_route_seconds_count{route=\"v1_score\"} 1"),
+            "{text}"
+        );
+        assert!(!text.contains("route=\"predict\""), "{text}");
+        // `/v1/score` keeps its historical dedicated histogram name.
+        assert!(
+            text.contains("trajserve_v1_score_seconds_count 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("trajserve_v1_score_seconds_bucket{le=\"0.005\"} 1"),
+            "{text}"
+        );
     }
 }

@@ -93,6 +93,8 @@ pub enum ServeError {
     /// The snapshot cannot back a pattern library (bad confirm
     /// threshold — snapshot params are validated at load time).
     Library(prediction::LibraryError),
+    /// The live shard set is unusable (empty, or duplicate names).
+    Fleet(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -100,6 +102,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Io(e) => write!(f, "cannot start server: {e}"),
             ServeError::Library(e) => write!(f, "cannot build pattern library: {e}"),
+            ServeError::Fleet(msg) => write!(f, "cannot assemble live fleet: {msg}"),
         }
     }
 }
@@ -109,6 +112,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Library(e) => Some(e),
+            ServeError::Fleet(_) => None,
         }
     }
 }
@@ -167,15 +171,24 @@ pub struct ServeState {
     loaded: RwLock<Arc<Loaded>>,
     /// The server's counters (rendered by `GET /metrics`).
     pub metrics: Metrics,
+    /// Per-shard live state — `Some` only for [`Server::bind_fleet`].
+    fleet: Option<crate::fleet::FleetState>,
 }
 
 impl ServeState {
-    /// The currently-served snapshot bundle.
+    /// The currently-served snapshot bundle. In live mode this is the
+    /// *base* bundle (empty top-k over the fleet's grid); shard-scoped
+    /// requests resolve through [`ServeState::fleet`] instead.
     pub fn loaded(&self) -> Arc<Loaded> {
         match self.loaded.read() {
             Ok(g) => Arc::clone(&g),
             Err(poisoned) => Arc::clone(&poisoned.into_inner()),
         }
+    }
+
+    /// The shard router, when serving live.
+    pub fn fleet(&self) -> Option<&crate::fleet::FleetState> {
+        self.fleet.as_ref()
     }
 
     fn swap(&self, next: Arc<Loaded>) {
@@ -215,6 +228,48 @@ impl Server {
     /// served until [`run`](Server::run).
     pub fn bind(snapshot: Snapshot, cfg: ServerConfig) -> Result<Server, ServeError> {
         let loaded = Loaded::build(snapshot, cfg.confirm_threshold)?;
+        Server::bind_with(loaded, None, cfg)
+    }
+
+    /// Binds a live fleet server: one swappable [`Loaded`] per shard
+    /// (from the shards' initial — possibly resumed — snapshots), with
+    /// `GET /v1/topk?shard=` routed per shard, the bare `/v1/topk`
+    /// answering the cross-shard fan-out merge, and `/v1/shards`
+    /// listing shard states. The base (non-shard) snapshot is the first
+    /// shard's, emptied — it backs `/metrics` gauges, nothing else.
+    pub fn bind_fleet(
+        shards: Vec<(String, Snapshot)>,
+        cfg: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let Some(first) = shards.first() else {
+            return Err(ServeError::Fleet(
+                "a live fleet needs at least one shard".into(),
+            ));
+        };
+        let mut base = first.1.clone();
+        base.patterns = Vec::new();
+        base.groups = Vec::new();
+        base.stats = Default::default();
+        base.scorer = Default::default();
+        base.stream = None;
+        base.next_seq = None;
+        let base = Loaded::build(base, cfg.confirm_threshold)?;
+        let mut initial = Vec::with_capacity(shards.len());
+        for (name, snapshot) in shards {
+            initial.push((
+                name,
+                Arc::new(Loaded::build(snapshot, cfg.confirm_threshold)?),
+            ));
+        }
+        let fleet = crate::fleet::FleetState::new(initial)?;
+        Server::bind_with(base, Some(fleet), cfg)
+    }
+
+    fn bind_with(
+        loaded: Loaded,
+        fleet: Option<crate::fleet::FleetState>,
+        cfg: ServerConfig,
+    ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&cfg.addr).map_err(ServeError::Io)?;
         listener.set_nonblocking(true).map_err(ServeError::Io)?;
         Ok(Server {
@@ -222,6 +277,7 @@ impl Server {
             state: Arc::new(ServeState {
                 loaded: RwLock::new(Arc::new(loaded)),
                 metrics: Metrics::default(),
+                fleet,
             }),
             cfg,
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -427,24 +483,81 @@ fn route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/metrics") => {
             let loaded = state.loaded();
-            Response::text(200, state.metrics.render(&loaded.snapshot))
+            let mut text = state.metrics.render(&loaded.snapshot);
+            if let Some(fleet) = state.fleet() {
+                fleet.render_metrics(&mut text);
+            }
+            Response::text(200, text)
         }
-        // `/topk` is a deprecated alias for `/v1/topk` (same body).
-        ("GET", "/topk" | "/v1/topk") => Response::json(200, state.loaded().topk_json.clone()),
-        ("POST", "/v1/score") => v1_score_route(state, cfg, req),
-        ("POST", "/v1/match") => v1_match_route(state, cfg, req),
-        ("POST", "/v1/predict") => v1_predict_route(state, cfg, req),
+        // `/topk` is a deprecated alias for `/v1/topk` (same body). In
+        // live mode `?shard=NAME` reads that shard's pre-serialized
+        // snapshot; no shard (or `shard=*`) answers the deterministic
+        // cross-shard fan-out merge.
+        ("GET", "/topk" | "/v1/topk") => match state.fleet() {
+            None => Response::json(200, state.loaded().topk_json.clone()),
+            Some(fleet) => match req.query_param("shard") {
+                None | Some("" | "*") => Response::json(200, fleet.merged_topk_json()),
+                Some(name) => match fleet.shard(name) {
+                    Some(loaded) => Response::json(200, loaded.topk_json.clone()),
+                    None => Response::error(404, &format!("no such shard '{name}'")),
+                },
+            },
+        },
+        ("GET", "/v1/shards") => match state.fleet() {
+            Some(fleet) => Response::json(200, fleet.shards_json()),
+            None => Response::error(404, "/v1/shards is only served by `serve --live`"),
+        },
+        ("POST", "/v1/score") => match resolve_loaded(state, req) {
+            Ok(loaded) => v1_score_route(state, cfg, &loaded, req),
+            Err(resp) => resp,
+        },
+        ("POST", "/v1/match") => match resolve_loaded(state, req) {
+            Ok(loaded) => v1_match_route(state, cfg, &loaded, req),
+            Err(resp) => resp,
+        },
+        ("POST", "/v1/predict") => match resolve_loaded(state, req) {
+            Ok(loaded) => v1_predict_route(cfg, &loaded, req),
+            Err(resp) => resp,
+        },
         // Deprecated pre-`/v1` aliases; original response bodies kept
         // verbatim so existing clients keep working.
-        ("POST", "/score") => score_route(state, cfg, req),
-        ("POST", "/match") => match_route(state, cfg, req),
-        ("POST", "/predict") => predict_route(state, cfg, req),
+        ("POST", "/score") => match resolve_loaded(state, req) {
+            Ok(loaded) => score_route(state, cfg, &loaded, req),
+            Err(resp) => resp,
+        },
+        ("POST", "/match") => match resolve_loaded(state, req) {
+            Ok(loaded) => match_route(state, cfg, &loaded, req),
+            Err(resp) => resp,
+        },
+        ("POST", "/predict") => match resolve_loaded(state, req) {
+            Ok(loaded) => predict_route(cfg, &loaded, req),
+            Err(resp) => resp,
+        },
         (
             _,
             "/healthz" | "/metrics" | "/topk" | "/score" | "/match" | "/predict" | "/v1/topk"
-            | "/v1/score" | "/v1/match" | "/v1/predict",
+            | "/v1/score" | "/v1/match" | "/v1/predict" | "/v1/shards",
         ) => Response::error(405, "method not allowed for this route"),
         _ => Response::error(404, "no such route"),
+    }
+}
+
+/// Which [`Loaded`] a scoring/prediction request runs against: the one
+/// static snapshot in classic mode, or the named shard's in live mode
+/// (where a bare request has no principled single answer, so `?shard=`
+/// is required — fan-out scoring would multiply work per request).
+fn resolve_loaded(state: &ServeState, req: &Request) -> Result<Arc<Loaded>, Response> {
+    match state.fleet() {
+        None => Ok(state.loaded()),
+        Some(fleet) => match req.query_param("shard") {
+            Some(name) if !name.is_empty() && name != "*" => fleet
+                .shard(name)
+                .ok_or_else(|| Response::error(404, &format!("no such shard '{name}'"))),
+            _ => Err(Response::error(
+                400,
+                "live mode: this route needs ?shard=NAME (see /v1/shards)",
+            )),
+        },
     }
 }
 
@@ -595,7 +708,12 @@ fn predict_value(
 /// `POST /v1/score`: scores over the posted trajectories under the
 /// shared query schema — measure, index pruning, and pattern filter all
 /// come from `options`. NMs are bit-identical to the library scorer.
-fn v1_score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+fn v1_score_route(
+    state: &ServeState,
+    cfg: &ServerConfig,
+    loaded: &Loaded,
+    req: &Request,
+) -> Response {
     let query = match QueryRequest::parse(&req.body) {
         Ok(q) => q,
         Err(resp) => return resp,
@@ -606,8 +724,7 @@ fn v1_score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Resp
         Ok(m) => m,
         Err(msg) => return Response::error(400, &msg),
     };
-    let loaded = state.loaded();
-    let (indices, batch) = match select_patterns(&loaded, opts.patterns.as_deref()) {
+    let (indices, batch) = match select_patterns(loaded, opts.patterns.as_deref()) {
         Ok(s) => s,
         Err(resp) => return resp,
     };
@@ -620,7 +737,7 @@ fn v1_score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Resp
             Some(&subset_index)
         }
     };
-    let nms = score_with(state, cfg, &loaded, &data, &batch, measure, index);
+    let nms = score_with(state, cfg, loaded, &data, &batch, measure, index);
     QueryResponse::new("score")
         .field("trajectories", serde_json::json!(data.len()))
         .field("patterns", serde_json::json!(indices))
@@ -630,7 +747,12 @@ fn v1_score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Resp
 
 /// `POST /v1/match`: best-scoring pattern for the first posted
 /// trajectory under the shared query schema.
-fn v1_match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+fn v1_match_route(
+    state: &ServeState,
+    cfg: &ServerConfig,
+    loaded: &Loaded,
+    req: &Request,
+) -> Response {
     let query = match QueryRequest::parse(&req.body) {
         Ok(q) => q,
         Err(resp) => return resp,
@@ -645,8 +767,7 @@ fn v1_match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Resp
         return Response::error(400, "dataset holds no trajectory to match");
     };
     let single: Dataset = std::iter::once(traj.clone()).collect();
-    let loaded = state.loaded();
-    let (indices, batch) = match select_patterns(&loaded, opts.patterns.as_deref()) {
+    let (indices, batch) = match select_patterns(loaded, opts.patterns.as_deref()) {
         Ok(s) => s,
         Err(resp) => return resp,
     };
@@ -659,7 +780,7 @@ fn v1_match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Resp
             Some(&subset_index)
         }
     };
-    let nms = score_with(state, cfg, &loaded, &single, &batch, measure, index);
+    let nms = score_with(state, cfg, loaded, &single, &batch, measure, index);
     let best = best_match_value(&loaded.snapshot, &indices, &batch, &nms);
     QueryResponse::new("match")
         .field("trajectories", serde_json::json!(1usize))
@@ -671,7 +792,7 @@ fn v1_match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Resp
 
 /// `POST /v1/predict`: next-cell distribution for the first posted
 /// trajectory under the shared query schema.
-fn v1_predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+fn v1_predict_route(cfg: &ServerConfig, loaded: &Loaded, req: &Request) -> Response {
     let query = match QueryRequest::parse(&req.body) {
         Ok(q) => q,
         Err(resp) => return resp,
@@ -680,8 +801,7 @@ fn v1_predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Re
     let Some(traj) = data.trajectories().first() else {
         return Response::error(400, "dataset holds no trajectory to predict from");
     };
-    let loaded = state.loaded();
-    let (velocity, confirming, distribution) = predict_value(&loaded, cfg, traj);
+    let (velocity, confirming, distribution) = predict_value(loaded, cfg, traj);
     QueryResponse::new("predict")
         .field("trajectories", serde_json::json!(1usize))
         .field("velocity", velocity)
@@ -693,16 +813,15 @@ fn v1_predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Re
 /// `POST /score` (deprecated alias of `/v1/score`): NM of every
 /// snapshot pattern over the posted dataset. Same scoring path as `/v1`
 /// — bit-identical NMs — with the original response body.
-fn score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+fn score_route(state: &ServeState, cfg: &ServerConfig, loaded: &Loaded, req: &Request) -> Response {
     let data = match parse_dataset(req) {
         Ok(d) => d,
         Err(resp) => return resp,
     };
-    let loaded = state.loaded();
     let nms = score_with(
         state,
         cfg,
-        &loaded,
+        loaded,
         &data,
         &loaded.patterns,
         trajpattern::Measure::Nm,
@@ -723,7 +842,7 @@ fn score_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Respons
 /// `POST /match` (deprecated alias of `/v1/match`): best-NM snapshot
 /// pattern for the first posted (possibly partial) trajectory, plus its
 /// pattern-group assignment. Original response body.
-fn match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+fn match_route(state: &ServeState, cfg: &ServerConfig, loaded: &Loaded, req: &Request) -> Response {
     let data = match parse_dataset(req) {
         Ok(d) => d,
         Err(resp) => return resp,
@@ -732,11 +851,10 @@ fn match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Respons
         return Response::error(400, "dataset holds no trajectory to match");
     };
     let single: Dataset = std::iter::once(traj.clone()).collect();
-    let loaded = state.loaded();
     let nms = score_with(
         state,
         cfg,
-        &loaded,
+        loaded,
         &single,
         &loaded.patterns,
         trajpattern::Measure::Nm,
@@ -759,7 +877,7 @@ fn match_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Respons
 /// `POST /predict` (deprecated alias of `/v1/predict`): next-cell
 /// distribution for the first posted trajectory's recent window, via
 /// the prediction crate's confirmation machinery. Original body.
-fn predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+fn predict_route(cfg: &ServerConfig, loaded: &Loaded, req: &Request) -> Response {
     let data = match parse_dataset(req) {
         Ok(d) => d,
         Err(resp) => return resp,
@@ -767,8 +885,7 @@ fn predict_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Respo
     let Some(traj) = data.trajectories().first() else {
         return Response::error(400, "dataset holds no trajectory to predict from");
     };
-    let loaded = state.loaded();
-    let (velocity_value, confirming, distribution) = predict_value(&loaded, cfg, traj);
+    let (velocity_value, confirming, distribution) = predict_value(loaded, cfg, traj);
     Response::json(
         200,
         serde_json::to_string_pretty(&serde_json::json!({

@@ -457,6 +457,9 @@ pub(crate) fn decode(text: &str) -> Result<StreamMiner, CheckpointError> {
             scorer: trajpattern::ScorerStats::default(),
         },
         stats,
+        // Like the certifier, the change counter is derived in-process
+        // state: consumers track deltas, so it restarts at zero.
+        topk_version: 0,
     })
 }
 

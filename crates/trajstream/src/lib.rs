@@ -179,6 +179,12 @@ pub struct StreamMiner {
     certifier: Option<SeedCertifier>,
     last: MiningOutcome,
     stats: StreamStats,
+    /// Bumped by [`StreamMiner::maintain`] only when the maintained top-k
+    /// actually changed (pattern set or NM bits). Derived state: starts at
+    /// zero on construction *and* on checkpoint resume — consumers compare
+    /// against the last value they observed, never against a persisted
+    /// absolute.
+    topk_version: u64,
 }
 
 impl StreamMiner {
@@ -200,6 +206,7 @@ impl StreamMiner {
                 scorer: trajpattern::ScorerStats::default(),
             },
             stats: StreamStats::default(),
+            topk_version: 0,
         })
     }
 
@@ -335,6 +342,38 @@ impl StreamMiner {
         self.next_seq
     }
 
+    /// A change counter over [`StreamMiner::topk`]: bumped by each
+    /// maintenance pass whose resulting top-k differs from the previous
+    /// one (different patterns, or the same patterns with different NM
+    /// bits). Events absorbed without moving the top-k leave it untouched,
+    /// so a consumer republishing derived state (for example the live
+    /// server swapping a pre-serialized snapshot) can skip no-op updates
+    /// by comparing against the last version it saw.
+    ///
+    /// The counter is *derived* state: it restarts at zero on
+    /// construction and on checkpoint resume, so only deltas within one
+    /// process are meaningful.
+    pub fn topk_version(&self) -> u64 {
+        self.topk_version
+    }
+
+    /// Whether `new` and `old` are the same top-k, bit for bit.
+    fn same_topk(a: &[MinedPattern], b: &[MinedPattern]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.pattern == y.pattern && x.nm.to_bits() == y.nm.to_bits())
+    }
+
+    /// Replaces the maintained outcome, bumping [`StreamMiner::topk_version`]
+    /// if the top-k moved. Every `maintain` exit path funnels through here.
+    fn publish(&mut self, out: MiningOutcome) {
+        if !Self::same_topk(&out.patterns, &self.last.patterns) {
+            self.topk_version += 1;
+        }
+        self.last = out;
+    }
+
     /// Re-certifies the top-k for the current window. Fast path first:
     /// fold the ledger and ask the [`SeedCertifier`] whether a seeded
     /// re-growth would score anything — if not, the top-k is the ledger's
@@ -345,12 +384,12 @@ impl StreamMiner {
     fn maintain(&mut self) {
         self.stats.window_len = self.window.len();
         if self.window.is_empty() {
-            self.last = MiningOutcome {
+            self.publish(MiningOutcome {
                 patterns: Vec::new(),
                 groups: Vec::new(),
                 stats: MiningStats::default(),
                 scorer: trajpattern::ScorerStats::default(),
-            };
+            });
             self.stats.ledger_patterns = self.ledger.patterns.len();
             return;
         }
@@ -373,7 +412,7 @@ impl StreamMiner {
                 // data; a certified pass performs no mining work.
                 out.stats = self.last.stats.clone();
                 out.scorer = self.last.scorer;
-                self.last = out;
+                self.publish(out);
                 self.stats.certified += 1;
                 self.stats.ledger_patterns = self.ledger.patterns.len();
                 return;
@@ -420,9 +459,10 @@ impl StreamMiner {
         }
         self.certifier = Some(SeedCertifier::new(&self.ledger.patterns));
         self.stats.ledger_patterns = self.ledger.patterns.len();
-        self.last = out.outcome;
+        let mut outcome = out.outcome;
         // Absorption scored more patterns; report the scorer's final tally.
-        self.last.scorer = scorer.stats();
+        outcome.scorer = scorer.stats();
+        self.publish(outcome);
     }
 }
 
@@ -557,6 +597,33 @@ mod tests {
         for (a, b) in m.topk().iter().zip(&batch.patterns) {
             assert_eq!(a.nm.to_bits(), b.nm.to_bits());
         }
+    }
+
+    #[test]
+    fn topk_version_tracks_only_real_changes() {
+        let mut m = miner(3);
+        assert_eq!(m.topk_version(), 0);
+        m.push(sweep(0.0));
+        let after_first = m.topk_version();
+        assert_eq!(after_first, 1, "bootstrap mine publishes a new top-k");
+        // Every push changes the NM sums, so the version keeps moving and
+        // never outruns one bump per maintenance pass.
+        for i in 1..6 {
+            let before = m.topk_version();
+            m.push(sweep(0.001 * i as f64));
+            let after = m.topk_version();
+            assert!(after == before || after == before + 1);
+            assert!(after >= before);
+        }
+        // Draining the window empties the top-k: one more change.
+        let v = m.topk_version();
+        m.evict_before(m.next_seq());
+        assert!(m.topk().is_empty());
+        assert_eq!(m.topk_version(), v + 1);
+        // Evicting from an already-empty window publishes the same empty
+        // top-k; the version must not move.
+        m.evict_before(m.next_seq());
+        assert_eq!(m.topk_version(), v + 1);
     }
 
     #[test]
