@@ -1,0 +1,99 @@
+//! Probabilistic query throughput experiment: latency of `trajquery`
+//! prange / pnn with the σ-expanded-bbox index versus the brute scan.
+//!
+//! Usage: `cargo run -p bench --release --bin exp_query [--quick]`.
+//! Writes `results/query_throughput.json` and
+//! `results/query_throughput.dat`.
+
+use bench::query::{run_query, QueryBenchConfig, QueryThroughputResult};
+use bench::report::{row, write_dat, write_json};
+
+fn print_result(r: &QueryThroughputResult) {
+    println!(
+        "=== query throughput: {} objects x {} snapshots, {} queries/route (host reports {} core(s)) ===",
+        r.config.objects, r.config.l, r.config.queries, r.available_parallelism
+    );
+    let widths = [14, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "route".into(),
+                "queries".into(),
+                "qps".into(),
+                "p50".into(),
+                "p99".into(),
+                "mean".into(),
+            ],
+            &widths
+        )
+    );
+    for p in &r.points {
+        println!(
+            "{}",
+            row(
+                &[
+                    p.route.clone(),
+                    p.queries.to_string(),
+                    format!("{:.0}", p.qps),
+                    format!("{:.3}ms", p.p50_ms),
+                    format!("{:.3}ms", p.p99_ms),
+                    format!("{:.3}ms", p.mean_ms),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "index speedup: prange {:.1}x, pnn {:.1}x ({} range matches across the batch)",
+        r.prange_speedup, r.pnn_speedup, r.prange_matches
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        QueryBenchConfig {
+            objects: 500,
+            queries: 50,
+            ..QueryBenchConfig::default()
+        }
+    } else {
+        QueryBenchConfig::default()
+    };
+
+    let r = run_query(&cfg);
+    print_result(&r);
+
+    let json = write_json("query_throughput", &r).expect("write results");
+    let rows: Vec<Vec<f64>> = r
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                i as f64,
+                p.queries as f64,
+                p.qps,
+                p.p50_ms,
+                p.p99_ms,
+                p.mean_ms,
+            ]
+        })
+        .collect();
+    let dat = write_dat(
+        "query_throughput",
+        &[
+            "route_index",
+            "queries",
+            "qps",
+            "p50_ms",
+            "p99_ms",
+            "mean_ms",
+        ],
+        &rows,
+    )
+    .expect("write results");
+    eprintln!("wrote {json} and {dat}");
+}

@@ -348,6 +348,7 @@ pub fn run_fleet(cfg: &FleetBenchConfig) -> FleetThroughputResult {
             params,
             window: cfg.window,
             poll: Duration::from_millis(2),
+            growth_rate: 0.0,
         },
         ServerConfig {
             addr: "127.0.0.1:0".into(),

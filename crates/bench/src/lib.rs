@@ -28,6 +28,7 @@ pub mod fig4;
 pub mod fig4e;
 pub mod fleet;
 pub mod lengths;
+pub mod query;
 pub mod report;
 pub mod serve;
 pub mod stream;

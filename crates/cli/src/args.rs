@@ -58,11 +58,12 @@ impl Args {
         if command.starts_with('-') {
             return Err(ArgError::Malformed { token: command });
         }
-        // `db` takes a second command word (`trajmine db ingest …`);
-        // every other command treats a bare token as malformed.
-        if command == "db" {
+        // `db` and `query` take a second command word (`trajmine db
+        // ingest …`, `trajmine query prange …`); every other command
+        // treats a bare token as malformed.
+        if command == "db" || command == "query" {
             match it.next() {
-                Some(sub) if !sub.starts_with('-') => command = format!("db {sub}"),
+                Some(sub) if !sub.starts_with('-') => command = format!("{command} {sub}"),
                 _ => return Err(ArgError::MissingCommand),
             }
         }
@@ -158,6 +159,21 @@ mod tests {
         ));
         assert!(matches!(
             Args::parse(v(&["db", "--db", "store"])),
+            Err(ArgError::MissingCommand)
+        ));
+    }
+
+    #[test]
+    fn query_takes_a_second_command_word() {
+        let a = Args::parse(v(&["query", "prange", "--input", "d.csv"])).unwrap();
+        assert_eq!(a.command, "query prange");
+        assert_eq!(a.require("input").unwrap(), "d.csv");
+        assert!(matches!(
+            Args::parse(v(&["query"])),
+            Err(ArgError::MissingCommand)
+        ));
+        assert!(matches!(
+            Args::parse(v(&["query", "--p", "0,0"])),
             Err(ArgError::MissingCommand)
         ));
     }

@@ -43,6 +43,10 @@ USAGE:
                     [--min-len N] [--max-len N] [--gamma F]
                     [--addr HOST:PORT] [--workers N] [--queue N]
                     [--threads N] [--confirm F]
+  trajmine query prange --input FILE | --db DIR --p X,Y --delta F --t F
+                        [--tau F] [--growth-rate F] [--brute true]
+  trajmine query pnn    --input FILE | --db DIR --p X,Y --t F --k N
+                        [--delta F] [--tau F] [--growth-rate F] [--brute true]
   trajmine db ingest  --db DIR --input FILE [--batch N] [--t N]
                       [--fsync always|every:N|never] [--segment-max-bytes N]
   trajmine db stat    --db DIR [--verify true]
@@ -127,10 +131,25 @@ certified top-k changes, so GET /v1/topk?shard=NAME stays a pre-rendered
 read and is bit-identical to `mine` over that shard's window. GET
 /v1/topk with no shard (or shard=*) answers the deterministic cross-
 shard merge (NM desc, pattern asc, ties to the first shard in sorted
-name order); GET /v1/shards lists per-shard state; /metrics adds
-per-shard labeled counters. POST routes need ?shard=NAME in live mode.
-Each shard checkpoints (--checkpoint-dir, or the shard store itself) on
-every swap and at drain, so a relaunch resumes bit-identically.";
+name order); GET /v1/shards lists per-shard state (including each
+window's object count and time bounds); /metrics adds per-shard labeled
+counters. Scoring POST routes need ?shard=NAME in live mode. Each shard
+checkpoints (--checkpoint-dir, or the shard store itself) on every swap
+and at drain, so a relaunch resumes bit-identically.
+
+`query prange` / `query pnn` answer probabilistic object queries offline
+over a dataset file or store: prange returns every object whose §3.1
+snapshot (interpolated to --t, with σ growing by --growth-rate per unit
+of elapsed time) lies within --delta of --p with probability >= --tau;
+pnn returns the --k most probable such objects. Results rank by
+probability descending, ties by object id (dataset position). The same
+queries are served live as POST /v1/prange and /v1/pnn — body
+`{\"p\": [x, y], \"delta\", \"t\", \"tau\", \"k\", \"trajectories\"}` in
+static mode, shard windows (with ?shard=NAME or deterministic fan-out
+merge) in live mode — plus POST /v1/matchlive (`{\"pattern\": [cells],
+\"threshold\"}`) for NM pattern matching over the live windows. A
+σ-expanded-bbox index prunes candidates; --brute true (or
+`\"options\": {\"use_index\": false}`) scans instead, bit-identically.";
 
 /// Runs the subcommand in `args`.
 pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -145,6 +164,8 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
         "db stat" => crate::db::stat(args),
         "db compact" => crate::db::compact(args),
         "db export" => crate::db::export(args),
+        "query prange" => crate::query::prange(args),
+        "query pnn" => crate::query::pnn(args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())

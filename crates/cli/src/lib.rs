@@ -32,6 +32,7 @@ pub mod commands;
 pub mod db;
 pub mod input;
 pub mod live;
+pub mod query;
 pub mod render;
 
 pub use args::{ArgError, Args};

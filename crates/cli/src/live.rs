@@ -27,6 +27,10 @@ pub fn serve_live(args: &Args) -> Result<(), Box<dyn Error>> {
     }
     let (grid, params) = crate::commands::stream_mining_setup(args)?;
     let poll = crate::commands::stream_poll_interval(args)?;
+    let growth_rate: f64 = args.get_or("growth-rate", 0.0f64)?;
+    if !growth_rate.is_finite() || growth_rate < 0.0 {
+        return Err("--growth-rate must be finite and >= 0".into());
+    }
 
     let specs = match (args.get("shards"), args.get("db")) {
         (Some(raw), None) => {
@@ -61,6 +65,7 @@ pub fn serve_live(args: &Args) -> Result<(), Box<dyn Error>> {
             params,
             window,
             poll,
+            growth_rate,
         },
         server_cfg.clone(),
     )?;

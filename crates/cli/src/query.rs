@@ -1,0 +1,220 @@
+//! `trajmine query {prange,pnn}`: offline probabilistic object queries
+//! over a dataset file or a `trajdb` store.
+//!
+//! Both commands build a [`trajquery::QuerySet`] over the input (object
+//! ids are dataset positions — store record order under `--db`) and
+//! print one JSON document to stdout. `--brute true` disables the
+//! σ-expanded-bbox index; the answer is bit-identical either way, which
+//! is exactly what the CI smoke check diffs.
+
+use crate::args::Args;
+use std::error::Error;
+use trajgeo::Point2;
+use trajquery::QuerySet;
+
+/// Parses `--p X,Y` into a query point.
+fn parse_point(raw: &str) -> Result<Point2, Box<dyn Error>> {
+    let parts: Vec<&str> = raw.split(',').map(str::trim).collect();
+    let [x, y] = parts.as_slice() else {
+        return Err(format!("--p '{raw}' is not X,Y").into());
+    };
+    let x: f64 = x
+        .parse()
+        .map_err(|_| format!("--p x '{x}' is not a number"))?;
+    let y: f64 = y
+        .parse()
+        .map_err(|_| format!("--p y '{y}' is not a number"))?;
+    Ok(Point2::new(x, y))
+}
+
+/// Loads the queried objects and builds the query set.
+fn query_set(args: &Args) -> Result<QuerySet, Box<dyn Error>> {
+    let data = match args.get("db") {
+        Some(_) => {
+            let store = crate::db::open_store(args)?;
+            store.read_dataset(&crate::db::read_filter(args)?)?
+        }
+        None => crate::input::load(args)?,
+    };
+    let growth_rate: f64 = args.get_or("growth-rate", 0.0f64)?;
+    if !growth_rate.is_finite() || growth_rate < 0.0 {
+        return Err("--growth-rate must be finite and >= 0".into());
+    }
+    Ok(QuerySet::from_dataset(&data, growth_rate))
+}
+
+fn matches_json(matches: &[trajquery::RangeMatch]) -> serde_json::Value {
+    serde_json::Value::Array(
+        matches
+            .iter()
+            .map(|m| serde_json::json!({ "id": m.id, "prob": m.prob }))
+            .collect(),
+    )
+}
+
+/// Builds the `query prange` response document.
+fn prange_doc(args: &Args) -> Result<serde_json::Value, Box<dyn Error>> {
+    let set = query_set(args)?;
+    let p = parse_point(args.require("p")?)?;
+    let delta: f64 = args.require("delta")?.parse().map_err(|_| "bad --delta")?;
+    let t: f64 = args.require("t")?.parse().map_err(|_| "bad --t")?;
+    let tau: f64 = args.get_or("tau", 0.0f64)?;
+    let brute: bool = args.get_or("brute", false)?;
+    let matches = if brute {
+        set.prange_bruteforce(p, delta, t, tau)
+    } else {
+        set.prange(p, delta, t, tau)
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(serde_json::json!({
+        "query": "prange",
+        "objects": set.len(),
+        "matches": matches_json(&matches),
+    }))
+}
+
+/// `trajmine query prange --input FILE|--db DIR --p X,Y --delta F --t F
+/// [--tau F] [--growth-rate F] [--brute true]`
+pub fn prange(args: &Args) -> Result<(), Box<dyn Error>> {
+    println!("{}", serde_json::to_string_pretty(&prange_doc(args)?)?);
+    Ok(())
+}
+
+/// Builds the `query pnn` response document.
+fn pnn_doc(args: &Args) -> Result<serde_json::Value, Box<dyn Error>> {
+    let set = query_set(args)?;
+    let p = parse_point(args.require("p")?)?;
+    let t: f64 = args.require("t")?.parse().map_err(|_| "bad --t")?;
+    let k: usize = args.require("k")?.parse().map_err(|_| "bad --k")?;
+    // The within-δ probability needs a radius; without a mined snapshot
+    // to borrow one from, default to 0.1 (10% of the unit extent).
+    let delta: f64 = match args.get("delta") {
+        Some(raw) => raw.parse().map_err(|_| "bad --delta")?,
+        None => 0.1,
+    };
+    let tau: f64 = args.get_or("tau", 0.0f64)?;
+    let brute: bool = args.get_or("brute", false)?;
+    let matches = if brute {
+        set.pnn_bruteforce(p, t, k, tau, delta)
+    } else {
+        set.pnn(p, t, k, tau, delta)
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(serde_json::json!({
+        "query": "pnn",
+        "objects": set.len(),
+        "k": k,
+        "matches": matches_json(&matches),
+    }))
+}
+
+/// `trajmine query pnn --input FILE|--db DIR --p X,Y --t F --k N
+/// [--delta F] [--tau F] [--growth-rate F] [--brute true]`
+pub fn pnn(args: &Args) -> Result<(), Box<dyn Error>> {
+    println!("{}", serde_json::to_string_pretty(&pnn_doc(args)?)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    fn write_dataset(name: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("trajquery-cli-{}-{name}", std::process::id()));
+        // Three objects: near the origin, drifting away, and far off.
+        let csv = "traj_id,snapshot,x,y,sigma\n\
+                   0,0,0.10,0.10,0.05\n0,1,0.12,0.11,0.05\n0,2,0.14,0.12,0.05\n\
+                   1,0,0.20,0.20,0.10\n1,1,0.40,0.40,0.10\n1,2,0.60,0.60,0.10\n\
+                   2,0,0.90,0.90,0.02\n2,1,0.92,0.92,0.02\n2,2,0.95,0.95,0.02\n";
+        std::fs::write(&path, csv).unwrap();
+        path
+    }
+
+    #[test]
+    fn prange_ranks_and_matches_bruteforce() {
+        let data = write_dataset("prange.csv");
+        let base = [
+            "query",
+            "prange",
+            "--input",
+            data.to_str().unwrap(),
+            "--p",
+            "0.12,0.11",
+            "--delta",
+            "0.2",
+            "--t",
+            "1.5",
+            "--tau",
+            "0.01",
+        ];
+        let doc = prange_doc(&args(&base)).unwrap();
+        assert_eq!(doc["query"].as_str(), Some("prange"));
+        assert_eq!(doc["objects"].as_u64(), Some(3));
+        let matches = doc["matches"].as_array().unwrap();
+        assert!(!matches.is_empty());
+        assert_eq!(matches[0]["id"].as_u64(), Some(0), "object 0 is nearest");
+        // --brute true is bit-identical.
+        let mut brute = base.to_vec();
+        brute.extend(["--brute", "true"]);
+        assert_eq!(doc, prange_doc(&args(&brute)).unwrap());
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn pnn_truncates_to_k() {
+        let data = write_dataset("pnn.csv");
+        let doc = pnn_doc(&args(&[
+            "query",
+            "pnn",
+            "--input",
+            data.to_str().unwrap(),
+            "--p",
+            "0.5,0.5",
+            "--t",
+            "1.0",
+            "--k",
+            "2",
+            "--delta",
+            "0.5",
+        ]))
+        .unwrap();
+        assert_eq!(doc["k"].as_u64(), Some(2));
+        assert!(doc["matches"].as_array().unwrap().len() <= 2);
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn bad_query_flags_are_reported() {
+        let data = write_dataset("bad.csv");
+        let missing_p = prange_doc(&args(&[
+            "query",
+            "prange",
+            "--input",
+            data.to_str().unwrap(),
+            "--delta",
+            "0.1",
+            "--t",
+            "1.0",
+        ]));
+        assert!(missing_p.is_err());
+        let bad_point = prange_doc(&args(&[
+            "query",
+            "prange",
+            "--input",
+            data.to_str().unwrap(),
+            "--p",
+            "0.5",
+            "--delta",
+            "0.1",
+            "--t",
+            "1.0",
+        ]));
+        assert!(bad_point.unwrap_err().to_string().contains("not X,Y"));
+        std::fs::remove_file(&data).ok();
+    }
+}

@@ -68,4 +68,35 @@ mod tests {
         assert_eq!(s.prob_near(Point2::new(1.01, 1.0), 0.05), 1.0);
         assert_eq!(s.prob_near(Point2::new(2.0, 1.0), 0.05), 0.0);
     }
+
+    /// `prob_near` is a pure delegate: there is exactly one probability
+    /// kernel in the workspace (`trajgeo::stats::prob_within_delta`) and
+    /// every caller gets its bits. A CI grep-guard enforces that no
+    /// second `erf` call site appears outside `crates/trajgeo`.
+    #[test]
+    fn prob_near_is_bit_identical_to_the_trajgeo_kernel() {
+        for (mx, my, sigma) in [
+            (0.0, 0.0, 0.0),
+            (0.5, 0.25, 1e-6),
+            (0.5, 0.25, 0.05),
+            (-3.0, 7.5, 1.0),
+            (100.0, -40.0, 4.75),
+        ] {
+            let s = SnapshotPoint::new(Point2::new(mx, my), sigma).unwrap();
+            for (px, py, delta) in [
+                (0.0, 0.0, 0.0),
+                (0.5, 0.25, 0.1),
+                (0.52, 0.2, 0.01),
+                (-2.0, 8.0, 2.5),
+                (99.0, -39.0, 0.5),
+            ] {
+                let p = Point2::new(px, py);
+                assert_eq!(
+                    s.prob_near(p, delta).to_bits(),
+                    prob_within_delta(s.mean, s.sigma, p, delta).to_bits(),
+                    "({mx},{my},{sigma}) vs ({px},{py},{delta})"
+                );
+            }
+        }
+    }
 }

@@ -84,6 +84,10 @@ pub struct FleetConfig {
     pub window: u64,
     /// How long an idle ingester sleeps before re-polling its source.
     pub poll: Duration,
+    /// §3.1 uncertainty growth per unit of elapsed time, baked into
+    /// every shard's published window query set (`/v1/prange`,
+    /// `/v1/pnn` interpolate with it). 0 = reported σ only.
+    pub growth_rate: f64,
 }
 
 /// Why the fleet could not be launched or did not drain cleanly.
@@ -257,6 +261,12 @@ impl Fleet {
         let confirm_threshold = server_cfg.confirm_threshold;
         let server = Server::bind_fleet(initial, server_cfg)?;
         let state = server.state();
+        // A resumed miner already holds a window — publish it so
+        // `/v1/prange` & co. see the shard's objects before the first
+        // new event arrives.
+        for (spec, miner, _) in &prepared {
+            publish_window(spec, miner, cfg.growth_rate, &state);
+        }
         let stop = Arc::new(AtomicBool::new(false));
 
         let mut ingesters = Vec::with_capacity(prepared.len());
@@ -373,6 +383,7 @@ fn ingest_shard(
                             continue;
                         }
                         miner.slide(traj, cfg.window);
+                        publish_window(&spec, &miner, cfg.growth_rate, state);
                         publish_if_changed(
                             &spec,
                             &miner,
@@ -412,6 +423,7 @@ fn ingest_shard(
                         continue;
                     }
                     miner.slide(record.trajectory, cfg.window);
+                    publish_window(&spec, &miner, cfg.growth_rate, state);
                     publish_if_changed(&spec, &miner, &mut last_version, confirm_threshold, state)?;
                 }
             }
@@ -424,6 +436,20 @@ fn ingest_shard(
         miner.checkpoint(path)?;
     }
     result
+}
+
+/// Publishes the shard's current window as a probabilistic query set.
+/// Unlike the top-k, the window moves on *every* slide, so this runs
+/// unconditionally after each event; object ids are the miner's stream
+/// sequence numbers.
+fn publish_window(spec: &ShardSpec, miner: &StreamMiner, growth_rate: f64, state: &ServeState) {
+    if let Some(fleet) = state.fleet() {
+        let objects = miner.window().map(|(seq, t)| (seq, t.clone())).collect();
+        fleet.swap_window(
+            &spec.name,
+            Arc::new(trajquery::QuerySet::build(objects, growth_rate)),
+        );
+    }
 }
 
 /// Publishes the miner's state to the shard's serving slot iff the

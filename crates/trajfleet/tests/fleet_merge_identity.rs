@@ -304,6 +304,7 @@ fn live_fleet_serves_fanout_and_resumes_from_checkpoints() {
                 params: params.clone(),
                 window,
                 poll: Duration::from_millis(5),
+                growth_rate: 0.0,
             },
             trajserve::ServerConfig {
                 addr: "127.0.0.1:0".into(),

@@ -1,0 +1,293 @@
+//! The object-query half of the fleet contract: `POST /v1/prange`,
+//! `/v1/pnn`, and `/v1/matchlive` against a live fleet answer
+//! bit-identically to [`trajquery::QuerySet`] built offline from the
+//! same windows —
+//!
+//! * **shard-scoped** (`?shard=NAME`): the served `(id, prob)` list is
+//!   exactly the shard's own query set's answer (ids are the miner's
+//!   stream sequence numbers);
+//! * **fan-out** (bare POST): the deterministic k-way merge over the
+//!   per-shard answers ranks exactly like one query set holding every
+//!   shard's objects — the probability sequence matches bit for bit.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use trajdata::{eventlog, Dataset, Trajectory};
+use trajgeo::{BBox, Grid, Point2};
+use trajpattern::MiningParams;
+use trajquery::QuerySet;
+use trajstream::StreamMiner;
+
+const GROWTH_RATE: f64 = 0.25;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        req.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+    } else {
+        req.push_str("\r\n");
+    }
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut s, &mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn wait_absorbed(addr: SocketAddr, expected: &[(&str, u64)]) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = request(addr, "GET", "/v1/shards", None);
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let all =
+            expected.iter().all(|(name, want)| {
+                doc["shards"].as_array().unwrap().iter().any(|s| {
+                    s["name"].as_str() == Some(name) && s["next_seq"].as_u64() == Some(*want)
+                })
+            });
+        if all {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shards never absorbed their events; last /v1/shards: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn append_log(path: &Path, trajs: &[Trajectory]) {
+    let mut text = String::new();
+    text.push_str(eventlog::EVENTS_VERSION_LINE);
+    text.push('\n');
+    for t in trajs {
+        eventlog::append_event(&mut text, t);
+    }
+    text.push_str("# eof\n");
+    std::fs::write(path, text).unwrap();
+}
+
+/// Replays `trajs` through a fresh stream miner exactly like the fleet
+/// ingester, returning the final window as `(stream seq, trajectory)`
+/// objects — the id space the live `/v1/prange` answers use.
+fn window_objects(
+    trajs: &[Trajectory],
+    grid: &Grid,
+    params: &MiningParams,
+    window: u64,
+) -> Vec<(u64, Trajectory)> {
+    let mut miner = StreamMiner::new(grid.clone(), params.clone()).unwrap();
+    for t in trajs {
+        miner.slide(t.clone(), window);
+    }
+    miner.window().map(|(seq, t)| (seq, t.clone())).collect()
+}
+
+fn served_matches(body: &str) -> Vec<(u64, f64)> {
+    let doc: serde_json::Value = serde_json::from_str(body).unwrap();
+    doc["matches"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|m| (m["id"].as_u64().unwrap(), m["prob"].as_f64().unwrap()))
+        .collect()
+}
+
+fn prob_bits(matches: &[(u64, f64)]) -> Vec<u64> {
+    matches.iter().map(|(_, p)| p.to_bits()).collect()
+}
+
+#[test]
+fn live_object_queries_match_offline_query_sets() {
+    let dir = std::env::temp_dir().join(format!("trajfleet-query-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let grid = Grid::new(BBox::unit(), 5, 5).unwrap();
+    let params = MiningParams::new(4, 0.06).unwrap().with_max_len(3).unwrap();
+    let window = 6u64;
+
+    let cfg = datagen::ZebraConfig {
+        num_groups: 2,
+        zebras_per_group: 8,
+        snapshots: 8,
+        ..datagen::ZebraConfig::default()
+    };
+    let data: Dataset = datagen::observe_directly(&cfg.paths(17), 0.02, 17);
+    let trajs = data.trajectories();
+    let east: Vec<Trajectory> = trajs.iter().step_by(2).cloned().collect();
+    let west: Vec<Trajectory> = trajs.iter().skip(1).step_by(2).cloned().collect();
+
+    let east_log = dir.join("east.events");
+    let west_log = dir.join("west.events");
+    append_log(&east_log, &east);
+    append_log(&west_log, &west);
+
+    let fleet = trajfleet::Fleet::launch(
+        trajfleet::parse_shard_specs(
+            &format!("east={},west={}", east_log.display(), west_log.display()),
+            None,
+        )
+        .unwrap(),
+        trajfleet::FleetConfig {
+            grid: grid.clone(),
+            params: params.clone(),
+            window,
+            poll: Duration::from_millis(5),
+            growth_rate: GROWTH_RATE,
+        },
+        trajserve::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..trajserve::ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = fleet.local_addr().unwrap();
+    let handle = fleet.handle();
+    let join = std::thread::spawn(move || fleet.run());
+    wait_absorbed(
+        addr,
+        &[("east", east.len() as u64), ("west", west.len() as u64)],
+    );
+
+    // Offline ground truth: the same slides, the same windows.
+    let east_objs = window_objects(&east, &grid, &params, window);
+    let west_objs = window_objects(&west, &grid, &params, window);
+    let east_set = QuerySet::build(east_objs.clone(), GROWTH_RATE);
+    let union_set = QuerySet::build(
+        east_objs.iter().chain(&west_objs).cloned().collect(),
+        GROWTH_RATE,
+    );
+
+    // `/v1/shards` reports each shard's window time bounds.
+    let (_, shards_body) = request(addr, "GET", "/v1/shards", None);
+    let doc: serde_json::Value = serde_json::from_str(&shards_body).unwrap();
+    for shard in doc["shards"].as_array().unwrap() {
+        assert_eq!(shard["window"]["objects"].as_u64(), Some(window));
+        assert_eq!(shard["window"]["t_min"].as_f64(), Some(0.0));
+        assert!(shard["window"]["t_max"].as_f64().unwrap() > 0.0);
+    }
+
+    let (p, delta, t, tau) = (Point2::new(0.5, 0.5), 0.15, 2.5, 0.05);
+    let range_body = format!(
+        r#"{{"p": [{}, {}], "delta": {delta}, "t": {t}, "tau": {tau}}}"#,
+        p.x, p.y
+    );
+
+    // Shard-scoped prange: ids (stream seqs) and probability bits match
+    // the shard's own query set exactly.
+    let (status, body) = request(addr, "POST", "/v1/prange?shard=east", Some(&range_body));
+    assert_eq!(status, 200, "{body}");
+    let served = served_matches(&body);
+    let expect = east_set.prange(p, delta, t, tau).unwrap();
+    assert!(!expect.is_empty(), "query must hit for the test to bite");
+    assert_eq!(served.len(), expect.len());
+    for (got, want) in served.iter().zip(&expect) {
+        assert_eq!(got.0, want.id);
+        assert_eq!(got.1.to_bits(), want.prob.to_bits());
+    }
+
+    // Bare prange fans out: the merged probability sequence is exactly
+    // the union set's answer (rank order is probability descending in
+    // both, so the sequences agree bit for bit).
+    let (status, body) = request(addr, "POST", "/v1/prange", Some(&range_body));
+    assert_eq!(status, 200, "{body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc["schema"].as_str(), Some("trajserve-query/v1"));
+    assert_eq!(
+        doc["shards"].as_array().unwrap().len(),
+        2,
+        "fan-out lists both shards"
+    );
+    let served = served_matches(&body);
+    let expect = union_set.prange(p, delta, t, tau).unwrap();
+    assert_eq!(
+        prob_bits(&served),
+        expect.iter().map(|m| m.prob.to_bits()).collect::<Vec<_>>()
+    );
+
+    // Bare pnn: merging the per-shard top-k lists yields the union's
+    // top-k, bit for bit.
+    let k = 5usize;
+    let pnn_body = format!(
+        r#"{{"p": [{}, {}], "delta": {delta}, "t": {t}, "tau": {tau}, "k": {k}}}"#,
+        p.x, p.y
+    );
+    let (status, body) = request(addr, "POST", "/v1/pnn", Some(&pnn_body));
+    assert_eq!(status, 200, "{body}");
+    let served = served_matches(&body);
+    let expect = union_set.pnn(p, t, k, tau, delta).unwrap();
+    assert_eq!(served.len(), expect.len().min(k));
+    assert_eq!(
+        prob_bits(&served),
+        expect.iter().map(|m| m.prob.to_bits()).collect::<Vec<_>>()
+    );
+
+    // Bare matchlive: merged NM sequence equals the union set's.
+    let union_data: Dataset = union_set.objects().iter().map(|(_, t)| t.clone()).collect();
+    let mined = trajpattern::Miner::new(&union_data, &grid)
+        .params(params.clone())
+        .mine()
+        .unwrap()
+        .patterns;
+    assert!(!mined.is_empty(), "workload must certify a pattern");
+    let cells: Vec<u32> = mined[0].pattern.cells().iter().map(|c| c.0).collect();
+    let match_body = format!(r#"{{"pattern": {cells:?}, "threshold": -10.0}}"#);
+    let (status, body) = request(addr, "POST", "/v1/matchlive", Some(&match_body));
+    assert_eq!(status, 200, "{body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let served_nm: Vec<u64> = doc["matches"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|m| m["nm"].as_f64().unwrap().to_bits())
+        .collect();
+    let pattern =
+        trajpattern::Pattern::new(cells.iter().map(|&c| trajgeo::CellId(c)).collect()).unwrap();
+    let expect = union_set
+        .match_pattern(&grid, params.delta, params.min_prob, 1, &pattern, -10.0)
+        .unwrap();
+    assert!(
+        !expect.is_empty(),
+        "pattern must match for the test to bite"
+    );
+    assert_eq!(
+        served_nm,
+        expect.iter().map(|m| m.nm.to_bits()).collect::<Vec<_>>()
+    );
+
+    // Live-mode guardrails: posted trajectories and growth overrides are
+    // client errors; unknown shards are 404s.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/prange",
+        Some(r#"{"p": [0.5, 0.5], "delta": 0.1, "t": 1.0, "trajectories": []}"#),
+    );
+    assert_eq!(status, 400);
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/prange",
+        Some(r#"{"p": [0.5, 0.5], "delta": 0.1, "t": 1.0, "options": {"growth_rate": 0.5}}"#),
+    );
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/v1/pnn?shard=nope", Some(&pnn_body));
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,599 @@
+//! trajquery — probabilistic queries over uncertain (σ-annotated)
+//! trajectories.
+//!
+//! The miner consumes the paper's §3.1 reporting model (every snapshot
+//! is `N(mean, σ²·I)`); this crate *serves* it, answering the query
+//! classes of "Probabilistic NN Queries on Uncertain Moving Object
+//! Trajectories" (PAPERS.md) over the same data:
+//!
+//! * **probabilistic range** — [`QuerySet::prange`]`(p, δ, t, τ)`: all
+//!   objects whose interpolated snapshot at time `t` lies within `δ` of
+//!   `p` with probability ≥ `τ`, where the probability is the paper's
+//!   `Prob(l, σ, p, δ)` ([`trajgeo::stats::prob_within_delta`]);
+//! * **probabilistic k-NN** — [`QuerySet::pnn`]`(p, t, k, τ, δ)`: the
+//!   `k` highest-probability objects among those, with deterministic
+//!   tie-breaking (probability descending, then object id ascending);
+//! * **live pattern matching** — [`QuerySet::match_pattern`]: which
+//!   objects score NM ≥ threshold against a pattern, via the exact
+//!   per-trajectory contributions the streaming ledger folds
+//!   ([`trajpattern::Scorer::nm_contributions`]).
+//!
+//! # Time and interpolation
+//!
+//! Trajectories are synchronized snapshot sequences; snapshot `i` *is*
+//! time `t = i`. A fractional `t = i + f` (`0 < f < 1`) interpolates per
+//! the §3.1 reporting model, with uncertainty growing with elapsed time
+//! since the last (synthetic) report:
+//!
+//! ```text
+//! mean(t)  = mean_i + f·(mean_{i+1} − mean_i)
+//! sigma(t) = ((1−f)·σ_i + f·σ_{i+1}) · (1 + growth_rate·f)
+//! ```
+//!
+//! `growth_rate ≥ 0` (default 0) mirrors
+//! `mobility::reporting::UncertaintyModel::GrowingWithTime`. An object
+//! whose trajectory does not cover `t` (shorter, or empty) is excluded.
+//!
+//! # Index pruning, and why it is exact
+//!
+//! [`QuerySet::build`] indexes each object's bounding box of snapshot
+//! means, expanded by `8·σ_cap` where `σ_cap = max σ · (1+growth_rate)`
+//! — the same δ+8σ probability-corridor convention `trajgeo::index`
+//! documents. A range probe expands the query point by `δ`; if the two
+//! rectangles are disjoint in some axis, then for every in-range `t`
+//! the standardized interval endpoints lie beyond `±8`, so the object's
+//! probability is below `Φ(−8) ≈ 6.2e−16` ([`TAIL_BOUND`]) in that axis
+//! alone — and the 2-D probability is the *product* of the axis masses.
+//! The index is therefore consulted only when `τ >` [`TAIL_BOUND`]
+//! (below that, pruned objects could legitimately qualify and the scan
+//! runs index-free), which makes the indexed result **bit-identical**
+//! to the brute-force scan: both enumerate candidates in ascending
+//! object order, score them with the same kernel, and sort with the
+//! same comparator (property-tested in
+//! `tests/query_bruteforce_identity.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use trajdata::{Dataset, SnapshotPoint, Trajectory};
+use trajgeo::index::{HybridIndex, Rect};
+use trajgeo::{Grid, Point2};
+use trajpattern::{Pattern, Scorer};
+
+/// How many standard deviations of probability corridor the index keeps
+/// around each object's snapshot means (the δ+8σ convention shared with
+/// the scoring fast path).
+pub const SIGMA_SPAN: f64 = 8.0;
+
+/// Upper bound on the within-δ probability of any object the index
+/// prunes: one axis's standardized interval lies entirely beyond
+/// [`SIGMA_SPAN`], so its mass is below `Φ(−8) ≈ 6.221e−16`, and the
+/// 2-D probability is at most that axis mass. Index pruning is enabled
+/// only for thresholds `τ > TAIL_BOUND`, keeping indexed results
+/// bit-identical to the brute-force scan.
+pub const TAIL_BOUND: f64 = 6.3e-16;
+
+/// Why a query was rejected before touching any object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryError {
+    /// The query point has a non-finite coordinate.
+    BadPoint,
+    /// `δ` is negative or non-finite.
+    BadDelta(f64),
+    /// `t` is non-finite (out-of-range finite times are not errors —
+    /// they match nothing).
+    BadTime(f64),
+    /// `τ` is outside `[0, 1]` or non-finite.
+    BadTau(f64),
+    /// `k` is zero.
+    BadK,
+    /// The match threshold is NaN.
+    BadThreshold,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::BadPoint => write!(f, "query point has non-finite coordinates"),
+            QueryError::BadDelta(d) => write!(f, "delta {d} must be finite and >= 0"),
+            QueryError::BadTime(t) => write!(f, "time {t} must be finite"),
+            QueryError::BadTau(tau) => write!(f, "tau {tau} must be within [0, 1]"),
+            QueryError::BadK => write!(f, "k must be at least 1"),
+            QueryError::BadThreshold => write!(f, "match threshold must not be NaN"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One probabilistic range / k-NN answer entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeMatch {
+    /// The matched object's id.
+    pub id: u64,
+    /// `Prob(mean(t), σ(t), p, δ)` — probability the object's true
+    /// location at `t` is within `δ` of the query point.
+    pub prob: f64,
+}
+
+/// One live pattern-match answer entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternMatch {
+    /// The matched object's id.
+    pub id: u64,
+    /// `NM(P, T)` — the object's normalized-match contribution.
+    pub nm: f64,
+}
+
+/// The object's §3.1 snapshot interpolated to (possibly fractional)
+/// time `t`, or `None` when the trajectory does not cover `t`.
+pub fn snapshot_at(traj: &Trajectory, t: f64, growth_rate: f64) -> Option<SnapshotPoint> {
+    if !t.is_finite() || t < 0.0 {
+        return None;
+    }
+    let points = traj.points();
+    let last = points.len().checked_sub(1)?;
+    if t > last as f64 {
+        return None;
+    }
+    let i = t.floor() as usize;
+    let f = t - i as f64;
+    if f == 0.0 {
+        return Some(points[i]);
+    }
+    let (a, b) = (points[i], points[i + 1]);
+    let mean = Point2::new(
+        a.mean.x + f * (b.mean.x - a.mean.x),
+        a.mean.y + f * (b.mean.y - a.mean.y),
+    );
+    let sigma = ((1.0 - f) * a.sigma + f * b.sigma) * (1.0 + growth_rate * f);
+    SnapshotPoint::new(mean, sigma)
+}
+
+/// The σ-expanded index rectangle covering every snapshot the object
+/// can interpolate to: the bounding box of its means, expanded by
+/// [`SIGMA_SPAN`]`·σ_cap`. `None` for empty trajectories (they can
+/// never match).
+fn object_rect(traj: &Trajectory, growth_rate: f64) -> Option<Rect> {
+    let mut points = traj.points().iter();
+    let first = points.next()?;
+    let mut rect = Rect::point(first.mean);
+    let mut sigma_cap = first.sigma;
+    for s in points {
+        rect = rect.union(Rect::point(s.mean));
+        sigma_cap = sigma_cap.max(s.sigma);
+    }
+    Some(rect.expanded(SIGMA_SPAN * sigma_cap * (1.0 + growth_rate)))
+}
+
+/// A queryable set of uncertain objects: `(id, trajectory)` pairs plus
+/// the σ-expanded-bbox spatial index over them. Built once (per mined
+/// store, or per live window publish) and shared immutably by queries.
+#[derive(Debug)]
+pub struct QuerySet {
+    objects: Vec<(u64, Trajectory)>,
+    growth_rate: f64,
+    index: Option<HybridIndex>,
+}
+
+impl QuerySet {
+    /// Builds the set and its index. `growth_rate` is the §3.1
+    /// uncertainty growth per unit of elapsed time since the last
+    /// snapshot (non-finite or negative values are treated as 0).
+    pub fn build(objects: Vec<(u64, Trajectory)>, growth_rate: f64) -> QuerySet {
+        let growth_rate = if growth_rate.is_finite() && growth_rate > 0.0 {
+            growth_rate
+        } else {
+            0.0
+        };
+        let entries: Vec<(Rect, u32)> = objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, traj))| Some((object_rect(traj, growth_rate)?, i as u32)))
+            .collect();
+        let index = if entries.is_empty() {
+            None
+        } else {
+            Some(HybridIndex::build(entries))
+        };
+        QuerySet {
+            objects,
+            growth_rate,
+            index,
+        }
+    }
+
+    /// Builds the set from a mined dataset; object ids are the dataset
+    /// positions (the ids every offline artifact reports).
+    pub fn from_dataset(data: &Dataset, growth_rate: f64) -> QuerySet {
+        let objects = data
+            .trajectories()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u64, t.clone()))
+            .collect();
+        QuerySet::build(objects, growth_rate)
+    }
+
+    /// The objects, in build order.
+    pub fn objects(&self) -> &[(u64, Trajectory)] {
+        &self.objects
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the set holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The configured uncertainty growth rate.
+    pub fn growth_rate(&self) -> f64 {
+        self.growth_rate
+    }
+
+    /// `(min, max)` event time covered by any object — `(0, max len−1)`
+    /// — or `None` when every trajectory is empty. `/v1/shards` exposes
+    /// this so clients can tell whether a query `t` is in-window before
+    /// paying for a fan-out.
+    pub fn time_bounds(&self) -> Option<(f64, f64)> {
+        self.objects
+            .iter()
+            .filter_map(|(_, t)| t.len().checked_sub(1))
+            .max()
+            .map(|max| (0.0, max as f64))
+    }
+
+    fn validate(p: Point2, delta: f64, t: f64, tau: f64) -> Result<(), QueryError> {
+        if !p.is_finite() {
+            return Err(QueryError::BadPoint);
+        }
+        if !delta.is_finite() || delta < 0.0 {
+            return Err(QueryError::BadDelta(delta));
+        }
+        if !t.is_finite() {
+            return Err(QueryError::BadTime(t));
+        }
+        if !tau.is_finite() || !(0.0..=1.0).contains(&tau) {
+            return Err(QueryError::BadTau(tau));
+        }
+        Ok(())
+    }
+
+    /// Scores `candidates` (ascending object positions) and returns the
+    /// qualifying matches in rank order — the one scoring loop both the
+    /// indexed and the brute-force paths run.
+    fn scan(
+        &self,
+        candidates: impl Iterator<Item = usize>,
+        p: Point2,
+        delta: f64,
+        t: f64,
+        tau: f64,
+    ) -> Vec<RangeMatch> {
+        let mut out = Vec::new();
+        for i in candidates {
+            let (id, traj) = &self.objects[i];
+            let Some(s) = snapshot_at(traj, t, self.growth_rate) else {
+                continue;
+            };
+            let prob = s.prob_near(p, delta);
+            if prob >= tau {
+                out.push(RangeMatch { id: *id, prob });
+            }
+        }
+        // Probability descending, then id ascending — the deterministic
+        // rank order every layer above (fan-out merge, CLI, CI diffs)
+        // relies on. Probabilities are finite by construction.
+        out.sort_by(|a, b| {
+            b.prob
+                .partial_cmp(&a.prob)
+                .expect("probabilities are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        out
+    }
+
+    /// Probabilistic range query: objects within `δ` of `p` at time `t`
+    /// with probability ≥ `τ`, pruned by the σ-expanded-bbox index
+    /// (bit-identical to [`QuerySet::prange_bruteforce`]).
+    pub fn prange(
+        &self,
+        p: Point2,
+        delta: f64,
+        t: f64,
+        tau: f64,
+    ) -> Result<Vec<RangeMatch>, QueryError> {
+        QuerySet::validate(p, delta, t, tau)?;
+        // The index may only skip objects whose probability is provably
+        // below τ; under TAIL_BOUND even a fully-pruned object could
+        // qualify, so the scan runs index-free.
+        match (&self.index, tau > TAIL_BOUND) {
+            (Some(index), true) => {
+                let probe = Rect::point(p).expanded(delta);
+                let hits = index.query(&probe);
+                Ok(self.scan(hits.into_iter().map(|i| i as usize), p, delta, t, tau))
+            }
+            _ => Ok(self.scan(0..self.objects.len(), p, delta, t, tau)),
+        }
+    }
+
+    /// Index-free reference scan for [`QuerySet::prange`] — the oracle
+    /// the identity proptests (and the CI smoke diff) compare against.
+    pub fn prange_bruteforce(
+        &self,
+        p: Point2,
+        delta: f64,
+        t: f64,
+        tau: f64,
+    ) -> Result<Vec<RangeMatch>, QueryError> {
+        QuerySet::validate(p, delta, t, tau)?;
+        Ok(self.scan(0..self.objects.len(), p, delta, t, tau))
+    }
+
+    /// Probabilistic k-NN: the `k` objects most likely to be within `δ`
+    /// of `p` at time `t`, among those with probability ≥ `τ`.
+    /// "Nearest" ranks by within-δ probability — probability
+    /// descending, ties by object id ascending — so results are
+    /// bit-stable.
+    pub fn pnn(
+        &self,
+        p: Point2,
+        t: f64,
+        k: usize,
+        tau: f64,
+        delta: f64,
+    ) -> Result<Vec<RangeMatch>, QueryError> {
+        if k == 0 {
+            return Err(QueryError::BadK);
+        }
+        let mut out = self.prange(p, delta, t, tau)?;
+        out.truncate(k);
+        Ok(out)
+    }
+
+    /// Index-free reference for [`QuerySet::pnn`].
+    pub fn pnn_bruteforce(
+        &self,
+        p: Point2,
+        t: f64,
+        k: usize,
+        tau: f64,
+        delta: f64,
+    ) -> Result<Vec<RangeMatch>, QueryError> {
+        if k == 0 {
+            return Err(QueryError::BadK);
+        }
+        let mut out = self.prange_bruteforce(p, delta, t, tau)?;
+        out.truncate(k);
+        Ok(out)
+    }
+
+    /// Which objects match `pattern` with `NM(P, T) ≥ threshold`:
+    /// per-object normalized match via the scorer's contribution hook
+    /// (each value is exactly what [`trajpattern::Scorer::query`] sums
+    /// over the dataset), ranked NM descending, ties by id ascending.
+    pub fn match_pattern(
+        &self,
+        grid: &Grid,
+        delta: f64,
+        min_prob: f64,
+        threads: usize,
+        pattern: &Pattern,
+        threshold: f64,
+    ) -> Result<Vec<PatternMatch>, QueryError> {
+        if threshold.is_nan() {
+            return Err(QueryError::BadThreshold);
+        }
+        if self.objects.is_empty() {
+            return Ok(Vec::new());
+        }
+        let data: Dataset = self.objects.iter().map(|(_, t)| t.clone()).collect();
+        let scorer = Scorer::with_threads(&data, grid, delta, min_prob, threads);
+        let contributions = scorer.nm_contributions(pattern);
+        let mut out: Vec<PatternMatch> = self
+            .objects
+            .iter()
+            .zip(&contributions)
+            .filter(|(_, nm)| nm.is_finite() && **nm >= threshold)
+            .map(|((id, _), nm)| PatternMatch { id: *id, nm: *nm })
+            .collect();
+        out.sort_by(|a, b| {
+            b.nm.partial_cmp(&a.nm)
+                .expect("retained NMs are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(points: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            points
+                .iter()
+                .map(|&(x, y, s)| SnapshotPoint::new(Point2::new(x, y), s).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_at_interpolates_mean_and_sigma() {
+        let t = traj(&[(0.0, 0.0, 0.1), (1.0, 2.0, 0.3)]);
+        let s = snapshot_at(&t, 0.5, 0.0).unwrap();
+        assert_eq!(s.mean, Point2::new(0.5, 1.0));
+        assert!((s.sigma - 0.2).abs() < 1e-12);
+        // Integer times are the snapshots themselves.
+        assert_eq!(snapshot_at(&t, 0.0, 0.0).unwrap(), *t.get(0).unwrap());
+        assert_eq!(snapshot_at(&t, 1.0, 0.0).unwrap(), *t.get(1).unwrap());
+    }
+
+    #[test]
+    fn snapshot_at_grows_uncertainty_with_elapsed_time() {
+        let t = traj(&[(0.0, 0.0, 0.2), (1.0, 0.0, 0.2)]);
+        let s = snapshot_at(&t, 0.5, 1.0).unwrap();
+        // ((0.5·0.2 + 0.5·0.2)) · (1 + 1.0·0.5) = 0.3
+        assert!((s.sigma - 0.3).abs() < 1e-12);
+        // At the snapshots themselves nothing has elapsed: base σ.
+        assert_eq!(snapshot_at(&t, 1.0, 1.0).unwrap().sigma, 0.2);
+    }
+
+    #[test]
+    fn snapshot_at_rejects_uncovered_times() {
+        let t = traj(&[(0.0, 0.0, 0.1), (1.0, 0.0, 0.1)]);
+        assert!(snapshot_at(&t, -0.5, 0.0).is_none());
+        assert!(snapshot_at(&t, 1.25, 0.0).is_none());
+        assert!(snapshot_at(&t, f64::NAN, 0.0).is_none());
+        assert!(snapshot_at(&Trajectory::default(), 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn prange_filters_sorts_and_validates() {
+        let set = QuerySet::build(
+            vec![
+                (7, traj(&[(0.0, 0.0, 0.05)])),
+                (3, traj(&[(0.0, 0.0, 0.05)])),
+                (5, traj(&[(10.0, 10.0, 0.05)])),
+            ],
+            0.0,
+        );
+        let p = Point2::new(0.0, 0.0);
+        let hits = set.prange(p, 0.1, 0.0, 0.5).unwrap();
+        // Equal probabilities tie-break by id ascending.
+        assert_eq!(hits.len(), 2);
+        assert_eq!((hits[0].id, hits[1].id), (3, 7));
+        assert_eq!(hits[0].prob, hits[1].prob);
+
+        assert_eq!(
+            set.prange(p, -1.0, 0.0, 0.5),
+            Err(QueryError::BadDelta(-1.0))
+        );
+        assert!(matches!(
+            set.prange(p, 0.1, f64::NAN, 0.5),
+            Err(QueryError::BadTime(t)) if t.is_nan()
+        ));
+        assert_eq!(set.prange(p, 0.1, 0.0, 1.5), Err(QueryError::BadTau(1.5)));
+        assert_eq!(
+            set.prange(Point2::new(f64::NAN, 0.0), 0.1, 0.0, 0.5),
+            Err(QueryError::BadPoint)
+        );
+    }
+
+    #[test]
+    fn pnn_truncates_the_rank_order() {
+        let set = QuerySet::build(
+            vec![
+                (0, traj(&[(0.0, 0.0, 0.1)])),
+                (1, traj(&[(0.3, 0.0, 0.1)])),
+                (2, traj(&[(0.6, 0.0, 0.1)])),
+            ],
+            0.0,
+        );
+        let p = Point2::new(0.0, 0.0);
+        let all = set.pnn(p, 0.0, 3, 0.0, 0.2).unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(all[0].prob >= all[1].prob && all[1].prob >= all[2].prob);
+        assert_eq!(all[0].id, 0);
+        let top = set.pnn(p, 0.0, 1, 0.0, 0.2).unwrap();
+        assert_eq!(top, vec![all[0]]);
+        assert_eq!(set.pnn(p, 0.0, 0, 0.0, 0.2), Err(QueryError::BadK));
+    }
+
+    #[test]
+    fn far_objects_are_pruned_identically() {
+        // One near cluster, one object far outside the probe: the
+        // indexed path skips it, the brute force scores it to ~0 —
+        // same answer.
+        let set = QuerySet::build(
+            vec![
+                (0, traj(&[(0.5, 0.5, 0.02)])),
+                (1, traj(&[(400.0, -300.0, 0.02)])),
+            ],
+            0.0,
+        );
+        let p = Point2::new(0.5, 0.5);
+        let indexed = set.prange(p, 0.05, 0.0, 0.1).unwrap();
+        let brute = set.prange_bruteforce(p, 0.05, 0.0, 0.1).unwrap();
+        assert_eq!(indexed, brute);
+        assert_eq!(indexed.len(), 1);
+        assert_eq!(indexed[0].id, 0);
+    }
+
+    #[test]
+    fn tau_zero_disables_index_pruning() {
+        // τ = 0 must return prob-0 objects too, which the index cannot
+        // see — the gate falls back to the full scan.
+        let set = QuerySet::build(
+            vec![
+                (0, traj(&[(0.5, 0.5, 0.0)])),
+                (1, traj(&[(900.0, 900.0, 0.0)])),
+            ],
+            0.0,
+        );
+        let p = Point2::new(0.5, 0.5);
+        let hits = set.prange(p, 0.05, 0.0, 0.0).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[0].prob, 1.0);
+        assert_eq!(hits[1].prob, 0.0);
+    }
+
+    #[test]
+    fn time_bounds_cover_the_longest_object() {
+        let set = QuerySet::build(
+            vec![
+                (0, Trajectory::default()),
+                (
+                    1,
+                    traj(&[(0.0, 0.0, 0.1), (1.0, 0.0, 0.1), (2.0, 0.0, 0.1)]),
+                ),
+            ],
+            0.0,
+        );
+        assert_eq!(set.time_bounds(), Some((0.0, 2.0)));
+        assert_eq!(
+            QuerySet::build(vec![(0, Trajectory::default())], 0.0).time_bounds(),
+            None
+        );
+        assert_eq!(QuerySet::build(Vec::new(), 0.0).time_bounds(), None);
+    }
+
+    #[test]
+    fn match_pattern_ranks_by_nm() {
+        use trajgeo::{BBox, CellId};
+        let grid = Grid::new(BBox::unit(), 4, 4).unwrap();
+        // Object 0 walks the bottom row; object 1 sits far from it.
+        let set = QuerySet::build(
+            vec![
+                (0, traj(&[(0.125, 0.125, 0.02), (0.375, 0.125, 0.02)])),
+                (1, traj(&[(0.875, 0.875, 0.02), (0.875, 0.875, 0.02)])),
+            ],
+            0.0,
+        );
+        let pattern = Pattern::new(vec![CellId(0), CellId(1)]).unwrap();
+        let all = set
+            .match_pattern(&grid, 0.125, 1e-9, 1, &pattern, f64::NEG_INFINITY)
+            .unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].id, 0);
+        assert!(all[0].nm > all[1].nm);
+        let thresholded = set
+            .match_pattern(&grid, 0.125, 1e-9, 1, &pattern, all[0].nm)
+            .unwrap();
+        assert_eq!(thresholded.len(), 1);
+        assert_eq!(thresholded[0].id, 0);
+        assert_eq!(
+            set.match_pattern(&grid, 0.125, 1e-9, 1, &pattern, f64::NAN),
+            Err(QueryError::BadThreshold)
+        );
+    }
+}

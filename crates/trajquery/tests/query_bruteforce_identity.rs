@@ -1,0 +1,121 @@
+//! Property tests: the indexed probabilistic range / k-NN paths are
+//! **bit-identical** to the index-free brute-force reference over random
+//! σ-annotated datasets — every id, every probability, every position,
+//! across the full σ (0 and 1e-6…5), τ (0…1 inclusive), and k (1…16)
+//! ranges the query layer advertises, including out-of-window times and
+//! growing uncertainty.
+
+use proptest::prelude::*;
+use trajdata::{SnapshotPoint, Trajectory};
+use trajgeo::Point2;
+use trajquery::QuerySet;
+
+/// σ values spanning the advertised range: exact (0), near the 1e-6
+/// floor, and the bulk 1e-6…5.0 band.
+fn arb_sigma() -> impl Strategy<Value = f64> {
+    (0u32..8, 1e-6f64..5.0).prop_map(|(sel, s)| match sel {
+        0 => 0.0,
+        1 => 1e-6 + (s / 5.0) * 1e-5,
+        _ => s,
+    })
+}
+
+fn arb_trajectory() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, arb_sigma()), 0..6).prop_map(|points| {
+        Trajectory::new(
+            points
+                .into_iter()
+                .map(|(x, y, sigma)| SnapshotPoint::new(Point2::new(x, y), sigma).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = QuerySet> {
+    (prop::collection::vec(arb_trajectory(), 1..32), 0.0f64..0.5).prop_map(
+        |(trajectories, growth_rate)| {
+            let objects = trajectories
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (i as u64, t))
+                .collect();
+            QuerySet::build(objects, growth_rate)
+        },
+    )
+}
+
+/// τ over the closed interval `[0, 1]`, with the endpoints sampled
+/// explicitly (τ = 0 exercises the index-off fallback, τ = 1 the
+/// all-pruned extreme).
+fn arb_tau() -> impl Strategy<Value = f64> {
+    (0u32..8, 0.0f64..1.0).prop_map(|(sel, t)| match sel {
+        0 => 0.0,
+        1 => 1.0,
+        _ => t,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn indexed_prange_is_bit_identical_to_bruteforce(
+        set in arb_set(),
+        px in -60.0f64..60.0,
+        py in -60.0f64..60.0,
+        delta in 0.0f64..3.0,
+        t in -1.0f64..6.0,
+        tau in arb_tau(),
+    ) {
+        let p = Point2::new(px, py);
+        let indexed = set.prange(p, delta, t, tau).unwrap();
+        let brute = set.prange_bruteforce(p, delta, t, tau).unwrap();
+        prop_assert_eq!(indexed, brute);
+    }
+
+    #[test]
+    fn indexed_pnn_is_bit_identical_to_bruteforce(
+        set in arb_set(),
+        px in -60.0f64..60.0,
+        py in -60.0f64..60.0,
+        delta in 0.0f64..3.0,
+        t in -1.0f64..6.0,
+        tau in arb_tau(),
+        k in 1usize..17,
+    ) {
+        let p = Point2::new(px, py);
+        let indexed = set.pnn(p, t, k, tau, delta).unwrap();
+        let brute = set.pnn_bruteforce(p, t, k, tau, delta).unwrap();
+        prop_assert_eq!(&indexed, &brute);
+        prop_assert!(indexed.len() <= k);
+        // The rank order is probability descending, ties id ascending.
+        for w in indexed.windows(2) {
+            prop_assert!(
+                w[0].prob > w[1].prob || (w[0].prob == w[1].prob && w[0].id < w[1].id)
+            );
+        }
+    }
+
+    #[test]
+    fn prange_results_respect_tau_and_rank_order(
+        set in arb_set(),
+        px in -60.0f64..60.0,
+        py in -60.0f64..60.0,
+        delta in 0.0f64..3.0,
+        t in -1.0f64..6.0,
+        tau in arb_tau(),
+    ) {
+        let p = Point2::new(px, py);
+        let hits = set.prange(p, delta, t, tau).unwrap();
+        for h in &hits {
+            prop_assert!(h.prob >= tau);
+            prop_assert!(h.prob <= 1.0);
+        }
+        for w in hits.windows(2) {
+            prop_assert!(
+                w[0].prob > w[1].prob || (w[0].prob == w[1].prob && w[0].id < w[1].id)
+            );
+        }
+    }
+}

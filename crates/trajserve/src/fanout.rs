@@ -81,11 +81,87 @@ pub fn merge_topk<'a>(shards: &[ShardTopk<'a>], k: usize) -> Vec<MergedEntry<'a>
     out
 }
 
+/// One shard's ranked query answer (probabilistic range / k-NN matches
+/// in rank order, or pattern matches in NM order).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRanked<'a, T> {
+    /// The shard's name.
+    pub shard: &'a str,
+    /// The shard's answer, best first.
+    pub entries: &'a [T],
+}
+
+/// K-way merge of per-shard ranked answers under `strictly_better`,
+/// with the fixed fold order (`shards` sorted by name) breaking exact
+/// ties — the same discipline as [`merge_topk`], generalized over the
+/// entry type. `k = usize::MAX` merges everything.
+fn merge_ranked<'a, T: Copy>(
+    shards: &[ShardRanked<'a, T>],
+    k: usize,
+    strictly_better: impl Fn(&T, &T) -> bool,
+) -> Vec<(&'a str, T)> {
+    let mut heads = vec![0usize; shards.len()];
+    let total: usize = shards.iter().map(|s| s.entries.len()).sum();
+    let mut out = Vec::with_capacity(k.min(total));
+    while out.len() < k {
+        let mut best: Option<usize> = None;
+        for (s, shard) in shards.iter().enumerate() {
+            let Some(cand) = shard.entries.get(heads[s]) else {
+                continue;
+            };
+            best = match best {
+                None => Some(s),
+                Some(b) if strictly_better(cand, &shards[b].entries[heads[b]]) => Some(s),
+                Some(b) => Some(b),
+            };
+        }
+        let Some(s) = best else { break };
+        out.push((shards[s].shard, shards[s].entries[heads[s]]));
+        heads[s] += 1;
+    }
+    out
+}
+
+/// Merges per-shard probabilistic range / k-NN answers: probability
+/// descending, then object id ascending (each shard's own rank order),
+/// exact ties to the earlier shard in fold order. Bit-stable.
+pub fn merge_range<'a>(
+    shards: &[ShardRanked<'a, trajquery::RangeMatch>],
+    k: usize,
+) -> Vec<(&'a str, trajquery::RangeMatch)> {
+    merge_ranked(shards, k, |a, b| {
+        match b
+            .prob
+            .partial_cmp(&a.prob)
+            .expect("probabilities are finite")
+        {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.id < b.id,
+        }
+    })
+}
+
+/// Merges per-shard live pattern-match answers: NM descending, then
+/// object id ascending, exact ties to the earlier shard in fold order.
+pub fn merge_matches<'a>(
+    shards: &[ShardRanked<'a, trajquery::PatternMatch>],
+) -> Vec<(&'a str, trajquery::PatternMatch)> {
+    merge_ranked(shards, usize::MAX, |a, b| {
+        match b.nm.partial_cmp(&a.nm).expect("retained NMs are finite") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.id < b.id,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use trajgeo::CellId;
     use trajpattern::Pattern;
+    use trajquery::{PatternMatch, RangeMatch};
 
     fn mined(cells: &[u32], nm: f64) -> MinedPattern {
         MinedPattern::new(
@@ -155,5 +231,79 @@ mod tests {
         let merged = merge_topk(&shards, 10);
         let nms: Vec<f64> = merged.iter().map(|m| m.entry.nm).collect();
         assert_eq!(nms, vec![-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn range_merge_ranks_prob_desc_then_id_then_shard() {
+        let a = [
+            RangeMatch { id: 4, prob: 0.9 },
+            RangeMatch { id: 1, prob: 0.5 },
+        ];
+        let b = [
+            RangeMatch { id: 0, prob: 0.7 },
+            RangeMatch { id: 9, prob: 0.5 },
+        ];
+        let shards = [
+            ShardRanked {
+                shard: "east",
+                entries: &a,
+            },
+            ShardRanked {
+                shard: "west",
+                entries: &b,
+            },
+        ];
+        let merged = merge_range(&shards, usize::MAX);
+        let order: Vec<(&str, u64, f64)> = merged.iter().map(|(s, m)| (*s, m.id, m.prob)).collect();
+        // 0.5 ties rank by id (1 before 9) regardless of shard order.
+        assert_eq!(
+            order,
+            vec![
+                ("east", 4, 0.9),
+                ("west", 0, 0.7),
+                ("east", 1, 0.5),
+                ("west", 9, 0.5),
+            ]
+        );
+        // Truncation takes the global best k.
+        assert_eq!(merge_range(&shards, 1).len(), 1);
+        assert_eq!(merge_range(&shards, 1)[0].1.id, 4);
+        // Exact (prob, id) ties resolve to the earlier shard.
+        let same = [RangeMatch { id: 2, prob: 0.25 }];
+        let tied = [
+            ShardRanked {
+                shard: "east",
+                entries: &same,
+            },
+            ShardRanked {
+                shard: "west",
+                entries: &same,
+            },
+        ];
+        let merged = merge_range(&tied, usize::MAX);
+        assert_eq!(merged[0].0, "east");
+        assert_eq!(merged[1].0, "west");
+    }
+
+    #[test]
+    fn match_merge_ranks_nm_desc_then_id() {
+        let a = [PatternMatch { id: 3, nm: -1.0 }];
+        let b = [
+            PatternMatch { id: 0, nm: -0.5 },
+            PatternMatch { id: 7, nm: -1.0 },
+        ];
+        let shards = [
+            ShardRanked {
+                shard: "a",
+                entries: &a,
+            },
+            ShardRanked {
+                shard: "b",
+                entries: &b,
+            },
+        ];
+        let merged = merge_matches(&shards);
+        let order: Vec<(&str, u64)> = merged.iter().map(|(s, m)| (*s, m.id)).collect();
+        assert_eq!(order, vec![("b", 0), ("a", 3), ("b", 7)]);
     }
 }

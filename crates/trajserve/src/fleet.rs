@@ -28,6 +28,11 @@ use crate::server::{Loaded, ServeError};
 struct ShardSlot {
     name: String,
     loaded: RwLock<Arc<Loaded>>,
+    /// The shard's current window as a probabilistic query set — swapped
+    /// by the ingester on every slide (the window moves on every event,
+    /// unlike the top-k, so it has its own slot and skips the fan-out
+    /// cache's epoch).
+    window: RwLock<Arc<trajquery::QuerySet>>,
     /// Snapshot swaps applied to this shard.
     swaps: AtomicU64,
     /// Requests answered from this shard (`?shard=` lookups).
@@ -37,6 +42,13 @@ struct ShardSlot {
 impl ShardSlot {
     fn loaded(&self) -> Arc<Loaded> {
         match self.loaded.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    fn window(&self) -> Arc<trajquery::QuerySet> {
+        match self.window.read() {
             Ok(g) => Arc::clone(&g),
             Err(poisoned) => Arc::clone(&poisoned.into_inner()),
         }
@@ -70,6 +82,7 @@ impl FleetState {
             .map(|(name, loaded)| ShardSlot {
                 name,
                 loaded: RwLock::new(loaded),
+                window: RwLock::new(Arc::new(trajquery::QuerySet::build(Vec::new(), 0.0))),
                 swaps: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
             })
@@ -122,6 +135,35 @@ impl FleetState {
         let slot = self.slot(name)?;
         slot.requests.fetch_add(1, Ordering::Relaxed);
         Some(slot.loaded())
+    }
+
+    /// The shard's current window query set. `None` for unknown names.
+    pub fn window(&self, name: &str) -> Option<Arc<trajquery::QuerySet>> {
+        self.slot(name).map(ShardSlot::window)
+    }
+
+    /// Every shard's `(name, window query set)` in the fixed fold order
+    /// — the input of the deterministic query fan-out.
+    pub fn windows(&self) -> Vec<(&str, Arc<trajquery::QuerySet>)> {
+        self.shards
+            .iter()
+            .map(|s| (s.name.as_str(), s.window()))
+            .collect()
+    }
+
+    /// Atomically replaces `name`'s window query set (published by the
+    /// ingester after every slide). Returns `false` for unknown names.
+    /// The fan-out top-k cache is untouched: windows don't affect the
+    /// merged top-k document.
+    pub fn swap_window(&self, name: &str, next: Arc<trajquery::QuerySet>) -> bool {
+        let Some(slot) = self.slot(name) else {
+            return false;
+        };
+        match slot.window.write() {
+            Ok(mut g) => *g = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+        true
     }
 
     /// Atomically replaces `name`'s serving state. Readers see the old
@@ -210,6 +252,8 @@ impl FleetState {
             .map(|s| {
                 let loaded = s.loaded();
                 let snap = &loaded.snapshot;
+                let window = s.window();
+                let bounds = window.time_bounds();
                 serde_json::json!({
                     "name": s.name,
                     "patterns": snap.patterns.len(),
@@ -217,6 +261,14 @@ impl FleetState {
                     "next_seq": snap.next_seq,
                     "swaps": s.swaps.load(Ordering::Relaxed),
                     "requests": s.requests.load(Ordering::Relaxed),
+                    // Window time bounds: the min/max event time a
+                    // `prange`/`pnn` `t` can hit on this shard right
+                    // now (`null` while the window holds no points).
+                    "window": serde_json::json!({
+                        "objects": window.len(),
+                        "t_min": bounds.map(|(lo, _)| lo),
+                        "t_max": bounds.map(|(_, hi)| hi),
+                    }),
                     "stream": snap.stream,
                 })
             })

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use trajpattern::stats::prometheus_counters;
 
 /// Routes tracked individually (everything else lands in `other`).
-pub const ENDPOINTS: [&str; 12] = [
+pub const ENDPOINTS: [&str; 15] = [
     "topk",
     "score",
     "match",
@@ -27,6 +27,9 @@ pub const ENDPOINTS: [&str; 12] = [
     "v1_match",
     "v1_predict",
     "v1_shards",
+    "v1_prange",
+    "v1_pnn",
+    "v1_matchlive",
     "other",
 ];
 
@@ -117,7 +120,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests dispatched, per endpoint (indexed like [`ENDPOINTS`]).
-    pub requests: [AtomicU64; 12],
+    pub requests: [AtomicU64; 15],
     /// Responses by status class: 2xx, 4xx, 5xx.
     pub responses_2xx: AtomicU64,
     /// 4xx responses.
@@ -126,7 +129,7 @@ pub struct Metrics {
     pub responses_5xx: AtomicU64,
     /// Per-route latency histograms (indexed like [`ENDPOINTS`]); the
     /// all-routes aggregate is their sum, computed at render time.
-    pub route_seconds: [Histogram; 12],
+    pub route_seconds: [Histogram; 15],
     /// Connections currently queued for a worker.
     pub queue_depth: AtomicU64,
     /// Requests currently being handled.
@@ -161,7 +164,10 @@ pub fn endpoint_index(path: &str) -> usize {
         "/v1/match" => 8,
         "/v1/predict" => 9,
         "/v1/shards" => 10,
-        _ => 11,
+        "/v1/prange" => 11,
+        "/v1/pnn" => 12,
+        "/v1/matchlive" => 13,
+        _ => 14,
     }
 }
 
@@ -374,6 +380,9 @@ mod tests {
         assert_eq!(ENDPOINTS[endpoint_index("/v1/match")], "v1_match");
         assert_eq!(ENDPOINTS[endpoint_index("/v1/predict")], "v1_predict");
         assert_eq!(ENDPOINTS[endpoint_index("/v1/shards")], "v1_shards");
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/prange")], "v1_prange");
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/pnn")], "v1_pnn");
+        assert_eq!(ENDPOINTS[endpoint_index("/v1/matchlive")], "v1_matchlive");
         assert_eq!(endpoint_index("/v1/score"), V1_SCORE_ENDPOINT);
     }
 

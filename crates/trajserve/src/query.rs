@@ -90,6 +90,96 @@ impl QueryRequest {
     }
 }
 
+/// Options accepted by the object-query routes (`/v1/prange`,
+/// `/v1/pnn`, `/v1/matchlive`).
+#[derive(Debug, Default, serde::Deserialize)]
+pub struct ObjectQueryOptions {
+    /// Whether the σ-expanded-bbox object index may prune provably
+    /// below-τ candidates (default `true`; results are bit-identical
+    /// either way).
+    pub use_index: Option<bool>,
+    /// §3.1 uncertainty growth per unit of elapsed time since the last
+    /// snapshot (default 0). Only honored when the request posts its own
+    /// trajectories — a live window's query set is built (and indexed)
+    /// with the fleet's growth rate, so per-request overrides are a 400.
+    pub growth_rate: Option<f64>,
+}
+
+impl ObjectQueryOptions {
+    /// Whether index pruning is enabled (defaults to on).
+    pub fn use_index(&self) -> bool {
+        self.use_index.unwrap_or(true)
+    }
+}
+
+/// A parsed object-query body: the probabilistic query parameters, plus
+/// — in static mode — the trajectories to query over.
+///
+/// ```json
+/// {
+///   "p": [0.5, 0.5], "delta": 0.1, "t": 1.5, "tau": 0.5, "k": 4,
+///   "trajectories": [ ... ],
+///   "options": { "use_index": true, "growth_rate": 0.0 }
+/// }
+/// ```
+///
+/// `/v1/matchlive` uses `pattern` (grid cell ids) and `threshold`
+/// instead of `p`/`delta`/`t`/`tau`/`k`.
+#[derive(Debug, Default, serde::Deserialize)]
+pub struct ObjectQueryRequest {
+    /// Query point `[x, y]` (`prange` / `pnn`).
+    pub p: Option<Vec<f64>>,
+    /// Range radius δ (`prange`: required; `pnn`: defaults to the
+    /// snapshot's mining δ).
+    pub delta: Option<f64>,
+    /// Query time (snapshot index; fractional values interpolate).
+    pub t: Option<f64>,
+    /// Probability threshold τ (default 0).
+    pub tau: Option<f64>,
+    /// Result count for `pnn`.
+    pub k: Option<usize>,
+    /// Pattern cell ids for `matchlive`.
+    pub pattern: Option<Vec<u32>>,
+    /// NM threshold for `matchlive` (default: no threshold).
+    pub threshold: Option<f64>,
+    /// Objects to query (static mode only; live mode queries the shard
+    /// windows and rejects posted trajectories).
+    pub trajectories: Option<Vec<Trajectory>>,
+    /// Optional knobs.
+    pub options: Option<ObjectQueryOptions>,
+}
+
+impl ObjectQueryRequest {
+    /// Parses a request body, mapping failures to structured 400s.
+    pub fn parse(body: &[u8]) -> Result<ObjectQueryRequest, Response> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+        serde_json::from_str(text).map_err(|e| Response::error(400, &format!("bad query: {e}")))
+    }
+
+    /// The query point, validated to be a finite `[x, y]` pair.
+    pub fn point(&self) -> Result<trajgeo::Point2, Response> {
+        let Some(p) = self.p.as_deref() else {
+            return Err(Response::error(400, "query needs \"p\": [x, y]"));
+        };
+        let [x, y] = p else {
+            return Err(Response::error(
+                400,
+                &format!("\"p\" must be [x, y] (got {} coordinates)", p.len()),
+            ));
+        };
+        Ok(trajgeo::Point2::new(*x, *y))
+    }
+
+    /// The options block, defaulted when absent.
+    pub fn options(&self) -> ObjectQueryOptions {
+        ObjectQueryOptions {
+            use_index: self.options.as_ref().and_then(|o| o.use_index),
+            growth_rate: self.options.as_ref().and_then(|o| o.growth_rate),
+        }
+    }
+}
+
 /// Builder for the shared `trajserve-query/v1` response envelope. Fields
 /// render in insertion order after the fixed `schema` and `query` tags,
 /// so response bodies are deterministic.

@@ -29,9 +29,13 @@ use prediction::PatternLibrary;
 use trajdata::{Dataset, Trajectory};
 use trajpattern::{Pattern, PatternIndex, Scorer};
 
+use trajgeo::CellId;
+use trajquery::QuerySet;
+
+use crate::fanout::{merge_matches, merge_range, ShardRanked};
 use crate::http::{read_request, write_response, Request, RequestError, Response};
 use crate::metrics::{endpoint_index, Metrics};
-use crate::query::{QueryRequest, QueryResponse};
+use crate::query::{ObjectQueryRequest, QueryRequest, QueryResponse};
 use crate::snapshot::Snapshot;
 
 /// Everything tunable about a [`Server`].
@@ -507,6 +511,13 @@ fn route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
             Some(fleet) => Response::json(200, fleet.shards_json()),
             None => Response::error(404, "/v1/shards is only served by `serve --live`"),
         },
+        // Probabilistic object queries over uncertain trajectories. In
+        // static mode the request posts its own objects; in live mode
+        // `?shard=NAME` queries that shard's window, and a bare call
+        // fans out across every shard with a deterministic merge.
+        ("POST", "/v1/prange") => prange_route(state, req),
+        ("POST", "/v1/pnn") => pnn_route(state, req),
+        ("POST", "/v1/matchlive") => matchlive_route(state, cfg, req),
         ("POST", "/v1/score") => match resolve_loaded(state, req) {
             Ok(loaded) => v1_score_route(state, cfg, &loaded, req),
             Err(resp) => resp,
@@ -536,7 +547,8 @@ fn route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
         (
             _,
             "/healthz" | "/metrics" | "/topk" | "/score" | "/match" | "/predict" | "/v1/topk"
-            | "/v1/score" | "/v1/match" | "/v1/predict" | "/v1/shards",
+            | "/v1/score" | "/v1/match" | "/v1/predict" | "/v1/shards" | "/v1/prange" | "/v1/pnn"
+            | "/v1/matchlive",
         ) => Response::error(405, "method not allowed for this route"),
         _ => Response::error(404, "no such route"),
     }
@@ -558,6 +570,317 @@ fn resolve_loaded(state: &ServeState, req: &Request) -> Result<Arc<Loaded>, Resp
                 "live mode: this route needs ?shard=NAME (see /v1/shards)",
             )),
         },
+    }
+}
+
+/// Which query sets an object query (`/v1/prange`, `/v1/pnn`,
+/// `/v1/matchlive`) runs over.
+enum QueryTarget {
+    /// Static mode: the set built from the posted trajectories.
+    Static(QuerySet),
+    /// Live, `?shard=NAME`: that shard's current window.
+    Shard(String, Arc<QuerySet>),
+    /// Live, bare (or `shard=*`): every shard's window in the fixed
+    /// fold order — the deterministic fan-out.
+    Fanout(Vec<(String, Arc<QuerySet>)>),
+}
+
+/// Resolves an object query's target. Unlike the scoring routes, a bare
+/// live call is answered (fan-out + deterministic merge) rather than
+/// rejected — object queries are cheap per shard and the merged ranking
+/// is well-defined.
+fn resolve_query_target(
+    state: &ServeState,
+    req: &Request,
+    query: &ObjectQueryRequest,
+) -> Result<QueryTarget, Response> {
+    match state.fleet() {
+        None => {
+            let Some(trajectories) = &query.trajectories else {
+                return Err(Response::error(
+                    400,
+                    "static mode: post \"trajectories\" to query over",
+                ));
+            };
+            let growth_rate = query.options().growth_rate.unwrap_or(0.0);
+            if !growth_rate.is_finite() || growth_rate < 0.0 {
+                return Err(Response::error(
+                    400,
+                    &format!("growth_rate {growth_rate} must be finite and >= 0"),
+                ));
+            }
+            let objects = trajectories
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i as u64, t.clone()))
+                .collect();
+            Ok(QueryTarget::Static(QuerySet::build(objects, growth_rate)))
+        }
+        Some(fleet) => {
+            if query.trajectories.is_some() {
+                return Err(Response::error(
+                    400,
+                    "live mode: object queries run over the shard windows; do not post trajectories",
+                ));
+            }
+            if query.options().growth_rate.is_some() {
+                return Err(Response::error(
+                    400,
+                    "live mode: growth_rate is fixed when the window index is built",
+                ));
+            }
+            match req.query_param("shard") {
+                Some(name) if !name.is_empty() && name != "*" => match fleet.window(name) {
+                    Some(window) => Ok(QueryTarget::Shard(name.to_string(), window)),
+                    None => Err(Response::error(404, &format!("no such shard '{name}'"))),
+                },
+                _ => Ok(QueryTarget::Fanout(
+                    fleet
+                        .windows()
+                        .into_iter()
+                        .map(|(name, w)| (name.to_string(), w))
+                        .collect(),
+                )),
+            }
+        }
+    }
+}
+
+fn query_error(e: trajquery::QueryError) -> Response {
+    Response::error(400, &e.to_string())
+}
+
+/// Runs `prange` (or `pnn`, when `k` is set) on one query set, honoring
+/// the `use_index` knob — results are bit-identical either way.
+fn run_range_query(
+    set: &QuerySet,
+    use_index: bool,
+    p: trajgeo::Point2,
+    delta: f64,
+    t: f64,
+    tau: f64,
+    k: Option<usize>,
+) -> Result<Vec<trajquery::RangeMatch>, Response> {
+    match (k, use_index) {
+        (None, true) => set.prange(p, delta, t, tau),
+        (None, false) => set.prange_bruteforce(p, delta, t, tau),
+        (Some(k), true) => set.pnn(p, t, k, tau, delta),
+        (Some(k), false) => set.pnn_bruteforce(p, t, k, tau, delta),
+    }
+    .map_err(query_error)
+}
+
+fn range_matches_value(matches: &[trajquery::RangeMatch]) -> serde_json::Value {
+    serde_json::Value::Array(
+        matches
+            .iter()
+            .map(|m| serde_json::json!({ "id": m.id, "prob": m.prob }))
+            .collect(),
+    )
+}
+
+fn merged_range_value(merged: &[(&str, trajquery::RangeMatch)]) -> serde_json::Value {
+    serde_json::Value::Array(
+        merged
+            .iter()
+            .map(|(shard, m)| serde_json::json!({ "shard": shard, "id": m.id, "prob": m.prob }))
+            .collect(),
+    )
+}
+
+/// The shared body of `/v1/prange` and `/v1/pnn` (they differ only in
+/// `k` and the δ default).
+fn range_route(state: &ServeState, req: &Request, kind: &str) -> Response {
+    let query = match ObjectQueryRequest::parse(&req.body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    let p = match query.point() {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let Some(t) = query.t else {
+        return Response::error(400, &format!("{kind} needs \"t\" (query time)"));
+    };
+    let tau = query.tau.unwrap_or(0.0);
+    let k = match kind {
+        "pnn" => match query.k {
+            Some(k) => Some(k),
+            None => return Response::error(400, "pnn needs \"k\" (result count)"),
+        },
+        _ => None,
+    };
+    let delta = match query.delta {
+        Some(d) => d,
+        // `pnn` ranks by within-δ probability; absent an explicit δ it
+        // uses the mining δ the served snapshot was built with.
+        None if kind == "pnn" => state.loaded().snapshot.params.delta,
+        None => return Response::error(400, "prange needs \"delta\" (range radius)"),
+    };
+    let use_index = query.options().use_index();
+    match resolve_query_target(state, req, &query) {
+        Err(resp) => resp,
+        Ok(QueryTarget::Static(set)) => {
+            match run_range_query(&set, use_index, p, delta, t, tau, k) {
+                Err(resp) => resp,
+                Ok(matches) => {
+                    let mut resp =
+                        QueryResponse::new(kind).field("objects", serde_json::json!(set.len()));
+                    if let Some(k) = k {
+                        resp = resp.field("k", serde_json::json!(k));
+                    }
+                    resp.field("matches", range_matches_value(&matches))
+                        .into_response()
+                }
+            }
+        }
+        Ok(QueryTarget::Shard(name, set)) => {
+            match run_range_query(&set, use_index, p, delta, t, tau, k) {
+                Err(resp) => resp,
+                Ok(matches) => {
+                    let mut resp = QueryResponse::new(kind)
+                        .field("shard", serde_json::json!(name))
+                        .field("objects", serde_json::json!(set.len()));
+                    if let Some(k) = k {
+                        resp = resp.field("k", serde_json::json!(k));
+                    }
+                    resp.field("matches", range_matches_value(&matches))
+                        .into_response()
+                }
+            }
+        }
+        Ok(QueryTarget::Fanout(windows)) => {
+            let mut objects = 0usize;
+            let mut per_shard = Vec::with_capacity(windows.len());
+            for (name, set) in &windows {
+                objects += set.len();
+                match run_range_query(set, use_index, p, delta, t, tau, k) {
+                    Err(resp) => return resp,
+                    Ok(matches) => per_shard.push((name.as_str(), matches)),
+                }
+            }
+            let inputs: Vec<ShardRanked<'_, trajquery::RangeMatch>> = per_shard
+                .iter()
+                .map(|(name, matches)| ShardRanked {
+                    shard: name,
+                    entries: matches,
+                })
+                .collect();
+            let merged = merge_range(&inputs, k.unwrap_or(usize::MAX));
+            let names: Vec<&str> = per_shard.iter().map(|(n, _)| *n).collect();
+            let mut resp = QueryResponse::new(kind)
+                .field("shards", serde_json::json!(names))
+                .field("objects", serde_json::json!(objects));
+            if let Some(k) = k {
+                resp = resp.field("k", serde_json::json!(k));
+            }
+            resp.field("matches", merged_range_value(&merged))
+                .into_response()
+        }
+    }
+}
+
+/// `POST /v1/prange`: objects within δ of `p` at time `t` with
+/// probability ≥ τ, ranked probability descending (ties by id).
+fn prange_route(state: &ServeState, req: &Request) -> Response {
+    range_route(state, req, "prange")
+}
+
+/// `POST /v1/pnn`: the k most-probable objects within δ of `p` at time
+/// `t`, among those with probability ≥ τ. Deterministic tie-breaking.
+fn pnn_route(state: &ServeState, req: &Request) -> Response {
+    range_route(state, req, "pnn")
+}
+
+/// `POST /v1/matchlive`: which objects match the posted pattern with
+/// NM ≥ threshold — over the posted trajectories (static) or the
+/// current shard windows (live).
+fn matchlive_route(state: &ServeState, cfg: &ServerConfig, req: &Request) -> Response {
+    let query = match ObjectQueryRequest::parse(&req.body) {
+        Ok(q) => q,
+        Err(resp) => return resp,
+    };
+    let Some(cells) = &query.pattern else {
+        return Response::error(400, "matchlive needs \"pattern\" (grid cell ids)");
+    };
+    let Some(pattern) = Pattern::new(cells.iter().map(|&c| CellId(c)).collect()) else {
+        return Response::error(400, "\"pattern\" must list at least one cell");
+    };
+    let threshold = query.threshold.unwrap_or(f64::NEG_INFINITY);
+    let loaded = state.loaded();
+    let (grid, delta, min_prob) = (
+        &loaded.snapshot.grid,
+        loaded.snapshot.params.delta,
+        loaded.snapshot.params.min_prob,
+    );
+    let run = |set: &QuerySet| {
+        set.match_pattern(
+            grid,
+            delta,
+            min_prob,
+            cfg.scorer_threads,
+            &pattern,
+            threshold,
+        )
+        .map_err(query_error)
+    };
+    let match_value = |matches: &[trajquery::PatternMatch]| {
+        serde_json::Value::Array(
+            matches
+                .iter()
+                .map(|m| serde_json::json!({ "id": m.id, "nm": m.nm }))
+                .collect(),
+        )
+    };
+    match resolve_query_target(state, req, &query) {
+        Err(resp) => resp,
+        Ok(QueryTarget::Static(set)) => match run(&set) {
+            Err(resp) => resp,
+            Ok(matches) => QueryResponse::new("matchlive")
+                .field("pattern", serde_json::json!(pattern.cells()))
+                .field("objects", serde_json::json!(set.len()))
+                .field("matches", match_value(&matches))
+                .into_response(),
+        },
+        Ok(QueryTarget::Shard(name, set)) => match run(&set) {
+            Err(resp) => resp,
+            Ok(matches) => QueryResponse::new("matchlive")
+                .field("pattern", serde_json::json!(pattern.cells()))
+                .field("shard", serde_json::json!(name))
+                .field("objects", serde_json::json!(set.len()))
+                .field("matches", match_value(&matches))
+                .into_response(),
+        },
+        Ok(QueryTarget::Fanout(windows)) => {
+            let mut objects = 0usize;
+            let mut per_shard = Vec::with_capacity(windows.len());
+            for (name, set) in &windows {
+                objects += set.len();
+                match run(set) {
+                    Err(resp) => return resp,
+                    Ok(matches) => per_shard.push((name.as_str(), matches)),
+                }
+            }
+            let inputs: Vec<ShardRanked<'_, trajquery::PatternMatch>> = per_shard
+                .iter()
+                .map(|(name, matches)| ShardRanked {
+                    shard: name,
+                    entries: matches,
+                })
+                .collect();
+            let merged = merge_matches(&inputs);
+            let entries: Vec<serde_json::Value> = merged
+                .iter()
+                .map(|(shard, m)| serde_json::json!({ "shard": shard, "id": m.id, "nm": m.nm }))
+                .collect();
+            let names: Vec<&str> = per_shard.iter().map(|(n, _)| *n).collect();
+            QueryResponse::new("matchlive")
+                .field("pattern", serde_json::json!(pattern.cells()))
+                .field("shards", serde_json::json!(names))
+                .field("objects", serde_json::json!(objects))
+                .field("matches", serde_json::Value::Array(entries))
+                .into_response()
+        }
     }
 }
 

@@ -319,6 +319,150 @@ fn v1_routes_share_schema_and_agree_with_deprecated_aliases() {
 }
 
 #[test]
+fn object_query_routes_answer_statically_and_match_the_library() {
+    let (snapshot, data) = mined();
+    let grid = snapshot.grid.clone();
+    let (delta_param, min_prob) = (snapshot.params.delta, snapshot.params.min_prob);
+    let pattern = snapshot.patterns[0].pattern.clone();
+    let bbox = data.bounding_box().unwrap();
+    let p = trajgeo::Point2::new(
+        (bbox.min().x + bbox.max().x) / 2.0,
+        (bbox.min().y + bbox.max().y) / 2.0,
+    );
+    let (addr, handle, join) = start(snapshot, ServerConfig::default());
+
+    let trajs = {
+        let v: serde_json::Value = serde_json::from_str(&data.to_json()).unwrap();
+        serde_json::to_string(&v["trajectories"]).unwrap()
+    };
+    let (delta, t, tau, growth) = (0.2f64, 3.5f64, 0.01f64, 0.1f64);
+    let reference = trajquery::QuerySet::build(
+        data.iter()
+            .enumerate()
+            .map(|(i, tr)| (i as u64, tr.clone()))
+            .collect(),
+        growth,
+    );
+
+    // /v1/prange over posted trajectories is bit-identical to the
+    // library query set.
+    let body = format!(
+        r#"{{"p": [{}, {}], "delta": {delta}, "t": {t}, "tau": {tau},
+            "trajectories": {trajs}, "options": {{"growth_rate": {growth}}}}}"#,
+        p.x, p.y
+    );
+    let (status, resp) = request(addr, "POST", "/v1/prange", Some(&body), &[]);
+    assert_eq!(status, 200, "{resp}");
+    let doc: serde_json::Value = serde_json::from_str(&resp).unwrap();
+    assert_eq!(doc["schema"].as_str().unwrap(), trajserve::QUERY_SCHEMA);
+    assert_eq!(doc["query"].as_str().unwrap(), "prange");
+    assert_eq!(doc["objects"].as_u64().unwrap() as usize, data.len());
+    let expect = reference.prange(p, delta, t, tau).unwrap();
+    assert!(!expect.is_empty(), "query must hit for the test to bite");
+    let served = doc["matches"].as_array().unwrap();
+    assert_eq!(served.len(), expect.len());
+    for (got, want) in served.iter().zip(&expect) {
+        assert_eq!(got["id"].as_u64().unwrap(), want.id);
+        assert_eq!(got["prob"].as_f64().unwrap().to_bits(), want.prob.to_bits());
+    }
+
+    // Disabling the index returns the byte-identical response.
+    let brute = format!(
+        r#"{{"p": [{}, {}], "delta": {delta}, "t": {t}, "tau": {tau},
+            "trajectories": {trajs},
+            "options": {{"growth_rate": {growth}, "use_index": false}}}}"#,
+        p.x, p.y
+    );
+    let (status, brute_resp) = request(addr, "POST", "/v1/prange", Some(&brute), &[]);
+    assert_eq!(status, 200);
+    assert_eq!(
+        resp, brute_resp,
+        "indexed and brute-force bodies must agree"
+    );
+
+    // /v1/pnn truncates the same ranking to k.
+    let k = 3usize;
+    let body = format!(
+        r#"{{"p": [{}, {}], "delta": {delta}, "t": {t}, "tau": {tau}, "k": {k},
+            "trajectories": {trajs}, "options": {{"growth_rate": {growth}}}}}"#,
+        p.x, p.y
+    );
+    let (status, resp) = request(addr, "POST", "/v1/pnn", Some(&body), &[]);
+    assert_eq!(status, 200, "{resp}");
+    let doc: serde_json::Value = serde_json::from_str(&resp).unwrap();
+    assert_eq!(doc["query"].as_str().unwrap(), "pnn");
+    assert_eq!(doc["k"].as_u64().unwrap() as usize, k);
+    let expect = reference.pnn(p, t, k, tau, delta).unwrap();
+    let served = doc["matches"].as_array().unwrap();
+    assert_eq!(served.len(), expect.len());
+    for (got, want) in served.iter().zip(&expect) {
+        assert_eq!(got["id"].as_u64().unwrap(), want.id);
+        assert_eq!(got["prob"].as_f64().unwrap().to_bits(), want.prob.to_bits());
+    }
+
+    // /v1/matchlive scores NM over the posted objects with the served
+    // snapshot's grid and mining parameters.
+    let cells: Vec<u32> = pattern.cells().iter().map(|c| c.0).collect();
+    let body = format!(r#"{{"pattern": {cells:?}, "threshold": -1e9, "trajectories": {trajs}}}"#);
+    let (status, resp) = request(addr, "POST", "/v1/matchlive", Some(&body), &[]);
+    assert_eq!(status, 200, "{resp}");
+    let doc: serde_json::Value = serde_json::from_str(&resp).unwrap();
+    assert_eq!(doc["query"].as_str().unwrap(), "matchlive");
+    let no_growth = trajquery::QuerySet::build(
+        data.iter()
+            .enumerate()
+            .map(|(i, tr)| (i as u64, tr.clone()))
+            .collect(),
+        0.0,
+    );
+    let expect = no_growth
+        .match_pattern(&grid, delta_param, min_prob, 1, &pattern, -1e9)
+        .unwrap();
+    assert!(
+        !expect.is_empty(),
+        "pattern must match for the test to bite"
+    );
+    let served = doc["matches"].as_array().unwrap();
+    assert_eq!(served.len(), expect.len());
+    for (got, want) in served.iter().zip(&expect) {
+        assert_eq!(got["id"].as_u64().unwrap(), want.id);
+        assert_eq!(got["nm"].as_f64().unwrap().to_bits(), want.nm.to_bits());
+    }
+
+    // Client errors are structured 400s: missing p, missing
+    // trajectories (static mode), out-of-range tau, bad pattern.
+    for bad in [
+        format!(r#"{{"delta": 0.1, "t": 1.0, "trajectories": {trajs}}}"#),
+        r#"{"p": [0.5, 0.5], "delta": 0.1, "t": 1.0}"#.to_string(),
+        format!(
+            r#"{{"p": [0.5, 0.5], "delta": 0.1, "t": 1.0, "tau": 1.5, "trajectories": {trajs}}}"#
+        ),
+        format!(r#"{{"pattern": [], "trajectories": {trajs}}}"#),
+    ] {
+        let route = if bad.contains("pattern") {
+            "/v1/matchlive"
+        } else {
+            "/v1/prange"
+        };
+        let (status, resp) = request(addr, "POST", route, Some(&bad), &[]);
+        assert_eq!(status, 400, "{bad} => {resp}");
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v["error"]["code"].as_str().unwrap(), "bad_request");
+    }
+    // GET on a POST-only query route is a 405.
+    let (status, _) = request(addr, "GET", "/v1/pnn", None, &[]);
+    assert_eq!(status, 405);
+
+    // The new routes are tracked in /metrics.
+    let (_, metrics) = request(addr, "GET", "/metrics", None, &[]);
+    assert!(metrics.contains("trajserve_requests_total{endpoint=\"v1_prange\"}"));
+    assert!(metrics.contains("trajserve_requests_total{endpoint=\"v1_pnn\"}"));
+    assert!(metrics.contains("trajserve_requests_total{endpoint=\"v1_matchlive\"}"));
+
+    stop(&handle, join);
+}
+
+#[test]
 fn injected_panic_gets_500_and_server_keeps_serving() {
     let (snapshot, data) = mined();
     let cfg = ServerConfig {
