@@ -349,6 +349,8 @@ pub fn run_fleet(cfg: &FleetBenchConfig) -> FleetThroughputResult {
             window: cfg.window,
             poll: Duration::from_millis(2),
             growth_rate: 0.0,
+            policy: trajdata::IngestPolicy::Strict,
+            dr: Default::default(),
         },
         ServerConfig {
             addr: "127.0.0.1:0".into(),

@@ -58,10 +58,11 @@ impl Args {
         if command.starts_with('-') {
             return Err(ArgError::Malformed { token: command });
         }
-        // `db` and `query` take a second command word (`trajmine db
-        // ingest …`, `trajmine query prange …`); every other command
-        // treats a bare token as malformed.
-        if command == "db" || command == "query" {
+        // `db`, `query`, and `feed` take a second command word
+        // (`trajmine db ingest …`, `trajmine query prange …`,
+        // `trajmine feed decode …`); every other command treats a bare
+        // token as malformed.
+        if command == "db" || command == "query" || command == "feed" {
             match it.next() {
                 Some(sub) if !sub.starts_with('-') => command = format!("{command} {sub}"),
                 _ => return Err(ArgError::MissingCommand),
@@ -159,6 +160,17 @@ mod tests {
         ));
         assert!(matches!(
             Args::parse(v(&["db", "--db", "store"])),
+            Err(ArgError::MissingCommand)
+        ));
+    }
+
+    #[test]
+    fn feed_takes_a_second_command_word() {
+        let a = Args::parse(v(&["feed", "decode", "--input", "d.drlog", "--out", "d.events"]))
+            .unwrap();
+        assert_eq!(a.command, "feed decode");
+        assert!(matches!(
+            Args::parse(v(&["feed"])),
             Err(ArgError::MissingCommand)
         ));
     }

@@ -1,10 +1,10 @@
 //! `trajmine` subcommand implementations.
 
 use crate::args::Args;
-use crate::input::{load, load_with_policy, parse_bbox};
+use crate::input::{dr_config, load, load_with_policy, parse_bbox, parse_policy};
 use datagen::{observe_directly, BusConfig, PostureConfig, UniformConfig, ZebraConfig};
 use std::error::Error;
-use trajdata::{EventTailer, IngestPolicy};
+use trajfeed::{FeedOptions, FeedStats, SourceSpec};
 use trajgeo::{Grid, Point2};
 use trajpattern::{Miner, MiningParams};
 use trajstream::StreamMiner;
@@ -14,8 +14,9 @@ pub const USAGE: &str = "\
 trajmine — TrajPattern reproduction CLI
 
 USAGE:
-  trajmine generate --workload <bus|zebranet|uniform|posture> --out FILE
-                    [--seed N] [--sigma F] [--traces N] [--snapshots N]
+  trajmine generate --workload <bus|zebranet|uniform|posture|dr-feed>
+                    --out FILE [--seed N] [--sigma F] [--traces N]
+                    [--snapshots N] [--routes N] [--geo LAT,LON]
   trajmine stats    --input FILE
   trajmine validate --input FILE [--max-sigma F] [--min-len N]
   trajmine mine     --input FILE | --db DIR [--from-id N] [--to-id N]
@@ -25,24 +26,31 @@ USAGE:
                     [--bbox X0,Y0,X1,Y1] [--map true] [--json FILE]
                     [--on-error strict|skip|repair]
                     [--checkpoint FILE] [--resume FILE]
-  trajmine stream   --input FILE.events | --db DIR [--from-id N] [--to-id N]
+  trajmine stream   --input SOURCE | --db DIR [--from-id N] [--to-id N]
                     [--from-t N] [--to-t N]
                     --window N [--emit-every M] [--k N]
                     [--delta F] [--grid N] [--bbox X0,Y0,X1,Y1] [--min-len N]
                     [--max-len N] [--gamma F] [--threads N] [--json FILE]
-                    [--follow true] [--poll-ms N]
+                    [--follow true] [--poll-ms N] [--on-error strict|skip|repair]
+                    [--dr-u F] [--dr-c F] [--dr-growth F] [--dr-dt F]
                     [--checkpoint FILE] [--resume FILE]
+  trajmine feed decode --input SOURCE --out FILE
+                    [--on-error strict|skip|repair]
+                    [--dr-u F] [--dr-c F] [--dr-growth F] [--dr-dt F]
+  trajmine feed send --input FILE --listen HOST:PORT
+                    [--accept N] [--delay-ms N] [--eof false]
   trajmine serve    --snapshot FILE | --db DIR --name NAME
                     [--addr HOST:PORT] [--workers N]
                     [--queue N] [--threads N] [--confirm F] [--watch true]
                     [--watch-interval-ms N] [--read-timeout-ms N]
                     [--write-timeout-ms N]
-  trajmine serve    --live true --shards NAME=LOG.events,... | --db ROOT
+  trajmine serve    --live true --shards NAME=SOURCE,... | --db ROOT
                     [--checkpoint-dir DIR] [--poll-ms N] [--window N]
                     [--k N] [--delta F] [--grid N] [--bbox X0,Y0,X1,Y1]
                     [--min-len N] [--max-len N] [--gamma F]
                     [--addr HOST:PORT] [--workers N] [--queue N]
-                    [--threads N] [--confirm F]
+                    [--threads N] [--confirm F] [--on-error strict|skip|repair]
+                    [--dr-u F] [--dr-c F] [--dr-growth F] [--dr-dt F]
   trajmine query prange --input FILE | --db DIR --p X,Y --delta F --t F
                         [--tau F] [--growth-rate F] [--brute true]
   trajmine query pnn    --input FILE | --db DIR --p X,Y --t F --k N
@@ -58,7 +66,11 @@ Dataset files ending in .csv use the CSV schema `traj_id,snapshot,x,y,sigma`;
 files ending in .events use the trajstream event-log format (one arriving
 trajectory per line); anything else is JSON. `generate` observes
 ground-truth paths with Gaussian noise --sigma (default 0.01) and emits an
-event log when --out ends in .events. `mine` lays an N×N grid (default 16)
+event log when --out ends in .events. `generate --workload dr-feed`
+instead emits a raw dead-reckoning message log (`trajfeed-dr v1`):
+--routes trips (default 3), --traces vehicles, --snapshots reports per
+vehicle; --geo LAT,LON anchors the log at a WGS84 origin and emits
+lat/lon shapes for the geodetic decode path. `mine` lays an N×N grid (default 16)
 over the dataset's bounding box (or --bbox, to pin the grid independently
 of the data); --velocity true mines velocity trajectories instead of
 locations; --gamma enables pattern-group discovery; --map true prints an
@@ -86,6 +98,29 @@ optionally sliced by record id and batch timestamp. `mine --db DIR`,
 `stream --db DIR`, and `serve --db DIR --name NAME` read from a store
 instead of a file; `mine --save-snapshot NAME` persists the mining
 output durably into the store, where serve picks it up.
+
+Every streaming consumer (`stream`, `serve --live` shard specs, `feed
+decode`) names its source with one spec syntax: `path.events` (event
+log), `path.drlog` or `dr:PATH` (dead-reckoning log), `tcp://host:port`
+(the event-log protocol over a live socket), `dr+tcp://host:port`
+(dead-reckoning over a socket); `--db DIR` polls a trajdb store by
+record-id cursor. Dead-reckoning logs carry per-trip route shapes plus
+odometer reports, optionally geodetic (a `geo lat0 lon0` header decodes
+lat/lon via a local equirectangular projection); the server reconstructs
+trajectories per the paper's §3.1/§3.2 — positions interpolated onto the
+snapshot lattice (--dr-dt, default 1), σ = U/c with U growing while a
+vehicle is silent (--dr-u, --dr-c, --dr-growth). Socket feeds reconnect
+with bounded backoff and discard torn partial lines (counted in feed
+stats). `feed decode` drains any file source into a dataset file —
+what a live consumer would have mined, materialized offline. --on-error
+applies the same strict/skip/repair sanitize stage to every source.
+`feed send` is the matching transmitter: it binds --listen, accepts
+--accept connections (default 1) one at a time, and streams a log file
+to each (--delay-ms throttles per line) — socket sources are connecting
+clients, so this is how to demo or smoke-test `tcp://` feeds end to end.
+It appends the `# eof` terminator when the file lacks one (a close
+without it reads as a transport failure and the consumer reconnects);
+--eof false suppresses that, for exercising reconnect paths.
 
 `stream` replays (or, with --follow true, tails) an append-only .events log
 through the incremental sliding-window miner: the last --window arrivals
@@ -160,6 +195,8 @@ pub fn dispatch(args: &Args) -> Result<(), Box<dyn Error>> {
         "mine" => mine_cmd(args),
         "stream" => stream_cmd(args),
         "serve" => serve_cmd(args),
+        "feed decode" => feed_decode(args),
+        "feed send" => feed_send(args),
         "db ingest" => crate::db::ingest(args),
         "db stat" => crate::db::stat(args),
         "db compact" => crate::db::compact(args),
@@ -181,6 +218,46 @@ fn generate(args: &Args) -> Result<(), Box<dyn Error>> {
     let sigma: f64 = args.get_or("sigma", 0.01f64)?;
     let snapshots: usize = args.get_or("snapshots", 100usize)?;
     let traces: usize = args.get_or("traces", 100usize)?;
+
+    if workload == "dr-feed" {
+        // Raw dead-reckoning message log, not a finished dataset: route
+        // shapes plus odometer reports the feed spine reconstructs
+        // server-side. --traces is the fleet size, --snapshots the
+        // reports per vehicle; --geo lat,lon emits the geodetic variant.
+        let routes: usize = args.get_or("routes", 3usize)?;
+        let geo_origin = match args.get("geo") {
+            None => None,
+            Some(s) => {
+                let parts: Vec<f64> = s
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("invalid --geo '{s}' (use lat,lon)"))?;
+                if parts.len() != 2 {
+                    return Err(format!("invalid --geo '{s}' (use lat,lon)").into());
+                }
+                Some((parts[0], parts[1]))
+            }
+        };
+        let cfg = datagen::DrFeedConfig {
+            routes,
+            vehicles_per_route: (traces / routes.max(1)).max(1),
+            reports_per_vehicle: snapshots.max(2),
+            extent: if geo_origin.is_some() { 2000.0 } else { 1.0 },
+            geo_origin,
+            ..datagen::DrFeedConfig::default()
+        };
+        let text = datagen::dr_log(&cfg, seed);
+        trajio::write_atomic(std::path::Path::new(&out), &text)?;
+        eprintln!(
+            "wrote dead-reckoning log: {} routes x {} vehicles, {} reports each{} to {out}",
+            cfg.routes,
+            cfg.vehicles_per_route,
+            cfg.reports_per_vehicle,
+            if cfg.geo_origin.is_some() { " (geodetic)" } else { "" },
+        );
+        return Ok(());
+    }
 
     let paths: Vec<Vec<Point2>> = match workload {
         "bus" => {
@@ -332,12 +409,7 @@ fn validate(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
-    let policy: IngestPolicy = match args.get("on-error") {
-        Some(s) => s
-            .parse()
-            .map_err(|_| format!("invalid --on-error value '{s}' (use strict|skip|repair)"))?,
-        None => IngestPolicy::Strict,
-    };
+    let policy = parse_policy(args)?;
     let store = match args.get("db") {
         Some(_) => Some(crate::db::open_store(args)?),
         None => None,
@@ -450,6 +522,100 @@ fn mine_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// `trajmine feed decode`: drain any file feed source — an `.events`
+/// log, or a dead-reckoning log reconstructed server-side with the
+/// `--dr-*` knobs — into a dataset file (format by `--out` extension,
+/// like `generate --out`). This is the offline face of the feed spine:
+/// the written dataset is bit-identical to what `stream` or a live
+/// shard would have mined from the same source.
+fn feed_decode(args: &Args) -> Result<(), Box<dyn Error>> {
+    let out = args.require("out")?.to_string();
+    let spec = SourceSpec::parse(args.require("input")?);
+    if matches!(spec, SourceSpec::EventsTcp(_) | SourceSpec::DrTcp(_)) {
+        return Err("feed decode reads file sources; socket feeds are stream-only".into());
+    }
+    let opts = FeedOptions {
+        policy: parse_policy(args)?,
+        dr: dr_config(args)?,
+        ..FeedOptions::default()
+    };
+    let mut feed = trajfeed::open(&spec, &opts)?;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let data: trajdata::Dataset = trajfeed::drain(feed.as_mut(), &stop)?.into_iter().collect();
+    let fs = feed.stats();
+    let text = if out.ends_with(".csv") {
+        trajdata::csv::to_csv(&data)
+    } else if out.ends_with(".events") {
+        datagen::event_log(&data)
+    } else {
+        data.to_json()
+    };
+    let reconstructed = fs.reconstructed;
+    let resampled = fs.resampled_points;
+    trajio::write_atomic(std::path::Path::new(&out), &text)?;
+    eprintln!(
+        "decoded {} trajectories from {spec} to {out} \
+         ({reconstructed} reconstructed, {resampled} resampled points)",
+        data.len()
+    );
+    Ok(())
+}
+
+/// `trajmine feed send`: serve a feed log file over TCP, line by line.
+///
+/// The socket sources ([`trajfeed::TcpLineSource`]) are *connecting*
+/// clients, so exercising `tcp://` / `dr+tcp://` specs needs something
+/// listening with the log bytes — this is that something: bind
+/// `--listen`, accept `--accept` connections (default 1) one at a time,
+/// and stream the file to each, optionally throttled by `--delay-ms`
+/// per line to simulate a live feed. A log ending in `# eof` makes the
+/// consumer finish cleanly; more `--accept`s than one let reconnect
+/// paths replay the log.
+fn feed_send(args: &Args) -> Result<(), Box<dyn Error>> {
+    use std::io::Write;
+
+    let input = args.require("input")?.to_string();
+    let listen = args.require("listen")?.to_string();
+    let accepts: usize = args.get_or("accept", 1usize)?;
+    let delay_ms: u64 = args.get_or("delay-ms", 0u64)?;
+    let mut text = std::fs::read_to_string(&input)?;
+    // Closing a socket without `# eof` reads as a transport failure and
+    // the consumer reconnects; terminate the protocol properly unless
+    // the caller is deliberately testing that path (--eof false).
+    if args.get_or("eof", true)? && text.lines().last() != Some("# eof") {
+        if !text.ends_with('\n') && !text.is_empty() {
+            text.push('\n');
+        }
+        text.push_str("# eof\n");
+    }
+    let listener = std::net::TcpListener::bind(&listen)?;
+    eprintln!(
+        "serving {input} on {} ({accepts} connection{})",
+        listener.local_addr()?,
+        if accepts == 1 { "" } else { "s" },
+    );
+    for _ in 0..accepts.max(1) {
+        let (mut conn, peer) = listener.accept()?;
+        eprintln!("feed send: streaming to {peer}");
+        let sent = (|| -> std::io::Result<()> {
+            for line in text.split_inclusive('\n') {
+                conn.write_all(line.as_bytes())?;
+                if delay_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                }
+            }
+            conn.flush()
+        })();
+        match sent {
+            Ok(()) => eprintln!("feed send: done with {peer}"),
+            // A consumer hanging up early (it saw what it needed, or
+            // it is testing reconnects) is not our failure.
+            Err(e) => eprintln!("feed send: {peer} disconnected ({e})"),
+        }
+    }
+    Ok(())
+}
+
 /// `trajmine serve`: load a snapshot (mine JSON or stream checkpoint)
 /// and answer pattern queries over HTTP until a termination signal.
 fn serve_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -523,8 +689,10 @@ fn serve_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// `trajmine stream`: replay or tail an append-only `.events` log through
-/// the incremental sliding-window miner.
+/// `trajmine stream`: replay or tail any feed source — an append-only
+/// `.events` log, a dead-reckoning log, a trajdb store, or either line
+/// protocol over TCP — through the incremental sliding-window miner.
+/// Every source runs the same [`trajfeed::pump`] loop.
 fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     let use_db = args.get("db").is_some();
     if use_db && args.get("input").is_some() {
@@ -537,9 +705,21 @@ fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     let emit_every: u64 = args.get_or("emit-every", 0u64)?;
     let follow: bool = args.get_or("follow", false)?;
     if use_db && follow {
-        return Err("--follow tails an .events file; it cannot be combined with --db".into());
+        return Err("--follow tails a file source; it cannot be combined with --db".into());
     }
-    let poll = stream_poll_interval(args)?;
+    let spec = if use_db {
+        SourceSpec::Db(std::path::PathBuf::from(args.require("db")?))
+    } else {
+        SourceSpec::parse(args.require("input")?)
+    };
+    let opts = FeedOptions {
+        follow,
+        poll: stream_poll_interval(args)?,
+        policy: parse_policy(args)?,
+        dr: dr_config(args)?,
+        db_filter: crate::db::read_filter(args)?,
+        ..FeedOptions::default()
+    };
     let (grid, params) = stream_mining_setup(args)?;
 
     let mut miner = match args.get("resume") {
@@ -558,49 +738,35 @@ fn stream_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     let checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
 
     // A termination signal flips the shared flag instead of killing the
-    // process: the replay/tail loop notices, drains what it already
-    // absorbed, flushes the final checkpoint, and exits 0 — the same
-    // signal-flag pattern `serve` uses for in-flight requests.
+    // process: the pump loop notices, drains what it already absorbed,
+    // flushes the final checkpoint, and exits 0 — the same signal-flag
+    // pattern `serve` uses for in-flight requests.
     trajserve::signal::install_termination_handler();
     let stop = trajserve::signal::termination_flag();
 
-    let mut event_no = 0u64;
-    if use_db {
-        // Replay committed store records (id order) through the miner;
-        // `--resume` skips already-processed arrivals exactly as it does
-        // for a log file.
-        let store = crate::db::open_store(args)?;
-        for record in store.read(&crate::db::read_filter(args)?)? {
-            if stop.load(std::sync::atomic::Ordering::SeqCst) {
-                break;
-            }
-            event_no += 1;
-            if event_no <= skip {
-                continue;
-            }
-            miner.slide(record.trajectory, window);
-            emit_snapshot(&miner, emit_every, checkpoint_path.as_deref())?;
-        }
-    } else {
-        let input = args.require("input")?;
-        let mut tailer = EventTailer::open(std::path::Path::new(input), follow, poll)?;
-        while let Some(traj) = tailer.next_event(&stop)? {
-            if stop.load(std::sync::atomic::Ordering::SeqCst) {
-                break;
-            }
-            event_no += 1;
-            if event_no <= skip {
-                continue;
-            }
+    let mut feed = trajfeed::open(&spec, &opts)?;
+    let pumped = trajfeed::pump(
+        feed.as_mut(),
+        &stop,
+        skip,
+        |traj| {
             miner.slide(traj, window);
-            emit_snapshot(&miner, emit_every, checkpoint_path.as_deref())?;
-        }
+            emit_snapshot(&miner, emit_every, checkpoint_path.as_deref())
+        },
+        |_| {},
+    );
+    let feed_stats = feed.stats().clone();
+    drop(feed);
+    match pumped {
+        Ok(_) => {}
+        Err(trajfeed::PumpError::Feed(e)) => return Err(Box::new(e)),
+        Err(trajfeed::PumpError::Sink(e)) => return Err(e),
     }
     if stop.load(std::sync::atomic::Ordering::SeqCst) {
         eprintln!("termination signal received: draining stream state");
     }
 
-    finish_stream(args, &mut miner, checkpoint_path.as_deref())
+    finish_stream(args, &mut miner, checkpoint_path.as_deref(), Some(&feed_stats))
 }
 
 /// Prints the periodic top-k snapshot line (and refreshes the
@@ -660,11 +826,13 @@ pub(crate) fn stream_mining_setup(args: &Args) -> Result<(Grid, MiningParams), B
 }
 
 /// Shared tail of `trajmine stream`: print the run summary and top-k,
-/// write `--json`, and take the final checkpoint.
+/// write `--json` (including the feed's ingest counters), and take the
+/// final checkpoint.
 fn finish_stream(
     args: &Args,
     miner: &mut StreamMiner,
     checkpoint_path: Option<&std::path::Path>,
+    feed_stats: Option<&FeedStats>,
 ) -> Result<(), Box<dyn Error>> {
     let s = miner.stats();
     eprintln!(
@@ -678,11 +846,28 @@ fn finish_stream(
         s.repair_scored,
         s.deltas_applied
     );
+    if let Some(fs) = feed_stats {
+        eprintln!(
+            "feed: {} records in {} batches, {} defect lines, {} dropped, {} repaired, \
+             {} reconstructed ({} resampled points), {} reconnects",
+            fs.records,
+            fs.batches,
+            fs.defect_lines,
+            fs.defect_records,
+            fs.repaired_records,
+            fs.reconstructed,
+            fs.resampled_points,
+            fs.reconnects
+        );
+    }
     for (i, m) in miner.topk().iter().enumerate() {
         println!("#{:<3} nm {:>10.2}  len {}", i + 1, m.nm, m.pattern.len());
     }
     if let Some(json_path) = args.get("json") {
-        let payload = crate::render::stream_json(miner);
+        let mut payload = crate::render::stream_json(miner);
+        if let (Some(fs), serde_json::Value::Object(fields)) = (feed_stats, &mut payload) {
+            fields.push(("feed".to_string(), serde_json::to_value(fs)?));
+        }
         trajio::write_atomic(
             std::path::Path::new(json_path),
             &serde_json::to_string_pretty(&payload)?,
@@ -789,6 +974,71 @@ mod tests {
             "true",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dr_feed_workload_decodes_and_mines() {
+        let dir = std::env::temp_dir().join(format!("trajmine-drgen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("fleet.drlog");
+        let log_str = log_path.to_str().unwrap();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "dr-feed",
+            "--routes",
+            "2",
+            "--traces",
+            "6",
+            "--snapshots",
+            "10",
+            "--out",
+            log_str,
+        ]))
+        .unwrap();
+        let log = std::fs::read_to_string(&log_path).unwrap();
+        assert!(log.starts_with(trajfeed::DR_VERSION_LINE));
+        assert!(log.trim_end().ends_with("# eof"));
+
+        // The raw log decodes into a dataset the regular pipeline accepts.
+        let decoded = dir.join("decoded.csv");
+        dispatch(&args(&[
+            "feed",
+            "decode",
+            "--input",
+            log_str,
+            "--out",
+            decoded.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "mine",
+            "--input",
+            decoded.to_str().unwrap(),
+            "--k",
+            "2",
+            "--grid",
+            "5",
+            "--max-len",
+            "2",
+        ]))
+        .unwrap();
+
+        // Geodetic variant carries the geo header.
+        let geo_path = dir.join("geo.drlog");
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "dr-feed",
+            "--geo",
+            "47.6062,-122.3321",
+            "--out",
+            geo_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let geo_log = std::fs::read_to_string(&geo_path).unwrap();
+        assert!(geo_log.lines().nth(1).unwrap().starts_with("geo "));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1042,6 +1292,64 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&resumed_json).unwrap()).unwrap();
         let b: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&straight_json).unwrap()).unwrap();
+        assert_eq!(a["patterns"], b["patterns"]);
+        assert_eq!(a["stream"], b["stream"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn feed_send_streams_a_log_that_stream_mines_identically() {
+        let dir = std::env::temp_dir().join(format!("trajmine-fsend-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("w.events");
+        let events_str = events.to_str().unwrap().to_string();
+        dispatch(&args(&[
+            "generate",
+            "--workload",
+            "bus",
+            "--traces",
+            "8",
+            "--snapshots",
+            "10",
+            "--out",
+            &events_str,
+        ]))
+        .unwrap();
+
+        // Pick a free port by binding and dropping a listener first.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let listen = format!("127.0.0.1:{port}");
+        let sender_args = args(&["feed", "send", "--input", &events_str, "--listen", &listen]);
+        let sender =
+            std::thread::spawn(move || dispatch(&sender_args).map_err(|e| e.to_string()));
+        // Wait for the listener to come up before the client connects.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        let common = [
+            "--window", "8", "--k", "3", "--grid", "6", "--max-len", "3", "--bbox", "0,0,1,1",
+        ];
+        let sock_json = dir.join("sock.json");
+        let mut over_socket = vec!["stream", "--input"];
+        let url = format!("tcp://{listen}");
+        over_socket.push(&url);
+        over_socket.extend(common);
+        over_socket.extend(["--json", sock_json.to_str().unwrap()]);
+        dispatch(&args(&over_socket)).unwrap();
+        sender.join().unwrap().unwrap();
+
+        let file_json = dir.join("file.json");
+        let mut over_file = vec!["stream", "--input", &events_str];
+        over_file.extend(common);
+        over_file.extend(["--json", file_json.to_str().unwrap()]);
+        dispatch(&args(&over_file)).unwrap();
+
+        let a: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&sock_json).unwrap()).unwrap();
+        let b: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&file_json).unwrap()).unwrap();
         assert_eq!(a["patterns"], b["patterns"]);
         assert_eq!(a["stream"], b["stream"]);
         std::fs::remove_dir_all(&dir).ok();

@@ -5,8 +5,10 @@
 //! and atomically swaps a pre-serialized snapshot into the shard router
 //! whenever its certified top-k changes. Shards come from either
 //!
-//! * `--shards name=log.events,...` — one tailed event log per shard,
-//!   with per-shard checkpoints in `--checkpoint-dir` when given; or
+//! * `--shards name=source,...` — one feed per shard (an `.events`
+//!   log, a dead-reckoning log, `tcp://host:port`, or
+//!   `dr+tcp://host:port`), with per-shard checkpoints in
+//!   `--checkpoint-dir` when given; or
 //! * `--db ROOT` — every `ROOT/shards/<name>/` store directory becomes
 //!   a shard, polled for newly committed records, checkpointing next to
 //!   its store (`stream.ckpt`).
@@ -40,7 +42,7 @@ pub fn serve_live(args: &Args) -> Result<(), Box<dyn Error>> {
         (Some(_), Some(_)) => return Err("pass either --shards or --db, not both".into()),
         (None, None) => {
             return Err(
-                "serve --live needs --shards name=log.events,... or --db ROOT (with shards/ dirs)"
+                "serve --live needs --shards name=source,... or --db ROOT (with shards/ dirs)"
                     .into(),
             )
         }
@@ -66,6 +68,8 @@ pub fn serve_live(args: &Args) -> Result<(), Box<dyn Error>> {
             window,
             poll,
             growth_rate,
+            policy: crate::input::parse_policy(args)?,
+            dr: crate::input::dr_config(args)?,
         },
         server_cfg.clone(),
     )?;

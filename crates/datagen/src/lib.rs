@@ -19,6 +19,9 @@
 //!   motifs).
 //! - [`posture`]: cyclic activity sequences standing in for the second
 //!   real data set.
+//! - [`drfeed`]: raw dead-reckoning message logs (`trajfeed-dr v1`,
+//!   planar or geodetic) — the un-reconstructed vehicle-feed input the
+//!   feed spine's §3.1/§3.2 adapter consumes.
 //!
 //! All generators are deterministic functions of an explicit `u64` seed.
 //! Each produces ground-truth paths (`Vec<Vec<Point2>>`); helpers convert
@@ -31,6 +34,7 @@
 
 pub mod bus;
 pub mod corrupt;
+pub mod drfeed;
 pub mod events;
 pub mod observe;
 pub mod posture;
@@ -42,6 +46,7 @@ pub use bus::BusConfig;
 pub use corrupt::{
     corrupt_csv_structurally, CorruptionConfig, CorruptionConfigError, StructuralDefect,
 };
+pub use drfeed::{dr_log, DrFeedConfig};
 pub use events::{event_log, event_log_shuffled};
 pub use observe::{observe_directly, observe_via_reporting};
 pub use posture::PostureConfig;

@@ -56,6 +56,21 @@ impl UncertaintyModel {
         }
     }
 
+    /// §3.1 server-side reconstruction: the standard deviation assigned to
+    /// a reconstructed snapshot, `σ = U_eff / c`, where `U_eff` is the
+    /// effective tolerance after `elapsed` snapshots of silence since the
+    /// last report. Snapshots that coincide with a report are exact (σ = 0)
+    /// and do not call this.
+    pub fn reconstruction_sigma(
+        &self,
+        base: f64,
+        c: f64,
+        elapsed: usize,
+        predicted_distance: f64,
+    ) -> f64 {
+        self.effective_u(base, elapsed, predicted_distance) / c
+    }
+
     fn is_valid(&self) -> bool {
         match *self {
             UncertaintyModel::Constant => true,

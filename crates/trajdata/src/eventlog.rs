@@ -229,31 +229,110 @@ impl From<EventLogError> for TailError {
     }
 }
 
-/// A `tail -f`-style reader over a live event log, shared by
-/// `trajmine stream --follow` and the `trajfleet` live ingesters.
+/// A `tail -f`-style reader over any line-oriented log file — the raw
+/// transport layer under [`EventTailer`] and the `trajfeed` file
+/// sources (the dead-reckoning log has a different protocol on top but
+/// identical follow/torn-line semantics, so they share this reader).
 ///
-/// Semantics (the same ones the CLI follow loop has always had, now in
-/// one place):
+/// Semantics, version-agnostic (protocol layers interpret content):
 ///
-/// * the first content line must be [`EVENTS_VERSION_LINE`] (blank lines
-///   and comments before it are fine, matching [`parse_event_log`]);
-/// * at end-of-file a following tailer sleeps one poll interval and
+/// * at end-of-file a following reader sleeps one poll interval and
 ///   retries — a writer appending to the file wakes it on the next poll;
-/// * a partial line (no terminating newline yet) is never parsed: the
-///   tailer accumulates until the newline arrives, so a torn append is
+/// * a partial line (no terminating newline yet) is never surfaced: the
+///   reader accumulates until the newline arrives, so a torn append is
 ///   invisible to the consumer;
-/// * a `# eof` comment line is the producer's explicit terminator
-///   (follow mode only — replays treat it as an ordinary comment);
 /// * the `stop` flag ends the tail cleanly at the next poll, which is
 ///   how SIGINT/SIGTERM drains reach a blocked reader without signals
 ///   interrupting I/O.
-pub struct EventTailer {
+pub struct LineFollower {
     reader: std::io::BufReader<std::fs::File>,
     line: String,
     line_no: usize,
-    seen_version: bool,
     follow: bool,
     poll: Duration,
+}
+
+impl LineFollower {
+    /// Opens `path` for tailing. `follow` selects live-tail semantics
+    /// (sleep-and-retry at EOF); `poll` is the sleep interval between
+    /// polls.
+    pub fn open(
+        path: &std::path::Path,
+        follow: bool,
+        poll: Duration,
+    ) -> std::io::Result<LineFollower> {
+        Ok(LineFollower {
+            reader: std::io::BufReader::new(std::fs::File::open(path)?),
+            line: String::new(),
+            line_no: 0,
+            follow,
+            poll,
+        })
+    }
+
+    /// 1-based number of the last line consumed.
+    pub fn line_no(&self) -> usize {
+        self.line_no
+    }
+
+    /// Returns the next complete line (trailing `\n`/`\r` stripped), or
+    /// `Ok(None)` when the file ended: end-of-file in replay mode, or
+    /// `stop` observed while waiting for more bytes.
+    pub fn next_line(&mut self, stop: &AtomicBool) -> std::io::Result<Option<&str>> {
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            if !self.follow || stop.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            loop {
+                std::thread::sleep(self.poll);
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                let m = self.reader.read_line(&mut self.line)?;
+                if m > 0 {
+                    break;
+                }
+            }
+        }
+        // In follow mode a partial line may arrive before its newline;
+        // wait for the rest rather than surfacing half a record. (In
+        // replay mode a final unterminated line is surfaced as-is.)
+        if self.follow && !self.line.ends_with('\n') {
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    // The torn tail is dropped; a resumed reader re-reads
+                    // the whole line once it is complete.
+                    return Ok(None);
+                }
+                std::thread::sleep(self.poll);
+                let mut rest = String::new();
+                let m = self.reader.read_line(&mut rest)?;
+                self.line.push_str(&rest);
+                if m > 0 && self.line.ends_with('\n') {
+                    break;
+                }
+            }
+        }
+        self.line_no += 1;
+        Ok(Some(self.line.trim_end_matches(['\n', '\r'])))
+    }
+}
+
+/// A `tail -f`-style reader over a live event log: [`LineFollower`]
+/// transport plus the event-log protocol (version line, `# eof`
+/// terminator, `t …` arrival records).
+///
+/// * the first content line must be [`EVENTS_VERSION_LINE`] (blank lines
+///   and comments before it are fine, matching [`parse_event_log`]);
+/// * a `# eof` comment line is the producer's explicit terminator
+///   (follow mode only — replays treat it as an ordinary comment);
+/// * follow/torn-line/stop semantics are the transport's.
+pub struct EventTailer {
+    lines: LineFollower,
+    seen_version: bool,
+    follow: bool,
 }
 
 impl EventTailer {
@@ -266,18 +345,15 @@ impl EventTailer {
         poll: Duration,
     ) -> Result<EventTailer, TailError> {
         Ok(EventTailer {
-            reader: std::io::BufReader::new(std::fs::File::open(path)?),
-            line: String::new(),
-            line_no: 0,
+            lines: LineFollower::open(path, follow, poll)?,
             seen_version: false,
             follow,
-            poll,
         })
     }
 
     /// 1-based number of the last line consumed.
     pub fn line_no(&self) -> usize {
-        self.line_no
+        self.lines.line_no()
     }
 
     /// Returns the next arrival event, or `Ok(None)` when the log ended:
@@ -286,36 +362,11 @@ impl EventTailer {
     /// comments are skipped internally.
     pub fn next_event(&mut self, stop: &AtomicBool) -> Result<Option<Trajectory>, TailError> {
         loop {
-            self.line.clear();
-            let n = self.reader.read_line(&mut self.line)?;
-            if n == 0 {
-                if !self.follow || stop.load(Ordering::SeqCst) {
-                    return Ok(None);
-                }
-                std::thread::sleep(self.poll);
-                continue;
-            }
-            // In follow mode a partial line may arrive before its newline;
-            // wait for the rest rather than parsing half an event. (In
-            // replay mode a final unterminated line is parsed as-is.)
-            if self.follow && !self.line.ends_with('\n') {
-                loop {
-                    if stop.load(Ordering::SeqCst) {
-                        // The torn tail is dropped; a resumed tailer
-                        // re-reads the whole line once it is complete.
-                        return Ok(None);
-                    }
-                    std::thread::sleep(self.poll);
-                    let mut rest = String::new();
-                    let m = self.reader.read_line(&mut rest)?;
-                    self.line.push_str(&rest);
-                    if m > 0 && self.line.ends_with('\n') {
-                        break;
-                    }
-                }
-            }
-            self.line_no += 1;
-            let raw = self.line.trim_end_matches(['\n', '\r']).to_string();
+            let Some(raw) = self.lines.next_line(stop)? else {
+                return Ok(None);
+            };
+            let raw = raw.to_string();
+            let line_no = self.lines.line_no();
             let content = raw.trim();
             if !self.seen_version {
                 if content.is_empty() || content.starts_with('#') {
@@ -333,7 +384,7 @@ impl EventTailer {
             if self.follow && content == "# eof" {
                 return Ok(None);
             }
-            if let Some(traj) = parse_event_line(&raw, self.line_no)? {
+            if let Some(traj) = parse_event_line(&raw, line_no)? {
                 return Ok(Some(traj));
             }
         }

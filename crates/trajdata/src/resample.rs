@@ -55,6 +55,26 @@ pub fn regular_schedule(start: f64, dt: f64, n: usize) -> Vec<f64> {
     (0..n).map(|i| start + dt * i as f64).collect()
 }
 
+/// The server-side synchronization lattice (§3.2): every multiple of
+/// `dt` inside `[t_min, t_max]`. Anchoring sync points to multiples of
+/// `dt` — rather than to each object's first report — is what makes
+/// asynchronous reports from different objects land on *the same*
+/// snapshot schedule, the precondition for mining across them.
+///
+/// Returns `None` for non-finite bounds or a non-positive `dt`; an
+/// empty vec when no lattice point falls inside the span.
+pub fn schedule_covering(t_min: f64, t_max: f64, dt: f64) -> Option<Vec<f64>> {
+    if !(t_min.is_finite() && t_max.is_finite() && dt.is_finite() && dt > 0.0) {
+        return None;
+    }
+    if t_max < t_min {
+        return None;
+    }
+    let i0 = (t_min / dt).ceil() as i64;
+    let i1 = (t_max / dt).floor() as i64;
+    Some((i0..=i1).map(|i| i as f64 * dt).collect())
+}
+
 fn position_at(readings: &[RawReading], t: f64) -> Point2 {
     match readings.binary_search_by(|r| r.time.partial_cmp(&t).expect("times are finite")) {
         Ok(i) => readings[i].loc,
@@ -119,6 +139,18 @@ mod tests {
         let s = regular_schedule(5.0, 0.5, 4);
         assert_eq!(s, vec![5.0, 5.5, 6.0, 6.5]);
         assert!(regular_schedule(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn schedule_covering_is_the_dt_lattice() {
+        assert_eq!(schedule_covering(0.0, 2.0, 1.0), Some(vec![0.0, 1.0, 2.0]));
+        assert_eq!(schedule_covering(0.3, 2.1, 1.0), Some(vec![1.0, 2.0]));
+        // Same lattice regardless of where an object's span starts.
+        assert_eq!(schedule_covering(1.2, 2.9, 0.5), Some(vec![1.5, 2.0, 2.5]));
+        assert_eq!(schedule_covering(0.6, 0.9, 1.0), Some(vec![]));
+        assert_eq!(schedule_covering(2.0, 1.0, 1.0), None);
+        assert_eq!(schedule_covering(0.0, 1.0, 0.0), None);
+        assert_eq!(schedule_covering(f64::NAN, 1.0, 1.0), None);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! The transport layer under line-oriented feeds: anything that yields
+//! complete lines, with follow/torn-line semantics, regardless of
+//! whether the bytes come from a file or a socket.
+
+use crate::FeedError;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+use trajdata::LineFollower;
+
+/// One step of a line source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineStep {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// The transport broke and was re-established (a socket reconnect).
+    /// The protocol layer must treat what follows as a fresh stream —
+    /// in particular, expect the version line again.
+    Restart,
+    /// The source ended: end-of-file in replay mode, or the stop flag
+    /// observed while waiting for bytes.
+    End,
+}
+
+/// A source of complete protocol lines. Implementations never surface a
+/// partial line: a torn append (file) or a mid-line disconnect (socket)
+/// is either waited out or discarded with a counted recovery.
+pub trait LineSource: Send {
+    /// Blocks (stop-aware) until a line, a transport restart, or the end
+    /// of the source.
+    fn next_line(&mut self, stop: &AtomicBool) -> Result<LineStep, FeedError>;
+
+    /// Times the transport re-established a dropped connection.
+    fn reconnects(&self) -> u64 {
+        0
+    }
+
+    /// Reconnect recoveries whose receive buffer was empty (clean).
+    fn recovery_clean(&self) -> u64 {
+        0
+    }
+
+    /// Reconnect recoveries that discarded a torn partial line.
+    fn recovery_torn(&self) -> u64 {
+        0
+    }
+}
+
+/// A file-backed line source: [`trajdata::LineFollower`] behind the
+/// [`LineSource`] interface. Follow mode tails appends `tail -f`-style;
+/// replay mode ends at end-of-file.
+pub struct FileLineSource {
+    inner: LineFollower,
+}
+
+impl FileLineSource {
+    /// Opens `path`; `follow` selects live-tail semantics and `poll` the
+    /// sleep interval between polls at end-of-file.
+    pub fn open(
+        path: &std::path::Path,
+        follow: bool,
+        poll: Duration,
+    ) -> std::io::Result<FileLineSource> {
+        Ok(FileLineSource {
+            inner: LineFollower::open(path, follow, poll)?,
+        })
+    }
+}
+
+impl LineSource for FileLineSource {
+    fn next_line(&mut self, stop: &AtomicBool) -> Result<LineStep, FeedError> {
+        match self.inner.next_line(stop)? {
+            Some(line) => Ok(LineStep::Line(line.to_string())),
+            None => Ok(LineStep::End),
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Source specs: one string syntax for naming any feed, shared by
+//! `trajmine stream`, `serve --live` shard specs, and the fleet.
+//!
+//! ```text
+//! path/to/log.events        replay / tail an event log file
+//! path/to/log.drlog         replay / tail a dead-reckoning log
+//! dr:path/to/log            dead-reckoning log with any extension
+//! tcp://host:port           event-log protocol over a TCP socket
+//! dr+tcp://host:port        dead-reckoning protocol over a TCP socket
+//! ```
+//!
+//! trajdb shard directories are a [`SourceSpec::Db`] built directly by
+//! the `--db` discovery paths (a directory is not spelled in the string
+//! syntax, avoiding ambiguity with relative file paths).
+
+use crate::dr::DrConfig;
+use crate::line::FileLineSource;
+use crate::tcp::{TcpLineSource, TcpOptions};
+use crate::{DbCursorFeed, DrFeed, EventsFeed, Feed, FeedError, Pipeline};
+use std::path::PathBuf;
+use std::time::Duration;
+use trajdata::IngestPolicy;
+use trajdb::store::ReadFilter;
+
+/// Where a feed's bytes come from, and which protocol decodes them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceSpec {
+    /// An `.events` log file (replay or tail).
+    Events(PathBuf),
+    /// The `.events` protocol over a TCP socket (`host:port`).
+    EventsTcp(String),
+    /// A dead-reckoning log file (replay or tail).
+    Dr(PathBuf),
+    /// The dead-reckoning protocol over a TCP socket (`host:port`).
+    DrTcp(String),
+    /// A trajdb store directory, consumed by record-id cursor.
+    Db(PathBuf),
+}
+
+impl SourceSpec {
+    /// Parses the string syntax (see the module docs). Never fails: an
+    /// unrecognized string is a file path to an event log, which is the
+    /// pre-spine meaning of every spec.
+    pub fn parse(raw: &str) -> SourceSpec {
+        if let Some(rest) = raw.strip_prefix("dr+tcp://") {
+            SourceSpec::DrTcp(rest.to_string())
+        } else if let Some(rest) = raw.strip_prefix("tcp://") {
+            SourceSpec::EventsTcp(rest.to_string())
+        } else if let Some(rest) = raw.strip_prefix("dr:") {
+            SourceSpec::Dr(PathBuf::from(rest))
+        } else if raw.ends_with(".drlog") {
+            SourceSpec::Dr(PathBuf::from(raw))
+        } else {
+            SourceSpec::Events(PathBuf::from(raw))
+        }
+    }
+
+    /// A short label for the feed kind, used in logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SourceSpec::Events(_) => "events",
+            SourceSpec::EventsTcp(_) => "events+tcp",
+            SourceSpec::Dr(_) => "dr",
+            SourceSpec::DrTcp(_) => "dr+tcp",
+            SourceSpec::Db(_) => "db",
+        }
+    }
+
+    /// The human-readable source location.
+    pub fn location(&self) -> String {
+        match self {
+            SourceSpec::Events(p) | SourceSpec::Dr(p) | SourceSpec::Db(p) => {
+                p.display().to_string()
+            }
+            SourceSpec::EventsTcp(a) => format!("tcp://{a}"),
+            SourceSpec::DrTcp(a) => format!("dr+tcp://{a}"),
+        }
+    }
+}
+
+impl std::fmt::Display for SourceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.location(), self.kind())
+    }
+}
+
+/// Everything needed to open a feed from a [`SourceSpec`].
+#[derive(Debug, Clone)]
+pub struct FeedOptions {
+    /// Live-tail semantics for file sources (sleep-and-retry at EOF,
+    /// honour `# eof`) and follow mode for db cursors. Socket sources
+    /// are always live.
+    pub follow: bool,
+    /// Poll interval: file-tail EOF sleeps, db cursor polls, and socket
+    /// read-timeout granularity.
+    pub poll: Duration,
+    /// The sanitize-stage defect policy.
+    pub policy: IngestPolicy,
+    /// §3.1/§3.2 reconstruction parameters for dead-reckoning sources.
+    pub dr: DrConfig,
+    /// Socket transport knobs (`poll` is overridden by `self.poll`).
+    pub tcp: TcpOptions,
+    /// Record filter for db sources (id/time windows).
+    pub db_filter: ReadFilter,
+}
+
+impl Default for FeedOptions {
+    fn default() -> FeedOptions {
+        FeedOptions {
+            follow: false,
+            poll: Duration::from_millis(50),
+            policy: IngestPolicy::Strict,
+            dr: DrConfig::default(),
+            tcp: TcpOptions::default(),
+            db_filter: ReadFilter::all(),
+        }
+    }
+}
+
+/// Opens a feed for `spec` — the one constructor every consumer
+/// (`stream`, `serve --live`, the fleet) goes through.
+pub fn open(spec: &SourceSpec, opts: &FeedOptions) -> Result<Box<dyn Feed>, FeedError> {
+    let pipeline = Pipeline::new(opts.policy);
+    let tcp = TcpOptions {
+        poll: opts.poll,
+        ..opts.tcp
+    };
+    Ok(match spec {
+        SourceSpec::Events(path) => Box::new(EventsFeed::new(
+            FileLineSource::open(path, opts.follow, opts.poll)?,
+            pipeline,
+            opts.follow,
+            spec.kind(),
+        )),
+        SourceSpec::EventsTcp(addr) => Box::new(EventsFeed::new(
+            TcpLineSource::new(addr.clone(), tcp),
+            pipeline,
+            true,
+            spec.kind(),
+        )),
+        SourceSpec::Dr(path) => Box::new(DrFeed::new(
+            FileLineSource::open(path, opts.follow, opts.poll)?,
+            opts.dr,
+            pipeline,
+            opts.follow,
+            spec.kind(),
+        )?),
+        SourceSpec::DrTcp(addr) => Box::new(DrFeed::new(
+            TcpLineSource::new(addr.clone(), tcp),
+            opts.dr,
+            pipeline,
+            true,
+            spec.kind(),
+        )?),
+        SourceSpec::Db(dir) => Box::new(DbCursorFeed::open(
+            dir,
+            opts.db_filter,
+            opts.follow,
+            opts.poll,
+            pipeline,
+        )?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_spec_shape() {
+        assert_eq!(
+            SourceSpec::parse("a/b.events"),
+            SourceSpec::Events(PathBuf::from("a/b.events"))
+        );
+        assert_eq!(
+            SourceSpec::parse("tcp://127.0.0.1:9000"),
+            SourceSpec::EventsTcp("127.0.0.1:9000".to_string())
+        );
+        assert_eq!(
+            SourceSpec::parse("dr+tcp://feed.example:80"),
+            SourceSpec::DrTcp("feed.example:80".to_string())
+        );
+        assert_eq!(
+            SourceSpec::parse("x/y.drlog"),
+            SourceSpec::Dr(PathBuf::from("x/y.drlog"))
+        );
+        assert_eq!(
+            SourceSpec::parse("dr:x/y.log"),
+            SourceSpec::Dr(PathBuf::from("x/y.log"))
+        );
+        // Unknown extensions stay event-log files, the pre-spine meaning.
+        assert_eq!(
+            SourceSpec::parse("plain.log"),
+            SourceSpec::Events(PathBuf::from("plain.log"))
+        );
+    }
+
+    #[test]
+    fn kinds_and_locations_render() {
+        assert_eq!(SourceSpec::parse("tcp://h:1").kind(), "events+tcp");
+        assert_eq!(SourceSpec::parse("a.drlog").kind(), "dr");
+        assert_eq!(
+            SourceSpec::parse("dr+tcp://h:1").to_string(),
+            "dr+tcp://h:1 (dr+tcp)"
+        );
+    }
+}

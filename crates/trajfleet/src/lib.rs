@@ -2,9 +2,12 @@
 //!
 //! One [`trajserve::Server`] fronts a fixed set of *shards* (fleets,
 //! regions, tenants — the key is opaque). Each shard owns its own
-//! [`trajstream::StreamMiner`] fed from its own event source — an
-//! append-only `.events` log tailed with `--follow` semantics, or a
-//! `trajdb` store polled for newly committed records. Whenever a
+//! [`trajstream::StreamMiner`] fed from its own
+//! [`trajfeed::SourceSpec`] — an append-only `.events` log tailed with
+//! `--follow` semantics, a `trajdb` store polled for newly committed
+//! records, a dead-reckoning log reconstructed server-side (§3.1/§3.2),
+//! or either line protocol arriving over a live TCP socket
+//! (`name=tcp://host:port`, `name=dr+tcp://host:port`). Whenever a
 //! shard's certified top-k actually changes (tracked by
 //! [`StreamMiner::topk_version`]), its ingester builds a fresh
 //! pre-serialized [`trajserve::Loaded`] bundle and atomically swaps it
@@ -38,34 +41,29 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use trajdata::{EventTailer, TailError};
-use trajdb::store::ReadFilter;
-use trajdb::{Store, StoreOptions};
+use trajdata::IngestPolicy;
+use trajdb::Store;
+use trajfeed::{DrConfig, FeedError, FeedOptions, PumpError};
 use trajgeo::Grid;
 use trajpattern::MiningParams;
 use trajserve::server::ServeState;
 use trajserve::{Loaded, ServeError, Server, ServerConfig, ServerHandle, Snapshot};
 use trajstream::StreamMiner;
 
-/// Where one shard's events come from.
-#[derive(Debug, Clone)]
-pub enum ShardSource {
-    /// Tail an append-only `.events` log (follow semantics: poll for
-    /// appended bytes until a `# eof` line or shutdown).
-    Events(PathBuf),
-    /// Poll a `trajdb` store directory for newly committed records
-    /// (id order, exactly the order `trajmine stream --db` replays).
-    Db(PathBuf),
-}
+/// Where one shard's records come from: any [`trajfeed::SourceSpec`]
+/// (event log, dead-reckoning log, trajdb store, or either line
+/// protocol over TCP). Re-exported so shard wiring needs no direct
+/// trajfeed dependency.
+pub use trajfeed::SourceSpec as ShardSource;
 
-/// One shard of the fleet: a name, an event source, and an optional
+/// One shard of the fleet: a name, a feed source, and an optional
 /// checkpoint file for restart/resume.
 #[derive(Debug, Clone)]
 pub struct ShardSpec {
     /// The shard's routing key (`?shard=NAME`); 1–64 chars of
     /// `[A-Za-z0-9_-]`, unique within the fleet.
     pub name: String,
-    /// Where the shard's events come from.
+    /// Where the shard's records come from.
     pub source: ShardSource,
     /// `trajpattern-checkpoint v2` file: resumed at launch when it
     /// exists, rewritten on every published swap and at shutdown.
@@ -88,6 +86,12 @@ pub struct FleetConfig {
     /// every shard's published window query set (`/v1/prange`,
     /// `/v1/pnn` interpolate with it). 0 = reported σ only.
     pub growth_rate: f64,
+    /// Defect policy for every shard feed's sanitize stage (strict
+    /// feeds stop the shard on the first malformed record).
+    pub policy: IngestPolicy,
+    /// §3.1/§3.2 reconstruction parameters for dead-reckoning shard
+    /// sources (`*.drlog`, `dr+tcp://`); ignored by event/db sources.
+    pub dr: DrConfig,
 }
 
 /// Why the fleet could not be launched or did not drain cleanly.
@@ -99,8 +103,8 @@ pub enum FleetError {
     Params(trajpattern::ParamsError),
     /// A shard checkpoint could not be written or resumed.
     Checkpoint(trajstream::CheckpointError),
-    /// A shard's `.events` log could not be read or parsed.
-    Tail(String, TailError),
+    /// A shard's feed could not be opened, read, or decoded.
+    Feed(String, FeedError),
     /// A shard's `trajdb` store could not be opened or read.
     Store(String, trajdb::StoreError),
     /// The shard set itself is unusable (empty, bad names, bad specs).
@@ -118,7 +122,7 @@ impl std::fmt::Display for FleetError {
             FleetError::Serve(e) => write!(f, "{e}"),
             FleetError::Params(e) => write!(f, "invalid mining parameters: {e}"),
             FleetError::Checkpoint(e) => write!(f, "shard checkpoint: {e}"),
-            FleetError::Tail(shard, e) => write!(f, "shard '{shard}': {e}"),
+            FleetError::Feed(shard, e) => write!(f, "shard '{shard}': {e}"),
             FleetError::Store(shard, e) => write!(f, "shard '{shard}': {e}"),
             FleetError::Spec(msg) => write!(f, "bad shard set: {msg}"),
             FleetError::IngesterPanicked(shard) => {
@@ -135,7 +139,7 @@ impl std::error::Error for FleetError {
             FleetError::Serve(e) => Some(e),
             FleetError::Params(e) => Some(e),
             FleetError::Checkpoint(e) => Some(e),
-            FleetError::Tail(_, e) => Some(e),
+            FleetError::Feed(_, e) => Some(e),
             FleetError::Store(_, e) => Some(e),
             FleetError::Io(e) => Some(e),
             _ => None,
@@ -161,9 +165,11 @@ impl From<std::io::Error> for FleetError {
     }
 }
 
-/// Parses a comma-packed `--shards` value: `name=path.events` pairs,
-/// e.g. `east=east.events,west=west.events`. Checkpoints land in
-/// `checkpoint_dir` as `<name>.ckpt` when a directory is given.
+/// Parses a comma-packed `--shards` value: `name=source` pairs where
+/// each source is any [`trajfeed::SourceSpec`] string — e.g.
+/// `east=east.events,west=tcp://10.0.0.2:9009,bus=city.drlog`.
+/// Checkpoints land in `checkpoint_dir` as `<name>.ckpt` when a
+/// directory is given.
 pub fn parse_shard_specs(
     raw: &str,
     checkpoint_dir: Option<&Path>,
@@ -183,7 +189,7 @@ pub fn parse_shard_specs(
         }
         specs.push(ShardSpec {
             name: name.to_string(),
-            source: ShardSource::Events(PathBuf::from(path.trim())),
+            source: ShardSource::parse(path.trim()),
             checkpoint: checkpoint_dir.map(|d| d.join(format!("{name}.ckpt"))),
         });
     }
@@ -349,9 +355,11 @@ impl Fleet {
     }
 }
 
-/// One shard's ingest loop: pull events from the source, slide them
-/// through the miner, and publish a freshly built serving bundle
-/// whenever the certified top-k actually moved.
+/// One shard's ingest loop: open the shard's feed on the spine, pump
+/// records through the miner, and publish a freshly built serving
+/// bundle whenever the certified top-k actually moved. Every source
+/// kind — event log, dead-reckoning log, trajdb cursor, TCP socket —
+/// runs this same loop.
 fn ingest_shard(
     spec: ShardSpec,
     mut miner: StreamMiner,
@@ -360,72 +368,48 @@ fn ingest_shard(
     state: &ServeState,
     stop: &AtomicBool,
 ) -> Result<(), FleetError> {
-    // Resume: the first `skip` events of the source were already
+    // Resume: the first `skip` records of the source were already
     // absorbed by the checkpointed miner — replay past them without
     // re-applying (exactly `trajmine stream --resume` semantics).
     let skip = miner.next_seq();
-    let mut event_no = 0u64;
     let mut last_version = miner.topk_version();
+    let opts = FeedOptions {
+        follow: true,
+        poll: cfg.poll,
+        policy: cfg.policy,
+        dr: cfg.dr,
+        ..FeedOptions::default()
+    };
+    let kind = spec.source.kind();
 
-    let result = match &spec.source {
-        ShardSource::Events(path) => {
-            let mut tailer = EventTailer::open(path, true, cfg.poll)
-                .map_err(|e| FleetError::Tail(spec.name.clone(), e))?;
-            loop {
-                match tailer
-                    .next_event(stop)
-                    .map_err(|e| FleetError::Tail(spec.name.clone(), e))?
-                {
-                    None => break Ok(()),
-                    Some(traj) => {
-                        event_no += 1;
-                        if event_no <= skip {
-                            continue;
-                        }
-                        miner.slide(traj, cfg.window);
-                        publish_window(&spec, &miner, cfg.growth_rate, state);
-                        publish_if_changed(
-                            &spec,
-                            &miner,
-                            &mut last_version,
-                            confirm_threshold,
-                            state,
-                        )?;
-                    }
-                }
-            }
-        }
-        ShardSource::Db(dir) => {
-            // Poll committed records in id order. The store handle is
-            // reopened per poll so batches appended by other processes
-            // (e.g. `trajmine db ingest`) become visible.
-            let mut cursor = 0u64;
-            loop {
-                if stop.load(Ordering::SeqCst) {
-                    break Ok(());
-                }
-                let records = Store::open(dir, StoreOptions::default())
-                    .and_then(|store| {
-                        store.read(&ReadFilter {
-                            min_id: Some(cursor),
-                            ..ReadFilter::default()
-                        })
-                    })
-                    .map_err(|e| FleetError::Store(spec.name.clone(), e))?;
-                if records.is_empty() {
-                    thread::sleep(cfg.poll);
-                    continue;
-                }
-                for record in records {
-                    cursor = record.id + 1;
-                    event_no += 1;
-                    if event_no <= skip {
-                        continue;
-                    }
-                    miner.slide(record.trajectory, cfg.window);
+    let result = match trajfeed::open(&spec.source, &opts) {
+        Err(e) => Err(FleetError::Feed(spec.name.clone(), e)),
+        Ok(mut feed) => {
+            let pumped = trajfeed::pump(
+                feed.as_mut(),
+                stop,
+                skip,
+                |traj| {
+                    miner.slide(traj, cfg.window);
                     publish_window(&spec, &miner, cfg.growth_rate, state);
-                    publish_if_changed(&spec, &miner, &mut last_version, confirm_threshold, state)?;
-                }
+                    publish_if_changed(&spec, &miner, &mut last_version, confirm_threshold, state)
+                },
+                |stats| {
+                    if let Some(fleet) = state.fleet() {
+                        fleet.swap_feed_stats(&spec.name, kind, stats.clone());
+                    }
+                },
+            );
+            // Publish the final counters too — transport events after
+            // the last record batch (reconnects, torn recoveries)
+            // would otherwise never reach `/metrics`.
+            if let Some(fleet) = state.fleet() {
+                fleet.swap_feed_stats(&spec.name, kind, feed.stats().clone());
+            }
+            match pumped {
+                Ok(_) => Ok(()),
+                Err(PumpError::Feed(e)) => Err(FleetError::Feed(spec.name.clone(), e)),
+                Err(PumpError::Sink(e)) => Err(e),
             }
         }
     };
@@ -495,6 +479,21 @@ mod tests {
             with_ckpt[0].checkpoint.as_deref(),
             Some(Path::new("/tmp/ckpts/a.ckpt"))
         );
+    }
+
+    #[test]
+    fn shard_specs_accept_every_source_kind() {
+        let specs = parse_shard_specs(
+            "east=e.events,sock=tcp://10.0.0.2:9009,bus=city.drlog,dr=dr+tcp://h:1",
+            None,
+        )
+        .unwrap();
+        assert!(matches!(&specs[0].source, ShardSource::Events(_)));
+        assert!(
+            matches!(&specs[1].source, ShardSource::EventsTcp(a) if a == "10.0.0.2:9009")
+        );
+        assert!(matches!(&specs[2].source, ShardSource::Dr(_)));
+        assert!(matches!(&specs[3].source, ShardSource::DrTcp(a) if a == "h:1"));
     }
 
     #[test]

@@ -305,6 +305,8 @@ fn live_fleet_serves_fanout_and_resumes_from_checkpoints() {
                 window,
                 poll: Duration::from_millis(5),
                 growth_rate: 0.0,
+                policy: trajdata::IngestPolicy::Strict,
+                dr: trajfeed::DrConfig::default(),
             },
             trajserve::ServerConfig {
                 addr: "127.0.0.1:0".into(),

@@ -147,6 +147,8 @@ fn live_object_queries_match_offline_query_sets() {
             window,
             poll: Duration::from_millis(5),
             growth_rate: GROWTH_RATE,
+            policy: trajdata::IngestPolicy::Strict,
+            dr: trajfeed::DrConfig::default(),
         },
         trajserve::ServerConfig {
             addr: "127.0.0.1:0".into(),

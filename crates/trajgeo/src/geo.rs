@@ -1,0 +1,158 @@
+//! Geodetic (lat/lon) coordinates → the planar engine.
+//!
+//! The mining engine, grids, and scoring kernel all work in a flat 2-D
+//! space. Real vehicle feeds report WGS84 latitude/longitude. The bridge
+//! is a *local equirectangular projection* anchored at a reference
+//! origin: within the spans a trajectory workload covers (a metro area,
+//! a transit network), the projection's planar distances agree with the
+//! great-circle (Haversine) distances to well under a grid cell, so cell
+//! sizes chosen in meters mean what they say — and every bit-identity
+//! suite downstream of the decode stage is untouched, because after
+//! projection the data is ordinary planar `f64`s.
+//!
+//! ```
+//! use trajgeo::GeoProjection;
+//!
+//! // Anchor near Lower Manhattan, project a point ~1.3 km north-east.
+//! let proj = GeoProjection::new(40.7128, -74.0060).unwrap();
+//! let p = proj.project(40.7230, -73.9980);
+//! let gc = GeoProjection::haversine_m(40.7128, -74.0060, 40.7230, -73.9980);
+//! assert!((p.distance(trajgeo::Point2::ORIGIN) - gc).abs() / gc < 1e-4);
+//! ```
+
+use crate::point::Point2;
+
+/// Mean Earth radius in meters (IUGG R₁).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A local equirectangular projection anchored at `(lat0, lon0)`.
+///
+/// Projected coordinates are meters east (`x`) and north (`y`) of the
+/// origin: `x = R·cos(lat0)·Δλ`, `y = R·Δφ` (angles in radians). The
+/// cos-latitude scaling makes east–west meters at the origin latitude
+/// exact, which is what keeps planar cell sizes Haversine-consistent
+/// over workload-sized extents (see [`GeoProjection::haversine_m`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoProjection {
+    lat0: f64,
+    lon0: f64,
+    cos_lat0: f64,
+}
+
+impl GeoProjection {
+    /// Creates a projection anchored at the reference origin. `None` if
+    /// the origin is not a usable anchor: latitude outside ±89° (the
+    /// east–west scale degenerates at the poles), longitude outside
+    /// ±180°, or either non-finite.
+    pub fn new(lat0: f64, lon0: f64) -> Option<GeoProjection> {
+        if !(lat0.is_finite() && lon0.is_finite()) {
+            return None;
+        }
+        if !((-89.0..=89.0).contains(&lat0) && (-180.0..=180.0).contains(&lon0)) {
+            return None;
+        }
+        Some(GeoProjection {
+            lat0,
+            lon0,
+            cos_lat0: lat0.to_radians().cos(),
+        })
+    }
+
+    /// The reference origin `(lat0, lon0)` in degrees.
+    pub fn origin(&self) -> (f64, f64) {
+        (self.lat0, self.lon0)
+    }
+
+    /// Projects a geodetic position (degrees) to local planar meters.
+    pub fn project(&self, lat: f64, lon: f64) -> Point2 {
+        let x = EARTH_RADIUS_M * self.cos_lat0 * (lon - self.lon0).to_radians();
+        let y = EARTH_RADIUS_M * (lat - self.lat0).to_radians();
+        Point2::new(x, y)
+    }
+
+    /// Inverse of [`GeoProjection::project`]: planar meters back to
+    /// geodetic degrees `(lat, lon)`.
+    pub fn unproject(&self, p: Point2) -> (f64, f64) {
+        let lat = self.lat0 + (p.y / EARTH_RADIUS_M).to_degrees();
+        let lon = self.lon0 + (p.x / (EARTH_RADIUS_M * self.cos_lat0)).to_degrees();
+        (lat, lon)
+    }
+
+    /// Great-circle distance between two geodetic positions (degrees),
+    /// in meters, by the Haversine formula — the reference the planar
+    /// projection is checked against.
+    pub fn haversine_m(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+        let (p1, p2) = (lat1.to_radians(), lat2.to_radians());
+        let dp = (lat2 - lat1).to_radians();
+        let dl = (lon2 - lon1).to_radians();
+        let a = (dp / 2.0).sin().powi(2) + p1.cos() * p2.cos() * (dl / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_origins() {
+        assert!(GeoProjection::new(40.0, -74.0).is_some());
+        assert!(GeoProjection::new(90.0, 0.0).is_none());
+        assert!(GeoProjection::new(-89.5, 0.0).is_none());
+        assert!(GeoProjection::new(0.0, 181.0).is_none());
+        assert!(GeoProjection::new(f64::NAN, 0.0).is_none());
+    }
+
+    #[test]
+    fn origin_projects_to_planar_origin() {
+        let proj = GeoProjection::new(51.5074, -0.1278).unwrap();
+        let p = proj.project(51.5074, -0.1278);
+        assert_eq!(p.x, 0.0);
+        assert_eq!(p.y, 0.0);
+    }
+
+    #[test]
+    fn round_trips_through_unproject() {
+        let proj = GeoProjection::new(-36.8485, 174.7633).unwrap(); // Auckland
+        for (lat, lon) in [
+            (-36.8485, 174.7633),
+            (-36.8000, 174.8000),
+            (-36.9000, 174.7000),
+        ] {
+            let (rl, rn) = proj.unproject(proj.project(lat, lon));
+            assert!((rl - lat).abs() < 1e-12, "{rl} vs {lat}");
+            assert!((rn - lon).abs() < 1e-12, "{rn} vs {lon}");
+        }
+    }
+
+    #[test]
+    fn planar_distances_are_haversine_consistent_at_city_scale() {
+        // Over a ~20 km metro extent the equirectangular error must stay
+        // far below any sane cell size: < 0.1 % relative.
+        let proj = GeoProjection::new(40.7128, -74.0060).unwrap();
+        let pairs = [
+            ((40.7128, -74.0060), (40.7580, -73.9700)),
+            ((40.7000, -74.0200), (40.8000, -73.9500)),
+            ((40.7128, -74.0060), (40.7130, -74.0058)),
+        ];
+        for ((la1, lo1), (la2, lo2)) in pairs {
+            let planar = proj.project(la1, lo1).distance(proj.project(la2, lo2));
+            let gc = GeoProjection::haversine_m(la1, lo1, la2, lo2);
+            assert!(
+                (planar - gc).abs() <= gc.max(1.0) * 1e-3,
+                "planar {planar} vs haversine {gc}"
+            );
+        }
+    }
+
+    #[test]
+    fn north_and_east_have_the_right_signs() {
+        let proj = GeoProjection::new(0.0, 0.0).unwrap();
+        let ne = proj.project(1.0, 1.0);
+        assert!(ne.x > 0.0 && ne.y > 0.0);
+        let sw = proj.project(-1.0, -1.0);
+        assert!(sw.x < 0.0 && sw.y < 0.0);
+        // One degree of latitude at the equator ≈ 111.2 km.
+        assert!((ne.y - 111_194.9).abs() < 100.0, "{}", ne.y);
+    }
+}

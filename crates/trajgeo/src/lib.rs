@@ -16,6 +16,9 @@
 //!   sampling.
 //! - [`fxhash`]: a small Fx-style hasher for integer-keyed hash maps on hot
 //!   paths.
+//! - [`GeoProjection`]: a local equirectangular lat/lon → planar projection
+//!   with Haversine-consistent distances, so geodetic feeds decode into the
+//!   same flat space everything above works in.
 //!
 //! Everything here is `f64`-based, deterministic, and free of `unsafe`.
 
@@ -24,11 +27,13 @@
 
 pub mod bbox;
 pub mod fxhash;
+pub mod geo;
 pub mod grid;
 pub mod index;
 pub mod point;
 pub mod stats;
 
 pub use bbox::BBox;
+pub use geo::GeoProjection;
 pub use grid::{CellId, Grid, GridError};
 pub use point::{Point2, Vec2};

@@ -37,6 +37,10 @@ struct ShardSlot {
     swaps: AtomicU64,
     /// Requests answered from this shard (`?shard=` lookups).
     requests: AtomicU64,
+    /// The shard's ingest-feed counters: `(feed kind, stats)`, published
+    /// by the ingester after every delivered batch. The kind is empty
+    /// until the feed produces its first batch.
+    feed: RwLock<(String, trajfeed::FeedStats)>,
 }
 
 impl ShardSlot {
@@ -51,6 +55,13 @@ impl ShardSlot {
         match self.window.read() {
             Ok(g) => Arc::clone(&g),
             Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    fn feed(&self) -> (String, trajfeed::FeedStats) {
+        match self.feed.read() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
         }
     }
 }
@@ -85,6 +96,7 @@ impl FleetState {
                 window: RwLock::new(Arc::new(trajquery::QuerySet::build(Vec::new(), 0.0))),
                 swaps: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
+                feed: RwLock::new((String::new(), trajfeed::FeedStats::default())),
             })
             .collect();
         shards.sort_by(|a, b| a.name.cmp(&b.name));
@@ -160,6 +172,21 @@ impl FleetState {
             return false;
         };
         match slot.window.write() {
+            Ok(mut g) => *g = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+        true
+    }
+
+    /// Publishes `name`'s ingest-feed counters (kind + stats), shown on
+    /// `/metrics` with `shard=`/`feed=` labels and in `/v1/shards`.
+    /// Returns `false` for unknown names.
+    pub fn swap_feed_stats(&self, name: &str, kind: &str, stats: trajfeed::FeedStats) -> bool {
+        let Some(slot) = self.slot(name) else {
+            return false;
+        };
+        let next = (kind.to_string(), stats);
+        match slot.feed.write() {
             Ok(mut g) => *g = next,
             Err(poisoned) => *poisoned.into_inner() = next,
         }
@@ -254,6 +281,15 @@ impl FleetState {
                 let snap = &loaded.snapshot;
                 let window = s.window();
                 let bounds = window.time_bounds();
+                let (feed_kind, feed_stats) = s.feed();
+                let feed = if feed_kind.is_empty() {
+                    serde_json::Value::Null
+                } else {
+                    serde_json::json!({
+                        "kind": feed_kind,
+                        "stats": feed_stats,
+                    })
+                };
                 serde_json::json!({
                     "name": s.name,
                     "patterns": snap.patterns.len(),
@@ -270,6 +306,7 @@ impl FleetState {
                         "t_max": bounds.map(|(_, hi)| hi),
                     }),
                     "stream": snap.stream,
+                    "feed": feed,
                 })
             })
             .collect();
@@ -318,6 +355,11 @@ impl FleetState {
                     &labels,
                     &stream.counters(),
                 );
+            }
+            let (feed_kind, feed_stats) = s.feed();
+            if !feed_kind.is_empty() {
+                let feed_labels = format!("{labels},feed=\"{feed_kind}\"");
+                prometheus_labeled_counters(out, "trajfeed", &feed_labels, &feed_stats.counters());
             }
         }
     }

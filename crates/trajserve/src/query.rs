@@ -75,9 +75,17 @@ impl QueryRequest {
         serde_json::from_str(text).map_err(|e| Response::error(400, &format!("bad query: {e}")))
     }
 
-    /// The posted trajectories as a [`Dataset`].
+    /// The posted trajectories as a [`Dataset`], drained through the
+    /// feed spine's in-memory source — the same path every other ingest
+    /// takes, so posted bodies and replayed logs cannot diverge.
     pub fn dataset(&self) -> Dataset {
-        self.trajectories.iter().cloned().collect()
+        let data: Dataset = self.trajectories.iter().cloned().collect();
+        let mut feed = trajfeed::StaticFeed::from_dataset(data);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        trajfeed::drain(&mut feed, &stop)
+            .expect("static feeds cannot fail")
+            .into_iter()
+            .collect()
     }
 
     /// The options block, defaulted when absent.

@@ -319,6 +319,69 @@ fn trajdb_reader_loads_prerefactor_store() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The deterministic dead-reckoning fleet the `trajfeed-dr v1` fixtures
+/// derive from (seeded `datagen dr-feed`, planar and geodetic variants).
+fn dr_fixture_config() -> datagen::DrFeedConfig {
+    datagen::DrFeedConfig {
+        routes: 2,
+        vehicles_per_route: 2,
+        reports_per_vehicle: 6,
+        ..datagen::DrFeedConfig::default()
+    }
+}
+
+#[test]
+fn dr_log_writer_matches_golden() {
+    check_golden("fleet.drlog", &datagen::dr_log(&dr_fixture_config(), 17));
+    let geo = datagen::DrFeedConfig {
+        extent: 2000.0,
+        geo_origin: Some((47.6062, -122.3321)),
+        ..dr_fixture_config()
+    };
+    check_golden("fleet_geo.drlog", &datagen::dr_log(&geo, 17));
+}
+
+#[test]
+fn dr_log_reader_reconstructs_prerefactor_file_bit_exactly() {
+    use std::sync::atomic::AtomicBool;
+    use trajfeed::{FeedOptions, SourceSpec};
+
+    // The committed fixture decodes to the same §3.1/§3.2 reconstruction
+    // as a freshly generated log, bit for bit.
+    let decode = |name: &str, text: &str| {
+        let path = tmp_path(name);
+        std::fs::write(&path, text).unwrap();
+        let mut feed =
+            trajfeed::open(&SourceSpec::Dr(path.clone()), &FeedOptions::default()).unwrap();
+        let out = trajfeed::drain(feed.as_mut(), &AtomicBool::new(false)).unwrap();
+        std::fs::remove_file(&path).ok();
+        out
+    };
+    for (fixture, cfg) in [
+        ("fleet.drlog", dr_fixture_config()),
+        (
+            "fleet_geo.drlog",
+            datagen::DrFeedConfig {
+                extent: 2000.0,
+                geo_origin: Some((47.6062, -122.3321)),
+                ..dr_fixture_config()
+            },
+        ),
+    ] {
+        let committed = decode(&format!("read-{fixture}"), &read_golden(fixture));
+        let fresh = decode(&format!("fresh-{fixture}"), &datagen::dr_log(&cfg, 17));
+        assert_eq!(committed.len(), fresh.len(), "{fixture}");
+        assert_eq!(committed.len(), 4, "{fixture}: 2 routes x 2 vehicles");
+        for (a, b) in committed.iter().zip(&fresh) {
+            for (pa, pb) in a.points().iter().zip(b.points()) {
+                assert_eq!(pa.mean.x.to_bits(), pb.mean.x.to_bits(), "{fixture}");
+                assert_eq!(pa.mean.y.to_bits(), pb.mean.y.to_bits(), "{fixture}");
+                assert_eq!(pa.sigma.to_bits(), pb.sigma.to_bits(), "{fixture}");
+            }
+        }
+    }
+}
+
 #[test]
 fn events_writer_matches_golden() {
     let produced = write_event_log(&events_fixture());
